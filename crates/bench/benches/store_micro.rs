@@ -1,0 +1,163 @@
+//! Criterion micro-benchmarks of the three access patterns at the
+//! store level (no engine), one group per pattern.
+//!
+//! These complement the figure harnesses: they isolate pure store cost
+//! for the exact operation mixes the paper's patterns generate, and back
+//! the ablation claims in DESIGN.md (e.g. AAR needs no compaction, AUR
+//! batching beats per-window reads).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use flowkv_common::backend::{
+    AggregateKind, OperatorContext, OperatorSemantics, StateBackend, WindowKind,
+};
+use flowkv_common::scratch::ScratchDir;
+use flowkv_common::types::WindowId;
+use flowkv_spe::BackendChoice;
+
+/// Backends under comparison (the in-memory store is not a persistent
+/// competitor and is omitted, as in the paper's Figure 10).
+fn backends() -> Vec<BackendChoice> {
+    flowkv_bench::bench_backends(usize::MAX)
+        .into_iter()
+        .skip(1)
+        .collect()
+}
+
+fn make(
+    choice: &BackendChoice,
+    semantics: OperatorSemantics,
+) -> (Box<dyn StateBackend>, ScratchDir) {
+    let dir = ScratchDir::new(&format!("micro-{}", choice.name())).unwrap();
+    let ctx = OperatorContext {
+        operator: "micro".into(),
+        partition: 0,
+        semantics,
+        data_dir: dir.path().to_path_buf(),
+    };
+    (choice.factory().create(&ctx).unwrap(), dir)
+}
+
+/// AAR: append a window's worth of tuples across many keys, then drain
+/// the window with chunked reads.
+fn bench_aar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aar_append_drain");
+    group.measurement_time(Duration::from_secs(5));
+    group.sample_size(10);
+    let semantics =
+        OperatorSemantics::new(AggregateKind::FullList, WindowKind::Fixed { size: 1_000 });
+    let keys = 200u64;
+    let per_key = 20u64;
+    for choice in backends() {
+        group.bench_function(BenchmarkId::from_parameter(choice.name()), |b| {
+            b.iter_batched(
+                || make(&choice, semantics),
+                |(mut store, _dir)| {
+                    let w = WindowId::new(0, 1_000);
+                    for i in 0..keys * per_key {
+                        let key = (i % keys).to_le_bytes();
+                        store.append(&key, w, &[7u8; 64], i as i64).unwrap();
+                    }
+                    let mut total = 0usize;
+                    while let Some(chunk) = store.get_window_chunk(w).unwrap() {
+                        total += chunk.len();
+                    }
+                    assert!(total >= keys as usize);
+                    store.close().unwrap();
+                },
+                criterion::BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// AUR: session-style appends to per-key windows, flushed to disk, then
+/// consumed in trigger order (ascending timestamps).
+fn bench_aur(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aur_session_take");
+    group.measurement_time(Duration::from_secs(5));
+    group.sample_size(10);
+    let semantics =
+        OperatorSemantics::new(AggregateKind::FullList, WindowKind::Session { gap: 100 });
+    let keys = 200u64;
+    let per_key = 10u64;
+    for choice in backends() {
+        group.bench_function(BenchmarkId::from_parameter(choice.name()), |b| {
+            b.iter_batched(
+                || {
+                    let (mut store, dir) = make(&choice, semantics);
+                    for k in 0..keys {
+                        let window = WindowId::new(k as i64 * 10, k as i64 * 10 + 100);
+                        for j in 0..per_key {
+                            store
+                                .append(
+                                    &k.to_le_bytes(),
+                                    window,
+                                    &[5u8; 48],
+                                    k as i64 * 10 + j as i64,
+                                )
+                                .unwrap();
+                        }
+                    }
+                    store.flush().unwrap();
+                    (store, dir)
+                },
+                |(mut store, _dir)| {
+                    for k in 0..keys {
+                        let window = WindowId::new(k as i64 * 10, k as i64 * 10 + 100);
+                        let values = store.take_values(&k.to_le_bytes(), window).unwrap();
+                        assert_eq!(values.len(), per_key as usize);
+                    }
+                    store.close().unwrap();
+                },
+                criterion::BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// RMW: take/put aggregate cycles over a working set of keys.
+fn bench_rmw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rmw_cycle");
+    group.measurement_time(Duration::from_secs(5));
+    group.sample_size(10);
+    let semantics = OperatorSemantics::new(
+        AggregateKind::Incremental,
+        WindowKind::Fixed { size: 1_000 },
+    );
+    let keys = 500u64;
+    let rounds = 20u64;
+    for choice in backends() {
+        group.bench_function(BenchmarkId::from_parameter(choice.name()), |b| {
+            b.iter_batched(
+                || make(&choice, semantics),
+                |(mut store, _dir)| {
+                    let w = WindowId::new(0, 1_000);
+                    for round in 0..rounds {
+                        for k in 0..keys {
+                            let key = k.to_le_bytes();
+                            let acc = store
+                                .take_aggregate(&key, w)
+                                .unwrap()
+                                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                                .unwrap_or(0);
+                            store
+                                .put_aggregate(&key, w, &(acc + round).to_le_bytes())
+                                .unwrap();
+                        }
+                    }
+                    store.close().unwrap();
+                },
+                criterion::BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aar, bench_aur, bench_rmw);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Figure 10: store CPU time split into write, read & delete, and
+//! compaction for Q7, Q11-Median, and Q11.
+//!
+//! Paper shape: FlowKV spends 1.75–10.56× less store CPU than the
+//! competitive baseline on each query — no compaction at all on Q7
+//! (per-window files are deleted, not compacted), cheap batched reads on
+//! Q11-Median, and no synchronization tax on Q11.
+//!
+//! Usage: `cargo run --release -p flowkv-bench --bin fig10_cpu_breakdown
+//! [--scale=4] [--timeout=120]`
+
+use std::time::Duration;
+
+use flowkv_bench::{
+    bench_backends, header, row, run_cell, secs, workload, HarnessArgs, BASE_EVENTS,
+    EVENTS_PER_SECOND,
+};
+use flowkv_nexmark::{QueryId, QueryParams};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let events = (BASE_EVENTS as f64 * args.scale()) as u64;
+    let timeout = Duration::from_secs(args.u64("timeout", 120));
+    let span_ms = (events * 1_000 / EVENTS_PER_SECOND) as i64;
+    let window_ms = span_ms / 8;
+
+    eprintln!("fig10: {events} events, window {window_ms} ms");
+    header(&[
+        "query",
+        "backend",
+        "write_s",
+        "read_delete_s",
+        "compaction_s",
+        "total_store_s",
+        "vs_flowkv",
+        "outcome",
+    ]);
+    for query in [QueryId::Q7, QueryId::Q11Median, QueryId::Q11] {
+        let params = QueryParams::new(window_ms).with_parallelism(2);
+        let mut flowkv_total: Option<f64> = None;
+        for backend in bench_backends(usize::MAX).into_iter().skip(1) {
+            let outcome = run_cell(
+                query,
+                &backend,
+                workload(events, 10),
+                params,
+                timeout,
+                |_| {},
+            );
+            match outcome.result() {
+                Some(r) => {
+                    let m = &r.store_metrics;
+                    let total = m.total_store_nanos() as f64 / 1e9;
+                    if backend.name() == "flowkv" {
+                        flowkv_total = Some(total);
+                    }
+                    let ratio = flowkv_total
+                        .filter(|f| *f > 0.0)
+                        .map(|f| format!("{:.2}x", total / f))
+                        .unwrap_or_else(|| "-".into());
+                    row(&[
+                        query.name().to_string(),
+                        backend.name().to_string(),
+                        secs(m.write_nanos),
+                        secs(m.read_nanos),
+                        secs(m.compaction_nanos),
+                        format!("{total:.3}"),
+                        ratio,
+                        "ok".to_string(),
+                    ]);
+                }
+                None => row(&[
+                    query.name().to_string(),
+                    backend.name().to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    outcome.throughput_cell(),
+                ]),
+            }
+        }
+    }
+}

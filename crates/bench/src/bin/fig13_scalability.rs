@@ -1,0 +1,87 @@
+//! Figure 13: scalability of Q11-Median on FlowKV over 1–8 workers.
+//!
+//! The paper scales worker *machines*; FlowKV store instances are
+//! share-nothing per partition, so the same code path is exercised by
+//! scaling worker threads. Input grows with the worker count (weak
+//! scaling) so per-worker state stays constant, as in the paper's setup.
+//!
+//! Paper shape: near-linear throughput growth.
+//!
+//! Usage: `cargo run --release -p flowkv-bench --bin fig13_scalability
+//! [--scale=4] [--timeout=300]`
+
+use std::time::Duration;
+
+use flowkv_bench::{
+    flowkv_cfg, header, row, run_cell, workload, HarnessArgs, BASE_EVENTS, EVENTS_PER_SECOND,
+};
+use flowkv_nexmark::{QueryId, QueryParams};
+use flowkv_spe::BackendChoice;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let base_events = (BASE_EVENTS as f64 * args.scale()) as u64;
+    let timeout = Duration::from_secs(args.u64("timeout", 300));
+    let workers = [1usize, 2, 4, 8];
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "fig13: weak scaling, {base_events} events per worker, {cores} CPU core(s) available"
+    );
+    if cores < 8 {
+        eprintln!(
+            "fig13: WARNING — fewer cores than the largest worker count; \
+             scaling will flatten at ~{cores} workers (the paper scales machines)"
+        );
+    }
+    header(&[
+        "workers",
+        "events",
+        "mevents_per_s",
+        "speedup_vs_1",
+        "outcome",
+    ]);
+    let mut base_throughput: Option<f64> = None;
+    for &n in &workers {
+        let events = base_events * n as u64;
+        let span_ms = (events * 1_000 / EVENTS_PER_SECOND) as i64;
+        let params = QueryParams::new(span_ms / 8).with_parallelism(n);
+        let backend = BackendChoice::FlowKv(flowkv_cfg());
+        let outcome = run_cell(
+            QueryId::Q11Median,
+            &backend,
+            workload(events, 13),
+            params,
+            timeout,
+            |_| {},
+        );
+        match outcome.result() {
+            Some(r) => {
+                let tput = r.throughput();
+                if n == 1 {
+                    base_throughput = Some(tput);
+                }
+                let speedup = base_throughput
+                    .filter(|b| *b > 0.0)
+                    .map(|b| format!("{:.2}x", tput / b))
+                    .unwrap_or_else(|| "-".into());
+                row(&[
+                    n.to_string(),
+                    events.to_string(),
+                    format!("{:.3}", tput / 1e6),
+                    speedup,
+                    "ok".to_string(),
+                ]);
+            }
+            None => row(&[
+                n.to_string(),
+                events.to_string(),
+                "-".into(),
+                "-".into(),
+                outcome.throughput_cell(),
+            ]),
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 4: execution-time breakdown of the baseline stores on the
+//! three representative queries.
+//!
+//! The paper profiles Flink on RocksDB and Faster with perf/dstat and
+//! splits execution time into query computation, store CPU, and I/O
+//! wait. Our stores self-account their time (flowkv-common::metrics), so
+//! the breakdown is: wall time, per-worker store seconds (write /
+//! read+delete / compaction summed, divided by parallelism), and bytes
+//! moved. FlowKV is included for contrast.
+//!
+//! Paper shape: for Q7 and Q11-Median (append patterns) the hash store
+//! either dominates its runtime with store work or fails outright; for
+//! Q11 (RMW) the LSM store pays heavy sorted-structure and compaction
+//! CPU while the hash store is lean.
+//!
+//! Usage: `cargo run --release -p flowkv-bench --bin fig4_breakdown
+//! [--scale=4] [--timeout=120]`
+
+use std::time::Duration;
+
+use flowkv_bench::{
+    bench_backends, header, row, run_cell, workload, HarnessArgs, BASE_EVENTS, EVENTS_PER_SECOND,
+};
+use flowkv_nexmark::{QueryId, QueryParams};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let events = (BASE_EVENTS as f64 * args.scale()) as u64;
+    let timeout = Duration::from_secs(args.u64("timeout", 120));
+    let span_ms = (events * 1_000 / EVENTS_PER_SECOND) as i64;
+    let window_ms = span_ms / 8;
+    let parallelism = 2usize;
+
+    eprintln!("fig4: {events} events, window {window_ms} ms, timeout {timeout:?}");
+    header(&[
+        "query",
+        "backend",
+        "wall_s",
+        "store_cpu_s_per_worker",
+        "write_s",
+        "read_s",
+        "compaction_s",
+        "bytes_written_mb",
+        "bytes_read_mb",
+        "outcome",
+    ]);
+    for query in [QueryId::Q7, QueryId::Q11Median, QueryId::Q11] {
+        let params = QueryParams::new(window_ms).with_parallelism(parallelism);
+        // Skip the in-memory store: Figure 4 profiles the persistent
+        // baselines (FlowKV shown for contrast with Figure 10).
+        for backend in bench_backends(usize::MAX).into_iter().skip(1) {
+            let outcome = run_cell(
+                query,
+                &backend,
+                workload(events, 4),
+                params,
+                timeout,
+                |_| {},
+            );
+            match outcome.result() {
+                Some(r) => {
+                    let m = &r.store_metrics;
+                    let per_worker = m.total_store_nanos() as f64 / parallelism as f64 / 1e9;
+                    row(&[
+                        query.name().to_string(),
+                        backend.name().to_string(),
+                        format!("{:.2}", r.elapsed.as_secs_f64()),
+                        format!("{per_worker:.2}"),
+                        format!("{:.2}", m.write_nanos as f64 / 1e9),
+                        format!("{:.2}", m.read_nanos as f64 / 1e9),
+                        format!("{:.2}", m.compaction_nanos as f64 / 1e9),
+                        format!("{:.1}", m.bytes_written as f64 / 1e6),
+                        format!("{:.1}", m.bytes_read as f64 / 1e6),
+                        "ok".to_string(),
+                    ]);
+                }
+                None => row(&[
+                    query.name().to_string(),
+                    backend.name().to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    outcome.throughput_cell(),
+                ]),
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Figure 8: throughput of the eight NEXMark queries on the four state
+//! backends across three window sizes.
+//!
+//! Paper result to reproduce (shape, not absolute numbers):
+//! - FlowKV beats the LSM baseline on every pattern (up to 4.12×) and the
+//!   hash baseline on RMW (1.27–1.36×);
+//! - the hash baseline collapses or fails on append-pattern queries;
+//! - the in-memory store fails (OOM) once window state outgrows memory;
+//! - gains grow with window size (state size) and compound on the
+//!   consecutive-window queries Q5/Q5-Append.
+//!
+//! Usage: `cargo run --release -p flowkv-bench --bin fig8_throughput
+//! [--scale=4] [--timeout=120] [--inmem-kb=320]`
+
+use std::time::Duration;
+
+use flowkv_bench::{
+    bench_backends, header, row, run_cell, workload, HarnessArgs, BASE_EVENTS, EVENTS_PER_SECOND,
+};
+use flowkv_nexmark::{QueryId, QueryParams};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let events = (BASE_EVENTS as f64 * args.scale()) as u64;
+    let timeout = Duration::from_secs(args.u64("timeout", 120));
+    let inmem_budget = (args.u64("inmem-kb", 320) << 10) as usize;
+    let span_ms = (events * 1_000 / EVENTS_PER_SECOND) as i64;
+    // Three window sizes, proportional to the stream span the way the
+    // paper's 500/1000/2000 s windows relate to its stream length.
+    let window_sizes = [span_ms / 16, span_ms / 8, span_ms / 4];
+
+    eprintln!(
+        "fig8: {events} events, span {span_ms} ms, windows {window_sizes:?} ms, timeout {timeout:?}"
+    );
+    header(&[
+        "query",
+        "pattern",
+        "window_ms",
+        "backend",
+        "mevents_per_s",
+        "elapsed_s",
+        "outputs",
+    ]);
+    for query in QueryId::all() {
+        for &window_ms in &window_sizes {
+            let params = QueryParams::new(window_ms).with_parallelism(2);
+            for backend in bench_backends(inmem_budget) {
+                let outcome = run_cell(
+                    query,
+                    &backend,
+                    workload(events, 8),
+                    params,
+                    timeout,
+                    |_| {},
+                );
+                let (elapsed, outputs) = outcome
+                    .result()
+                    .map(|r| {
+                        (
+                            format!("{:.2}", r.elapsed.as_secs_f64()),
+                            r.output_count.to_string(),
+                        )
+                    })
+                    .unwrap_or_else(|| ("-".into(), "-".into()));
+                row(&[
+                    query.name().to_string(),
+                    query.pattern().to_string(),
+                    window_ms.to_string(),
+                    backend.name().to_string(),
+                    outcome.throughput_cell(),
+                    elapsed,
+                    outputs,
+                ]);
+            }
+        }
+    }
+}

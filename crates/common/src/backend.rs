@@ -1,0 +1,227 @@
+//! The contract between the stream engine and any state store.
+//!
+//! [`StateBackend`] is the Rust rendition of the paper's Listing 1: every
+//! method takes explicit window metadata, appends additionally carry the
+//! tuple timestamp (used by FlowKV's trigger-time estimation), and reads
+//! have *fetch-and-remove* semantics because a triggered window's state is
+//! dead after aggregation.
+//!
+//! A backend is created per physical operator partition via a
+//! [`StateBackendFactory`], receiving the operator's
+//! [`OperatorSemantics`] — the aggregate-function and window-function
+//! signatures FlowKV classifies at application launch (paper §3.1).
+//! Baseline stores ignore the semantics and map everything onto generic
+//! KV operations, exactly as Flink does with RocksDB.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::metrics::StoreMetrics;
+use crate::types::{Timestamp, WindowId};
+
+/// How a window operation updates state on tuple arrival (paper §2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggregateKind {
+    /// Associative + commutative aggregate applied incrementally; the
+    /// store holds one intermediate aggregate per `(key, window)`
+    /// (Flink's `AggregateFunction` → read-modify-write pattern).
+    Incremental,
+    /// Non-associative or non-commutative aggregate; the store holds the
+    /// full list of windowed tuples (Flink's `ProcessWindowFunction` →
+    /// append pattern).
+    FullList,
+}
+
+/// How a window function bounds the stream (paper §2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowKind {
+    /// Fixed (tumbling) windows of `size` milliseconds.
+    Fixed {
+        /// Window length in event-time milliseconds.
+        size: i64,
+    },
+    /// Sliding windows of `size` milliseconds every `slide` milliseconds.
+    Sliding {
+        /// Window length in event-time milliseconds.
+        size: i64,
+        /// Sliding interval in event-time milliseconds.
+        slide: i64,
+    },
+    /// Per-key session windows delimited by `gap` milliseconds of
+    /// inactivity.
+    Session {
+        /// Session gap in event-time milliseconds.
+        gap: i64,
+    },
+    /// A single window covering all of event time.
+    Global,
+    /// Per-key windows that close after `size` tuples arrive.
+    Count {
+        /// Number of tuples per window.
+        size: u64,
+    },
+    /// A user-defined window function whose semantics are unknown to the
+    /// store; classified conservatively as unaligned (paper §3.1, §8).
+    Custom,
+}
+
+impl WindowKind {
+    /// Returns `true` when windows of all keys share trigger times.
+    ///
+    /// Fixed and sliding windows are aligned; session, count, and custom
+    /// windows are not (paper §2.1, "Window Functions").
+    pub fn is_aligned(&self) -> bool {
+        matches!(self, WindowKind::Fixed { .. } | WindowKind::Sliding { .. })
+    }
+}
+
+/// The launch-time description of a window operation used for store
+/// classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OperatorSemantics {
+    /// The aggregate-function signature.
+    pub aggregate: AggregateKind,
+    /// The window-function signature.
+    pub window: WindowKind,
+}
+
+impl OperatorSemantics {
+    /// Convenience constructor.
+    pub fn new(aggregate: AggregateKind, window: WindowKind) -> Self {
+        OperatorSemantics { aggregate, window }
+    }
+}
+
+/// One gradual chunk of a triggered window's state: keys paired with
+/// their appended values.
+pub type WindowChunk = Vec<(Vec<u8>, Vec<Vec<u8>>)>;
+
+/// A state store for one physical window-operator partition.
+///
+/// Methods correspond to the paper's Listing 1:
+///
+/// | Paper | Trait method |
+/// |---|---|
+/// | AAR `GetWindow(W)` | [`StateBackend::get_window_chunk`] |
+/// | AAR `Append(K, V, W)` | [`StateBackend::append`] (timestamp ignored) |
+/// | AUR `Get(K, W)` | [`StateBackend::take_values`] |
+/// | AUR `Append(K, V, W, T)` | [`StateBackend::append`] |
+/// | RMW `Get(K, W)` | [`StateBackend::take_aggregate`] |
+/// | RMW `Put(K, W, A)` | [`StateBackend::put_aggregate`] |
+///
+/// Stores are single-writer: each instance is owned by exactly one worker
+/// thread (paper §2.1), so the trait takes `&mut self` and implementations
+/// need no interior synchronization.
+pub trait StateBackend: Send {
+    /// Appends `value` for `key` in `window`; `ts` is the tuple timestamp.
+    fn append(&mut self, key: &[u8], window: WindowId, value: &[u8], ts: Timestamp) -> Result<()>;
+
+    /// Reads the next chunk of `window`'s state across all keys, removing
+    /// it from the store; `Ok(None)` once the window is fully drained.
+    ///
+    /// The chunked contract is the paper's *gradual state loading*
+    /// (§4.1): the engine aggregates chunk by chunk so only one
+    /// non-aggregated chunk is in memory at a time.
+    fn get_window_chunk(&mut self, window: WindowId) -> Result<Option<WindowChunk>>;
+
+    /// Fetches and removes the appended values of `(key, window)`.
+    fn take_values(&mut self, key: &[u8], window: WindowId) -> Result<Vec<Vec<u8>>>;
+
+    /// Reads the appended values of `(key, window)` *without* removing
+    /// them.
+    ///
+    /// This is the non-destructive read that interval joins need (paper
+    /// §8 lists them as future work): a probe against the other stream's
+    /// buffered rows must leave that state in place for later probes.
+    fn peek_values(&mut self, key: &[u8], window: WindowId) -> Result<Vec<Vec<u8>>>;
+
+    /// Fetches and removes the intermediate aggregate of `(key, window)`.
+    fn take_aggregate(&mut self, key: &[u8], window: WindowId) -> Result<Option<Vec<u8>>>;
+
+    /// Stores the updated aggregate for `(key, window)`.
+    fn put_aggregate(&mut self, key: &[u8], window: WindowId, aggregate: &[u8]) -> Result<()>;
+
+    /// Forces buffered state to storage.
+    fn flush(&mut self) -> Result<()>;
+
+    /// The metrics block charged by this store.
+    fn metrics(&self) -> Arc<StoreMetrics>;
+
+    /// Approximate bytes of state held in memory, for memory-budget
+    /// enforcement and the harnesses' reporting.
+    fn memory_bytes(&self) -> usize;
+
+    /// Writes a self-contained snapshot of the store into `dir`.
+    fn checkpoint(&mut self, dir: &Path) -> Result<()>;
+
+    /// Replaces the store's contents with the snapshot in `dir`.
+    fn restore(&mut self, dir: &Path) -> Result<()>;
+
+    /// Releases the store, deleting its working files.
+    fn close(&mut self) -> Result<()>;
+}
+
+/// Identifies one physical operator partition and carries everything a
+/// factory needs to build its store.
+#[derive(Clone, Debug)]
+pub struct OperatorContext {
+    /// Name of the logical operator, unique within the job.
+    pub operator: String,
+    /// Index of this physical partition.
+    pub partition: usize,
+    /// Launch-time semantics used for store classification.
+    pub semantics: OperatorSemantics,
+    /// Directory under which the store may create files.
+    pub data_dir: PathBuf,
+}
+
+impl OperatorContext {
+    /// Directory reserved for this partition's store files.
+    pub fn partition_dir(&self) -> PathBuf {
+        self.data_dir
+            .join(&self.operator)
+            .join(format!("p{}", self.partition))
+    }
+}
+
+/// Creates state backends for physical operator partitions.
+pub trait StateBackendFactory: Send + Sync {
+    /// Builds the store for `ctx`, creating its directories.
+    fn create(&self, ctx: &OperatorContext) -> Result<Box<dyn StateBackend>>;
+
+    /// Short human-readable name used in benchmark output.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_classification() {
+        assert!(WindowKind::Fixed { size: 10 }.is_aligned());
+        assert!(WindowKind::Sliding { size: 10, slide: 5 }.is_aligned());
+        assert!(!WindowKind::Session { gap: 10 }.is_aligned());
+        assert!(!WindowKind::Count { size: 10 }.is_aligned());
+        assert!(!WindowKind::Custom.is_aligned());
+        assert!(!WindowKind::Global.is_aligned());
+    }
+
+    #[test]
+    fn partition_dir_layout() {
+        let ctx = OperatorContext {
+            operator: "window-join".to_string(),
+            partition: 3,
+            semantics: OperatorSemantics::new(
+                AggregateKind::FullList,
+                WindowKind::Fixed { size: 100 },
+            ),
+            data_dir: PathBuf::from("/tmp/job"),
+        };
+        assert_eq!(
+            ctx.partition_dir(),
+            PathBuf::from("/tmp/job/window-join/p3")
+        );
+    }
+}

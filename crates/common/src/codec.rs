@@ -1,0 +1,290 @@
+//! Byte-level encoding primitives: varints, fixed-width integers,
+//! length-prefixed slices, and CRC32.
+//!
+//! Every on-disk structure in the workspace is built from these
+//! primitives, so the encoding is deliberately small and allocation-free
+//! on the read path (the [`Decoder`] borrows its input).
+
+use crate::error::{Result, StoreError};
+
+/// Maximum encoded size of a 64-bit varint.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `v` to `buf` as a LEB128 varint.
+pub fn put_varint_u64(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// Appends `v` to `buf` as a zigzag-encoded varint.
+pub fn put_varint_i64(buf: &mut Vec<u8>, v: i64) {
+    put_varint_u64(buf, zigzag_encode(v));
+}
+
+/// Appends `v` to `buf` as a little-endian `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends `v` to `buf` as a little-endian `u64`.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends `v` to `buf` as a little-endian `i64`.
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a varint length followed by the bytes of `data`.
+pub fn put_len_prefixed(buf: &mut Vec<u8>, data: &[u8]) {
+    put_varint_u64(buf, data.len() as u64);
+    buf.extend_from_slice(data);
+}
+
+/// Maps a signed integer to an unsigned one so small magnitudes stay small.
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A zero-copy cursor over an encoded byte slice.
+///
+/// # Examples
+///
+/// ```
+/// use flowkv_common::codec::{put_varint_u64, Decoder};
+///
+/// let mut buf = Vec::new();
+/// put_varint_u64(&mut buf, 300);
+/// let mut dec = Decoder::new(&buf);
+/// assert_eq!(dec.get_varint_u64().unwrap(), 300);
+/// assert!(dec.is_empty());
+/// ```
+#[derive(Clone)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Returns `true` once all input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current byte offset from the start of the input.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads a LEB128 varint.
+    pub fn get_varint_u64(&mut self) -> Result<u64> {
+        let mut result: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            if shift >= 70 {
+                return Err(StoreError::VarintOverflow);
+            }
+            let byte = *self
+                .buf
+                .get(self.pos)
+                .ok_or(StoreError::UnexpectedEof { what: "varint" })?;
+            self.pos += 1;
+            result |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a zigzag-encoded varint.
+    pub fn get_varint_i64(&mut self) -> Result<i64> {
+        Ok(zigzag_decode(self.get_varint_u64()?))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let bytes = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes(
+            bytes.try_into().expect("length checked"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let bytes = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(
+            bytes.try_into().expect("length checked"),
+        ))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64> {
+        let bytes = self.take(8, "i64")?;
+        Ok(i64::from_le_bytes(
+            bytes.try_into().expect("length checked"),
+        ))
+    }
+
+    /// Reads a varint length followed by that many bytes.
+    pub fn get_len_prefixed(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_varint_u64()? as usize;
+        self.take(len, "length-prefixed bytes")
+    }
+
+    /// Consumes exactly `n` bytes, failing with [`StoreError::UnexpectedEof`]
+    /// when fewer remain.
+    pub fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StoreError::UnexpectedEof { what });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+}
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) over `data`.
+///
+/// Table-driven implementation; the table is computed at compile time so
+/// the checksum has no runtime setup cost.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc: u32 = 0xffff_ffff;
+    for &byte in data {
+        let idx = ((crc ^ u32::from(byte)) & 0xff) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+/// Builds the reflected CRC32 lookup table at compile time.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint_u64(&mut buf, v);
+            assert!(buf.len() <= MAX_VARINT_LEN);
+            let mut dec = Decoder::new(&buf);
+            assert_eq!(dec.get_varint_u64().unwrap(), v);
+            assert!(dec.is_empty());
+        }
+    }
+
+    #[test]
+    fn signed_varint_roundtrip() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -300, 300] {
+            let mut buf = Vec::new();
+            put_varint_i64(&mut buf, v);
+            let mut dec = Decoder::new(&buf);
+            assert_eq!(dec.get_varint_i64().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_small_magnitudes_stay_small() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+    }
+
+    #[test]
+    fn truncated_varint_is_eof() {
+        let buf = [0x80u8, 0x80];
+        let mut dec = Decoder::new(&buf);
+        assert!(matches!(
+            dec.get_varint_u64(),
+            Err(StoreError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_varint_is_overflow() {
+        let buf = [0xffu8; 11];
+        let mut dec = Decoder::new(&buf);
+        assert!(matches!(
+            dec.get_varint_u64(),
+            Err(StoreError::VarintOverflow)
+        ));
+    }
+
+    #[test]
+    fn fixed_width_roundtrip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xdead_beef);
+        put_u64(&mut buf, 0x0123_4567_89ab_cdef);
+        put_i64(&mut buf, -12345);
+        let mut dec = Decoder::new(&buf);
+        assert_eq!(dec.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(dec.get_u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(dec.get_i64().unwrap(), -12345);
+    }
+
+    #[test]
+    fn len_prefixed_roundtrip() {
+        let mut buf = Vec::new();
+        put_len_prefixed(&mut buf, b"hello");
+        put_len_prefixed(&mut buf, b"");
+        let mut dec = Decoder::new(&buf);
+        assert_eq!(dec.get_len_prefixed().unwrap(), b"hello");
+        assert_eq!(dec.get_len_prefixed().unwrap(), b"");
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_bit_flip() {
+        let a = crc32(b"stream processing");
+        let b = crc32(b"strean processing");
+        assert_ne!(a, b);
+    }
+}

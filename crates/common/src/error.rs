@@ -1,0 +1,193 @@
+//! Error types shared by every store in the workspace.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// A specialized [`Result`](std::result::Result) for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Errors produced by state stores and their substrates.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O operation failed.
+    Io {
+        /// The operation that failed, for context in error messages.
+        context: &'static str,
+        /// The originating I/O error.
+        source: io::Error,
+    },
+    /// An on-disk record failed its CRC32 check.
+    ///
+    /// Readers treat a corrupt record at the tail of a log as a torn write
+    /// and truncate; a corrupt record in the middle is a hard error.
+    Corruption {
+        /// The file in which corruption was detected.
+        file: PathBuf,
+        /// Byte offset of the corrupt record.
+        offset: u64,
+        /// Human-readable description of the failed check.
+        detail: String,
+    },
+    /// A decode ran past the end of its input buffer.
+    UnexpectedEof {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// A varint was longer than the maximum of ten bytes.
+    VarintOverflow,
+    /// The store was asked for state it does not hold.
+    ///
+    /// Fetch-and-remove APIs return `Ok(None)`/empty instead; this variant
+    /// signals genuine contract violations such as reading from a store
+    /// instance after [`StateBackend::close`] was called.
+    ///
+    /// [`StateBackend::close`]: crate::backend::StateBackend::close
+    InvalidState {
+        /// Description of the violated invariant.
+        detail: String,
+    },
+    /// A configuration value was out of its legal range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        param: &'static str,
+        /// Description of the legal range and the supplied value.
+        detail: String,
+    },
+    /// The memory budget of an in-memory store was exhausted.
+    ///
+    /// This models the out-of-memory failures of the paper's in-memory
+    /// baseline (Figure 8, crossed bars).
+    OutOfMemory {
+        /// Bytes the store was attempting to hold.
+        requested: usize,
+        /// The configured budget in bytes.
+        budget: usize,
+    },
+    /// A checkpoint or restore operation failed.
+    Checkpoint {
+        /// Description of the failure.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    /// Wraps an I/O error with a static context string.
+    pub fn io(context: &'static str, source: io::Error) -> Self {
+        StoreError::Io { context, source }
+    }
+
+    /// Builds a [`StoreError::Corruption`] for `file` at `offset`.
+    pub fn corruption(file: impl Into<PathBuf>, offset: u64, detail: impl Into<String>) -> Self {
+        StoreError::Corruption {
+            file: file.into(),
+            offset,
+            detail: detail.into(),
+        }
+    }
+
+    /// Builds a [`StoreError::InvalidState`] from a description.
+    pub fn invalid_state(detail: impl Into<String>) -> Self {
+        StoreError::InvalidState {
+            detail: detail.into(),
+        }
+    }
+
+    /// Returns `true` if the error is a data-corruption error.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, StoreError::Corruption { .. })
+    }
+
+    /// Returns `true` if the error is an out-of-memory failure.
+    pub fn is_out_of_memory(&self) -> bool {
+        matches!(self, StoreError::OutOfMemory { .. })
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "I/O error during {context}: {source}"),
+            StoreError::Corruption {
+                file,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "corruption in {} at offset {offset}: {detail}",
+                file.display()
+            ),
+            StoreError::UnexpectedEof { what } => {
+                write!(f, "unexpected end of input while decoding {what}")
+            }
+            StoreError::VarintOverflow => write!(f, "varint exceeded ten bytes"),
+            StoreError::InvalidState { detail } => write!(f, "invalid store state: {detail}"),
+            StoreError::InvalidConfig { param, detail } => {
+                write!(f, "invalid configuration for `{param}`: {detail}")
+            }
+            StoreError::OutOfMemory { requested, budget } => write!(
+                f,
+                "memory budget exhausted: {requested} bytes requested, budget {budget} bytes"
+            ),
+            StoreError::Checkpoint { detail } => write!(f, "checkpoint failure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(source: io::Error) -> Self {
+        StoreError::Io {
+            context: "unspecified",
+            source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_io_error() {
+        let err = StoreError::io("flush", io::Error::other("disk full"));
+        let text = err.to_string();
+        assert!(text.contains("flush"));
+        assert!(text.contains("disk full"));
+    }
+
+    #[test]
+    fn corruption_predicate() {
+        let err = StoreError::corruption("/tmp/x.log", 42, "bad crc");
+        assert!(err.is_corruption());
+        assert!(!err.is_out_of_memory());
+        assert!(err.to_string().contains("offset 42"));
+    }
+
+    #[test]
+    fn out_of_memory_predicate() {
+        let err = StoreError::OutOfMemory {
+            requested: 100,
+            budget: 50,
+        };
+        assert!(err.is_out_of_memory());
+        assert!(err.to_string().contains("100"));
+    }
+
+    #[test]
+    fn io_error_source_chain() {
+        use std::error::Error as _;
+        let err = StoreError::io("read", io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(err.source().is_some());
+        let err = StoreError::VarintOverflow;
+        assert!(err.source().is_none());
+    }
+}

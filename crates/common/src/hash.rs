@@ -1,0 +1,86 @@
+//! Key hashing shared by hash indexes, write buffers, and partitioning.
+//!
+//! A single hash function is used everywhere a store or the engine needs
+//! to place a key: FNV-1a over the bytes followed by a splitmix64
+//! finalizer to break up the weak avalanche of plain FNV. It is seedable
+//! so different structures (e.g. a hash index vs. the partitioner) can
+//! decorrelate their bucket choices.
+
+/// 64-bit hash of `data` with the default seed.
+pub fn hash64(data: &[u8]) -> u64 {
+    hash64_seeded(data, 0)
+}
+
+/// 64-bit hash of `data` mixed with `seed`.
+pub fn hash64_seeded(data: &[u8], seed: u64) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    splitmix64(h)
+}
+
+/// Finalizing mixer from the splitmix64 generator.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Assigns `key` to one of `n` partitions.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn partition_of(key: &[u8], n: usize) -> usize {
+    assert!(n > 0, "partition count must be positive");
+    (hash64_seeded(key, 0x5157) % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash64(b"abc"), hash64(b"abc"));
+        assert_ne!(hash64(b"abc"), hash64(b"abd"));
+    }
+
+    #[test]
+    fn seed_decorrelates() {
+        assert_ne!(hash64_seeded(b"abc", 1), hash64_seeded(b"abc", 2));
+    }
+
+    #[test]
+    fn partition_in_range() {
+        for i in 0..1000u32 {
+            let key = i.to_le_bytes();
+            let p = partition_of(&key, 7);
+            assert!(p < 7);
+        }
+    }
+
+    #[test]
+    fn partition_is_roughly_balanced() {
+        let n = 4;
+        let mut counts = vec![0usize; n];
+        for i in 0..4000u32 {
+            counts[partition_of(&i.to_le_bytes(), n)] += 1;
+        }
+        for &c in &counts {
+            // Each of 4 partitions should get 1000 +- 20 % of 4000 keys.
+            assert!((800..=1200).contains(&c), "unbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_partitions_panics() {
+        let _ = partition_of(b"x", 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Shared substrate for the FlowKV reproduction.
+//!
+//! This crate hosts everything that the FlowKV store, the two baseline
+//! stores (LSM / hash), and the stream-processing engine have in common:
+//!
+//! - [`types`] — timestamped key-value tuples and window identifiers, the
+//!   vocabulary of the whole system (paper §2.1).
+//! - [`codec`] — varint and fixed-width little-endian encoding plus a
+//!   hand-rolled CRC32 used to checksum every on-disk record.
+//! - [`logfile`] — checksummed append-only log files with torn-write
+//!   recovery; every store in the workspace persists through these.
+//! - [`backend`] — the [`backend::StateBackend`] trait, the contract
+//!   between the stream engine and any state store. It mirrors Listing 1
+//!   of the paper: every call carries explicit window metadata.
+//! - [`metrics`] — per-category time/byte accounting used to regenerate
+//!   the paper's breakdown figures (Figures 4 and 10).
+//! - [`hash`] — the 64-bit key hash shared by hash indexes and
+//!   partitioning.
+//! - [`scratch`] — unique scratch directories for tests and benchmarks.
+
+pub mod backend;
+pub mod codec;
+pub mod error;
+pub mod hash;
+pub mod logfile;
+pub mod metrics;
+pub mod scratch;
+pub mod types;
+
+pub use backend::StateBackend;
+pub use error::{Result, StoreError};
+pub use types::{Timestamp, Tuple, WindowId};

@@ -1,0 +1,86 @@
+//! Unique scratch directories for tests, examples, and benchmarks.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::{Result, StoreError};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named temporary directory removed on drop.
+///
+/// # Examples
+///
+/// ```
+/// use flowkv_common::scratch::ScratchDir;
+///
+/// let dir = ScratchDir::new("doc").unwrap();
+/// assert!(dir.path().exists());
+/// ```
+pub struct ScratchDir {
+    path: PathBuf,
+    keep: bool,
+}
+
+impl ScratchDir {
+    /// Creates a fresh directory under the system temp dir.
+    ///
+    /// The directory name embeds `label`, the process id, and a
+    /// process-wide counter, so concurrent tests never collide.
+    pub fn new(label: &str) -> Result<Self> {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("flowkv-{label}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).map_err(|e| StoreError::io("scratch create", e))?;
+        Ok(ScratchDir { path, keep: false })
+    }
+
+    /// Path of the directory.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Prevents removal on drop; returns the path for later inspection.
+    pub fn into_kept(mut self) -> PathBuf {
+        self.keep = true;
+        self.path.clone()
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        if !self.keep {
+            // Best-effort cleanup; leaking a temp dir is not worth a panic
+            // during unwinding.
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_paths() {
+        let a = ScratchDir::new("t").unwrap();
+        let b = ScratchDir::new("t").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn removed_on_drop() {
+        let path = {
+            let d = ScratchDir::new("t").unwrap();
+            d.path().to_path_buf()
+        };
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn kept_when_requested() {
+        let d = ScratchDir::new("t").unwrap();
+        let path = d.into_kept();
+        assert!(path.exists());
+        std::fs::remove_dir_all(&path).unwrap();
+    }
+}

@@ -1,0 +1,523 @@
+//! The Append and Aligned Read store (paper §4.1).
+//!
+//! Windows of *all* keys trigger together under fixed and sliding window
+//! functions, so per-key access is never needed. The AAR store therefore
+//! organizes data coarsely by window boundary:
+//!
+//! - in memory, the write buffer hashes on `(start, end)` — tuples of
+//!   different keys land in the same bucket;
+//! - on disk, every window boundary owns its own log file, appended to at
+//!   each flush;
+//! - a triggered window is drained by sequential reads of exactly one
+//!   file (*gradual state loading*: each call returns one bounded chunk);
+//! - once drained, the file is deleted — no compaction ever runs, the
+//!   headline CPU saving of this store over an LSM baseline.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use flowkv_common::backend::WindowChunk;
+use flowkv_common::codec::{put_len_prefixed, put_varint_u64, Decoder};
+use flowkv_common::error::{Result, StoreError};
+use flowkv_common::logfile::{LogReader, LogWriter};
+use flowkv_common::metrics::{OpCategory, StoreMetrics};
+use flowkv_common::types::WindowId;
+
+/// File name of the log holding one window's state.
+fn window_file_name(window: WindowId) -> String {
+    format!("w_{}_{}.aar", window.start, window.end)
+}
+
+/// Name of the checkpoint manifest listing on-disk windows.
+const MANIFEST_NAME: &str = "AAR_WINDOWS";
+
+/// Maximum per-window log writers held open at once.
+///
+/// Long sliding windows can keep thousands of window boundaries live;
+/// holding a file descriptor per boundary would exhaust the process
+/// limit, so the least-recently-flushed writer is closed (its file is
+/// reopened in append mode on the next flush).
+const MAX_OPEN_WRITERS: usize = 64;
+
+/// A buffered `(key, value)` pair.
+type Pair = (Vec<u8>, Vec<u8>);
+
+/// In-flight drain of one triggered window.
+struct Drain {
+    reader: Option<LogReader>,
+    /// Buffered pairs that never reached disk, served after the file.
+    mem: std::vec::IntoIter<Pair>,
+}
+
+/// The append-and-aligned-read store for one partition.
+pub struct AarStore {
+    dir: PathBuf,
+    write_buffer_bytes: usize,
+    chunk_entries: usize,
+    buffer: HashMap<WindowId, Vec<Pair>>,
+    buffer_bytes: usize,
+    writers: HashMap<WindowId, LogWriter>,
+    /// Flush recency per open writer (monotone counter), for LRU closing.
+    writer_recency: HashMap<WindowId, u64>,
+    flush_clock: u64,
+    on_disk: HashSet<WindowId>,
+    drains: HashMap<WindowId, Drain>,
+    metrics: Arc<StoreMetrics>,
+}
+
+impl AarStore {
+    /// Opens a store rooted at `dir`.
+    pub fn open(
+        dir: &Path,
+        write_buffer_bytes: usize,
+        chunk_entries: usize,
+        metrics: Arc<StoreMetrics>,
+    ) -> Result<Self> {
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::io("aar dir", e))?;
+        let mut store = AarStore {
+            dir: dir.to_path_buf(),
+            write_buffer_bytes: write_buffer_bytes.max(1024),
+            chunk_entries: chunk_entries.max(1),
+            buffer: HashMap::new(),
+            buffer_bytes: 0,
+            writers: HashMap::new(),
+            writer_recency: HashMap::new(),
+            flush_clock: 0,
+            on_disk: HashSet::new(),
+            drains: HashMap::new(),
+            metrics,
+        };
+        store.scan_existing_files()?;
+        Ok(store)
+    }
+
+    /// Appends `(key, value)` to `window`'s bucket (paper Listing 1,
+    /// `Append(K, V, W)`).
+    pub fn append(&mut self, key: &[u8], window: WindowId, value: &[u8]) -> Result<()> {
+        let _t = self.metrics.timer(OpCategory::Write);
+        self.buffer_bytes += key.len() + value.len() + 48;
+        self.buffer
+            .entry(window)
+            .or_default()
+            .push((key.to_vec(), value.to_vec()));
+        self.metrics.add_records_written(1);
+        if self.buffer_bytes >= self.write_buffer_bytes {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Reads the next chunk of `window`'s state (paper Listing 1,
+    /// `GetWindow(W)`), deleting the window once fully drained.
+    pub fn get_window_chunk(&mut self, window: WindowId) -> Result<Option<WindowChunk>> {
+        let _t = self.metrics.timer(OpCategory::Read);
+        if let Entry::Vacant(slot) = self.drains.entry(window) {
+            let mem = self.buffer.remove(&window).unwrap_or_default();
+            // Unflushed buffered bytes of this window leave the buffer.
+            self.buffer_bytes = self
+                .buffer_bytes
+                .saturating_sub(mem.iter().map(|(k, v)| k.len() + v.len() + 48).sum());
+            let reader = if self.on_disk.contains(&window) {
+                // Make sure buffered flushes for this window are visible.
+                if let Some(w) = self.writers.get_mut(&window) {
+                    w.flush()?;
+                }
+                Some(LogReader::open(self.dir.join(window_file_name(window)))?)
+            } else {
+                None
+            };
+            if mem.is_empty() && reader.is_none() {
+                return Ok(None);
+            }
+            slot.insert(Drain {
+                reader,
+                mem: mem.into_iter(),
+            });
+        }
+        let drain = self.drains.get_mut(&window).expect("inserted above");
+        let mut pairs: Vec<Pair> = Vec::new();
+        // Drain the file first (older data), then the memory remainder.
+        while pairs.len() < self.chunk_entries {
+            if let Some(reader) = drain.reader.as_mut() {
+                match reader.next_record() {
+                    Ok(Some((loc, payload))) => {
+                        self.metrics.add_bytes_read(loc.disk_len());
+                        decode_batch(&payload, &mut pairs)?;
+                        continue;
+                    }
+                    Ok(None) => drain.reader = None,
+                    // A torn record (crash mid-flush) ends the file: the
+                    // intact prefix is served, the tail is unrecoverable
+                    // framing either way.
+                    Err(e) if e.is_corruption() => drain.reader = None,
+                    Err(e) => return Err(e),
+                }
+            }
+            match drain.mem.next() {
+                Some(pair) => pairs.push(pair),
+                None => break,
+            }
+        }
+        if pairs.is_empty() {
+            // Fully drained: clean up the window's file and bookkeeping.
+            self.drains.remove(&window);
+            self.writers.remove(&window);
+            self.writer_recency.remove(&window);
+            if self.on_disk.remove(&window) {
+                let _ = std::fs::remove_file(self.dir.join(window_file_name(window)));
+            }
+            return Ok(None);
+        }
+        self.metrics.add_records_read(pairs.len() as u64);
+        Ok(Some(group_by_key(pairs)))
+    }
+
+    /// Flushes every buffered bucket to its per-window log file.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let _t = self.metrics.timer(OpCategory::Write);
+        let buckets = std::mem::take(&mut self.buffer);
+        self.buffer_bytes = 0;
+        for (window, pairs) in buckets {
+            let writer = match self.writers.entry(window) {
+                Entry::Occupied(w) => w.into_mut(),
+                Entry::Vacant(slot) => {
+                    let path = self.dir.join(window_file_name(window));
+                    let writer = if path.exists() {
+                        LogWriter::open_append(&path)?
+                    } else {
+                        LogWriter::create(&path)?
+                    };
+                    slot.insert(writer)
+                }
+            };
+            // Records are capped at `chunk_entries` pairs so gradual
+            // loading later reads bounded chunks.
+            for batch in pairs.chunks(self.chunk_entries) {
+                let payload = encode_batch(batch);
+                let loc = writer.append(&payload)?;
+                self.metrics.add_bytes_written(loc.disk_len());
+            }
+            writer.flush()?;
+            self.on_disk.insert(window);
+            self.flush_clock += 1;
+            self.writer_recency.insert(window, self.flush_clock);
+            self.enforce_writer_cap();
+        }
+        self.metrics.add_flush();
+        Ok(())
+    }
+
+    /// Approximate bytes of state held in memory.
+    pub fn memory_bytes(&self) -> usize {
+        self.buffer_bytes
+    }
+
+    /// Number of per-window log writers currently open (bounded by an
+    /// internal cap of 64 to avoid file-descriptor exhaustion).
+    pub fn open_writers(&self) -> usize {
+        self.writers.len()
+    }
+
+    /// Closes least-recently-flushed writers beyond the cap; their files
+    /// reopen in append mode at the next flush touching them.
+    fn enforce_writer_cap(&mut self) {
+        while self.writers.len() > MAX_OPEN_WRITERS {
+            let Some((&victim, _)) = self
+                .writer_recency
+                .iter()
+                .filter(|(w, _)| self.writers.contains_key(w))
+                .min_by_key(|(_, clock)| **clock)
+            else {
+                return;
+            };
+            self.writers.remove(&victim);
+            self.writer_recency.remove(&victim);
+        }
+    }
+
+    /// Writes a self-contained snapshot into `dst`.
+    pub fn checkpoint(&mut self, dst: &Path) -> Result<()> {
+        self.flush()?;
+        std::fs::create_dir_all(dst).map_err(|e| StoreError::io("aar checkpoint dir", e))?;
+        let mut manifest = Vec::new();
+        put_varint_u64(&mut manifest, self.on_disk.len() as u64);
+        for window in &self.on_disk {
+            window.encode_to(&mut manifest);
+            let name = window_file_name(*window);
+            std::fs::copy(self.dir.join(&name), dst.join(&name))
+                .map_err(|e| StoreError::io("aar checkpoint copy", e))?;
+        }
+        std::fs::write(dst.join(MANIFEST_NAME), &manifest)
+            .map_err(|e| StoreError::io("aar checkpoint manifest", e))?;
+        Ok(())
+    }
+
+    /// Replaces the store contents with the snapshot in `src`.
+    pub fn restore(&mut self, src: &Path) -> Result<()> {
+        self.close()?;
+        std::fs::create_dir_all(&self.dir).map_err(|e| StoreError::io("aar dir", e))?;
+        let manifest = std::fs::read(src.join(MANIFEST_NAME))
+            .map_err(|e| StoreError::io("aar restore manifest", e))?;
+        let mut dec = Decoder::new(&manifest);
+        let n = dec.get_varint_u64()? as usize;
+        for _ in 0..n {
+            let window = WindowId::decode_from(&mut dec)?;
+            let name = window_file_name(window);
+            std::fs::copy(src.join(&name), self.dir.join(&name))
+                .map_err(|e| StoreError::io("aar restore copy", e))?;
+            self.on_disk.insert(window);
+        }
+        Ok(())
+    }
+
+    /// Deletes every file of the store and clears its memory.
+    pub fn close(&mut self) -> Result<()> {
+        self.buffer.clear();
+        self.buffer_bytes = 0;
+        self.writers.clear();
+        self.writer_recency.clear();
+        self.drains.clear();
+        for window in std::mem::take(&mut self.on_disk) {
+            let _ = std::fs::remove_file(self.dir.join(window_file_name(window)));
+        }
+        Ok(())
+    }
+
+    /// Rediscovers per-window files after a restart.
+    fn scan_existing_files(&mut self) -> Result<()> {
+        let entries = std::fs::read_dir(&self.dir).map_err(|e| StoreError::io("aar scan", e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::io("aar scan", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(window) = parse_window_file_name(name) {
+                self.on_disk.insert(window);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses `w_<start>_<end>.aar` back into a window.
+fn parse_window_file_name(name: &str) -> Option<WindowId> {
+    let rest = name.strip_prefix("w_")?.strip_suffix(".aar")?;
+    // `start` may itself be negative, so split from the right.
+    let (start_s, end_s) = rest.rsplit_once('_')?;
+    let start = start_s.parse().ok()?;
+    let end = end_s.parse().ok()?;
+    (start <= end).then(|| WindowId::new(start, end))
+}
+
+/// Encodes a flush batch: count then length-prefixed `(key, value)` pairs.
+fn encode_batch(pairs: &[Pair]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_varint_u64(&mut buf, pairs.len() as u64);
+    for (k, v) in pairs {
+        put_len_prefixed(&mut buf, k);
+        put_len_prefixed(&mut buf, v);
+    }
+    buf
+}
+
+/// Decodes a flush batch, appending its pairs to `out`.
+fn decode_batch(payload: &[u8], out: &mut Vec<Pair>) -> Result<()> {
+    let mut dec = Decoder::new(payload);
+    let n = dec.get_varint_u64()? as usize;
+    out.reserve(n);
+    for _ in 0..n {
+        let k = dec.get_len_prefixed()?.to_vec();
+        let v = dec.get_len_prefixed()?.to_vec();
+        out.push((k, v));
+    }
+    Ok(())
+}
+
+/// Groups a chunk's pairs by key, preserving first-seen key order.
+fn group_by_key(pairs: Vec<Pair>) -> WindowChunk {
+    let mut order: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut chunk: WindowChunk = Vec::new();
+    for (k, v) in pairs {
+        match order.get(&k) {
+            Some(&idx) => chunk[idx].1.push(v),
+            None => {
+                order.insert(k.clone(), chunk.len());
+                chunk.push((k, vec![v]));
+            }
+        }
+    }
+    chunk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowkv_common::scratch::ScratchDir;
+
+    fn store(dir: &Path) -> AarStore {
+        AarStore::open(dir, 1024, 4, StoreMetrics::new_shared()).unwrap()
+    }
+
+    fn w(start: i64, end: i64) -> WindowId {
+        WindowId::new(start, end)
+    }
+
+    fn drain_all(s: &mut AarStore, window: WindowId) -> Vec<(Vec<u8>, Vec<Vec<u8>>)> {
+        let mut out = Vec::new();
+        while let Some(chunk) = s.get_window_chunk(window).unwrap() {
+            out.extend(chunk);
+        }
+        out
+    }
+
+    #[test]
+    fn memory_only_roundtrip() {
+        let dir = ScratchDir::new("aar-mem").unwrap();
+        let mut s = store(dir.path());
+        let win = w(0, 100);
+        s.append(b"a", win, b"1").unwrap();
+        s.append(b"b", win, b"2").unwrap();
+        s.append(b"a", win, b"3").unwrap();
+        let state = drain_all(&mut s, win);
+        let map: HashMap<Vec<u8>, Vec<Vec<u8>>> = state.into_iter().collect();
+        assert_eq!(map[&b"a".to_vec()], vec![b"1".to_vec(), b"3".to_vec()]);
+        assert_eq!(map[&b"b".to_vec()], vec![b"2".to_vec()]);
+        // Fully drained: next read is None immediately.
+        assert!(s.get_window_chunk(win).unwrap().is_none());
+    }
+
+    #[test]
+    fn spills_to_per_window_files() {
+        let dir = ScratchDir::new("aar-spill").unwrap();
+        let mut s = store(dir.path());
+        let w1 = w(0, 100);
+        let w2 = w(100, 200);
+        for i in 0..100u32 {
+            s.append(format!("k{}", i % 7).as_bytes(), w1, &[1u8; 64])
+                .unwrap();
+            s.append(format!("k{}", i % 7).as_bytes(), w2, &[2u8; 64])
+                .unwrap();
+        }
+        // The tiny 1 KiB buffer must have flushed repeatedly.
+        assert!(s.metrics.snapshot().flushes > 1);
+        assert!(dir.path().join(window_file_name(w1)).exists());
+        assert!(dir.path().join(window_file_name(w2)).exists());
+
+        let total1: usize = drain_all(&mut s, w1).iter().map(|(_, vs)| vs.len()).sum();
+        assert_eq!(total1, 100);
+        // Draining w1 removed only w1's file.
+        assert!(!dir.path().join(window_file_name(w1)).exists());
+        assert!(dir.path().join(window_file_name(w2)).exists());
+        let total2: usize = drain_all(&mut s, w2).iter().map(|(_, vs)| vs.len()).sum();
+        assert_eq!(total2, 100);
+    }
+
+    #[test]
+    fn chunks_respect_gradual_loading() {
+        let dir = ScratchDir::new("aar-gradual").unwrap();
+        let mut s = store(dir.path());
+        let win = w(0, 100);
+        for i in 0..20u32 {
+            s.append(format!("key-{i}").as_bytes(), win, b"v").unwrap();
+        }
+        s.flush().unwrap();
+        let mut calls = 0;
+        let mut total = 0;
+        while let Some(chunk) = s.get_window_chunk(win).unwrap() {
+            calls += 1;
+            total += chunk.iter().map(|(_, vs)| vs.len()).sum::<usize>();
+        }
+        assert_eq!(total, 20);
+        assert!(calls >= 3, "expected several gradual chunks, got {calls}");
+    }
+
+    #[test]
+    fn empty_window_returns_none() {
+        let dir = ScratchDir::new("aar-empty").unwrap();
+        let mut s = store(dir.path());
+        assert!(s.get_window_chunk(w(0, 10)).unwrap().is_none());
+    }
+
+    #[test]
+    fn file_name_roundtrip_with_negative_start() {
+        for win in [w(-500, -100), w(-1, 7), w(0, 0), w(123, 456)] {
+            assert_eq!(parse_window_file_name(&window_file_name(win)), Some(win));
+        }
+        assert_eq!(parse_window_file_name("other.log"), None);
+    }
+
+    #[test]
+    fn reopen_rediscovers_files() {
+        let dir = ScratchDir::new("aar-reopen").unwrap();
+        let win = w(0, 100);
+        {
+            let mut s = store(dir.path());
+            s.append(b"k", win, b"v").unwrap();
+            s.flush().unwrap();
+        }
+        let mut s = store(dir.path());
+        let state = drain_all(&mut s, win);
+        assert_eq!(state, vec![(b"k".to_vec(), vec![b"v".to_vec()])]);
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip() {
+        let dir = ScratchDir::new("aar-ckpt").unwrap();
+        let ckpt = ScratchDir::new("aar-ckpt-dst").unwrap();
+        let win = w(0, 100);
+        let mut s = store(dir.path());
+        s.append(b"k", win, b"v1").unwrap();
+        s.checkpoint(ckpt.path()).unwrap();
+        s.append(b"k", win, b"v2").unwrap();
+        s.restore(ckpt.path()).unwrap();
+        let state = drain_all(&mut s, win);
+        assert_eq!(state, vec![(b"k".to_vec(), vec![b"v1".to_vec()])]);
+    }
+
+    #[test]
+    fn open_writers_are_capped_across_many_windows() {
+        let dir = ScratchDir::new("aar-fdcap").unwrap();
+        let mut s = AarStore::open(dir.path(), 1 << 20, 64, StoreMetrics::new_shared()).unwrap();
+        // 300 distinct window boundaries, each flushed to its own file.
+        for round in 0..300i64 {
+            s.append(b"k", w(round * 10, round * 10 + 10), b"v")
+                .unwrap();
+            s.flush().unwrap();
+        }
+        assert!(
+            s.open_writers() <= 64,
+            "writer cap exceeded: {}",
+            s.open_writers()
+        );
+        // Every window, including ones whose writer was closed, remains
+        // readable and can still take appends (reopen in append mode).
+        s.append(b"k2", w(0, 10), b"late").unwrap();
+        s.flush().unwrap();
+        let mut total = 0;
+        while let Some(chunk) = s.get_window_chunk(w(0, 10)).unwrap() {
+            total += chunk.len();
+        }
+        assert_eq!(total, 2);
+        let mut total = 0;
+        while let Some(chunk) = s.get_window_chunk(w(1500, 1510)).unwrap() {
+            total += chunk.len();
+        }
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn no_compaction_ever_runs() {
+        let dir = ScratchDir::new("aar-nocompact").unwrap();
+        let mut s = store(dir.path());
+        for i in 0..200u32 {
+            s.append(b"k", w(0, 100), &i.to_le_bytes()).unwrap();
+        }
+        drain_all(&mut s, w(0, 100));
+        assert_eq!(s.metrics.snapshot().compactions, 0);
+        assert_eq!(s.metrics.snapshot().compaction_nanos, 0);
+    }
+}

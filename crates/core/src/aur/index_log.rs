@@ -1,0 +1,187 @@
+//! Index-log entries of the AUR store (paper §4.2, "On Disk Index Log
+//! File").
+//!
+//! When the write buffer flushes, each `(key, window)` group becomes one
+//! record in the global data log plus one entry in the append-only index
+//! log. Index entries carry everything predictive batch read needs —
+//! key, window metadata, the maximum tuple timestamp (for rebuilding
+//! trigger-time estimates after recovery), and the data record's location.
+
+use flowkv_common::codec::{put_len_prefixed, put_u64, put_varint_i64, put_varint_u64, Decoder};
+use flowkv_common::error::Result;
+use flowkv_common::types::{Timestamp, WindowId};
+
+/// One entry of the on-disk index log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// The tuple key.
+    pub key: Vec<u8>,
+    /// The initial window boundary (fixed at window creation, §4.2).
+    pub window: WindowId,
+    /// Largest tuple timestamp in the flushed group.
+    pub max_ts: Timestamp,
+    /// Offset of the data record in the data log.
+    pub offset: u64,
+    /// On-disk length of the data record, header included.
+    pub len: u64,
+    /// Number of values inside the data record.
+    pub count: u64,
+}
+
+impl IndexEntry {
+    /// Serializes the entry into a log-record payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_len_prefixed(&mut buf, &self.key);
+        self.window.encode_to(&mut buf);
+        put_varint_i64(&mut buf, self.max_ts);
+        put_u64(&mut buf, self.offset);
+        put_u64(&mut buf, self.len);
+        put_varint_u64(&mut buf, self.count);
+        buf
+    }
+
+    /// Parses an entry from a log-record payload.
+    pub fn decode(payload: &[u8]) -> Result<Self> {
+        let mut dec = Decoder::new(payload);
+        let key = dec.get_len_prefixed()?.to_vec();
+        let window = WindowId::decode_from(&mut dec)?;
+        let max_ts = dec.get_varint_i64()?;
+        let offset = dec.get_u64()?;
+        let len = dec.get_u64()?;
+        let count = dec.get_varint_u64()?;
+        Ok(IndexEntry {
+            key,
+            window,
+            max_ts,
+            offset,
+            len,
+            count,
+        })
+    }
+}
+
+/// A borrowed view of an index entry, for allocation-free scans.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexEntryRef<'a> {
+    /// The tuple key (borrowed from the record payload).
+    pub key: &'a [u8],
+    /// The initial window boundary.
+    pub window: WindowId,
+    /// Largest tuple timestamp in the flushed group.
+    pub max_ts: Timestamp,
+    /// Offset of the data record in the data log.
+    pub offset: u64,
+    /// On-disk length of the data record, header included.
+    pub len: u64,
+    /// Number of values inside the data record.
+    pub count: u64,
+}
+
+impl<'a> IndexEntryRef<'a> {
+    /// Parses an entry without copying the key.
+    pub fn decode(payload: &'a [u8]) -> Result<Self> {
+        let mut dec = Decoder::new(payload);
+        let key = dec.get_len_prefixed()?;
+        let window = WindowId::decode_from(&mut dec)?;
+        let max_ts = dec.get_varint_i64()?;
+        let offset = dec.get_u64()?;
+        let len = dec.get_u64()?;
+        let count = dec.get_varint_u64()?;
+        Ok(IndexEntryRef {
+            key,
+            window,
+            max_ts,
+            offset,
+            len,
+            count,
+        })
+    }
+
+    /// Converts into an owned [`IndexEntry`].
+    pub fn to_owned(&self) -> IndexEntry {
+        IndexEntry {
+            key: self.key.to_vec(),
+            window: self.window,
+            max_ts: self.max_ts,
+            offset: self.offset,
+            len: self.len,
+            count: self.count,
+        }
+    }
+}
+
+/// Encodes a flushed value group into a data-log record payload.
+pub fn encode_values(values: &[Vec<u8>]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_varint_u64(&mut buf, values.len() as u64);
+    for v in values {
+        put_len_prefixed(&mut buf, v);
+    }
+    buf
+}
+
+/// Decodes a data-log record payload back into its values.
+pub fn decode_values(payload: &[u8]) -> Result<Vec<Vec<u8>>> {
+    let mut dec = Decoder::new(payload);
+    let n = dec.get_varint_u64()? as usize;
+    let mut out = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        out.push(dec.get_len_prefixed()?.to_vec());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_roundtrip() {
+        let e = IndexEntry {
+            key: b"user-42".to_vec(),
+            window: WindowId::new(-10, 500),
+            max_ts: 499,
+            offset: 12345,
+            len: 678,
+            count: 9,
+        };
+        assert_eq!(IndexEntry::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn borrowed_decode_matches_owned() {
+        let e = IndexEntry {
+            key: b"user".to_vec(),
+            window: WindowId::new(3, 9),
+            max_ts: 8,
+            offset: 100,
+            len: 20,
+            count: 2,
+        };
+        let buf = e.encode();
+        let r = IndexEntryRef::decode(&buf).unwrap();
+        assert_eq!(r.to_owned(), e);
+        assert_eq!(r.key, b"user");
+    }
+
+    #[test]
+    fn values_roundtrip() {
+        let values = vec![b"a".to_vec(), Vec::new(), vec![7u8; 300]];
+        assert_eq!(decode_values(&encode_values(&values)).unwrap(), values);
+    }
+
+    #[test]
+    fn truncated_entry_is_error() {
+        let e = IndexEntry {
+            key: b"k".to_vec(),
+            window: WindowId::new(0, 1),
+            max_ts: 0,
+            offset: 0,
+            len: 0,
+            count: 0,
+        };
+        let buf = e.encode();
+        assert!(IndexEntry::decode(&buf[..buf.len() - 1]).is_err());
+    }
+}

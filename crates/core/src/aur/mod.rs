@@ -1,0 +1,995 @@
+//! The Append and Unaligned Read store (paper §4.2, Figure 7).
+//!
+//! Session-style windows trigger per key at unpredictable wall-clock
+//! moments, so neither per-window files (too many) nor eager merging
+//! (wasted CPU) fit. The AUR store instead:
+//!
+//! - appends flushed value groups to a single **global data log** and
+//!   their locations to an append-only **index log** ([`index_log`]);
+//! - keeps a small in-memory **Stat table** of estimated trigger times
+//!   ([`stat`]), updated on every append via the [`EttPredictor`];
+//! - on a read miss, performs a **predictive batch read**: one sequential
+//!   scan of the index log collects the locations of the requested window
+//!   *and* of the `N = ratio × live-windows` windows closest to
+//!   triggering, loads them in offset order, and parks them in the
+//!   **prefetch buffer** ([`prefetch`]);
+//! - **integrates compaction** with that machinery: dead bytes are
+//!   tracked as windows are consumed, and when space amplification
+//!   exceeds the configured MSA the store relocates the live byte ranges
+//!   of the data log into a new generation using zero-copy range copies
+//!   (paper §5).
+
+pub mod index_log;
+pub mod prefetch;
+pub mod stat;
+
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use flowkv_common::error::{Result, StoreError};
+use flowkv_common::logfile::{copy_range, LogReader, LogWriter, RandomAccessLog};
+use flowkv_common::metrics::{OpCategory, StoreMetrics};
+use flowkv_common::types::{Timestamp, WindowId};
+
+use crate::ett::EttPredictor;
+use index_log::{decode_values, encode_values, IndexEntry, IndexEntryRef};
+use prefetch::PrefetchBuffer;
+use stat::{StatTable, StateKey};
+
+/// Tuning knobs of one AUR store instance.
+#[derive(Clone, Debug)]
+pub struct AurConfig {
+    /// Flush the write buffer at this size.
+    pub write_buffer_bytes: usize,
+    /// Fraction of live windows loaded per predictive batch read.
+    pub read_batch_ratio: f64,
+    /// Compact when `total / (total − dead)` exceeds this factor.
+    pub max_space_amplification: f64,
+}
+
+impl Default for AurConfig {
+    fn default() -> Self {
+        AurConfig {
+            write_buffer_bytes: 4 << 20,
+            read_batch_ratio: 0.02,
+            max_space_amplification: 1.5,
+        }
+    }
+}
+
+fn data_file_name(generation: u64) -> String {
+    format!("data_{generation}.aurd")
+}
+
+fn index_file_name(generation: u64) -> String {
+    format!("index_{generation}.auri")
+}
+
+/// The append-and-unaligned-read store for one partition.
+pub struct AurStore {
+    dir: PathBuf,
+    cfg: AurConfig,
+    predictor: EttPredictor,
+    buffer: HashMap<StateKey, Vec<Vec<u8>>>,
+    buffer_bytes: usize,
+    stat: StatTable,
+    prefetch: PrefetchBuffer,
+    data_writer: Option<LogWriter>,
+    index_writer: Option<LogWriter>,
+    generation: u64,
+    /// Total bytes in the data log (live + dead).
+    data_total: u64,
+    /// Bytes of consumed windows still occupying the data log.
+    data_dead: u64,
+    /// Number of *dead* leading index-log entries per state key: a
+    /// consumed window's records stay in the logs until compaction, and
+    /// re-appending to the same `(key, window)` must not resurrect them.
+    /// Nested by key so scans can probe with borrowed slices.
+    consumed_records: HashMap<Vec<u8>, HashMap<WindowId, u64>>,
+    /// Offset of the first possibly-live index-log entry: windows are
+    /// mostly consumed in append order, so the dead prefix of the index
+    /// log grows monotonically and scans can skip it permanently.
+    index_scan_start: u64,
+    /// Open read handle over the current data log (invalidated when the
+    /// generation changes).
+    data_reader: Option<RandomAccessLog>,
+    /// Largest tuple timestamp appended so far — the store's view of
+    /// stream time; windows with ETT at or before it are already due.
+    latest_ts: Timestamp,
+    metrics: Arc<StoreMetrics>,
+}
+
+impl AurStore {
+    /// Opens a store rooted at `dir`, recovering any existing generation.
+    pub fn open(
+        dir: &Path,
+        cfg: AurConfig,
+        predictor: EttPredictor,
+        metrics: Arc<StoreMetrics>,
+    ) -> Result<Self> {
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::io("aur dir", e))?;
+        let mut store = AurStore {
+            dir: dir.to_path_buf(),
+            cfg,
+            predictor,
+            buffer: HashMap::new(),
+            buffer_bytes: 0,
+            stat: StatTable::new(),
+            prefetch: PrefetchBuffer::new(),
+            data_writer: None,
+            index_writer: None,
+            generation: 0,
+            data_total: 0,
+            data_dead: 0,
+            consumed_records: HashMap::new(),
+            index_scan_start: 0,
+            data_reader: None,
+            latest_ts: Timestamp::MIN,
+            metrics,
+        };
+        if let Some(generation) = store.find_generation()? {
+            store.generation = generation;
+            store.rebuild_from_index()?;
+        }
+        Ok(store)
+    }
+
+    /// Appends `value` for `(key, window)` with tuple timestamp `ts`
+    /// (paper Listing 1, `Append(K, V, W, T)`).
+    pub fn append(
+        &mut self,
+        key: &[u8],
+        window: WindowId,
+        value: &[u8],
+        ts: Timestamp,
+    ) -> Result<()> {
+        let _t = self.metrics.timer(OpCategory::Write);
+        // A new tuple for a prefetched window means its trigger-time
+        // estimate was wrong (e.g. a session extended): evict the stale
+        // copy so the eventual read fetches authoritative state.
+        if self.prefetch.evict(key, window) {
+            self.metrics.add_prefetch_eviction();
+        }
+        self.latest_ts = self.latest_ts.max(ts);
+        self.stat.observe_append(key, window, ts, &self.predictor);
+        self.buffer_bytes += key.len() + value.len() + 56;
+        self.buffer
+            .entry((key.to_vec(), window))
+            .or_default()
+            .push(value.to_vec());
+        self.metrics.add_records_written(1);
+        if self.buffer_bytes >= self.cfg.write_buffer_bytes {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Fetches and removes the values of `(key, window)` (paper Listing 1,
+    /// `Get(K, W)`).
+    pub fn take(&mut self, key: &[u8], window: WindowId) -> Result<Vec<Vec<u8>>> {
+        let mut disk_values = Vec::new();
+        {
+            let _t = self.metrics.timer(OpCategory::Read);
+            let has_disk = self
+                .stat
+                .get(key, window)
+                .is_some_and(|s| s.disk_records > 0);
+            if has_disk {
+                if let Some(values) = self.prefetch.take(key, window) {
+                    self.metrics.add_prefetch_hit();
+                    disk_values = values;
+                } else {
+                    disk_values = self.predictive_batch_read(key, window)?;
+                }
+            }
+            if let Some(stat) = self.stat.consume(key, window) {
+                self.data_dead += stat.disk_bytes;
+                if stat.disk_records > 0 {
+                    *self
+                        .consumed_records
+                        .entry(key.to_vec())
+                        .or_default()
+                        .entry(window)
+                        .or_insert(0) += stat.disk_records;
+                }
+            }
+        }
+        let mem_values = self.take_buffered(key, window);
+        let mut out = disk_values;
+        out.extend(mem_values);
+        self.metrics.add_records_read(out.len() as u64);
+        self.maybe_compact()?;
+        Ok(out)
+    }
+
+    /// Reads the values of `(key, window)` without consuming them.
+    ///
+    /// Disk state is loaded through the same predictive-batch-read
+    /// machinery as [`AurStore::take`], but the window stays live: its
+    /// Stat entry, disk records, and buffered values all remain, and the
+    /// prefetched copy stays in the buffer for the eventual `take`.
+    pub fn peek(&mut self, key: &[u8], window: WindowId) -> Result<Vec<Vec<u8>>> {
+        let mut out = Vec::new();
+        {
+            let _t = self.metrics.timer(OpCategory::Read);
+            let has_disk = self
+                .stat
+                .get(key, window)
+                .is_some_and(|s| s.disk_records > 0);
+            if has_disk {
+                if let Some(values) = self.prefetch.peek(key, window) {
+                    self.metrics.add_prefetch_hit();
+                    out = values;
+                } else {
+                    let values = self.predictive_batch_read(key, window)?;
+                    // Leave the copy in the buffer for the eventual take.
+                    self.prefetch.extend((key.to_vec(), window), values.clone());
+                    out = values;
+                }
+            }
+        }
+        if let Some(buffered) = self.buffer.get(&(key.to_vec(), window)) {
+            out.extend(buffered.iter().cloned());
+        }
+        self.metrics.add_records_read(out.len() as u64);
+        Ok(out)
+    }
+
+    /// Flushes the write buffer to the data and index logs.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let _t = self.metrics.timer(OpCategory::Write);
+        self.ensure_writers()?;
+        let groups = std::mem::take(&mut self.buffer);
+        self.buffer_bytes = 0;
+        for ((key, window), values) in groups {
+            let payload = encode_values(&values);
+            let data_writer = self.data_writer.as_mut().expect("ensured above");
+            let loc = data_writer.append(&payload)?;
+            self.data_total += loc.disk_len();
+            let max_ts = self
+                .stat
+                .get(&key, window)
+                .map(|s| s.max_ts)
+                .unwrap_or(Timestamp::MIN);
+            let entry = IndexEntry {
+                key: key.clone(),
+                window,
+                max_ts,
+                offset: loc.offset,
+                len: loc.disk_len(),
+                count: values.len() as u64,
+            };
+            let index_writer = self.index_writer.as_mut().expect("ensured above");
+            let index_loc = index_writer.append(&entry.encode())?;
+            self.metrics
+                .add_bytes_written(loc.disk_len() + index_loc.disk_len());
+            self.stat.add_disk(&key, window, loc.disk_len());
+            // Keep prefetched copies complete: if this window already sits
+            // in the prefetch buffer, the newly flushed values must follow
+            // its older disk values.
+            if self.prefetch.contains(&key, window) {
+                self.prefetch.extend((key, window), values);
+            }
+        }
+        if let Some(w) = self.data_writer.as_mut() {
+            w.flush()?;
+        }
+        if let Some(w) = self.index_writer.as_mut() {
+            w.flush()?;
+        }
+        self.metrics.add_flush();
+        Ok(())
+    }
+
+    /// Approximate bytes of state held in memory.
+    pub fn memory_bytes(&self) -> usize {
+        self.buffer_bytes + self.prefetch.memory_bytes() + self.stat.memory_bytes()
+    }
+
+    /// Total bytes in the data log (live + dead), for tests and benches.
+    pub fn data_log_bytes(&self) -> u64 {
+        self.data_total
+    }
+
+    /// Dead bytes awaiting compaction, for tests and benches.
+    pub fn dead_bytes(&self) -> u64 {
+        self.data_dead
+    }
+
+    /// Number of windows currently held in the prefetch buffer.
+    pub fn prefetched_windows(&self) -> usize {
+        self.prefetch.len()
+    }
+
+    /// The current log generation (bumped by each compaction).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Writes a self-contained snapshot into `dst`.
+    pub fn checkpoint(&mut self, dst: &Path) -> Result<()> {
+        self.flush()?;
+        if self.data_dead > 0 {
+            self.compact()?;
+        }
+        if let Some(w) = self.data_writer.as_mut() {
+            w.sync()?;
+        }
+        if let Some(w) = self.index_writer.as_mut() {
+            w.sync()?;
+        }
+        std::fs::create_dir_all(dst).map_err(|e| StoreError::io("aur checkpoint dir", e))?;
+        for name in ["data.aurd", "index.auri"] {
+            let _ = std::fs::remove_file(dst.join(name));
+        }
+        let data_src = self.dir.join(data_file_name(self.generation));
+        let index_src = self.dir.join(index_file_name(self.generation));
+        if data_src.exists() {
+            std::fs::copy(&data_src, dst.join("data.aurd"))
+                .map_err(|e| StoreError::io("aur checkpoint copy", e))?;
+            std::fs::copy(&index_src, dst.join("index.auri"))
+                .map_err(|e| StoreError::io("aur checkpoint copy", e))?;
+        }
+        Ok(())
+    }
+
+    /// Replaces the store contents with the snapshot in `src`.
+    pub fn restore(&mut self, src: &Path) -> Result<()> {
+        self.close()?;
+        std::fs::create_dir_all(&self.dir).map_err(|e| StoreError::io("aur dir", e))?;
+        self.generation = 0;
+        if src.join("data.aurd").exists() {
+            std::fs::copy(src.join("data.aurd"), self.dir.join(data_file_name(0)))
+                .map_err(|e| StoreError::io("aur restore copy", e))?;
+            std::fs::copy(src.join("index.auri"), self.dir.join(index_file_name(0)))
+                .map_err(|e| StoreError::io("aur restore copy", e))?;
+            self.rebuild_from_index()?;
+        }
+        Ok(())
+    }
+
+    /// Deletes every file of the store and clears its memory.
+    pub fn close(&mut self) -> Result<()> {
+        self.buffer.clear();
+        self.buffer_bytes = 0;
+        self.stat.clear();
+        self.prefetch.clear();
+        self.consumed_records.clear();
+        self.index_scan_start = 0;
+        self.data_reader = None;
+        self.data_writer = None;
+        self.index_writer = None;
+        let _ = std::fs::remove_file(self.dir.join(data_file_name(self.generation)));
+        let _ = std::fs::remove_file(self.dir.join(index_file_name(self.generation)));
+        self.data_total = 0;
+        self.data_dead = 0;
+        Ok(())
+    }
+
+    /// Removes and returns the buffered (unflushed) values of a window.
+    fn take_buffered(&mut self, key: &[u8], window: WindowId) -> Vec<Vec<u8>> {
+        match self.buffer.remove(&(key.to_vec(), window)) {
+            Some(values) => {
+                self.buffer_bytes = self.buffer_bytes.saturating_sub(
+                    values
+                        .iter()
+                        .map(|v| key.len() + v.len() + 56)
+                        .sum::<usize>(),
+                );
+                values
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// The predictive batch read (paper §4.2): one index-log scan loads
+    /// the target window plus the `N` windows closest to triggering.
+    fn predictive_batch_read(&mut self, key: &[u8], window: WindowId) -> Result<Vec<Vec<u8>>> {
+        self.metrics.add_prefetch_miss();
+        // Make buffered log records visible to the scan.
+        if let Some(w) = self.data_writer.as_mut() {
+            w.flush()?;
+        }
+        if let Some(w) = self.index_writer.as_mut() {
+            w.flush()?;
+        }
+        let index_path = self.dir.join(index_file_name(self.generation));
+        if !index_path.exists() {
+            return Ok(Vec::new());
+        }
+
+        // Select the N soonest-triggering windows beyond the target,
+        // plus every window already due at the target's trigger time.
+        let n = (self.cfg.read_batch_ratio * self.stat.len() as f64).ceil() as usize;
+        // Everything due by the store's view of stream time will be read
+        // imminently; load it in this same sequential scan. A read batch
+        // ratio of zero disables prefetching entirely (paper §6.4).
+        let due_ett = if self.cfg.read_batch_ratio > 0.0 {
+            let target_ett = self.stat.get(key, window).and_then(|s| s.ett);
+            Some(target_ett.unwrap_or(Timestamp::MIN).max(self.latest_ts))
+        } else {
+            None
+        };
+        // Nested selection set so the scan can probe with borrowed keys.
+        let mut selected: HashMap<Vec<u8>, HashSet<WindowId>> = HashMap::new();
+        for (k, w) in self.stat.select_soonest(n, due_ett, |k, w| {
+            self.prefetch.contains(k, w) || (k == key && w == window)
+        }) {
+            selected.entry(k).or_default().insert(w);
+        }
+        selected.entry(key.to_vec()).or_default().insert(window);
+
+        // One sequential scan of the index log collects the locations of
+        // every selected window's records. The first
+        // `consumed_records[state key]` entries of a key (counted from
+        // the scan start) are dead: they belong to an already-consumed
+        // incarnation of the window. While the scan is still inside a
+        // contiguous dead prefix, it also advances `index_scan_start` so
+        // future scans skip those entries for good.
+        let mut wanted: Vec<(StateKey, u64, u64)> = Vec::new();
+        let mut seen: HashMap<StateKey, u64> = HashMap::new();
+        let mut prefix_dead: Vec<StateKey> = Vec::new();
+        let mut new_scan_start: Option<u64> = None;
+        let mut scanned_bytes = 0u64;
+        let mut reader = LogReader::open_at(&index_path, self.index_scan_start)?;
+        while let Some((loc, payload)) = reader.next_record()? {
+            scanned_bytes += loc.disk_len();
+            let entry = IndexEntryRef::decode(&payload)?;
+            // Dead-prefix accounting only matters for keys with consumed
+            // records; the common case skips the per-entry bookkeeping.
+            let dead_prefix = if self.consumed_records.is_empty() {
+                0
+            } else {
+                self.consumed_records
+                    .get(entry.key)
+                    .and_then(|ws| ws.get(&entry.window))
+                    .copied()
+                    .unwrap_or(0)
+            };
+            let is_dead = if dead_prefix == 0 {
+                false
+            } else {
+                let position = seen.entry((entry.key.to_vec(), entry.window)).or_insert(0);
+                let dead = *position < dead_prefix;
+                *position += 1;
+                dead
+            };
+            if new_scan_start.is_none() {
+                if is_dead {
+                    prefix_dead.push((entry.key.to_vec(), entry.window));
+                } else {
+                    new_scan_start = Some(loc.offset);
+                }
+            }
+            if is_dead || self.stat.get(entry.key, entry.window).is_none() {
+                continue;
+            }
+            let is_selected = selected
+                .get(entry.key)
+                .is_some_and(|ws| ws.contains(&entry.window));
+            if is_selected {
+                wanted.push(((entry.key.to_vec(), entry.window), entry.offset, entry.len));
+            }
+        }
+        self.metrics.add_bytes_read(scanned_bytes);
+        // Commit the advanced scan start: the skipped entries leave the
+        // per-key dead-prefix accounting.
+        self.index_scan_start = new_scan_start.unwrap_or(reader.offset());
+        for (key, window) in prefix_dead {
+            if let Some(ws) = self.consumed_records.get_mut(&key) {
+                if let Some(count) = ws.get_mut(&window) {
+                    *count -= 1;
+                    if *count == 0 {
+                        ws.remove(&window);
+                    }
+                }
+                if ws.is_empty() {
+                    self.consumed_records.remove(&key);
+                }
+            }
+        }
+
+        // Load in offset order for sequential I/O; records of one window
+        // stay in append order because offsets grow with appends.
+        wanted.sort_by_key(|(_, offset, _)| *offset);
+        if self.data_reader.is_none() {
+            let data_path = self.dir.join(data_file_name(self.generation));
+            self.data_reader = Some(RandomAccessLog::open(&data_path)?);
+        }
+        let data = self.data_reader.as_mut().expect("opened above");
+        for (state_key, offset, len) in wanted {
+            let payload = data.read_record_at(offset)?;
+            self.metrics.add_bytes_read(len);
+            let values = decode_values(&payload)?;
+            self.prefetch.extend(state_key, values);
+        }
+        Ok(self.prefetch.take(key, window).unwrap_or_default())
+    }
+
+    /// Compacts when space amplification exceeds the configured MSA
+    /// (paper §4.2, "Integrated Compaction"; MSA definition in §6.4).
+    fn maybe_compact(&mut self) -> Result<()> {
+        // Compaction doubles as the index-log trimmer: batch reads scan
+        // the live region of the index log, so reclaiming dead entries
+        // promptly keeps those scans short. One buffer's worth of data is
+        // the floor below which rewriting is pointless.
+        if self.data_dead == 0 || self.data_total < self.cfg.write_buffer_bytes as u64 {
+            return Ok(());
+        }
+        let live = self.data_total - self.data_dead;
+        let amp = if live == 0 {
+            f64::INFINITY
+        } else {
+            self.data_total as f64 / live as f64
+        };
+        if amp <= self.cfg.max_space_amplification {
+            return Ok(());
+        }
+        self.compact()
+    }
+
+    /// Rewrites the data log keeping only live byte ranges (zero-copy
+    /// range transfer, paper §5) and bumps the generation.
+    fn compact(&mut self) -> Result<()> {
+        let _t = self.metrics.timer(OpCategory::Compaction);
+        if let Some(w) = self.data_writer.as_mut() {
+            w.flush()?;
+        }
+        if let Some(w) = self.index_writer.as_mut() {
+            w.flush()?;
+        }
+        self.data_writer = None;
+        self.index_writer = None;
+
+        let old_gen = self.generation;
+        let new_gen = old_gen + 1;
+        let old_index = self.dir.join(index_file_name(old_gen));
+        let old_data = self.dir.join(data_file_name(old_gen));
+        let new_index_path = self.dir.join(index_file_name(new_gen));
+        let new_data_path = self.dir.join(data_file_name(new_gen));
+
+        let mut moved = 0u64;
+        if old_index.exists() {
+            // Collect live entries in append order, skipping each state
+            // key's dead prefix of consumed records (everything before
+            // `index_scan_start` is known dead).
+            let mut live: Vec<IndexEntry> = Vec::new();
+            let mut seen: HashMap<StateKey, u64> = HashMap::new();
+            let mut reader = LogReader::open_at(&old_index, self.index_scan_start)?;
+            while let Some((_, payload)) = reader.next_record()? {
+                let entry = IndexEntryRef::decode(&payload)?;
+                let dead_prefix = self
+                    .consumed_records
+                    .get(entry.key)
+                    .and_then(|ws| ws.get(&entry.window))
+                    .copied()
+                    .unwrap_or(0);
+                let is_dead = if dead_prefix == 0 {
+                    false
+                } else {
+                    let position = seen.entry((entry.key.to_vec(), entry.window)).or_insert(0);
+                    let dead = *position < dead_prefix;
+                    *position += 1;
+                    dead
+                };
+                if !is_dead && self.stat.get(entry.key, entry.window).is_some() {
+                    live.push(entry.to_owned());
+                }
+            }
+            // Relocate the live byte ranges of the data log.
+            let mut src = std::fs::File::open(&old_data)
+                .map_err(|e| StoreError::io("aur compact open", e))?;
+            let mut dst = std::io::BufWriter::new(
+                std::fs::File::create(&new_data_path)
+                    .map_err(|e| StoreError::io("aur compact create", e))?,
+            );
+            let mut new_index = LogWriter::create(&new_index_path)?;
+            let mut new_offset = 0u64;
+            for mut entry in live {
+                copy_range(&mut src, &mut dst, entry.offset, entry.len)?;
+                moved += entry.len;
+                entry.offset = new_offset;
+                new_offset += entry.len;
+                new_index.append(&entry.encode())?;
+            }
+            use std::io::Write as _;
+            dst.flush()
+                .map_err(|e| StoreError::io("aur compact flush", e))?;
+            dst.into_inner()
+                .map_err(|e| StoreError::io("aur compact flush", e.into_error()))?
+                .sync_data()
+                .map_err(|e| StoreError::io("aur compact sync", e))?;
+            new_index.sync()?;
+            let _ = std::fs::remove_file(&old_index);
+            let _ = std::fs::remove_file(&old_data);
+        } else {
+            // Nothing on disk: just advance the generation.
+            LogWriter::create(&new_data_path)?.sync()?;
+            LogWriter::create(&new_index_path)?.sync()?;
+        }
+
+        self.generation = new_gen;
+        self.metrics.add_bytes_read(moved);
+        self.metrics.add_bytes_written(moved);
+        self.metrics.add_compaction();
+        self.data_total = moved;
+        self.data_dead = 0;
+        // The rewrite dropped every dead record.
+        self.consumed_records.clear();
+        self.index_scan_start = 0;
+        self.data_reader = None;
+        Ok(())
+    }
+
+    fn ensure_writers(&mut self) -> Result<()> {
+        if self.data_writer.is_none() {
+            let data_path = self.dir.join(data_file_name(self.generation));
+            let index_path = self.dir.join(index_file_name(self.generation));
+            self.data_writer = Some(if data_path.exists() {
+                LogWriter::open_append(&data_path)?
+            } else {
+                LogWriter::create(&data_path)?
+            });
+            self.index_writer = Some(if index_path.exists() {
+                LogWriter::open_append(&index_path)?
+            } else {
+                LogWriter::create(&index_path)?
+            });
+        }
+        Ok(())
+    }
+
+    /// Finds the highest on-disk generation, if any.
+    fn find_generation(&self) -> Result<Option<u64>> {
+        let mut best: Option<u64> = None;
+        let entries = std::fs::read_dir(&self.dir).map_err(|e| StoreError::io("aur scan", e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::io("aur scan", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(generation) = name
+                .strip_prefix("index_")
+                .and_then(|s| s.strip_suffix(".auri"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                best = Some(best.map_or(generation, |b: u64| b.max(generation)));
+            }
+        }
+        Ok(best)
+    }
+
+    /// Rebuilds the Stat table and byte accounting from the index log.
+    ///
+    /// A crash may leave a torn record at the index-log tail (the data
+    /// log is always flushed first, so at worst the index under-reports
+    /// the data log's final record — which then becomes dead weight for
+    /// the next compaction). The torn tail is truncated before replay.
+    fn rebuild_from_index(&mut self) -> Result<()> {
+        self.stat.clear();
+        self.prefetch.clear();
+        self.consumed_records.clear();
+        self.index_scan_start = 0;
+        self.data_reader = None;
+        self.data_total = 0;
+        self.data_dead = 0;
+        let index_path = self.dir.join(index_file_name(self.generation));
+        if !index_path.exists() {
+            return Ok(());
+        }
+        // Truncate any torn tail left by a crash mid-flush.
+        LogWriter::open_append(&index_path)?;
+        let mut reader = LogReader::open(&index_path)?;
+        while let Some((_, payload)) = reader.next_record()? {
+            let entry = IndexEntry::decode(&payload)?;
+            self.latest_ts = self.latest_ts.max(entry.max_ts);
+            self.stat.rebuild_entry(
+                &entry.key,
+                entry.window,
+                entry.max_ts,
+                entry.len,
+                &self.predictor,
+            );
+            self.data_total += entry.len;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowkv_common::scratch::ScratchDir;
+
+    fn cfg_small() -> AurConfig {
+        AurConfig {
+            write_buffer_bytes: 1 << 10,
+            read_batch_ratio: 0.5,
+            max_space_amplification: 1.5,
+        }
+    }
+
+    fn session_store(dir: &Path, cfg: AurConfig) -> AurStore {
+        AurStore::open(
+            dir,
+            cfg,
+            EttPredictor::SessionGap { gap: 100 },
+            StoreMetrics::new_shared(),
+        )
+        .unwrap()
+    }
+
+    fn w(start: i64, end: i64) -> WindowId {
+        WindowId::new(start, end)
+    }
+
+    #[test]
+    fn memory_only_take() {
+        let dir = ScratchDir::new("aur-mem").unwrap();
+        let mut s = session_store(dir.path(), cfg_small());
+        s.append(b"k", w(0, 100), b"v1", 10).unwrap();
+        s.append(b"k", w(0, 100), b"v2", 20).unwrap();
+        assert_eq!(
+            s.take(b"k", w(0, 100)).unwrap(),
+            vec![b"v1".to_vec(), b"v2".to_vec()]
+        );
+        assert!(s.take(b"k", w(0, 100)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let dir = ScratchDir::new("aur-peek").unwrap();
+        let mut s = session_store(dir.path(), cfg_small());
+        s.append(b"k", w(0, 100), b"v1", 10).unwrap();
+        s.flush().unwrap();
+        s.append(b"k", w(0, 100), b"v2", 20).unwrap();
+        // Repeated peeks see the same complete state.
+        for _ in 0..3 {
+            assert_eq!(
+                s.peek(b"k", w(0, 100)).unwrap(),
+                vec![b"v1".to_vec(), b"v2".to_vec()]
+            );
+        }
+        // The eventual take still consumes everything exactly once.
+        assert_eq!(
+            s.take(b"k", w(0, 100)).unwrap(),
+            vec![b"v1".to_vec(), b"v2".to_vec()]
+        );
+        assert!(s.take(b"k", w(0, 100)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn disk_and_memory_combine_in_append_order() {
+        let dir = ScratchDir::new("aur-combine").unwrap();
+        let mut s = session_store(dir.path(), cfg_small());
+        s.append(b"k", w(0, 100), b"old", 10).unwrap();
+        s.flush().unwrap();
+        s.append(b"k", w(0, 100), b"new", 20).unwrap();
+        assert_eq!(
+            s.take(b"k", w(0, 100)).unwrap(),
+            vec![b"old".to_vec(), b"new".to_vec()]
+        );
+    }
+
+    #[test]
+    fn batch_read_prefetches_soonest_windows() {
+        let dir = ScratchDir::new("aur-pbr").unwrap();
+        let mut s = session_store(dir.path(), cfg_small());
+        // Ten keys with staggered timestamps, all flushed to disk.
+        for i in 0..10i64 {
+            let key = format!("key-{i}");
+            s.append(key.as_bytes(), w(0, 1000), b"v", 10 * i).unwrap();
+        }
+        s.flush().unwrap();
+        // Reading key-0 must prefetch the other soonest windows too.
+        let got = s.take(b"key-0", w(0, 1000)).unwrap();
+        assert_eq!(got, vec![b"v".to_vec()]);
+        assert!(
+            s.prefetched_windows() >= 4,
+            "prefetched {} windows",
+            s.prefetched_windows()
+        );
+        let m = s.metrics.snapshot();
+        assert_eq!(m.prefetch_misses, 1);
+        // The prefetched windows now hit without further misses.
+        let got = s.take(b"key-1", w(0, 1000)).unwrap();
+        assert_eq!(got, vec![b"v".to_vec()]);
+        let m = s.metrics.snapshot();
+        assert_eq!(m.prefetch_hits, 1);
+        assert_eq!(m.prefetch_misses, 1);
+    }
+
+    #[test]
+    fn wrong_ett_evicts_prefetched_state() {
+        let dir = ScratchDir::new("aur-evict").unwrap();
+        let mut s = session_store(dir.path(), cfg_small());
+        for key in [b"a" as &[u8], b"b"] {
+            s.append(key, w(0, 1000), b"v1", 10).unwrap();
+        }
+        s.flush().unwrap();
+        // Prefetch both windows by reading `a`.
+        s.take(b"a", w(0, 1000)).unwrap();
+        assert!(s.prefetch.contains(b"b", w(0, 1000)));
+        // A late tuple for `b` invalidates its estimate.
+        s.append(b"b", w(0, 1000), b"v2", 50).unwrap();
+        assert!(!s.prefetch.contains(b"b", w(0, 1000)));
+        assert_eq!(s.metrics.snapshot().prefetch_evictions, 1);
+        // The read still returns complete, ordered state.
+        assert_eq!(
+            s.take(b"b", w(0, 1000)).unwrap(),
+            vec![b"v1".to_vec(), b"v2".to_vec()]
+        );
+    }
+
+    #[test]
+    fn flush_into_prefetched_window_stays_complete() {
+        let dir = ScratchDir::new("aur-flushpref").unwrap();
+        let mut s = session_store(dir.path(), cfg_small());
+        s.append(b"a", w(0, 1000), b"v", 10).unwrap();
+        s.append(b"b", w(0, 1000), b"b1", 10).unwrap();
+        s.flush().unwrap();
+        s.take(b"a", w(0, 1000)).unwrap();
+        assert!(s.prefetch.contains(b"b", w(0, 1000)));
+        // Appending to `b` evicts; re-buffer and flush while NOT
+        // prefetched, then reread: order must be b1, b2.
+        s.append(b"b", w(0, 1000), b"b2", 20).unwrap();
+        s.flush().unwrap();
+        assert_eq!(
+            s.take(b"b", w(0, 1000)).unwrap(),
+            vec![b"b1".to_vec(), b"b2".to_vec()]
+        );
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_bytes() {
+        let dir = ScratchDir::new("aur-compact").unwrap();
+        let mut cfg = cfg_small();
+        cfg.read_batch_ratio = 0.0;
+        let mut s = session_store(dir.path(), cfg);
+        // Write and consume many windows so dead bytes accumulate.
+        for round in 0..50i64 {
+            for key in 0..5 {
+                let k = format!("k{key}");
+                s.append(
+                    k.as_bytes(),
+                    w(round * 10, round * 10 + 10),
+                    &[7u8; 64],
+                    round,
+                )
+                .unwrap();
+            }
+            s.flush().unwrap();
+            for key in 0..5 {
+                let k = format!("k{key}");
+                let vals = s
+                    .take(k.as_bytes(), w(round * 10, round * 10 + 10))
+                    .unwrap();
+                assert_eq!(vals.len(), 1);
+            }
+        }
+        let m = s.metrics.snapshot();
+        assert!(m.compactions > 0, "no compaction ran");
+        assert!(s.generation() > 0);
+        // Dead space is bounded by the MSA after compactions.
+        if s.data_log_bytes() >= s.cfg.write_buffer_bytes as u64 {
+            let live = s.data_log_bytes() - s.dead_bytes();
+            let amp = s.data_log_bytes() as f64 / live.max(1) as f64;
+            assert!(amp <= 2.0, "amplification {amp}");
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_unread_windows() {
+        let dir = ScratchDir::new("aur-compact-live").unwrap();
+        let mut cfg = cfg_small();
+        cfg.read_batch_ratio = 0.0;
+        cfg.write_buffer_bytes = 256;
+        let mut s = session_store(dir.path(), cfg);
+        // `keeper` stays live across many consume cycles.
+        s.append(b"keeper", w(0, 10_000), b"precious", 1).unwrap();
+        s.flush().unwrap();
+        for round in 0..100i64 {
+            s.append(b"churn", w(round, round + 1), &[0u8; 64], round)
+                .unwrap();
+            s.flush().unwrap();
+            s.take(b"churn", w(round, round + 1)).unwrap();
+        }
+        assert!(s.metrics.snapshot().compactions > 0);
+        assert_eq!(
+            s.take(b"keeper", w(0, 10_000)).unwrap(),
+            vec![b"precious".to_vec()]
+        );
+    }
+
+    #[test]
+    fn ratio_zero_disables_prefetching() {
+        let dir = ScratchDir::new("aur-ratio0").unwrap();
+        let mut cfg = cfg_small();
+        cfg.read_batch_ratio = 0.0;
+        let mut s = session_store(dir.path(), cfg);
+        for i in 0..5i64 {
+            s.append(format!("k{i}").as_bytes(), w(0, 1000), b"v", i)
+                .unwrap();
+        }
+        s.flush().unwrap();
+        for i in 0..5i64 {
+            s.take(format!("k{i}").as_bytes(), w(0, 1000)).unwrap();
+        }
+        let m = s.metrics.snapshot();
+        assert_eq!(m.prefetch_hits, 0);
+        assert_eq!(m.prefetch_misses, 5);
+    }
+
+    /// Validates the paper's Equation 1: with hit ratio `r`, each tuple
+    /// is read `1/r` times on average.
+    #[test]
+    fn read_amplification_follows_equation_one() {
+        // (a) Mechanism: an evicted prefetch forces exactly one re-read.
+        let dir = ScratchDir::new("aur-eq1").unwrap();
+        let mut s = session_store(dir.path(), cfg_small());
+        for key in [b"a" as &[u8], b"b"] {
+            s.append(key, w(0, 1000), b"v1", 10).unwrap();
+        }
+        s.flush().unwrap();
+        // Reading `a` prefetches `b`; appending to `b` evicts it; the
+        // later read of `b` must go back to disk (a second miss).
+        s.take(b"a", w(0, 1000)).unwrap();
+        s.append(b"b", w(0, 1000), b"v2", 50).unwrap();
+        s.take(b"b", w(0, 1000)).unwrap();
+        let m = s.metrics.snapshot();
+        assert_eq!(m.prefetch_evictions, 1);
+        assert_eq!(m.prefetch_misses, 2, "eviction must force a re-read");
+
+        // (b) The formula itself: mean retries of a geometric process
+        // with success probability r is 1/r (sum n·r(1−r)^(n−1) = 1/r).
+        for r in [0.5f64, 0.9, 0.93, 0.99] {
+            let analytic: f64 = (1..1_000)
+                .map(|n| n as f64 * r * (1.0 - r).powi(n - 1))
+                .sum();
+            assert!(
+                (analytic - 1.0 / r).abs() < 1e-6,
+                "Eq. 1 mismatch at r = {r}: {analytic} vs {}",
+                1.0 / r
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip() {
+        let dir = ScratchDir::new("aur-ckpt").unwrap();
+        let ckpt = ScratchDir::new("aur-ckpt-dst").unwrap();
+        let mut s = session_store(dir.path(), cfg_small());
+        s.append(b"k", w(0, 100), b"v1", 10).unwrap();
+        s.append(b"dead", w(0, 100), b"x", 10).unwrap();
+        s.flush().unwrap();
+        s.take(b"dead", w(0, 100)).unwrap();
+        s.checkpoint(ckpt.path()).unwrap();
+        s.append(b"k", w(0, 100), b"lost", 20).unwrap();
+        s.restore(ckpt.path()).unwrap();
+        assert_eq!(s.take(b"k", w(0, 100)).unwrap(), vec![b"v1".to_vec()]);
+        assert!(s.take(b"dead", w(0, 100)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reopen_recovers_stat_table() {
+        let dir = ScratchDir::new("aur-reopen").unwrap();
+        {
+            let mut s = session_store(dir.path(), cfg_small());
+            s.append(b"k", w(0, 100), b"v", 42).unwrap();
+            s.flush().unwrap();
+            if let Some(writer) = s.data_writer.as_mut() {
+                writer.sync().unwrap();
+            }
+            if let Some(writer) = s.index_writer.as_mut() {
+                writer.sync().unwrap();
+            }
+        }
+        let mut s = session_store(dir.path(), cfg_small());
+        // ETT rebuilt from the persisted max_ts: 42 + gap 100.
+        assert_eq!(s.stat.get(b"k", w(0, 100)).unwrap().ett, Some(142));
+        assert_eq!(s.take(b"k", w(0, 100)).unwrap(), vec![b"v".to_vec()]);
+    }
+}

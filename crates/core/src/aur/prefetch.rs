@@ -1,0 +1,122 @@
+//! The prefetch buffer of predictive batch read (paper §4.2).
+//!
+//! States loaded by a batch read wait here, organized per window. A hit
+//! serves a window trigger from memory; a wrong trigger-time estimate
+//! (a new tuple arriving for a prefetched session window) evicts the
+//! window so the next read fetches the authoritative on-disk state again.
+
+use std::collections::HashMap;
+
+use super::stat::StateKey;
+use flowkv_common::types::WindowId;
+
+/// In-memory buffer of prefetched window states.
+#[derive(Debug, Default)]
+pub struct PrefetchBuffer {
+    map: HashMap<StateKey, Vec<Vec<u8>>>,
+    bytes: usize,
+}
+
+impl PrefetchBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        PrefetchBuffer::default()
+    }
+
+    /// Returns `true` when the window's state is buffered.
+    pub fn contains(&self, key: &[u8], window: WindowId) -> bool {
+        self.map.contains_key(&(key.to_vec(), window))
+    }
+
+    /// Appends loaded values for a window (batch reads may load a window
+    /// from several data-log records).
+    pub fn extend(&mut self, state_key: StateKey, values: Vec<Vec<u8>>) {
+        self.bytes += values.iter().map(|v| v.len() + 24).sum::<usize>();
+        self.map.entry(state_key).or_default().extend(values);
+    }
+
+    /// Returns a clone of a window's buffered values without removing
+    /// them (a non-destructive hit for `peek` reads).
+    pub fn peek(&self, key: &[u8], window: WindowId) -> Option<Vec<Vec<u8>>> {
+        self.map.get(&(key.to_vec(), window)).cloned()
+    }
+
+    /// Removes and returns a window's buffered values (a prefetch hit).
+    pub fn take(&mut self, key: &[u8], window: WindowId) -> Option<Vec<Vec<u8>>> {
+        let values = self.map.remove(&(key.to_vec(), window))?;
+        self.bytes = self
+            .bytes
+            .saturating_sub(values.iter().map(|v| v.len() + 24).sum());
+        Some(values)
+    }
+
+    /// Drops a window whose trigger-time estimate proved wrong.
+    ///
+    /// Returns `true` when something was evicted.
+    pub fn evict(&mut self, key: &[u8], window: WindowId) -> bool {
+        self.take(key, window).is_some()
+    }
+
+    /// Number of buffered windows.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Drops everything (used on restore).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(start: i64, end: i64) -> WindowId {
+        WindowId::new(start, end)
+    }
+
+    #[test]
+    fn extend_take_roundtrip() {
+        let mut p = PrefetchBuffer::new();
+        p.extend((b"k".to_vec(), w(0, 10)), vec![b"a".to_vec()]);
+        p.extend((b"k".to_vec(), w(0, 10)), vec![b"b".to_vec()]);
+        assert!(p.contains(b"k", w(0, 10)));
+        assert_eq!(
+            p.take(b"k", w(0, 10)).unwrap(),
+            vec![b"a".to_vec(), b"b".to_vec()]
+        );
+        assert!(p.take(b"k", w(0, 10)).is_none());
+        assert_eq!(p.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn eviction_reports_presence() {
+        let mut p = PrefetchBuffer::new();
+        p.extend((b"k".to_vec(), w(0, 10)), vec![b"a".to_vec()]);
+        assert!(p.evict(b"k", w(0, 10)));
+        assert!(!p.evict(b"k", w(0, 10)));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn byte_accounting_tracks_sizes() {
+        let mut p = PrefetchBuffer::new();
+        p.extend((b"k".to_vec(), w(0, 10)), vec![vec![0u8; 100]]);
+        assert!(p.memory_bytes() >= 100);
+        p.clear();
+        assert_eq!(p.memory_bytes(), 0);
+        assert_eq!(p.len(), 0);
+    }
+}

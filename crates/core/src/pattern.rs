@@ -1,0 +1,130 @@
+//! Store-pattern classification from operator semantics (paper §3.1).
+//!
+//! At application launch, FlowKV inspects the window operation's
+//! aggregate-function and window-function signatures:
+//!
+//! - an incremental aggregate (Flink's `AggregateFunction`) means the
+//!   operator reads and rewrites one intermediate aggregate per tuple →
+//!   **RMW**, regardless of the window function (reads happen on every
+//!   arrival, so read alignment is irrelevant);
+//! - a full-list aggregate (Flink's `ProcessWindowFunction`) appends;
+//!   the read side then depends on the window function: fixed and
+//!   sliding windows trigger all keys together → **AAR**; session,
+//!   count, and custom windows trigger per key → **AUR**. Custom window
+//!   functions with unknown semantics are conservatively **AUR**.
+
+use flowkv_common::backend::{AggregateKind, OperatorSemantics};
+
+/// The three data-access patterns of window operations (paper §2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// Append and aligned read.
+    Aar,
+    /// Append and unaligned read.
+    Aur,
+    /// Read-modify-write.
+    Rmw,
+}
+
+impl AccessPattern {
+    /// Short lowercase name used in file layouts and benchmark output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AccessPattern::Aar => "aar",
+            AccessPattern::Aur => "aur",
+            AccessPattern::Rmw => "rmw",
+        }
+    }
+}
+
+impl std::fmt::Display for AccessPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Chooses the store pattern for an operator at launch time.
+pub fn classify(semantics: &OperatorSemantics) -> AccessPattern {
+    match semantics.aggregate {
+        AggregateKind::Incremental => AccessPattern::Rmw,
+        AggregateKind::FullList => {
+            if semantics.window.is_aligned() {
+                AccessPattern::Aar
+            } else {
+                AccessPattern::Aur
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowkv_common::backend::WindowKind;
+
+    fn sem(aggregate: AggregateKind, window: WindowKind) -> OperatorSemantics {
+        OperatorSemantics::new(aggregate, window)
+    }
+
+    #[test]
+    fn incremental_is_always_rmw() {
+        for window in [
+            WindowKind::Fixed { size: 10 },
+            WindowKind::Sliding { size: 10, slide: 5 },
+            WindowKind::Session { gap: 10 },
+            WindowKind::Global,
+            WindowKind::Count { size: 10 },
+            WindowKind::Custom,
+        ] {
+            assert_eq!(
+                classify(&sem(AggregateKind::Incremental, window)),
+                AccessPattern::Rmw,
+                "window {window:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_list_splits_on_alignment() {
+        assert_eq!(
+            classify(&sem(
+                AggregateKind::FullList,
+                WindowKind::Fixed { size: 10 }
+            )),
+            AccessPattern::Aar
+        );
+        assert_eq!(
+            classify(&sem(
+                AggregateKind::FullList,
+                WindowKind::Sliding { size: 10, slide: 5 }
+            )),
+            AccessPattern::Aar
+        );
+        assert_eq!(
+            classify(&sem(
+                AggregateKind::FullList,
+                WindowKind::Session { gap: 9 }
+            )),
+            AccessPattern::Aur
+        );
+        assert_eq!(
+            classify(&sem(AggregateKind::FullList, WindowKind::Count { size: 3 })),
+            AccessPattern::Aur
+        );
+    }
+
+    #[test]
+    fn custom_windows_default_to_unaligned() {
+        assert_eq!(
+            classify(&sem(AggregateKind::FullList, WindowKind::Custom)),
+            AccessPattern::Aur
+        );
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(AccessPattern::Aar.to_string(), "aar");
+        assert_eq!(AccessPattern::Aur.to_string(), "aur");
+        assert_eq!(AccessPattern::Rmw.to_string(), "rmw");
+    }
+}

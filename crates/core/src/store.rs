@@ -1,0 +1,460 @@
+//! The composite FlowKV store: classification, dispatch, and the
+//! [`StateBackend`] integration (paper §3, Figure 5).
+//!
+//! At construction, [`FlowKvStore::open`] classifies the operator's
+//! semantics into one of the three access patterns and instantiates `m`
+//! partitioned instances of the matching specialized store. At runtime,
+//! the pattern determines which of the Listing-1 APIs are legal; calling
+//! a mismatched API is a contract violation and returns
+//! [`StoreError::InvalidState`] — the engine selects the right calls from
+//! the same classification.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use flowkv_common::backend::{
+    OperatorContext, OperatorSemantics, StateBackend, StateBackendFactory, WindowChunk,
+};
+use flowkv_common::error::{Result, StoreError};
+use flowkv_common::metrics::StoreMetrics;
+use flowkv_common::types::{Timestamp, WindowId};
+
+use crate::aar::AarStore;
+use crate::aur::{AurConfig, AurStore};
+use crate::config::FlowKvConfig;
+use crate::ett::EttPredictor;
+use crate::partition::Partitioned;
+use crate::pattern::{classify, AccessPattern};
+use crate::rmw::{RmwConfig, RmwStore};
+
+/// The pattern-specific store instances behind one [`FlowKvStore`].
+enum Inner {
+    Aar(Partitioned<AarStore>),
+    Aur(Partitioned<AurStore>),
+    Rmw(Partitioned<RmwStore>),
+}
+
+/// The semantic-aware composite store for one operator partition.
+pub struct FlowKvStore {
+    dir: PathBuf,
+    pattern: AccessPattern,
+    inner: Inner,
+    /// Drain cursors for AAR windows spanning several instances.
+    window_cursors: HashMap<WindowId, usize>,
+    metrics: Arc<StoreMetrics>,
+}
+
+impl FlowKvStore {
+    /// Opens a store in `dir` for an operator with the given semantics.
+    pub fn open(dir: &Path, semantics: OperatorSemantics, config: FlowKvConfig) -> Result<Self> {
+        config.validate()?;
+        let pattern = classify(&semantics);
+        let metrics = StoreMetrics::new_shared();
+        let m = config.store_instances;
+        // Each instance gets an even share of the write buffer, matching
+        // the paper's per-operator budget split across `m` instances.
+        let per_instance_buffer = (config.write_buffer_bytes / m).max(1024);
+        let inner = match pattern {
+            AccessPattern::Aar => {
+                let mut instances = Vec::with_capacity(m);
+                for j in 0..m {
+                    instances.push(AarStore::open(
+                        &dir.join(format!("inst{j}")),
+                        per_instance_buffer,
+                        config.chunk_entries,
+                        Arc::clone(&metrics),
+                    )?);
+                }
+                Inner::Aar(Partitioned::new(instances))
+            }
+            AccessPattern::Aur => {
+                let predictor =
+                    EttPredictor::for_window_kind(semantics.window, config.custom_ett.clone());
+                let aur_cfg = AurConfig {
+                    write_buffer_bytes: per_instance_buffer,
+                    read_batch_ratio: config.read_batch_ratio,
+                    max_space_amplification: config.max_space_amplification,
+                };
+                let mut instances = Vec::with_capacity(m);
+                for j in 0..m {
+                    instances.push(AurStore::open(
+                        &dir.join(format!("inst{j}")),
+                        aur_cfg.clone(),
+                        predictor.clone(),
+                        Arc::clone(&metrics),
+                    )?);
+                }
+                Inner::Aur(Partitioned::new(instances))
+            }
+            AccessPattern::Rmw => {
+                let rmw_cfg = RmwConfig {
+                    write_buffer_bytes: per_instance_buffer,
+                    max_space_amplification: config.max_space_amplification,
+                };
+                let mut instances = Vec::with_capacity(m);
+                for j in 0..m {
+                    instances.push(RmwStore::open(
+                        &dir.join(format!("inst{j}")),
+                        rmw_cfg.clone(),
+                        Arc::clone(&metrics),
+                    )?);
+                }
+                Inner::Rmw(Partitioned::new(instances))
+            }
+        };
+        Ok(FlowKvStore {
+            dir: dir.to_path_buf(),
+            pattern,
+            inner,
+            window_cursors: HashMap::new(),
+            metrics,
+        })
+    }
+
+    /// The access pattern chosen at launch.
+    pub fn pattern(&self) -> AccessPattern {
+        self.pattern
+    }
+
+    /// Number of store instances (`m`).
+    pub fn instances(&self) -> usize {
+        match &self.inner {
+            Inner::Aar(p) => p.len(),
+            Inner::Aur(p) => p.len(),
+            Inner::Rmw(p) => p.len(),
+        }
+    }
+
+    fn wrong_pattern(&self, method: &str) -> StoreError {
+        StoreError::invalid_state(format!(
+            "{method} is not part of the {} store API",
+            self.pattern
+        ))
+    }
+}
+
+impl StateBackend for FlowKvStore {
+    fn append(&mut self, key: &[u8], window: WindowId, value: &[u8], ts: Timestamp) -> Result<()> {
+        match &mut self.inner {
+            Inner::Aar(p) => p.for_key(key).append(key, window, value),
+            Inner::Aur(p) => p.for_key(key).append(key, window, value, ts),
+            Inner::Rmw(_) => Err(self.wrong_pattern("Append")),
+        }
+    }
+
+    fn get_window_chunk(&mut self, window: WindowId) -> Result<Option<WindowChunk>> {
+        let Inner::Aar(p) = &mut self.inner else {
+            return Err(self.wrong_pattern("GetWindow"));
+        };
+        // Drain instance by instance so only one chunk is in flight.
+        let mut idx = *self.window_cursors.entry(window).or_insert(0);
+        while idx < p.len() {
+            let instance = p.get_mut(idx).expect("index bounded by len");
+            match instance.get_window_chunk(window)? {
+                Some(chunk) => {
+                    self.window_cursors.insert(window, idx);
+                    return Ok(Some(chunk));
+                }
+                None => {
+                    idx += 1;
+                    self.window_cursors.insert(window, idx);
+                }
+            }
+        }
+        self.window_cursors.remove(&window);
+        Ok(None)
+    }
+
+    fn take_values(&mut self, key: &[u8], window: WindowId) -> Result<Vec<Vec<u8>>> {
+        match &mut self.inner {
+            Inner::Aur(p) => p.for_key(key).take(key, window),
+            _ => Err(self.wrong_pattern("Get(K, W) → List<V>")),
+        }
+    }
+
+    fn peek_values(&mut self, key: &[u8], window: WindowId) -> Result<Vec<Vec<u8>>> {
+        match &mut self.inner {
+            Inner::Aur(p) => p.for_key(key).peek(key, window),
+            _ => Err(self.wrong_pattern("Peek(K, W) → List<V>")),
+        }
+    }
+
+    fn take_aggregate(&mut self, key: &[u8], window: WindowId) -> Result<Option<Vec<u8>>> {
+        match &mut self.inner {
+            Inner::Rmw(p) => p.for_key(key).take(key, window),
+            _ => Err(self.wrong_pattern("Get(K, W) → A")),
+        }
+    }
+
+    fn put_aggregate(&mut self, key: &[u8], window: WindowId, aggregate: &[u8]) -> Result<()> {
+        match &mut self.inner {
+            Inner::Rmw(p) => p.for_key(key).put(key, window, aggregate),
+            _ => Err(self.wrong_pattern("Put(K, W, A)")),
+        }
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        match &mut self.inner {
+            Inner::Aar(p) => p.iter_mut().try_for_each(AarStore::flush),
+            Inner::Aur(p) => p.iter_mut().try_for_each(AurStore::flush),
+            Inner::Rmw(p) => p.iter_mut().try_for_each(RmwStore::flush),
+        }
+    }
+
+    fn metrics(&self) -> Arc<StoreMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match &self.inner {
+            Inner::Aar(p) => p.iter().map(AarStore::memory_bytes).sum(),
+            Inner::Aur(p) => p.iter().map(AurStore::memory_bytes).sum(),
+            Inner::Rmw(p) => p.iter().map(RmwStore::memory_bytes).sum(),
+        }
+    }
+
+    fn checkpoint(&mut self, dir: &Path) -> Result<()> {
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::io("flowkv checkpoint dir", e))?;
+        let run = |j: usize| dir.join(format!("inst{j}"));
+        match &mut self.inner {
+            Inner::Aar(p) => p
+                .iter_mut()
+                .enumerate()
+                .try_for_each(|(j, s)| s.checkpoint(&run(j))),
+            Inner::Aur(p) => p
+                .iter_mut()
+                .enumerate()
+                .try_for_each(|(j, s)| s.checkpoint(&run(j))),
+            Inner::Rmw(p) => p
+                .iter_mut()
+                .enumerate()
+                .try_for_each(|(j, s)| s.checkpoint(&run(j))),
+        }
+    }
+
+    fn restore(&mut self, dir: &Path) -> Result<()> {
+        self.window_cursors.clear();
+        let run = |j: usize| dir.join(format!("inst{j}"));
+        match &mut self.inner {
+            Inner::Aar(p) => p
+                .iter_mut()
+                .enumerate()
+                .try_for_each(|(j, s)| s.restore(&run(j))),
+            Inner::Aur(p) => p
+                .iter_mut()
+                .enumerate()
+                .try_for_each(|(j, s)| s.restore(&run(j))),
+            Inner::Rmw(p) => p
+                .iter_mut()
+                .enumerate()
+                .try_for_each(|(j, s)| s.restore(&run(j))),
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.window_cursors.clear();
+        match &mut self.inner {
+            Inner::Aar(p) => p.iter_mut().try_for_each(AarStore::close)?,
+            Inner::Aur(p) => p.iter_mut().try_for_each(AurStore::close)?,
+            Inner::Rmw(p) => p.iter_mut().try_for_each(RmwStore::close)?,
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+        Ok(())
+    }
+}
+
+/// Factory producing [`FlowKvStore`] instances for operator partitions.
+pub struct FlowKvFactory {
+    config: FlowKvConfig,
+}
+
+impl FlowKvFactory {
+    /// Creates a factory with the given configuration.
+    pub fn new(config: FlowKvConfig) -> Self {
+        FlowKvFactory { config }
+    }
+}
+
+impl StateBackendFactory for FlowKvFactory {
+    fn create(&self, ctx: &OperatorContext) -> Result<Box<dyn StateBackend>> {
+        let dir = ctx.partition_dir();
+        std::fs::create_dir_all(&dir).map_err(|e| StoreError::io("backend dir", e))?;
+        Ok(Box::new(FlowKvStore::open(
+            &dir,
+            ctx.semantics,
+            self.config.clone(),
+        )?))
+    }
+
+    fn name(&self) -> &'static str {
+        "flowkv"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowkv_common::backend::{AggregateKind, WindowKind};
+    use flowkv_common::scratch::ScratchDir;
+
+    fn w(start: i64, end: i64) -> WindowId {
+        WindowId::new(start, end)
+    }
+
+    fn open(dir: &Path, aggregate: AggregateKind, window: WindowKind) -> FlowKvStore {
+        FlowKvStore::open(
+            dir,
+            OperatorSemantics::new(aggregate, window),
+            FlowKvConfig::small_for_tests(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn aar_dispatch_and_cross_instance_drain() {
+        let dir = ScratchDir::new("fkv-aar").unwrap();
+        let mut s = open(
+            dir.path(),
+            AggregateKind::FullList,
+            WindowKind::Fixed { size: 100 },
+        );
+        assert_eq!(s.pattern(), AccessPattern::Aar);
+        assert_eq!(s.instances(), 2);
+        let win = w(0, 100);
+        for i in 0..40u32 {
+            s.append(format!("key-{i}").as_bytes(), win, b"v", i as i64)
+                .unwrap();
+        }
+        let mut total = 0;
+        while let Some(chunk) = s.get_window_chunk(win).unwrap() {
+            total += chunk.iter().map(|(_, vs)| vs.len()).sum::<usize>();
+        }
+        assert_eq!(total, 40);
+        // Wrong-pattern calls are contract violations.
+        assert!(s.take_values(b"k", win).is_err());
+        assert!(s.take_aggregate(b"k", win).is_err());
+        assert!(s.put_aggregate(b"k", win, b"a").is_err());
+    }
+
+    #[test]
+    fn aur_dispatch() {
+        let dir = ScratchDir::new("fkv-aur").unwrap();
+        let mut s = open(
+            dir.path(),
+            AggregateKind::FullList,
+            WindowKind::Session { gap: 50 },
+        );
+        assert_eq!(s.pattern(), AccessPattern::Aur);
+        let win = w(0, 100);
+        s.append(b"k", win, b"v1", 10).unwrap();
+        s.append(b"k", win, b"v2", 20).unwrap();
+        assert_eq!(
+            s.take_values(b"k", win).unwrap(),
+            vec![b"v1".to_vec(), b"v2".to_vec()]
+        );
+        assert!(s.get_window_chunk(win).is_err());
+        assert!(s.take_aggregate(b"k", win).is_err());
+    }
+
+    #[test]
+    fn rmw_dispatch() {
+        let dir = ScratchDir::new("fkv-rmw").unwrap();
+        let mut s = open(
+            dir.path(),
+            AggregateKind::Incremental,
+            WindowKind::Session { gap: 50 },
+        );
+        assert_eq!(s.pattern(), AccessPattern::Rmw);
+        let win = w(0, 100);
+        s.put_aggregate(b"k", win, b"7").unwrap();
+        assert_eq!(s.take_aggregate(b"k", win).unwrap(), Some(b"7".to_vec()));
+        assert!(s.append(b"k", win, b"v", 0).is_err());
+        assert!(s.take_values(b"k", win).is_err());
+    }
+
+    #[test]
+    fn keys_route_to_consistent_instances() {
+        let dir = ScratchDir::new("fkv-routing").unwrap();
+        let mut s = open(
+            dir.path(),
+            AggregateKind::FullList,
+            WindowKind::Session { gap: 50 },
+        );
+        let win = w(0, 100);
+        for i in 0..20u32 {
+            let key = format!("key-{i}");
+            s.append(key.as_bytes(), win, &i.to_le_bytes(), 1).unwrap();
+        }
+        for i in 0..20u32 {
+            let key = format!("key-{i}");
+            assert_eq!(
+                s.take_values(key.as_bytes(), win).unwrap(),
+                vec![i.to_le_bytes().to_vec()],
+                "key {key} lost across partitions"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_all_instances() {
+        let dir = ScratchDir::new("fkv-ckpt").unwrap();
+        let ckpt = ScratchDir::new("fkv-ckpt-dst").unwrap();
+        let mut s = open(
+            dir.path(),
+            AggregateKind::FullList,
+            WindowKind::Session { gap: 50 },
+        );
+        let win = w(0, 100);
+        for i in 0..10u32 {
+            s.append(format!("key-{i}").as_bytes(), win, b"v", 1)
+                .unwrap();
+        }
+        s.checkpoint(ckpt.path()).unwrap();
+        for i in 0..10u32 {
+            s.append(format!("key-{i}").as_bytes(), win, b"extra", 2)
+                .unwrap();
+        }
+        s.restore(ckpt.path()).unwrap();
+        for i in 0..10u32 {
+            assert_eq!(
+                s.take_values(format!("key-{i}").as_bytes(), win).unwrap(),
+                vec![b"v".to_vec()]
+            );
+        }
+    }
+
+    #[test]
+    fn factory_creates_and_names() {
+        let dir = ScratchDir::new("fkv-factory").unwrap();
+        let factory = FlowKvFactory::new(FlowKvConfig::small_for_tests());
+        assert_eq!(factory.name(), "flowkv");
+        let ctx = OperatorContext {
+            operator: "op".into(),
+            partition: 1,
+            semantics: OperatorSemantics::new(AggregateKind::Incremental, WindowKind::Global),
+            data_dir: dir.path().to_path_buf(),
+        };
+        let mut b = factory.create(&ctx).unwrap();
+        b.put_aggregate(b"k", WindowId::global(), b"1").unwrap();
+        assert_eq!(
+            b.take_aggregate(b"k", WindowId::global()).unwrap(),
+            Some(b"1".to_vec())
+        );
+    }
+
+    #[test]
+    fn close_removes_directory() {
+        let dir = ScratchDir::new("fkv-close").unwrap();
+        let store_dir = dir.path().join("store");
+        let mut s = open(
+            &store_dir,
+            AggregateKind::FullList,
+            WindowKind::Fixed { size: 100 },
+        );
+        s.append(b"k", w(0, 100), b"v", 0).unwrap();
+        s.flush().unwrap();
+        s.close().unwrap();
+        assert!(!store_dir.exists());
+    }
+}

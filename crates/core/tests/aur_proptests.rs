@@ -1,0 +1,182 @@
+//! Property tests for the AUR store against an in-memory model, across
+//! randomized configurations.
+//!
+//! The AUR store's correctness-critical machinery — write-buffer spills,
+//! predictive batch reads, prefetch evictions, dead-prefix tracking, and
+//! MSA-triggered compaction — must never change the fetch-and-remove
+//! semantics. The model is a plain map of value lists.
+
+use std::collections::HashMap;
+
+use flowkv::aur::{AurConfig, AurStore};
+use flowkv::ett::EttPredictor;
+use flowkv_common::metrics::StoreMetrics;
+use flowkv_common::scratch::ScratchDir;
+use flowkv_common::types::WindowId;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Append a value for key k in the window starting at w*100.
+    Append {
+        k: u8,
+        w: u8,
+        len: u8,
+        ts: i64,
+    },
+    /// Fetch-and-remove key k's window w.
+    Take {
+        k: u8,
+        w: u8,
+    },
+    Flush,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            6 => (0u8..5, 0u8..4, any::<u8>(), 0i64..500)
+                .prop_map(|(k, w, len, ts)| Op::Append { k, w, len, ts }),
+            3 => (0u8..5, 0u8..4).prop_map(|(k, w)| Op::Take { k, w }),
+            1 => Just(Op::Flush),
+        ],
+        1..150,
+    )
+}
+
+fn window(w: u8) -> WindowId {
+    let start = i64::from(w) * 100;
+    WindowId::new(start, start + 100)
+}
+
+/// Per-key window lists drained at the end of a model run.
+type Remaining = Vec<((u8, u8), Vec<Vec<u8>>)>;
+
+/// A value derived deterministically from the op so mismatches are
+/// attributable.
+fn value(k: u8, w: u8, len: u8, ts: i64) -> Vec<u8> {
+    let mut v = vec![k, w];
+    v.extend_from_slice(&ts.to_le_bytes());
+    v.extend(std::iter::repeat_n(0xab, usize::from(len) % 64));
+    v
+}
+
+fn check(ops: &[Op], cfg: AurConfig) -> Result<(), TestCaseError> {
+    let dir = ScratchDir::new("aur-prop").unwrap();
+    let mut store = AurStore::open(
+        dir.path(),
+        cfg,
+        EttPredictor::SessionGap { gap: 50 },
+        StoreMetrics::new_shared(),
+    )
+    .unwrap();
+    let mut model: HashMap<(u8, u8), Vec<Vec<u8>>> = HashMap::new();
+    for op in ops {
+        match *op {
+            Op::Append { k, w, len, ts } => {
+                let v = value(k, w, len, ts);
+                store
+                    .append(format!("key{k}").as_bytes(), window(w), &v, ts)
+                    .unwrap();
+                model.entry((k, w)).or_default().push(v);
+            }
+            Op::Take { k, w } => {
+                let got = store.take(format!("key{k}").as_bytes(), window(w)).unwrap();
+                let expect = model.remove(&(k, w)).unwrap_or_default();
+                prop_assert_eq!(got, expect, "take({}, {})", k, w);
+            }
+            Op::Flush => store.flush().unwrap(),
+        }
+    }
+    // Drain whatever the model still holds.
+    let mut remaining: Remaining = model.into_iter().collect();
+    remaining.sort_by_key(|(kw, _)| *kw);
+    for ((k, w), expect) in remaining {
+        let got = store.take(format!("key{k}").as_bytes(), window(w)).unwrap();
+        prop_assert_eq!(got, expect, "final take({}, {})", k, w);
+    }
+    store.close().unwrap();
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Tiny buffers: every append path goes through flush + batch read.
+    #[test]
+    fn matches_model_with_tiny_buffers(ops in ops()) {
+        check(&ops, AurConfig {
+            write_buffer_bytes: 256,
+            read_batch_ratio: 0.1,
+            max_space_amplification: 1.2,
+        })?;
+    }
+
+    /// Prefetching disabled: the per-window read path.
+    #[test]
+    fn matches_model_without_prefetch(ops in ops()) {
+        check(&ops, AurConfig {
+            write_buffer_bytes: 512,
+            read_batch_ratio: 0.0,
+            max_space_amplification: 1.5,
+        })?;
+    }
+
+    /// Aggressive prefetching plus lazy compaction.
+    #[test]
+    fn matches_model_with_aggressive_prefetch(ops in ops()) {
+        check(&ops, AurConfig {
+            write_buffer_bytes: 1024,
+            read_batch_ratio: 1.0,
+            max_space_amplification: 4.0,
+        })?;
+    }
+
+    /// Checkpoint/restore at a random cut keeps the prefix state.
+    #[test]
+    fn checkpoint_restore_at_random_cut(ops in ops(), cut in any::<prop::sample::Index>()) {
+        let dir = ScratchDir::new("aur-prop-ckpt").unwrap();
+        let ckpt = ScratchDir::new("aur-prop-ckpt-dst").unwrap();
+        let cfg = AurConfig {
+            write_buffer_bytes: 512,
+            read_batch_ratio: 0.1,
+            max_space_amplification: 1.5,
+        };
+        let mut store = AurStore::open(
+            dir.path(),
+            cfg,
+            EttPredictor::SessionGap { gap: 50 },
+            StoreMetrics::new_shared(),
+        ).unwrap();
+        let mut model: HashMap<(u8, u8), Vec<Vec<u8>>> = HashMap::new();
+        let cut = cut.index(ops.len().max(1));
+        for op in &ops[..cut] {
+            match *op {
+                Op::Append { k, w, len, ts } => {
+                    let v = value(k, w, len, ts);
+                    store.append(format!("key{k}").as_bytes(), window(w), &v, ts).unwrap();
+                    model.entry((k, w)).or_default().push(v);
+                }
+                Op::Take { k, w } => {
+                    let got = store.take(format!("key{k}").as_bytes(), window(w)).unwrap();
+                    let expect = model.remove(&(k, w)).unwrap_or_default();
+                    prop_assert_eq!(got, expect);
+                }
+                Op::Flush => store.flush().unwrap(),
+            }
+        }
+        store.checkpoint(ckpt.path()).unwrap();
+        // Post-checkpoint noise that the restore must erase.
+        store.append(b"key0", window(0), b"garbage", 499).unwrap();
+        store.take(b"key1", window(1)).unwrap();
+        store.restore(ckpt.path()).unwrap();
+
+        let mut remaining: Remaining = model.into_iter().collect();
+        remaining.sort_by_key(|(kw, _)| *kw);
+        for ((k, w), expect) in remaining {
+            let got = store.take(format!("key{k}").as_bytes(), window(w)).unwrap();
+            prop_assert_eq!(got, expect, "restored take({}, {})", k, w);
+        }
+        store.close().unwrap();
+    }
+}

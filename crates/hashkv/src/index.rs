@@ -1,0 +1,286 @@
+//! The open-addressing hash index mapping key hashes to log addresses.
+//!
+//! Like FASTER's hash table, the index stores no keys — only 64-bit tags
+//! and log addresses. Tag collisions are resolved by the caller reading
+//! the candidate record from the log and comparing keys, so the index
+//! itself stays compact. Linear probing with power-of-two capacities and
+//! resize at 70 % load.
+
+use flowkv_common::hash::hash64;
+
+/// Sentinel meaning an empty slot.
+const EMPTY: u64 = 0;
+/// Sentinel meaning a deleted slot (probe chains continue through it).
+const DELETED: u64 = 1;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Slot {
+    /// 2 = occupied; [`EMPTY`] / [`DELETED`] otherwise.
+    state: u64,
+    tag: u64,
+    addr: u64,
+}
+
+/// Hash index over log addresses.
+#[derive(Debug)]
+pub struct HashIndex {
+    slots: Vec<Slot>,
+    live: usize,
+    tombstones: usize,
+}
+
+impl HashIndex {
+    /// Creates an index with capacity for roughly `expected` keys.
+    pub fn with_capacity(expected: usize) -> Self {
+        let cap = (expected.max(8) * 2).next_power_of_two();
+        HashIndex {
+            slots: vec![Slot::default(); cap],
+            live: 0,
+            tombstones: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Returns `true` when the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<Slot>()
+    }
+
+    /// Finds the addresses of every entry whose tag matches `key`'s hash.
+    ///
+    /// The caller disambiguates true matches by reading the records; tag
+    /// collisions are rare but possible.
+    pub fn candidates(&self, key: &[u8]) -> Candidates<'_> {
+        let tag = Self::tag_of(key);
+        Candidates {
+            index: self,
+            tag,
+            probe: (tag as usize) & (self.slots.len() - 1),
+            steps: 0,
+        }
+    }
+
+    /// Inserts or updates the entry for `key`.
+    ///
+    /// `matches(addr)` must return `true` when the record at `addr`
+    /// belongs to `key`; it resolves tag collisions against the log.
+    pub fn upsert(&mut self, key: &[u8], addr: u64, mut matches: impl FnMut(u64) -> bool) {
+        self.maybe_grow();
+        let tag = Self::tag_of(key);
+        let mask = self.slots.len() - 1;
+        let mut probe = (tag as usize) & mask;
+        let mut first_free: Option<usize> = None;
+        for _ in 0..self.slots.len() {
+            let slot = self.slots[probe];
+            match slot.state {
+                EMPTY => {
+                    let target = first_free.unwrap_or(probe);
+                    if self.slots[target].state == DELETED {
+                        self.tombstones -= 1;
+                    }
+                    self.slots[target] = Slot {
+                        state: 2,
+                        tag,
+                        addr,
+                    };
+                    self.live += 1;
+                    return;
+                }
+                DELETED => {
+                    if first_free.is_none() {
+                        first_free = Some(probe);
+                    }
+                }
+                _ => {
+                    if slot.tag == tag && matches(slot.addr) {
+                        self.slots[probe].addr = addr;
+                        return;
+                    }
+                }
+            }
+            probe = (probe + 1) & mask;
+        }
+        unreachable!("index full despite load-factor resizing");
+    }
+
+    /// Removes the entry for `key`, returning its address if present.
+    pub fn remove(&mut self, key: &[u8], mut matches: impl FnMut(u64) -> bool) -> Option<u64> {
+        let tag = Self::tag_of(key);
+        let mask = self.slots.len() - 1;
+        let mut probe = (tag as usize) & mask;
+        for _ in 0..self.slots.len() {
+            let slot = self.slots[probe];
+            match slot.state {
+                EMPTY => return None,
+                DELETED => {}
+                _ => {
+                    if slot.tag == tag && matches(slot.addr) {
+                        self.slots[probe].state = DELETED;
+                        self.live -= 1;
+                        self.tombstones += 1;
+                        return Some(slot.addr);
+                    }
+                }
+            }
+            probe = (probe + 1) & mask;
+        }
+        None
+    }
+
+    /// Iterates the addresses of every live entry.
+    pub fn iter_addrs(&self) -> impl Iterator<Item = u64> + '_ {
+        self.slots.iter().filter(|s| s.state == 2).map(|s| s.addr)
+    }
+
+    /// Clears every entry.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = Slot::default();
+        }
+        self.live = 0;
+        self.tombstones = 0;
+    }
+
+    fn tag_of(key: &[u8]) -> u64 {
+        // Reserve the sentinel values for slot states.
+        hash64(key).max(2)
+    }
+
+    fn maybe_grow(&mut self) {
+        if (self.live + self.tombstones) * 10 < self.slots.len() * 7 {
+            return;
+        }
+        let new_cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, vec![Slot::default(); new_cap]);
+        self.live = 0;
+        self.tombstones = 0;
+        let mask = new_cap - 1;
+        for slot in old.into_iter().filter(|s| s.state == 2) {
+            let mut probe = (slot.tag as usize) & mask;
+            loop {
+                if self.slots[probe].state == EMPTY {
+                    self.slots[probe] = slot;
+                    self.live += 1;
+                    break;
+                }
+                probe = (probe + 1) & mask;
+            }
+        }
+    }
+}
+
+/// Iterator over the candidate addresses for one key.
+pub struct Candidates<'a> {
+    index: &'a HashIndex,
+    tag: u64,
+    probe: usize,
+    steps: usize,
+}
+
+impl Iterator for Candidates<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let mask = self.index.slots.len() - 1;
+        while self.steps < self.index.slots.len() {
+            let slot = self.index.slots[self.probe];
+            self.probe = (self.probe + 1) & mask;
+            self.steps += 1;
+            match slot.state {
+                EMPTY => return None,
+                DELETED => continue,
+                _ => {
+                    if slot.tag == self.tag {
+                        return Some(slot.addr);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lookup(idx: &HashIndex, key: &[u8], addr_of: impl Fn(u64) -> bool) -> Option<u64> {
+        idx.candidates(key).find(|a| addr_of(*a))
+    }
+
+    #[test]
+    fn insert_and_find() {
+        let mut idx = HashIndex::with_capacity(4);
+        idx.upsert(b"a", 100, |_| false);
+        idx.upsert(b"b", 200, |_| false);
+        assert_eq!(lookup(&idx, b"a", |a| a == 100), Some(100));
+        assert_eq!(lookup(&idx, b"b", |a| a == 200), Some(200));
+        assert_eq!(lookup(&idx, b"c", |_| true), None);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn upsert_updates_existing() {
+        let mut idx = HashIndex::with_capacity(4);
+        idx.upsert(b"a", 100, |_| false);
+        idx.upsert(b"a", 300, |addr| addr == 100);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(lookup(&idx, b"a", |a| a == 300), Some(300));
+    }
+
+    #[test]
+    fn remove_then_reinsert() {
+        let mut idx = HashIndex::with_capacity(4);
+        idx.upsert(b"a", 100, |_| false);
+        assert_eq!(idx.remove(b"a", |a| a == 100), Some(100));
+        assert_eq!(idx.len(), 0);
+        assert_eq!(idx.remove(b"a", |_| true), None);
+        idx.upsert(b"a", 500, |_| false);
+        assert_eq!(lookup(&idx, b"a", |a| a == 500), Some(500));
+    }
+
+    #[test]
+    fn grows_under_load() {
+        let mut idx = HashIndex::with_capacity(4);
+        for i in 0..10_000u64 {
+            let key = i.to_le_bytes();
+            idx.upsert(&key, i, |_| false);
+        }
+        assert_eq!(idx.len(), 10_000);
+        for i in (0..10_000u64).step_by(97) {
+            let key = i.to_le_bytes();
+            assert_eq!(lookup(&idx, &key, |a| a == i), Some(i));
+        }
+    }
+
+    #[test]
+    fn iter_addrs_yields_all_live() {
+        let mut idx = HashIndex::with_capacity(4);
+        for i in 0..100u64 {
+            idx.upsert(&i.to_le_bytes(), i, |_| false);
+        }
+        idx.remove(&5u64.to_le_bytes(), |a| a == 5);
+        let mut addrs: Vec<u64> = idx.iter_addrs().collect();
+        addrs.sort_unstable();
+        assert_eq!(addrs.len(), 99);
+        assert!(!addrs.contains(&5));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut idx = HashIndex::with_capacity(4);
+        idx.upsert(b"a", 1, |_| false);
+        idx.clear();
+        assert!(idx.is_empty());
+        assert_eq!(lookup(&idx, b"a", |_| true), None);
+    }
+}

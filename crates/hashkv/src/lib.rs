@@ -1,0 +1,30 @@
+//! A hash key-value store: the FASTER-analog baseline.
+//!
+//! The FlowKV paper evaluates Flink on Microsoft FASTER as the
+//! representative *non-sorted* persistent KV store (§2.2). This crate
+//! reproduces the properties that drive FASTER's behaviour under
+//! streaming state:
+//!
+//! - an **open-addressing hash index** mapping key hashes to log
+//!   addresses ([`index`]) — O(1) point access, the reason FASTER wins on
+//!   read-modify-write workloads;
+//! - a **hybrid log** with a mutable in-memory tail and an immutable
+//!   on-disk body ([`hlog`]), supporting in-place updates of records
+//!   still in the tail;
+//! - **epoch-style synchronization** executed on every operation
+//!   ([`epoch`]) — the coordination cost the paper calls out as
+//!   unnecessary for single-threaded stream workers;
+//! - a [`db::HashDb`] façade and a [`backend::HashBackend`] adapter. The
+//!   adapter stores the *entire* value list of a `(window, key)` pair in
+//!   one record, so every `Append()` re-reads and re-writes the whole
+//!   list — the I/O amplification that makes Flink-on-Faster fail the
+//!   paper's append workloads (Figure 4, Figure 8 crossed bars).
+
+pub mod backend;
+pub mod db;
+pub mod epoch;
+pub mod hlog;
+pub mod index;
+
+pub use backend::{HashBackend, HashBackendFactory};
+pub use db::{HashDb, HashDbConfig};

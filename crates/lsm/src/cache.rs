@@ -1,0 +1,173 @@
+//! A least-recently-used cache for decoded SSTable blocks.
+//!
+//! RocksDB serves repeated point lookups from its block cache; the cache
+//! here plays the same role so the baseline's read path is not unfairly
+//! penalized. Capacity is accounted in payload bytes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Identifies one block: the owning file number and its byte offset.
+pub type BlockKey = (u64, u64);
+
+/// A byte-bounded LRU cache of immutable blocks.
+pub struct BlockCache {
+    inner: Mutex<CacheInner>,
+}
+
+struct CacheInner {
+    map: HashMap<BlockKey, (Arc<Vec<u8>>, u64)>,
+    // LRU order: front is oldest. `u64` is an access stamp.
+    stamp: u64,
+    bytes: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl BlockCache {
+    /// Creates a cache bounded at `capacity` bytes.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(BlockCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                stamp: 0,
+                bytes: 0,
+                capacity,
+                hits: 0,
+                misses: 0,
+            }),
+        })
+    }
+
+    /// Looks up a block, refreshing its recency on hit.
+    pub fn get(&self, key: BlockKey) -> Option<Arc<Vec<u8>>> {
+        let mut inner = self.inner.lock();
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        match inner.map.get_mut(&key) {
+            Some((block, last_used)) => {
+                *last_used = stamp;
+                let out = Arc::clone(block);
+                inner.hits += 1;
+                Some(out)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a block, evicting least-recently-used blocks as needed.
+    pub fn insert(&self, key: BlockKey, block: Arc<Vec<u8>>) {
+        let mut inner = self.inner.lock();
+        if block.len() > inner.capacity {
+            return;
+        }
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        if let Some((old, _)) = inner.map.insert(key, (Arc::clone(&block), stamp)) {
+            inner.bytes -= old.len();
+        }
+        inner.bytes += block.len();
+        while inner.bytes > inner.capacity {
+            // Evict the entry with the smallest access stamp. Linear scan
+            // keeps the structure simple; caches hold few, large blocks.
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    if let Some((old, _)) = inner.map.remove(&k) {
+                        inner.bytes -= old.len();
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Drops every block belonging to `file_no` (called when a file is
+    /// deleted by compaction).
+    pub fn evict_file(&self, file_no: u64) {
+        let mut inner = self.inner.lock();
+        let keys: Vec<BlockKey> = inner
+            .map
+            .keys()
+            .filter(|(f, _)| *f == file_no)
+            .copied()
+            .collect();
+        for k in keys {
+            if let Some((old, _)) = inner.map.remove(&k) {
+                inner.bytes -= old.len();
+            }
+        }
+    }
+
+    /// `(hits, misses)` since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.hits, inner.misses)
+    }
+
+    /// Bytes currently cached.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(n: usize) -> Arc<Vec<u8>> {
+        Arc::new(vec![0u8; n])
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let c = BlockCache::new(1024);
+        assert!(c.get((1, 0)).is_none());
+        c.insert((1, 0), block(10));
+        assert!(c.get((1, 0)).is_some());
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn eviction_respects_capacity_and_recency() {
+        let c = BlockCache::new(100);
+        c.insert((1, 0), block(40));
+        c.insert((1, 1), block(40));
+        // Touch the first block so the second becomes LRU.
+        assert!(c.get((1, 0)).is_some());
+        c.insert((1, 2), block(40));
+        assert!(c.bytes() <= 100);
+        assert!(c.get((1, 0)).is_some(), "recently used block evicted");
+        assert!(c.get((1, 1)).is_none(), "LRU block survived");
+    }
+
+    #[test]
+    fn oversized_blocks_are_not_cached() {
+        let c = BlockCache::new(10);
+        c.insert((1, 0), block(100));
+        assert!(c.get((1, 0)).is_none());
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn evict_file_removes_all_its_blocks() {
+        let c = BlockCache::new(1024);
+        c.insert((1, 0), block(10));
+        c.insert((1, 8), block(10));
+        c.insert((2, 0), block(10));
+        c.evict_file(1);
+        assert!(c.get((1, 0)).is_none());
+        assert!(c.get((1, 8)).is_none());
+        assert!(c.get((2, 0)).is_some());
+    }
+}

@@ -1,0 +1,328 @@
+//! The write-entry model of the LSM tree.
+//!
+//! Every user key maps to at most one [`Entry`] per source (memtable or
+//! SSTable). An entry is either *terminal* — it fully determines the
+//! key's state — or a bare merge suffix that must be combined with older
+//! entries found further down the tree. This is the mechanism behind
+//! RocksDB's lazy merging of appended values: `Append()` becomes a cheap
+//! merge operand, and the cost of assembling the full list is deferred to
+//! reads and compactions.
+
+use flowkv_common::codec::{put_len_prefixed, put_varint_u64, Decoder};
+use flowkv_common::error::{Result, StoreError};
+
+/// One logical state of a key within a single source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Entry {
+    /// A full value; shadows everything older.
+    Put(Vec<u8>),
+    /// A tombstone; shadows everything older.
+    Delete,
+    /// Merge operands awaiting a base further down the tree.
+    Merge(Vec<Vec<u8>>),
+    /// A full value followed by merge operands; terminal.
+    PutMerge(Vec<u8>, Vec<Vec<u8>>),
+    /// A tombstone followed by merge operands; terminal.
+    DeleteMerge(Vec<Vec<u8>>),
+}
+
+/// The user-visible resolution of a fully combined entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Resolved {
+    /// The key holds a single value (written by `put`).
+    Value(Vec<u8>),
+    /// The key holds a list of merged values (written by `merge`).
+    List(Vec<Vec<u8>>),
+    /// The key is absent or deleted.
+    Absent,
+}
+
+impl Entry {
+    /// Returns `true` when the entry fully determines the key's state and
+    /// the backward search can stop.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, Entry::Merge(_))
+    }
+
+    /// Folds `older` underneath `newer`.
+    ///
+    /// Only called when `newer` is non-terminal (a bare [`Entry::Merge`]);
+    /// terminal entries shadow older state entirely.
+    pub fn combine(newer: Entry, older: Entry) -> Entry {
+        let ops = match newer {
+            Entry::Merge(ops) => ops,
+            terminal => return terminal,
+        };
+        match older {
+            Entry::Put(v) => Entry::PutMerge(v, ops),
+            Entry::Delete => Entry::DeleteMerge(ops),
+            Entry::Merge(mut older_ops) => {
+                older_ops.extend(ops);
+                Entry::Merge(older_ops)
+            }
+            Entry::PutMerge(v, mut older_ops) => {
+                older_ops.extend(ops);
+                Entry::PutMerge(v, older_ops)
+            }
+            Entry::DeleteMerge(mut older_ops) => {
+                older_ops.extend(ops);
+                Entry::DeleteMerge(older_ops)
+            }
+        }
+    }
+
+    /// Appends one merge operand to this entry in place.
+    pub fn push_operand(&mut self, op: Vec<u8>) {
+        match self {
+            Entry::Put(_) | Entry::Delete => {
+                let old = std::mem::replace(self, Entry::Delete);
+                *self = match old {
+                    Entry::Put(v) => Entry::PutMerge(v, vec![op]),
+                    Entry::Delete => Entry::DeleteMerge(vec![op]),
+                    _ => unreachable!("matched above"),
+                };
+            }
+            Entry::Merge(ops) | Entry::PutMerge(_, ops) | Entry::DeleteMerge(ops) => {
+                ops.push(op);
+            }
+        }
+    }
+
+    /// Resolves a fully combined entry into its user-visible state.
+    ///
+    /// A bare [`Entry::Merge`] resolves as a list: reaching the bottom of
+    /// the tree without a base means the merge operands are the entire
+    /// history of the key.
+    pub fn resolve(self) -> Resolved {
+        match self {
+            Entry::Put(v) => Resolved::Value(v),
+            Entry::Delete => Resolved::Absent,
+            Entry::Merge(ops) | Entry::DeleteMerge(ops) => {
+                if ops.is_empty() {
+                    Resolved::Absent
+                } else {
+                    Resolved::List(ops)
+                }
+            }
+            Entry::PutMerge(v, ops) => {
+                let mut list = Vec::with_capacity(ops.len() + 1);
+                list.push(v);
+                list.extend(ops);
+                Resolved::List(list)
+            }
+        }
+    }
+
+    /// Finalizes the entry at the bottom level of the tree.
+    ///
+    /// Tombstones are dropped (`None`); a `DeleteMerge` collapses into a
+    /// plain `Merge` because there is nothing older for the tombstone to
+    /// shadow.
+    pub fn finalize_bottom(self) -> Option<Entry> {
+        match self {
+            Entry::Delete => None,
+            Entry::DeleteMerge(ops) => {
+                if ops.is_empty() {
+                    None
+                } else {
+                    Entry::Merge(ops).finalize_bottom()
+                }
+            }
+            other => Some(other),
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn memory_size(&self) -> usize {
+        match self {
+            Entry::Put(v) => v.len(),
+            Entry::Delete => 0,
+            Entry::Merge(ops) | Entry::DeleteMerge(ops) => ops.iter().map(|o| o.len() + 16).sum(),
+            Entry::PutMerge(v, ops) => v.len() + ops.iter().map(|o| o.len() + 16).sum::<usize>(),
+        }
+    }
+
+    /// Appends the tagged binary encoding of the entry to `buf`.
+    pub fn encode_to(&self, buf: &mut Vec<u8>) {
+        match self {
+            Entry::Put(v) => {
+                buf.push(0);
+                put_len_prefixed(buf, v);
+            }
+            Entry::Delete => buf.push(1),
+            Entry::Merge(ops) => {
+                buf.push(2);
+                encode_ops(buf, ops);
+            }
+            Entry::PutMerge(v, ops) => {
+                buf.push(3);
+                put_len_prefixed(buf, v);
+                encode_ops(buf, ops);
+            }
+            Entry::DeleteMerge(ops) => {
+                buf.push(4);
+                encode_ops(buf, ops);
+            }
+        }
+    }
+
+    /// Decodes an entry previously written by [`Entry::encode_to`].
+    pub fn decode_from(dec: &mut Decoder<'_>) -> Result<Entry> {
+        let tag = dec.take(1, "entry tag")?[0];
+        Ok(match tag {
+            0 => Entry::Put(dec.get_len_prefixed()?.to_vec()),
+            1 => Entry::Delete,
+            2 => Entry::Merge(decode_ops(dec)?),
+            3 => {
+                let v = dec.get_len_prefixed()?.to_vec();
+                Entry::PutMerge(v, decode_ops(dec)?)
+            }
+            4 => Entry::DeleteMerge(decode_ops(dec)?),
+            other => {
+                return Err(StoreError::invalid_state(format!(
+                    "unknown entry tag {other}"
+                )))
+            }
+        })
+    }
+}
+
+fn encode_ops(buf: &mut Vec<u8>, ops: &[Vec<u8>]) {
+    put_varint_u64(buf, ops.len() as u64);
+    for op in ops {
+        put_len_prefixed(buf, op);
+    }
+}
+
+fn decode_ops(dec: &mut Decoder<'_>) -> Result<Vec<Vec<u8>>> {
+    let n = dec.get_varint_u64()? as usize;
+    let mut ops = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        ops.push(dec.get_len_prefixed()?.to_vec());
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Vec<u8> {
+        s.as_bytes().to_vec()
+    }
+
+    #[test]
+    fn terminality() {
+        assert!(Entry::Put(b("v")).is_terminal());
+        assert!(Entry::Delete.is_terminal());
+        assert!(!Entry::Merge(vec![b("a")]).is_terminal());
+        assert!(Entry::PutMerge(b("v"), vec![]).is_terminal());
+        assert!(Entry::DeleteMerge(vec![]).is_terminal());
+    }
+
+    #[test]
+    fn combine_merge_onto_put() {
+        let newer = Entry::Merge(vec![b("x"), b("y")]);
+        let older = Entry::Put(b("base"));
+        assert_eq!(
+            Entry::combine(newer, older),
+            Entry::PutMerge(b("base"), vec![b("x"), b("y")])
+        );
+    }
+
+    #[test]
+    fn combine_merge_onto_delete() {
+        let newer = Entry::Merge(vec![b("x")]);
+        assert_eq!(
+            Entry::combine(newer, Entry::Delete),
+            Entry::DeleteMerge(vec![b("x")])
+        );
+    }
+
+    #[test]
+    fn combine_merge_chains_preserve_order() {
+        let newer = Entry::Merge(vec![b("c"), b("d")]);
+        let older = Entry::Merge(vec![b("a"), b("b")]);
+        assert_eq!(
+            Entry::combine(newer, older),
+            Entry::Merge(vec![b("a"), b("b"), b("c"), b("d")])
+        );
+    }
+
+    #[test]
+    fn terminal_newer_shadows_older() {
+        let newer = Entry::Put(b("new"));
+        let older = Entry::PutMerge(b("old"), vec![b("x")]);
+        assert_eq!(Entry::combine(newer, older), Entry::Put(b("new")));
+    }
+
+    #[test]
+    fn push_operand_transitions() {
+        let mut e = Entry::Put(b("v"));
+        e.push_operand(b("a"));
+        assert_eq!(e, Entry::PutMerge(b("v"), vec![b("a")]));
+        let mut e = Entry::Delete;
+        e.push_operand(b("a"));
+        assert_eq!(e, Entry::DeleteMerge(vec![b("a")]));
+        let mut e = Entry::Merge(vec![b("a")]);
+        e.push_operand(b("b"));
+        assert_eq!(e, Entry::Merge(vec![b("a"), b("b")]));
+    }
+
+    #[test]
+    fn resolution() {
+        assert_eq!(Entry::Put(b("v")).resolve(), Resolved::Value(b("v")));
+        assert_eq!(Entry::Delete.resolve(), Resolved::Absent);
+        assert_eq!(
+            Entry::Merge(vec![b("a")]).resolve(),
+            Resolved::List(vec![b("a")])
+        );
+        assert_eq!(
+            Entry::PutMerge(b("v"), vec![b("a")]).resolve(),
+            Resolved::List(vec![b("v"), b("a")])
+        );
+        assert_eq!(
+            Entry::DeleteMerge(vec![b("a")]).resolve(),
+            Resolved::List(vec![b("a")])
+        );
+    }
+
+    #[test]
+    fn bottom_finalization_drops_tombstones() {
+        assert_eq!(Entry::Delete.finalize_bottom(), None);
+        assert_eq!(Entry::DeleteMerge(vec![]).finalize_bottom(), None);
+        assert_eq!(
+            Entry::DeleteMerge(vec![b("a")]).finalize_bottom(),
+            Some(Entry::Merge(vec![b("a")]))
+        );
+        assert_eq!(
+            Entry::Put(b("v")).finalize_bottom(),
+            Some(Entry::Put(b("v")))
+        );
+    }
+
+    #[test]
+    fn codec_roundtrip_all_variants() {
+        let entries = vec![
+            Entry::Put(b("value")),
+            Entry::Delete,
+            Entry::Merge(vec![b("a"), b("")]),
+            Entry::PutMerge(b("v"), vec![b("x")]),
+            Entry::DeleteMerge(vec![b("y"), b("z")]),
+        ];
+        for e in entries {
+            let mut buf = Vec::new();
+            e.encode_to(&mut buf);
+            let mut dec = Decoder::new(&buf);
+            assert_eq!(Entry::decode_from(&mut dec).unwrap(), e);
+            assert!(dec.is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_error() {
+        let buf = [9u8];
+        let mut dec = Decoder::new(&buf);
+        assert!(Entry::decode_from(&mut dec).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! The merging iterator combining entries across sources.
+//!
+//! Sources (memtable snapshots, SSTables) each yield unique keys in
+//! ascending order. The merging iterator aligns them by key, folds the
+//! entries newest-first with [`Entry::combine`], and emits one combined
+//! entry per key — still unresolved, so compactions can write it back out
+//! and reads can [`Entry::resolve`] it.
+
+use flowkv_common::error::Result;
+
+use crate::entry::Entry;
+use crate::sstable::SstIter;
+
+/// A stream of `(key, entry)` pairs with strictly ascending unique keys.
+pub trait EntrySource {
+    /// Returns the next pair, or `Ok(None)` at the end.
+    fn next_entry(&mut self) -> Result<Option<(Vec<u8>, Entry)>>;
+}
+
+/// Source over an owned, sorted vector (memtable snapshots, tests).
+pub struct VecSource {
+    iter: std::vec::IntoIter<(Vec<u8>, Entry)>,
+}
+
+impl VecSource {
+    /// Wraps `pairs`, which must be sorted by strictly ascending key.
+    pub fn new(pairs: Vec<(Vec<u8>, Entry)>) -> Self {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+        VecSource {
+            iter: pairs.into_iter(),
+        }
+    }
+}
+
+impl EntrySource for VecSource {
+    fn next_entry(&mut self) -> Result<Option<(Vec<u8>, Entry)>> {
+        Ok(self.iter.next())
+    }
+}
+
+impl EntrySource for SstIter<'_> {
+    fn next_entry(&mut self) -> Result<Option<(Vec<u8>, Entry)>> {
+        SstIter::next_entry(self)
+    }
+}
+
+/// K-way merge over sources ordered newest-first.
+///
+/// `sources[0]` shadows `sources[1]`, which shadows `sources[2]`, and so
+/// on — the caller passes the memtable first, then level-0 files in
+/// recency order, then deeper levels.
+pub struct MergingIter<'a> {
+    sources: Vec<Box<dyn EntrySource + 'a>>,
+    heads: Vec<Option<(Vec<u8>, Entry)>>,
+}
+
+impl<'a> MergingIter<'a> {
+    /// Creates a merge over `sources`, newest first.
+    pub fn new(sources: Vec<Box<dyn EntrySource + 'a>>) -> Result<Self> {
+        let mut heads = Vec::with_capacity(sources.len());
+        let mut sources = sources;
+        for s in &mut sources {
+            heads.push(s.next_entry()?);
+        }
+        Ok(MergingIter { sources, heads })
+    }
+
+    /// Returns the next `(key, combined-entry)` pair in key order.
+    pub fn next_combined(&mut self) -> Result<Option<(Vec<u8>, Entry)>> {
+        // Find the smallest key among the heads.
+        let min_key: Option<Vec<u8>> = self.heads.iter().flatten().map(|(k, _)| k.clone()).min();
+        let Some(key) = min_key else {
+            return Ok(None);
+        };
+        // Fold matching heads newest-first and advance their sources.
+        let mut acc: Option<Entry> = None;
+        for i in 0..self.heads.len() {
+            let matches = matches!(&self.heads[i], Some((k, _)) if *k == key);
+            if !matches {
+                continue;
+            }
+            let (_, entry) = self.heads[i].take().expect("checked above");
+            acc = Some(match acc {
+                None => entry,
+                Some(newer) => {
+                    if newer.is_terminal() {
+                        newer
+                    } else {
+                        Entry::combine(newer, entry)
+                    }
+                }
+            });
+            self.heads[i] = self.sources[i].next_entry()?;
+        }
+        Ok(Some((key, acc.expect("at least one head matched"))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::Resolved;
+
+    fn b(s: &str) -> Vec<u8> {
+        s.as_bytes().to_vec()
+    }
+
+    fn src(pairs: Vec<(&str, Entry)>) -> Box<dyn EntrySource> {
+        Box::new(VecSource::new(
+            pairs.into_iter().map(|(k, e)| (b(k), e)).collect(),
+        ))
+    }
+
+    #[test]
+    fn merges_disjoint_sources_in_order() {
+        let mut m = MergingIter::new(vec![
+            src(vec![("a", Entry::Put(b("1"))), ("c", Entry::Put(b("3")))]),
+            src(vec![("b", Entry::Put(b("2")))]),
+        ])
+        .unwrap();
+        let keys: Vec<Vec<u8>> = std::iter::from_fn(|| m.next_combined().unwrap())
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(keys, vec![b("a"), b("b"), b("c")]);
+    }
+
+    #[test]
+    fn newer_put_shadows_older() {
+        let mut m = MergingIter::new(vec![
+            src(vec![("k", Entry::Put(b("new")))]),
+            src(vec![("k", Entry::Put(b("old")))]),
+        ])
+        .unwrap();
+        let (_, e) = m.next_combined().unwrap().unwrap();
+        assert_eq!(e, Entry::Put(b("new")));
+        assert!(m.next_combined().unwrap().is_none());
+    }
+
+    #[test]
+    fn merge_operands_fold_across_sources() {
+        let mut m = MergingIter::new(vec![
+            src(vec![("k", Entry::Merge(vec![b("c")]))]),
+            src(vec![("k", Entry::Merge(vec![b("b")]))]),
+            src(vec![("k", Entry::Merge(vec![b("a")]))]),
+        ])
+        .unwrap();
+        let (_, e) = m.next_combined().unwrap().unwrap();
+        assert_eq!(e.resolve(), Resolved::List(vec![b("a"), b("b"), b("c")]));
+    }
+
+    #[test]
+    fn tombstone_blocks_older_merges() {
+        let mut m = MergingIter::new(vec![
+            src(vec![("k", Entry::Merge(vec![b("new")]))]),
+            src(vec![("k", Entry::Delete)]),
+            src(vec![("k", Entry::Merge(vec![b("ancient")]))]),
+        ])
+        .unwrap();
+        let (_, e) = m.next_combined().unwrap().unwrap();
+        assert_eq!(e.resolve(), Resolved::List(vec![b("new")]));
+    }
+
+    #[test]
+    fn empty_merge() {
+        let mut m = MergingIter::new(vec![src(vec![]), src(vec![])]).unwrap();
+        assert!(m.next_combined().unwrap().is_none());
+    }
+}

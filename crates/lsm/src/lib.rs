@@ -1,0 +1,34 @@
+//! An LSM-tree key-value store: the RocksDB-analog baseline.
+//!
+//! The FlowKV paper evaluates Flink on RocksDB as the representative
+//! *sorted* persistent KV store (§2.2). This crate reproduces the parts of
+//! RocksDB that determine its behaviour under streaming state workloads:
+//!
+//! - a sorted in-memory **memtable** with merge operands ([`memtable`]),
+//!   giving RocksDB's *lazy merging* of `Append()` values;
+//! - immutable, block-based, bloom-filtered **SSTables** ([`sstable`]);
+//! - **leveled compaction** with merging iterators ([`compaction`],
+//!   [`iter`]) — the background CPU cost the paper attributes to RocksDB;
+//! - a **block cache** ([`cache`]);
+//! - a [`db::Db`] façade and a [`backend::LsmBackend`] adapter that maps
+//!   the window-state contract onto plain KV operations by encoding
+//!   `(window, key)` composite keys, exactly as Flink's RocksDB state
+//!   backend does.
+//!
+//! Write-ahead logging is intentionally absent: stream processing engines
+//! disable KV-store WALs and rely on checkpoint + source replay for fault
+//! tolerance (paper §8).
+
+pub mod backend;
+pub mod bloom;
+pub mod cache;
+pub mod compaction;
+pub mod db;
+pub mod entry;
+pub mod iter;
+pub mod memtable;
+pub mod sstable;
+pub mod version;
+
+pub use backend::{LsmBackend, LsmBackendFactory};
+pub use db::{Db, DbConfig};

@@ -1,0 +1,174 @@
+//! The sorted in-memory write buffer of the LSM tree.
+//!
+//! Keys live in a `BTreeMap`, mirroring RocksDB's sorted memtable — the
+//! per-write ordering work is precisely the CPU overhead the FlowKV paper
+//! measures against (§2.2). Merge operands accumulate in place, so an
+//! `Append()`-heavy workload pays O(log n) to locate the key and O(1) to
+//! extend its operand list.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use crate::entry::Entry;
+
+/// Sorted write buffer holding the newest state of each key.
+#[derive(Debug, Default)]
+pub struct MemTable {
+    map: BTreeMap<Vec<u8>, Entry>,
+    approx_bytes: usize,
+}
+
+impl MemTable {
+    /// Creates an empty memtable.
+    pub fn new() -> Self {
+        MemTable::default()
+    }
+
+    /// Writes a full value, shadowing any previous state of `key`.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.insert(key, Entry::Put(value.to_vec()));
+    }
+
+    /// Writes a tombstone for `key`.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.insert(key, Entry::Delete);
+    }
+
+    /// Appends a merge operand to `key`.
+    pub fn merge(&mut self, key: &[u8], operand: &[u8]) {
+        self.approx_bytes += operand.len() + 16;
+        match self.map.get_mut(key) {
+            Some(entry) => entry.push_operand(operand.to_vec()),
+            None => {
+                self.approx_bytes += key.len() + 32;
+                self.map
+                    .insert(key.to_vec(), Entry::Merge(vec![operand.to_vec()]));
+            }
+        }
+    }
+
+    /// Returns the newest entry for `key`, if any.
+    pub fn get(&self, key: &[u8]) -> Option<&Entry> {
+        self.map.get(key)
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` when no keys are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn approximate_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<u8>, &Entry)> {
+        self.map.iter()
+    }
+
+    /// Iterates entries with keys in `[start, end)` in key order.
+    pub fn range(&self, start: &[u8], end: &[u8]) -> impl Iterator<Item = (&Vec<u8>, &Entry)> {
+        self.map
+            .range::<[u8], _>((Bound::Included(start), Bound::Excluded(end)))
+    }
+
+    /// Consumes the memtable, yielding entries in key order.
+    pub fn into_sorted(self) -> impl Iterator<Item = (Vec<u8>, Entry)> {
+        self.map.into_iter()
+    }
+
+    /// Removes all contents.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.approx_bytes = 0;
+    }
+
+    fn insert(&mut self, key: &[u8], entry: Entry) {
+        self.approx_bytes += entry.memory_size() + 16;
+        if let Some(old) = self.map.insert(key.to_vec(), entry) {
+            self.approx_bytes = self.approx_bytes.saturating_sub(old.memory_size());
+        } else {
+            self.approx_bytes += key.len() + 32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::Resolved;
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut m = MemTable::new();
+        m.put(b"a", b"1");
+        m.put(b"a", b"2");
+        assert_eq!(m.get(b"a"), Some(&Entry::Put(b"2".to_vec())));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn merge_accumulates_in_order() {
+        let mut m = MemTable::new();
+        m.merge(b"k", b"a");
+        m.merge(b"k", b"b");
+        m.merge(b"k", b"c");
+        let resolved = m.get(b"k").unwrap().clone().resolve();
+        assert_eq!(
+            resolved,
+            Resolved::List(vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()])
+        );
+    }
+
+    #[test]
+    fn delete_then_merge_keeps_tombstone_base() {
+        let mut m = MemTable::new();
+        m.put(b"k", b"old");
+        m.delete(b"k");
+        m.merge(b"k", b"new");
+        assert_eq!(
+            m.get(b"k"),
+            Some(&Entry::DeleteMerge(vec![b"new".to_vec()]))
+        );
+    }
+
+    #[test]
+    fn range_is_sorted_and_half_open() {
+        let mut m = MemTable::new();
+        for k in [b"b" as &[u8], b"a", b"d", b"c"] {
+            m.put(k, b"v");
+        }
+        let keys: Vec<&[u8]> = m.range(b"b", b"d").map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![b"b" as &[u8], b"c"]);
+    }
+
+    #[test]
+    fn size_tracking_grows_and_clears() {
+        let mut m = MemTable::new();
+        assert_eq!(m.approximate_bytes(), 0);
+        m.put(b"key", &[0u8; 100]);
+        assert!(m.approximate_bytes() >= 100);
+        m.merge(b"key2", &[0u8; 50]);
+        let before = m.approximate_bytes();
+        assert!(before >= 150);
+        m.clear();
+        assert_eq!(m.approximate_bytes(), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn into_sorted_yields_key_order() {
+        let mut m = MemTable::new();
+        m.put(b"z", b"1");
+        m.put(b"a", b"2");
+        m.merge(b"m", b"3");
+        let keys: Vec<Vec<u8>> = m.into_sorted().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![b"a".to_vec(), b"m".to_vec(), b"z".to_vec()]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Backend selection: one switch to run the same job over FlowKV, the
+//! LSM baseline, the hash baseline, or the in-memory store (paper §6,
+//! "General Configuration").
+
+use std::sync::Arc;
+
+use flowkv::{FlowKvConfig, FlowKvFactory};
+use flowkv_common::backend::StateBackendFactory;
+use flowkv_hashkv::backend::HashBackendFactory;
+use flowkv_hashkv::HashDbConfig;
+use flowkv_lsm::backend::LsmBackendFactory;
+use flowkv_lsm::DbConfig;
+
+use crate::memstore::InMemoryFactory;
+
+/// The four state backends of the paper's evaluation.
+#[derive(Clone)]
+pub enum BackendChoice {
+    /// The budgeted in-memory store (fails with OOM on large state).
+    InMemory {
+        /// Byte budget per operator partition.
+        budget_per_partition: usize,
+    },
+    /// FlowKV, the semantic-aware composite store.
+    FlowKv(FlowKvConfig),
+    /// The LSM-tree baseline (RocksDB analog).
+    Lsm(DbConfig),
+    /// The hash-store baseline (FASTER analog).
+    HashKv(HashDbConfig),
+}
+
+impl BackendChoice {
+    /// Short name used in benchmark output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendChoice::InMemory { .. } => "inmemory",
+            BackendChoice::FlowKv(_) => "flowkv",
+            BackendChoice::Lsm(_) => "lsm",
+            BackendChoice::HashKv(_) => "hashkv",
+        }
+    }
+
+    /// Builds the factory the executor hands to window operators.
+    pub fn factory(&self) -> Arc<dyn StateBackendFactory> {
+        match self {
+            BackendChoice::InMemory {
+                budget_per_partition,
+            } => Arc::new(InMemoryFactory::new(*budget_per_partition)),
+            BackendChoice::FlowKv(cfg) => Arc::new(FlowKvFactory::new(cfg.clone())),
+            BackendChoice::Lsm(cfg) => Arc::new(LsmBackendFactory::new(cfg.clone())),
+            BackendChoice::HashKv(cfg) => Arc::new(HashBackendFactory::new(cfg.clone())),
+        }
+    }
+
+    /// Scaled-down variants for tests: small buffers everywhere.
+    pub fn all_small_for_tests() -> Vec<BackendChoice> {
+        vec![
+            BackendChoice::InMemory {
+                budget_per_partition: 64 << 20,
+            },
+            BackendChoice::FlowKv(FlowKvConfig::small_for_tests()),
+            BackendChoice::Lsm(DbConfig::small_for_tests()),
+            BackendChoice::HashKv(HashDbConfig::small_for_tests()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowkv_common::backend::{AggregateKind, OperatorContext, OperatorSemantics, WindowKind};
+    use flowkv_common::scratch::ScratchDir;
+    use flowkv_common::types::WindowId;
+
+    #[test]
+    fn every_choice_builds_a_working_backend() {
+        let dir = ScratchDir::new("backends").unwrap();
+        for choice in BackendChoice::all_small_for_tests() {
+            let factory = choice.factory();
+            let ctx = OperatorContext {
+                operator: format!("op-{}", choice.name()),
+                partition: 0,
+                semantics: OperatorSemantics::new(
+                    AggregateKind::FullList,
+                    WindowKind::Session { gap: 100 },
+                ),
+                data_dir: dir.path().to_path_buf(),
+            };
+            let mut backend = factory.create(&ctx).unwrap();
+            let w = WindowId::new(0, 100);
+            backend.append(b"k", w, b"v", 1).unwrap();
+            assert_eq!(
+                backend.take_values(b"k", w).unwrap(),
+                vec![b"v".to_vec()],
+                "backend {}",
+                choice.name()
+            );
+            backend.close().unwrap();
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<&str> = BackendChoice::all_small_for_tests()
+            .iter()
+            .map(|c| c.name())
+            .collect();
+        assert_eq!(names, vec!["inmemory", "flowkv", "lsm", "hashkv"]);
+    }
+}

@@ -1,0 +1,957 @@
+//! The threaded job executor: key-partitioned workers, watermark
+//! propagation, and end-to-end measurement.
+//!
+//! Execution mirrors Figure 1(b) of the paper: every stage runs as
+//! `parallelism` single-threaded workers over disjoint key partitions,
+//! connected by bounded channels. Watermarks flow with the data; a
+//! worker's event time is the minimum across its inputs. A final
+//! `MAX_TIMESTAMP` watermark closes every window when a bounded source
+//! ends.
+//!
+//! Latency accounting: each tuple and watermark carries the wall-clock
+//! nanosecond at which it left the source; window outputs inherit the
+//! origin of the watermark that triggered them, so the sink observes true
+//! end-to-end latency including every store interaction (the paper's
+//! Kafka-based methodology, §6.2).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+
+use flowkv_common::backend::{OperatorContext, StateBackendFactory};
+use flowkv_common::error::StoreError;
+use flowkv_common::hash::partition_of;
+use flowkv_common::metrics::MetricsSnapshot;
+use flowkv_common::types::{Timestamp, Tuple, MAX_TIMESTAMP, MIN_TIMESTAMP};
+
+use crate::job::{Job, Stage};
+use crate::join::IntervalJoinOperator;
+use crate::latency::LatencySummary;
+use crate::operator::WindowOperator;
+
+/// The stateful operator running inside a worker, if any.
+enum WorkerOp {
+    Window(WindowOperator),
+    Join(IntervalJoinOperator),
+}
+
+impl WorkerOp {
+    fn on_element(&mut self, tuple: &Tuple, out: &mut Vec<Tuple>) -> Result<(), StoreError> {
+        match self {
+            WorkerOp::Window(op) => op.on_element(tuple, out),
+            WorkerOp::Join(op) => op.on_element(tuple, out),
+        }
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut Vec<Tuple>) -> Result<(), StoreError> {
+        match self {
+            WorkerOp::Window(op) => op.on_watermark(wm, out),
+            WorkerOp::Join(op) => op.on_watermark(wm, out),
+        }
+    }
+
+    fn checkpoint(&mut self, dir: &std::path::Path) -> Result<(), StoreError> {
+        match self {
+            WorkerOp::Window(op) => op.checkpoint(dir),
+            WorkerOp::Join(op) => op.checkpoint(dir),
+        }
+    }
+
+    fn restore(&mut self, dir: &std::path::Path) -> Result<(), StoreError> {
+        match self {
+            WorkerOp::Window(op) => op.restore(dir),
+            WorkerOp::Join(op) => op.restore(dir),
+        }
+    }
+
+    fn set_collect_late(&mut self, collect: bool) {
+        if let WorkerOp::Window(op) = self {
+            op.set_collect_late(collect);
+        }
+    }
+
+    fn dropped_late(&self) -> u64 {
+        match self {
+            WorkerOp::Window(op) => op.dropped_late(),
+            WorkerOp::Join(op) => op.dropped_late(),
+        }
+    }
+
+    fn take_late(&mut self) -> Vec<Tuple> {
+        match self {
+            WorkerOp::Window(op) => op.take_late(),
+            WorkerOp::Join(_) => Vec::new(),
+        }
+    }
+
+    fn backend_mut(&mut self) -> &mut dyn flowkv_common::backend::StateBackend {
+        match self {
+            WorkerOp::Window(op) => op.backend_mut(),
+            WorkerOp::Join(op) => op.backend_mut(),
+        }
+    }
+}
+
+/// Options controlling one job run.
+#[derive(Clone)]
+pub struct RunOptions {
+    /// Directory for state-backend files.
+    pub data_dir: PathBuf,
+    /// Tuples between source watermarks.
+    pub watermark_interval: usize,
+    /// Out-of-orderness allowance subtracted from the max timestamp.
+    pub watermark_slack: i64,
+    /// Collect output tuples into [`JobResult::outputs`].
+    pub collect_outputs: bool,
+    /// Record per-output latencies.
+    pub record_latency: bool,
+    /// Cap the source rate (tuples per second of wall time).
+    pub rate_limit: Option<u64>,
+    /// Abort the run after this much wall time.
+    pub timeout: Option<Duration>,
+    /// Capacity of inter-stage channels.
+    pub channel_capacity: usize,
+    /// Emit an aligned checkpoint barrier after this many source tuples.
+    pub checkpoint_after_tuples: Option<u64>,
+    /// Directory receiving the aligned checkpoint (required when
+    /// `checkpoint_after_tuples` is set).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Restore every window operator from this checkpoint before
+    /// processing (the resume path after a failure).
+    pub restore_from: Option<PathBuf>,
+    /// Collect tuples dropped as late into [`JobResult::late_tuples`]
+    /// (the late-data side output).
+    pub collect_late: bool,
+}
+
+impl RunOptions {
+    /// Defaults rooted at `data_dir`.
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        RunOptions {
+            data_dir: data_dir.into(),
+            watermark_interval: 200,
+            watermark_slack: 0,
+            collect_outputs: false,
+            record_latency: false,
+            rate_limit: None,
+            timeout: None,
+            channel_capacity: 1024,
+            checkpoint_after_tuples: None,
+            checkpoint_dir: None,
+            restore_from: None,
+            collect_late: false,
+        }
+    }
+}
+
+/// Why a run failed.
+#[derive(Debug)]
+pub enum JobError {
+    /// A state store failed (out of memory, I/O, corruption).
+    Store(StoreError),
+    /// The configured wall-clock timeout expired (the paper terminates
+    /// Faster's append runs the same way, §2.2).
+    Timeout,
+    /// A worker thread panicked.
+    Panic(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Store(e) => write!(f, "store failure: {e}"),
+            JobError::Timeout => write!(f, "wall-clock timeout"),
+            JobError::Panic(msg) => write!(f, "worker panic: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// The outcome of a successful run.
+#[derive(Debug, Default)]
+pub struct JobResult {
+    /// Output tuples (when `collect_outputs` was set).
+    pub outputs: Vec<Tuple>,
+    /// Number of output tuples.
+    pub output_count: u64,
+    /// Number of source tuples.
+    pub input_count: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Merged store metrics across all window partitions.
+    pub store_metrics: MetricsSnapshot,
+    /// Latency summary (when `record_latency` was set).
+    pub latency: LatencySummary,
+    /// Raw latency samples in nanoseconds (when `record_latency`).
+    pub latencies_nanos: Vec<u64>,
+    /// Tuples dropped for arriving behind the watermark.
+    pub dropped_late: u64,
+    /// Whether the aligned checkpoint barrier completed at the sink.
+    pub checkpoint_taken: bool,
+    /// Tuples dropped as late (populated when `collect_late` was set).
+    pub late_tuples: Vec<Tuple>,
+    /// Outputs emitted before the checkpoint barrier (only populated
+    /// when both `collect_outputs` and a checkpoint were requested).
+    pub outputs_pre_checkpoint: Vec<Tuple>,
+}
+
+impl JobResult {
+    /// Source throughput in tuples per second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.input_count as f64 / secs
+        }
+    }
+}
+
+/// One message on an inter-stage channel.
+enum Msg {
+    Tuple {
+        tuple: Tuple,
+        origin: u64,
+    },
+    Watermark {
+        ts: Timestamp,
+        origin: u64,
+    },
+    /// An aligned checkpoint barrier (Chandy–Lamport style, as in
+    /// Flink's snapshotting; paper §8).
+    Barrier,
+    End,
+}
+
+struct Envelope {
+    sender: usize,
+    msg: Msg,
+}
+
+/// What each worker reports on exit.
+#[derive(Default)]
+struct WorkerReport {
+    dropped_late: u64,
+    metrics: MetricsSnapshot,
+    late: Vec<Tuple>,
+}
+
+struct SinkReport {
+    outputs: Vec<Tuple>,
+    outputs_pre: Vec<Tuple>,
+    output_count: u64,
+    pre_count: u64,
+    latencies: Vec<u64>,
+    checkpoint_complete: bool,
+}
+
+/// Runs `job` over the tuples of `source` using state backends from
+/// `factory`.
+///
+/// The source iterator is consumed on a dedicated thread; tuples must
+/// arrive in roughly ascending timestamp order (bounded by
+/// `watermark_slack`), as a replayable log source would deliver them.
+pub fn run_job(
+    job: &Job,
+    source: impl Iterator<Item = Tuple> + Send + 'static,
+    factory: Arc<dyn StateBackendFactory>,
+    options: &RunOptions,
+) -> Result<JobResult, JobError> {
+    let n = job.parallelism;
+    let started = Instant::now();
+    let epoch = started;
+    let abort = Arc::new(AtomicBool::new(false));
+
+    // Channels: stage boundaries plus the sink boundary.
+    let num_boundaries = job.stages.len() + 1;
+    let mut senders: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(num_boundaries);
+    let mut receivers: Vec<Vec<Receiver<Envelope>>> = Vec::with_capacity(num_boundaries);
+    for boundary in 0..num_boundaries {
+        let width = if boundary == num_boundaries - 1 { 1 } else { n };
+        let mut tx = Vec::with_capacity(width);
+        let mut rx = Vec::with_capacity(width);
+        for _ in 0..width {
+            let (t, r) = bounded(options.channel_capacity);
+            tx.push(t);
+            rx.push(r);
+        }
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let mut handles = Vec::new();
+
+    // Source thread (boundary 0).
+    let source_tx = senders[0].clone();
+    let abort_src = Arc::clone(&abort);
+    let wm_interval = options.watermark_interval.max(1);
+    let slack = options.watermark_slack;
+    let rate_limit = options.rate_limit;
+    let checkpoint_after = options.checkpoint_after_tuples;
+    let source_handle = std::thread::Builder::new()
+        .name("spe-source".into())
+        .spawn(move || -> Result<u64, StoreError> {
+            let t0 = epoch;
+            let pace_start = Instant::now();
+            let mut count: u64 = 0;
+            let mut max_ts = MIN_TIMESTAMP;
+            for tuple in source {
+                if abort_src.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Some(rate) = rate_limit {
+                    // Token pacing: stay at or below `rate` tuples/sec.
+                    let expected = Duration::from_secs_f64(count as f64 / rate as f64);
+                    let elapsed = pace_start.elapsed();
+                    if expected > elapsed {
+                        std::thread::sleep(expected - elapsed);
+                    }
+                }
+                max_ts = max_ts.max(tuple.timestamp);
+                let origin = t0.elapsed().as_nanos() as u64;
+                let dest = partition_of(&tuple.key, source_tx.len());
+                if source_tx[dest]
+                    .send(Envelope {
+                        sender: 0,
+                        msg: Msg::Tuple { tuple, origin },
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+                count += 1;
+                if checkpoint_after == Some(count) {
+                    for tx in &source_tx {
+                        let _ = tx.send(Envelope {
+                            sender: 0,
+                            msg: Msg::Barrier,
+                        });
+                    }
+                }
+                if count.is_multiple_of(wm_interval as u64) {
+                    let origin = t0.elapsed().as_nanos() as u64;
+                    let wm = max_ts.saturating_sub(slack);
+                    for tx in &source_tx {
+                        let _ = tx.send(Envelope {
+                            sender: 0,
+                            msg: Msg::Watermark { ts: wm, origin },
+                        });
+                    }
+                }
+            }
+            let origin = t0.elapsed().as_nanos() as u64;
+            for tx in &source_tx {
+                let _ = tx.send(Envelope {
+                    sender: 0,
+                    msg: Msg::Watermark {
+                        ts: MAX_TIMESTAMP,
+                        origin,
+                    },
+                });
+                let _ = tx.send(Envelope {
+                    sender: 0,
+                    msg: Msg::End,
+                });
+            }
+            Ok(count)
+        })
+        .expect("spawn source");
+
+    // Stage workers.
+    for (stage_idx, stage) in job.stages.iter().enumerate() {
+        let upstreams = if stage_idx == 0 { 1 } else { n };
+        #[allow(clippy::needless_range_loop)] // `worker` also names threads and dirs.
+        for worker in 0..n {
+            let rx = receivers[stage_idx][worker].clone();
+            let next = senders[stage_idx + 1].clone();
+            let stage = stage.clone();
+            let abort = Arc::clone(&abort);
+            let factory = Arc::clone(&factory);
+            let data_dir = options.data_dir.join(&job.name);
+            let paths = WorkerPaths {
+                checkpoint_dir: options.checkpoint_dir.clone(),
+                restore_from: options.restore_from.clone(),
+                collect_late: options.collect_late,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("spe-{}-{}", stage.name(), worker))
+                .spawn(move || -> Result<WorkerReport, StoreError> {
+                    run_worker(
+                        stage, worker, upstreams, rx, next, abort, factory, data_dir, paths,
+                    )
+                })
+                .expect("spawn worker");
+            handles.push(handle);
+        }
+    }
+
+    // Sink thread.
+    let sink_rx = receivers[num_boundaries - 1][0].clone();
+    let collect = options.collect_outputs;
+    let record_latency = options.record_latency;
+    let abort_sink = Arc::clone(&abort);
+    let sink_handle = std::thread::Builder::new()
+        .name("spe-sink".into())
+        .spawn(move || -> SinkReport {
+            let t0 = epoch;
+            let mut report = SinkReport {
+                outputs: Vec::new(),
+                outputs_pre: Vec::new(),
+                output_count: 0,
+                pre_count: 0,
+                latencies: Vec::new(),
+                checkpoint_complete: false,
+            };
+            let mut ends = 0;
+            let mut barrier_from = vec![false; n];
+            loop {
+                match sink_rx.recv_timeout(Duration::from_millis(100)) {
+                    Ok(env) => match env.msg {
+                        Msg::Tuple { tuple, origin } => {
+                            report.output_count += 1;
+                            // Per-channel ordering makes "arrived before
+                            // that sender's barrier" an exact pre/post
+                            // checkpoint split.
+                            if !barrier_from[env.sender] {
+                                report.pre_count += 1;
+                                if collect {
+                                    report.outputs_pre.push(tuple.clone());
+                                }
+                            }
+                            if record_latency {
+                                let now = t0.elapsed().as_nanos() as u64;
+                                report.latencies.push(now.saturating_sub(origin));
+                            }
+                            if collect {
+                                report.outputs.push(tuple);
+                            }
+                        }
+                        Msg::Watermark { .. } => {}
+                        Msg::Barrier => {
+                            barrier_from[env.sender] = true;
+                            if barrier_from.iter().all(|&b| b) {
+                                report.checkpoint_complete = true;
+                            }
+                        }
+                        Msg::End => {
+                            ends += 1;
+                            if ends == n {
+                                break;
+                            }
+                        }
+                    },
+                    Err(RecvTimeoutError::Timeout) => {
+                        if abort_sink.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            report
+        })
+        .expect("spawn sink");
+
+    // Receivers were cloned into threads; drop the runner's copies so
+    // disconnects propagate.
+    drop(receivers);
+    drop(senders);
+
+    // Watchdog for the wall-clock timeout.
+    let timed_out = Arc::new(AtomicBool::new(false));
+    let watchdog = options.timeout.map(|limit| {
+        let abort = Arc::clone(&abort);
+        let timed_out = Arc::clone(&timed_out);
+        let deadline = Instant::now() + limit;
+        std::thread::spawn(move || {
+            while Instant::now() < deadline {
+                if abort.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            timed_out.store(true, Ordering::Relaxed);
+            abort.store(true, Ordering::Relaxed);
+        })
+    });
+
+    // Join everything, aggregating reports and the first error.
+    let mut first_error: Option<JobError> = None;
+    let input_count = match source_handle.join() {
+        Ok(Ok(count)) => count,
+        Ok(Err(e)) => {
+            first_error = Some(JobError::Store(e));
+            0
+        }
+        Err(_) => {
+            first_error = Some(JobError::Panic("source panicked".into()));
+            0
+        }
+    };
+    let mut merged = MetricsSnapshot::default();
+    let mut dropped_late = 0;
+    let mut late_tuples = Vec::new();
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(report)) => {
+                merged = merged.merged(&report.metrics);
+                dropped_late += report.dropped_late;
+                late_tuples.extend(report.late);
+            }
+            Ok(Err(e)) => {
+                abort.store(true, Ordering::Relaxed);
+                if first_error.is_none() {
+                    first_error = Some(JobError::Store(e));
+                }
+            }
+            Err(_) => {
+                abort.store(true, Ordering::Relaxed);
+                if first_error.is_none() {
+                    first_error = Some(JobError::Panic("worker panicked".into()));
+                }
+            }
+        }
+    }
+    let sink = sink_handle
+        .join()
+        .map_err(|_| JobError::Panic("sink panicked".into()))?;
+    abort.store(true, Ordering::Relaxed);
+    if let Some(w) = watchdog {
+        let _ = w.join();
+    }
+
+    if timed_out.load(Ordering::Relaxed) {
+        return Err(JobError::Timeout);
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+
+    let mut latencies = sink.latencies;
+    let latency = LatencySummary::compute(&mut latencies);
+    Ok(JobResult {
+        outputs: sink.outputs,
+        output_count: sink.output_count,
+        input_count,
+        elapsed: started.elapsed(),
+        store_metrics: merged,
+        latency,
+        latencies_nanos: latencies,
+        dropped_late,
+        checkpoint_taken: sink.checkpoint_complete,
+        late_tuples,
+        outputs_pre_checkpoint: sink.outputs_pre,
+    })
+}
+
+/// Checkpoint and restore locations handed to each worker.
+struct WorkerPaths {
+    checkpoint_dir: Option<PathBuf>,
+    restore_from: Option<PathBuf>,
+    collect_late: bool,
+}
+
+/// Per-worker directory inside a checkpoint.
+fn worker_ckpt_dir(root: &std::path::Path, stage_name: &str, worker: usize) -> PathBuf {
+    root.join(stage_name).join(format!("p{worker}"))
+}
+
+/// The body of one stage worker.
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    stage: Stage,
+    worker: usize,
+    upstreams: usize,
+    rx: Receiver<Envelope>,
+    next: Vec<Sender<Envelope>>,
+    abort: Arc<AtomicBool>,
+    factory: Arc<dyn StateBackendFactory>,
+    data_dir: PathBuf,
+    paths: WorkerPaths,
+) -> Result<WorkerReport, StoreError> {
+    let mut operator: Option<WorkerOp> = None;
+    let stateful = match &stage {
+        Stage::Window(spec) => Some((spec.name.clone(), spec.semantics())),
+        Stage::IntervalJoin(spec) => Some((spec.name.clone(), spec.semantics())),
+        Stage::Stateless { .. } => None,
+    };
+    if let Some((name, semantics)) = stateful {
+        let ctx = OperatorContext {
+            operator: name,
+            partition: worker,
+            semantics,
+            data_dir,
+        };
+        let backend = factory.create(&ctx)?;
+        let mut op = match &stage {
+            Stage::Window(spec) => WorkerOp::Window(WindowOperator::new(spec.clone(), backend)),
+            Stage::IntervalJoin(spec) => {
+                WorkerOp::Join(IntervalJoinOperator::new(spec.clone(), backend))
+            }
+            Stage::Stateless { .. } => unreachable!("stateful checked above"),
+        };
+        if let Some(src) = &paths.restore_from {
+            op.restore(&worker_ckpt_dir(src, stage.name(), worker))?;
+        }
+        op.set_collect_late(paths.collect_late);
+        operator = Some(op);
+    }
+
+    let mut wms = vec![MIN_TIMESTAMP; upstreams];
+    let mut origins = vec![0u64; upstreams];
+    let mut current_wm = MIN_TIMESTAMP;
+    let mut ends = 0;
+    let mut outputs: Vec<Tuple> = Vec::new();
+
+    let route = |next: &[Sender<Envelope>], tuple: Tuple, origin: u64, worker: usize| -> bool {
+        let dest = if next.len() == 1 {
+            0
+        } else {
+            partition_of(&tuple.key, next.len())
+        };
+        next[dest]
+            .send(Envelope {
+                sender: worker,
+                msg: Msg::Tuple { tuple, origin },
+            })
+            .is_ok()
+    };
+
+    // Aligned-barrier bookkeeping: once a sender's barrier arrives, its
+    // later messages are held until every sender's barrier has arrived.
+    let mut barrier_from = vec![false; upstreams];
+    let mut aligning = false;
+    let mut held: Vec<Envelope> = Vec::new();
+    let mut pending: std::collections::VecDeque<Envelope> = std::collections::VecDeque::new();
+
+    let result = (|| -> Result<WorkerReport, StoreError> {
+        loop {
+            let env = if let Some(env) = pending.pop_front() {
+                env
+            } else {
+                match rx.recv_timeout(Duration::from_millis(100)) {
+                    Ok(env) => env,
+                    Err(RecvTimeoutError::Timeout) => {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            };
+            if abort.load(Ordering::Relaxed) {
+                break;
+            }
+            if aligning && barrier_from[env.sender] && !matches!(env.msg, Msg::End) {
+                held.push(env);
+                continue;
+            }
+            match env.msg {
+                Msg::Tuple { tuple, origin } => {
+                    outputs.clear();
+                    match &stage {
+                        Stage::Stateless { f, .. } => f(&tuple, &mut outputs),
+                        Stage::Window(_) | Stage::IntervalJoin(_) => {
+                            operator
+                                .as_mut()
+                                .expect("stateful stage has operator")
+                                .on_element(&tuple, &mut outputs)?;
+                        }
+                    }
+                    for out in outputs.drain(..) {
+                        if !route(&next, out, origin, worker) {
+                            return Ok(WorkerReport::default());
+                        }
+                    }
+                }
+                Msg::Watermark { ts, origin } => {
+                    wms[env.sender] = ts;
+                    origins[env.sender] = origin;
+                    let (min_idx, &min_wm) = wms
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, ts)| **ts)
+                        .expect("at least one upstream");
+                    if min_wm <= current_wm {
+                        continue;
+                    }
+                    current_wm = min_wm;
+                    let origin = origins[min_idx];
+                    if let Some(op) = operator.as_mut() {
+                        outputs.clear();
+                        op.on_watermark(min_wm, &mut outputs)?;
+                        for out in outputs.drain(..) {
+                            if !route(&next, out, origin, worker) {
+                                return Ok(WorkerReport::default());
+                            }
+                        }
+                    }
+                    for tx in &next {
+                        let _ = tx.send(Envelope {
+                            sender: worker,
+                            msg: Msg::Watermark { ts: min_wm, origin },
+                        });
+                    }
+                }
+                Msg::Barrier => {
+                    barrier_from[env.sender] = true;
+                    aligning = true;
+                    if barrier_from.iter().all(|&b| b) {
+                        // Barrier aligned: snapshot, forward, release.
+                        if let (Some(dir), Some(op)) = (&paths.checkpoint_dir, operator.as_mut()) {
+                            op.checkpoint(&worker_ckpt_dir(dir, stage.name(), worker))?;
+                        }
+                        for tx in &next {
+                            let _ = tx.send(Envelope {
+                                sender: worker,
+                                msg: Msg::Barrier,
+                            });
+                        }
+                        aligning = false;
+                        barrier_from.iter_mut().for_each(|b| *b = false);
+                        pending.extend(held.drain(..));
+                    }
+                }
+                Msg::End => {
+                    ends += 1;
+                    if ends == upstreams {
+                        for tx in &next {
+                            let _ = tx.send(Envelope {
+                                sender: worker,
+                                msg: Msg::End,
+                            });
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(WorkerReport::default())
+    })();
+
+    // Collect the operator's accounting and release its store even on the
+    // error path.
+    let mut report = match &result {
+        Ok(_) => WorkerReport::default(),
+        Err(_) => WorkerReport::default(),
+    };
+    if let Some(mut op) = operator {
+        report.dropped_late = op.dropped_late();
+        report.late = op.take_late();
+        report.metrics = op.backend_mut().metrics().snapshot();
+        let _ = op.backend_mut().close();
+    }
+    result.map(|_| report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::BackendChoice;
+    use crate::functions::{CountAggregate, FnProcess};
+    use crate::job::{AggregateSpec, JobBuilder};
+    use crate::window::WindowAssigner;
+    use flowkv_common::scratch::ScratchDir;
+    use std::sync::Arc as StdArc;
+
+    fn tuples(n: u64, keys: u64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                Tuple::new(
+                    format!("key-{}", i % keys).into_bytes(),
+                    1u64.to_le_bytes().to_vec(),
+                    i as i64,
+                )
+            })
+            .collect()
+    }
+
+    fn count_job(parallelism: usize) -> Job {
+        JobBuilder::new("count-job")
+            .parallelism(parallelism)
+            .window(
+                "counts",
+                WindowAssigner::Fixed { size: 1000 },
+                AggregateSpec::Incremental(StdArc::new(CountAggregate)),
+            )
+            .build()
+    }
+
+    #[test]
+    fn counts_are_exact_across_backends_and_parallelism() {
+        for choice in BackendChoice::all_small_for_tests() {
+            for parallelism in [1, 3] {
+                let dir = ScratchDir::new("exec-count").unwrap();
+                let mut opts = RunOptions::new(dir.path());
+                opts.collect_outputs = true;
+                opts.watermark_interval = 50;
+                let result = run_job(
+                    &count_job(parallelism),
+                    tuples(5000, 10).into_iter(),
+                    choice.factory(),
+                    &opts,
+                )
+                .unwrap_or_else(|e| panic!("{} p{parallelism}: {e}", choice.name()));
+                assert_eq!(result.input_count, 5000);
+                // 5 windows × 10 keys = 50 outputs of 100 each.
+                assert_eq!(
+                    result.output_count,
+                    50,
+                    "backend {} parallelism {parallelism}",
+                    choice.name()
+                );
+                let total: u64 = result
+                    .outputs
+                    .iter()
+                    .map(|t| crate::functions::decode_u64(&t.value))
+                    .sum();
+                assert_eq!(total, 5000);
+            }
+        }
+    }
+
+    #[test]
+    fn stateless_stage_filters_and_feeds_window() {
+        let dir = ScratchDir::new("exec-stateless").unwrap();
+        let job = JobBuilder::new("filtered")
+            .parallelism(2)
+            .stateless("keep-even-keys", |t, out| {
+                if t.key.ends_with(b"0") || t.key.ends_with(b"2") {
+                    out.push(t.clone());
+                }
+            })
+            .window(
+                "counts",
+                WindowAssigner::Fixed { size: 1000 },
+                AggregateSpec::Incremental(StdArc::new(CountAggregate)),
+            )
+            .build();
+        let mut opts = RunOptions::new(dir.path());
+        opts.collect_outputs = true;
+        let result = run_job(
+            &job,
+            tuples(1000, 4).into_iter(),
+            BackendChoice::all_small_for_tests()[1].factory(),
+            &opts,
+        )
+        .unwrap();
+        // Keys key-0 and key-2 survive: one window, 2 outputs of 250.
+        assert_eq!(result.output_count, 2);
+        for t in &result.outputs {
+            assert_eq!(crate::functions::decode_u64(&t.value), 250);
+        }
+    }
+
+    #[test]
+    fn session_job_end_to_end() {
+        let dir = ScratchDir::new("exec-session").unwrap();
+        let job = JobBuilder::new("sessions")
+            .parallelism(2)
+            .window(
+                "sessionize",
+                WindowAssigner::Session { gap: 10 },
+                AggregateSpec::FullList(StdArc::new(FnProcess::new(|_k, _w, vals| {
+                    vec![(vals.len() as u64).to_le_bytes().to_vec()]
+                }))),
+            )
+            .build();
+        // Each key gets bursts of 5 tuples separated by 100ms gaps.
+        let mut input = Vec::new();
+        for burst in 0..20i64 {
+            for j in 0..5i64 {
+                for key in 0..4 {
+                    input.push(Tuple::new(
+                        format!("k{key}").into_bytes(),
+                        1u64.to_le_bytes().to_vec(),
+                        burst * 100 + j,
+                    ));
+                }
+            }
+        }
+        let mut opts = RunOptions::new(dir.path());
+        opts.collect_outputs = true;
+        opts.watermark_interval = 10;
+        let result = run_job(
+            &job,
+            input.into_iter(),
+            BackendChoice::all_small_for_tests()[1].factory(),
+            &opts,
+        )
+        .unwrap();
+        // 20 bursts × 4 keys = 80 sessions of 5 tuples each.
+        assert_eq!(result.output_count, 80);
+        assert!(result
+            .outputs
+            .iter()
+            .all(|t| crate::functions::decode_u64(&t.value) == 5));
+    }
+
+    #[test]
+    fn oom_backend_fails_the_job() {
+        let dir = ScratchDir::new("exec-oom").unwrap();
+        let job = JobBuilder::new("oom")
+            .parallelism(1)
+            .window(
+                "big-state",
+                WindowAssigner::Fixed { size: 1_000_000 },
+                AggregateSpec::FullList(StdArc::new(FnProcess::new(|_k, _w, _v| Vec::new()))),
+            )
+            .build();
+        let choice = BackendChoice::InMemory {
+            budget_per_partition: 4 << 10,
+        };
+        let err = run_job(
+            &job,
+            tuples(10_000, 100).into_iter(),
+            choice.factory(),
+            &RunOptions::new(dir.path()),
+        )
+        .unwrap_err();
+        match err {
+            JobError::Store(e) => assert!(e.is_out_of_memory(), "{e}"),
+            other => panic!("expected OOM, got {other}"),
+        }
+    }
+
+    #[test]
+    fn timeout_aborts_the_run() {
+        let dir = ScratchDir::new("exec-timeout").unwrap();
+        let job = count_job(1);
+        let mut opts = RunOptions::new(dir.path());
+        opts.timeout = Some(Duration::from_millis(50));
+        opts.rate_limit = Some(10); // 10 tuples/sec: will never finish.
+        let err = run_job(
+            &job,
+            tuples(10_000, 10).into_iter(),
+            BackendChoice::all_small_for_tests()[1].factory(),
+            &opts,
+        )
+        .unwrap_err();
+        assert!(matches!(err, JobError::Timeout), "{err}");
+    }
+
+    #[test]
+    fn latency_is_recorded_for_paced_runs() {
+        let dir = ScratchDir::new("exec-latency").unwrap();
+        let job = count_job(1);
+        let mut opts = RunOptions::new(dir.path());
+        opts.record_latency = true;
+        opts.watermark_interval = 20;
+        opts.rate_limit = Some(50_000);
+        let result = run_job(
+            &job,
+            tuples(2_000, 5).into_iter(),
+            BackendChoice::all_small_for_tests()[1].factory(),
+            &opts,
+        )
+        .unwrap();
+        assert!(result.latency.count > 0);
+        assert!(result.latency.p95 > 0);
+        assert!(result.latency.p95 >= result.latency.p50);
+    }
+}

@@ -1,0 +1,256 @@
+//! The dataflow job model: logical pipelines of stateless and window
+//! stages (paper §2.1, Figure 1(a)).
+//!
+//! A [`Job`] is a linear pipeline; each stage boundary repartitions
+//! tuples by key hash, so every stage runs as `parallelism` independent
+//! workers over disjoint key ranges (Figure 1(b)). Two-input operations
+//! (windowed joins, side inputs) are expressed by merging the input
+//! streams before a window stage and tagging values, which is how the
+//! NEXMark queries in `flowkv-nexmark` build Q7 and Q8.
+
+use std::sync::Arc;
+
+use flowkv_common::backend::{AggregateKind, OperatorSemantics};
+use flowkv_common::types::Tuple;
+
+use crate::functions::{AggregateFunction, ProcessWindowFunction};
+use crate::join::{IntervalJoinSpec, JoinFn};
+use crate::window::WindowAssigner;
+
+/// How a window stage aggregates (determines the store pattern).
+#[derive(Clone)]
+pub enum AggregateSpec {
+    /// Incremental aggregation: the read-modify-write pattern.
+    Incremental(Arc<dyn AggregateFunction>),
+    /// Full-list aggregation: the append pattern.
+    FullList(Arc<dyn ProcessWindowFunction>),
+}
+
+impl AggregateSpec {
+    /// The launch-time aggregate-function signature seen by the store.
+    pub fn kind(&self) -> AggregateKind {
+        match self {
+            AggregateSpec::Incremental(_) => AggregateKind::Incremental,
+            AggregateSpec::FullList(_) => AggregateKind::FullList,
+        }
+    }
+}
+
+/// A stateless flat-map: reads one tuple, emits zero or more.
+pub type StatelessFn = Arc<dyn Fn(&Tuple, &mut Vec<Tuple>) + Send + Sync>;
+
+/// Configuration of one window stage.
+#[derive(Clone)]
+pub struct WindowSpec {
+    /// Operator name, unique within the job (used for store directories).
+    pub name: String,
+    /// The window function.
+    pub assigner: WindowAssigner,
+    /// The aggregate function.
+    pub aggregate: AggregateSpec,
+}
+
+impl WindowSpec {
+    /// The operator semantics handed to the state-backend factory.
+    pub fn semantics(&self) -> OperatorSemantics {
+        OperatorSemantics::new(self.aggregate.kind(), self.assigner.kind())
+    }
+}
+
+/// One stage of a pipeline.
+#[derive(Clone)]
+pub enum Stage {
+    /// A stateless transformation.
+    Stateless {
+        /// Stage name (diagnostics only).
+        name: String,
+        /// The flat-map function.
+        f: StatelessFn,
+    },
+    /// A stateful window operation.
+    Window(WindowSpec),
+    /// A two-stream interval join over tagged inputs (paper §8).
+    IntervalJoin(IntervalJoinSpec),
+}
+
+impl Stage {
+    /// The stage's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Stage::Stateless { name, .. } => name,
+            Stage::Window(spec) => &spec.name,
+            Stage::IntervalJoin(spec) => &spec.name,
+        }
+    }
+}
+
+/// A runnable dataflow job.
+#[derive(Clone)]
+pub struct Job {
+    /// Job name (diagnostics and data directories).
+    pub name: String,
+    /// Degree of parallelism `n` for every stage.
+    pub parallelism: usize,
+    /// The pipeline stages in order.
+    pub stages: Vec<Stage>,
+}
+
+impl Job {
+    /// Number of window stages in the pipeline.
+    pub fn window_stage_count(&self) -> usize {
+        self.stages
+            .iter()
+            .filter(|s| matches!(s, Stage::Window(_)))
+            .count()
+    }
+}
+
+/// Fluent builder for [`Job`].
+///
+/// # Examples
+///
+/// ```
+/// use flowkv_spe::functions::CountAggregate;
+/// use flowkv_spe::job::{AggregateSpec, JobBuilder};
+/// use flowkv_spe::window::WindowAssigner;
+/// use std::sync::Arc;
+///
+/// let job = JobBuilder::new("counts")
+///     .parallelism(2)
+///     .stateless("pass", |t, out| out.push(t.clone()))
+///     .window(
+///         "count-per-key",
+///         WindowAssigner::Fixed { size: 1_000 },
+///         AggregateSpec::Incremental(Arc::new(CountAggregate)),
+///     )
+///     .build();
+/// assert_eq!(job.stages.len(), 2);
+/// ```
+pub struct JobBuilder {
+    name: String,
+    parallelism: usize,
+    stages: Vec<Stage>,
+}
+
+impl JobBuilder {
+    /// Starts a job named `name` with parallelism 1.
+    pub fn new(name: impl Into<String>) -> Self {
+        JobBuilder {
+            name: name.into(),
+            parallelism: 1,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Sets the degree of parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn parallelism(mut self, n: usize) -> Self {
+        assert!(n > 0, "parallelism must be positive");
+        self.parallelism = n;
+        self
+    }
+
+    /// Appends a stateless flat-map stage.
+    pub fn stateless(
+        mut self,
+        name: impl Into<String>,
+        f: impl Fn(&Tuple, &mut Vec<Tuple>) + Send + Sync + 'static,
+    ) -> Self {
+        self.stages.push(Stage::Stateless {
+            name: name.into(),
+            f: Arc::new(f),
+        });
+        self
+    }
+
+    /// Appends a window stage.
+    pub fn window(
+        mut self,
+        name: impl Into<String>,
+        assigner: WindowAssigner,
+        aggregate: AggregateSpec,
+    ) -> Self {
+        self.stages.push(Stage::Window(WindowSpec {
+            name: name.into(),
+            assigner,
+            aggregate,
+        }));
+        self
+    }
+
+    /// Appends an interval-join stage over tagged inputs (see
+    /// [`crate::join::tag_left`] / [`crate::join::tag_right`]): rows join
+    /// when `right.ts ∈ [left.ts + lower, left.ts + upper]`.
+    pub fn interval_join(
+        mut self,
+        name: impl Into<String>,
+        lower: i64,
+        upper: i64,
+        bucket_ms: i64,
+        join: JoinFn,
+    ) -> Self {
+        self.stages.push(Stage::IntervalJoin(IntervalJoinSpec {
+            name: name.into(),
+            lower,
+            upper,
+            bucket_ms,
+            join,
+        }));
+        self
+    }
+
+    /// Finishes the job.
+    pub fn build(self) -> Job {
+        Job {
+            name: self.name,
+            parallelism: self.parallelism,
+            stages: self.stages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::{CountAggregate, MedianProcess};
+    use flowkv_common::backend::WindowKind;
+
+    #[test]
+    fn builder_assembles_stages() {
+        let job = JobBuilder::new("j")
+            .parallelism(3)
+            .stateless("a", |t, out| out.push(t.clone()))
+            .window(
+                "w",
+                WindowAssigner::Session { gap: 10 },
+                AggregateSpec::FullList(Arc::new(MedianProcess)),
+            )
+            .build();
+        assert_eq!(job.parallelism, 3);
+        assert_eq!(job.stages.len(), 2);
+        assert_eq!(job.stages[0].name(), "a");
+        assert_eq!(job.stages[1].name(), "w");
+        assert_eq!(job.window_stage_count(), 1);
+    }
+
+    #[test]
+    fn window_spec_semantics() {
+        let spec = WindowSpec {
+            name: "w".into(),
+            assigner: WindowAssigner::Fixed { size: 7 },
+            aggregate: AggregateSpec::Incremental(Arc::new(CountAggregate)),
+        };
+        let sem = spec.semantics();
+        assert_eq!(sem.aggregate, AggregateKind::Incremental);
+        assert_eq!(sem.window, WindowKind::Fixed { size: 7 });
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_parallelism_panics() {
+        let _ = JobBuilder::new("j").parallelism(0);
+    }
+}

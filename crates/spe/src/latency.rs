@@ -1,0 +1,82 @@
+//! Latency aggregation for the tail-latency experiments (paper §6.2).
+
+/// Returns the `p`-quantile (0.0–1.0) of `samples` by nearest-rank, or
+/// `None` when empty.
+pub fn percentile(samples: &mut [u64], p: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_unstable();
+    let rank = ((p.clamp(0.0, 1.0)) * (samples.len() - 1) as f64).round() as usize;
+    Some(samples[rank])
+}
+
+/// Summary statistics of a latency distribution (nanoseconds).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Median latency.
+    pub p50: u64,
+    /// 95th-percentile latency — the paper's headline metric.
+    pub p95: u64,
+    /// 99th-percentile latency.
+    pub p99: u64,
+    /// Maximum latency.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl LatencySummary {
+    /// Computes the summary, sorting `samples` in place.
+    pub fn compute(samples: &mut [u64]) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let idx =
+            |p: f64| ((p * (samples.len() - 1) as f64).round() as usize).min(samples.len() - 1);
+        LatencySummary {
+            count: samples.len() as u64,
+            p50: samples[idx(0.50)],
+            p95: samples[idx(0.95)],
+            p99: samples[idx(0.99)],
+            max: *samples.last().expect("non-empty"),
+            mean: samples.iter().map(|&v| v as u128).sum::<u128>() as f64 / samples.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&mut v, 0.95), Some(95));
+        assert_eq!(percentile(&mut v, 0.0), Some(1));
+        assert_eq!(percentile(&mut v, 1.0), Some(100));
+        let mut empty: Vec<u64> = vec![];
+        assert_eq!(percentile(&mut empty, 0.5), None);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let mut v: Vec<u64> = (1..=1000).rev().collect();
+        let s = LatencySummary::compute(&mut v);
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.p50, 501);
+        assert_eq!(s.p95, 950);
+        assert_eq!(s.p99, 990);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = LatencySummary::compute(&mut []);
+        assert_eq!(s, LatencySummary::default());
+    }
+}

@@ -1,0 +1,816 @@
+//! The window operator: assignment, state access, and triggering.
+//!
+//! One operator instance runs per physical partition and owns its state
+//! backend exclusively (paper §2.1). The operator translates arriving
+//! tuples and watermarks into the store calls of the pattern chosen at
+//! launch:
+//!
+//! | pattern | on element | on trigger |
+//! |---|---|---|
+//! | append + aligned | `append` | drain `get_window_chunk` |
+//! | append + unaligned | `append` | `take_values` per session initial |
+//! | read-modify-write | `take_aggregate` + `put_aggregate` | `take_aggregate` |
+//!
+//! Session windows merge engine-side: the operator tracks each key's open
+//! sessions and the *initial window boundaries* under which their tuples
+//! were stored — FlowKV's AUR store keys state by those initial
+//! boundaries because session extents move (paper §4.2).
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use flowkv_common::backend::StateBackend;
+use flowkv_common::error::Result;
+use flowkv_common::types::{Timestamp, Tuple, WindowId, MAX_TIMESTAMP};
+
+use crate::job::{AggregateSpec, WindowSpec};
+use crate::window::WindowAssigner;
+
+/// Returns `true` when two session extents overlap or touch.
+fn merges_with(a: &WindowId, b: &WindowId) -> bool {
+    a.start <= b.end && b.start <= a.end
+}
+
+/// An open session of one key.
+#[derive(Clone, Debug)]
+struct Session {
+    /// Current extent (grows as tuples arrive).
+    cover: WindowId,
+    /// Store windows holding this session's tuples, sorted by start.
+    initials: Vec<WindowId>,
+}
+
+/// Per-key count-window progress.
+#[derive(Clone, Copy, Debug, Default)]
+struct CountState {
+    seq: u64,
+    in_window: u64,
+}
+
+/// A window operator bound to one state-backend partition.
+pub struct WindowOperator {
+    spec: WindowSpec,
+    backend: Box<dyn StateBackend>,
+    /// Aligned windows awaiting their trigger.
+    aligned_timers: BTreeSet<(Timestamp, WindowId)>,
+    /// Keys needing per-key firing per window: the RMW trigger set for
+    /// aligned windows, and every pattern's trigger set for custom
+    /// windows (whose store is per-key unaligned).
+    trigger_keys: HashMap<WindowId, HashSet<Vec<u8>>>,
+    /// Open sessions per key.
+    sessions: HashMap<Vec<u8>, Vec<Session>>,
+    /// Candidate session trigger times (stale entries are no-ops).
+    session_timers: BTreeSet<(Timestamp, Vec<u8>)>,
+    /// Count-window progress per key.
+    counts: HashMap<Vec<u8>, CountState>,
+    watermark: Timestamp,
+    dropped_late: u64,
+    /// When set, dropped late tuples are retained for the side output.
+    collect_late: bool,
+    late: Vec<Tuple>,
+}
+
+impl WindowOperator {
+    /// Creates an operator for `spec` over `backend`.
+    pub fn new(spec: WindowSpec, backend: Box<dyn StateBackend>) -> Self {
+        WindowOperator {
+            spec,
+            backend,
+            aligned_timers: BTreeSet::new(),
+            trigger_keys: HashMap::new(),
+            sessions: HashMap::new(),
+            session_timers: BTreeSet::new(),
+            counts: HashMap::new(),
+            watermark: Timestamp::MIN,
+            dropped_late: 0,
+            collect_late: false,
+            late: Vec::new(),
+        }
+    }
+
+    /// Retains dropped late tuples for [`WindowOperator::take_late`]
+    /// (Flink's late-data side output).
+    pub fn set_collect_late(&mut self, collect: bool) {
+        self.collect_late = collect;
+    }
+
+    /// Drains the tuples dropped as late since the last call.
+    pub fn take_late(&mut self) -> Vec<Tuple> {
+        std::mem::take(&mut self.late)
+    }
+
+    /// Processes one tuple, emitting any count-window results into `out`.
+    pub fn on_element(&mut self, tuple: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
+        if tuple.timestamp < self.watermark {
+            self.dropped_late += 1;
+            if self.collect_late {
+                self.late.push(tuple.clone());
+            }
+            return Ok(());
+        }
+        match self.spec.assigner {
+            WindowAssigner::Fixed { .. }
+            | WindowAssigner::Sliding { .. }
+            | WindowAssigner::Global => self.on_aligned_element(tuple),
+            WindowAssigner::Session { gap } => self.on_session_element(tuple, gap),
+            WindowAssigner::Count { size } => self.on_count_element(tuple, size, out),
+            WindowAssigner::Custom { .. } => self.on_custom_element(tuple),
+        }
+    }
+
+    /// Advances event time, firing every eligible window into `out`.
+    pub fn on_watermark(&mut self, watermark: Timestamp, out: &mut Vec<Tuple>) -> Result<()> {
+        self.watermark = watermark;
+        self.fire_aligned(watermark, out)?;
+        self.fire_sessions(watermark, out)
+    }
+
+    /// Tuples dropped for arriving behind the watermark.
+    pub fn dropped_late(&self) -> u64 {
+        self.dropped_late
+    }
+
+    /// Checkpoints the operator — engine-side timer/session state *and*
+    /// the state backend — into `dir`.
+    ///
+    /// Called when an aligned checkpoint barrier has arrived on every
+    /// input (paper §8: engine-coordinated snapshots, not store WALs).
+    pub fn checkpoint(&mut self, dir: &std::path::Path) -> Result<()> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| flowkv_common::StoreError::io("operator checkpoint dir", e))?;
+        self.backend.checkpoint(dir)?;
+        self.save_engine_state(dir)
+    }
+
+    /// Restores the operator from a checkpoint written by
+    /// [`WindowOperator::checkpoint`].
+    pub fn restore(&mut self, dir: &std::path::Path) -> Result<()> {
+        self.backend.restore(dir)?;
+        self.load_engine_state(dir)
+    }
+
+    /// Serializes timers, sessions, count progress, and the RMW trigger
+    /// sets — everything the engine holds outside the store.
+    fn save_engine_state(&self, dir: &std::path::Path) -> Result<()> {
+        use flowkv_common::codec::{put_len_prefixed, put_varint_i64, put_varint_u64};
+        let mut buf = Vec::new();
+        put_varint_i64(&mut buf, self.watermark);
+        put_varint_u64(&mut buf, self.dropped_late);
+        put_varint_u64(&mut buf, self.aligned_timers.len() as u64);
+        for (ts, w) in &self.aligned_timers {
+            put_varint_i64(&mut buf, *ts);
+            w.encode_to(&mut buf);
+        }
+        put_varint_u64(&mut buf, self.trigger_keys.len() as u64);
+        for (w, keys) in &self.trigger_keys {
+            w.encode_to(&mut buf);
+            put_varint_u64(&mut buf, keys.len() as u64);
+            for k in keys {
+                put_len_prefixed(&mut buf, k);
+            }
+        }
+        put_varint_u64(&mut buf, self.sessions.len() as u64);
+        for (key, sessions) in &self.sessions {
+            put_len_prefixed(&mut buf, key);
+            put_varint_u64(&mut buf, sessions.len() as u64);
+            for s in sessions {
+                s.cover.encode_to(&mut buf);
+                put_varint_u64(&mut buf, s.initials.len() as u64);
+                for w in &s.initials {
+                    w.encode_to(&mut buf);
+                }
+            }
+        }
+        put_varint_u64(&mut buf, self.session_timers.len() as u64);
+        for (ts, key) in &self.session_timers {
+            put_varint_i64(&mut buf, *ts);
+            put_len_prefixed(&mut buf, key);
+        }
+        put_varint_u64(&mut buf, self.counts.len() as u64);
+        for (key, c) in &self.counts {
+            put_len_prefixed(&mut buf, key);
+            put_varint_u64(&mut buf, c.seq);
+            put_varint_u64(&mut buf, c.in_window);
+        }
+        let mut writer = flowkv_common::logfile::LogWriter::create(dir.join("OPSTATE"))?;
+        writer.append(&buf)?;
+        writer.sync()
+    }
+
+    /// Inverse of [`WindowOperator::save_engine_state`].
+    fn load_engine_state(&mut self, dir: &std::path::Path) -> Result<()> {
+        use flowkv_common::codec::Decoder;
+        let mut reader = flowkv_common::logfile::LogReader::open(dir.join("OPSTATE"))?;
+        let (_, payload) = reader.next_record()?.ok_or_else(|| {
+            flowkv_common::StoreError::invalid_state("empty operator checkpoint".to_string())
+        })?;
+        let mut dec = Decoder::new(&payload);
+        self.watermark = dec.get_varint_i64()?;
+        self.dropped_late = dec.get_varint_u64()?;
+        self.aligned_timers.clear();
+        for _ in 0..dec.get_varint_u64()? {
+            let ts = dec.get_varint_i64()?;
+            let w = WindowId::decode_from(&mut dec)?;
+            self.aligned_timers.insert((ts, w));
+        }
+        self.trigger_keys.clear();
+        for _ in 0..dec.get_varint_u64()? {
+            let w = WindowId::decode_from(&mut dec)?;
+            let n = dec.get_varint_u64()? as usize;
+            let mut keys = HashSet::with_capacity(n);
+            for _ in 0..n {
+                keys.insert(dec.get_len_prefixed()?.to_vec());
+            }
+            self.trigger_keys.insert(w, keys);
+        }
+        self.sessions.clear();
+        for _ in 0..dec.get_varint_u64()? {
+            let key = dec.get_len_prefixed()?.to_vec();
+            let n = dec.get_varint_u64()? as usize;
+            let mut sessions = Vec::with_capacity(n);
+            for _ in 0..n {
+                let cover = WindowId::decode_from(&mut dec)?;
+                let m = dec.get_varint_u64()? as usize;
+                let mut initials = Vec::with_capacity(m);
+                for _ in 0..m {
+                    initials.push(WindowId::decode_from(&mut dec)?);
+                }
+                sessions.push(Session { cover, initials });
+            }
+            self.sessions.insert(key, sessions);
+        }
+        self.session_timers.clear();
+        for _ in 0..dec.get_varint_u64()? {
+            let ts = dec.get_varint_i64()?;
+            let key = dec.get_len_prefixed()?.to_vec();
+            self.session_timers.insert((ts, key));
+        }
+        self.counts.clear();
+        for _ in 0..dec.get_varint_u64()? {
+            let key = dec.get_len_prefixed()?.to_vec();
+            let seq = dec.get_varint_u64()?;
+            let in_window = dec.get_varint_u64()?;
+            self.counts.insert(key, CountState { seq, in_window });
+        }
+        Ok(())
+    }
+
+    /// The operator's state backend (for flushing and metrics).
+    pub fn backend_mut(&mut self) -> &mut dyn StateBackend {
+        self.backend.as_mut()
+    }
+
+    fn on_aligned_element(&mut self, tuple: &Tuple) -> Result<()> {
+        let windows = self.spec.assigner.assign(tuple.timestamp);
+        for window in windows {
+            match &self.spec.aggregate {
+                AggregateSpec::FullList(_) => {
+                    self.backend
+                        .append(&tuple.key, window, &tuple.value, tuple.timestamp)?;
+                }
+                AggregateSpec::Incremental(agg) => {
+                    let acc = self
+                        .backend
+                        .take_aggregate(&tuple.key, window)?
+                        .unwrap_or_else(|| agg.create());
+                    let acc = agg.add(&acc, &tuple.value);
+                    self.backend.put_aggregate(&tuple.key, window, &acc)?;
+                    self.trigger_keys
+                        .entry(window)
+                        .or_default()
+                        .insert(tuple.key.clone());
+                }
+            }
+            self.aligned_timers.insert((window.end, window));
+        }
+        Ok(())
+    }
+
+    /// Custom windows: deterministic boundaries from the user function,
+    /// but per-key state in the store (classified unaligned, paper §8),
+    /// so triggering tracks keys per window and fires them individually.
+    fn on_custom_element(&mut self, tuple: &Tuple) -> Result<()> {
+        let windows = self.spec.assigner.assign(tuple.timestamp);
+        for window in windows {
+            match &self.spec.aggregate {
+                AggregateSpec::FullList(_) => {
+                    self.backend
+                        .append(&tuple.key, window, &tuple.value, tuple.timestamp)?;
+                }
+                AggregateSpec::Incremental(agg) => {
+                    let acc = self
+                        .backend
+                        .take_aggregate(&tuple.key, window)?
+                        .unwrap_or_else(|| agg.create());
+                    let acc = agg.add(&acc, &tuple.value);
+                    self.backend.put_aggregate(&tuple.key, window, &acc)?;
+                }
+            }
+            self.trigger_keys
+                .entry(window)
+                .or_default()
+                .insert(tuple.key.clone());
+            self.aligned_timers.insert((window.end, window));
+        }
+        Ok(())
+    }
+
+    fn on_session_element(&mut self, tuple: &Tuple, gap: i64) -> Result<()> {
+        let proto = WindowId::new(tuple.timestamp, tuple.timestamp.saturating_add(gap));
+        let sessions = self.sessions.entry(tuple.key.clone()).or_default();
+        // Split off the sessions the new tuple bridges. Touching windows
+        // merge too (two events exactly `gap` apart share a session, as
+        // in Flink's session merging).
+        let (mut merged, kept): (Vec<Session>, Vec<Session>) = std::mem::take(sessions)
+            .into_iter()
+            .partition(|s| merges_with(&s.cover, &proto));
+        let mut cover = proto;
+        let mut initials: Vec<WindowId> = Vec::new();
+        for s in &merged {
+            cover = cover.cover(&s.cover);
+            initials.extend(s.initials.iter().copied());
+        }
+        initials.sort_unstable();
+        let session = match &self.spec.aggregate {
+            AggregateSpec::FullList(_) => {
+                // New tuples are stored under the session's first initial
+                // boundary; a brand-new session stores under its proto.
+                let store_window = initials.first().copied().unwrap_or(proto);
+                if initials.is_empty() {
+                    initials.push(proto);
+                }
+                self.backend
+                    .append(&tuple.key, store_window, &tuple.value, tuple.timestamp)?;
+                Session { cover, initials }
+            }
+            AggregateSpec::Incremental(agg) => {
+                // Merge the accumulators of bridged sessions (each RMW
+                // session keeps exactly one initial).
+                let mut acc: Option<Vec<u8>> = None;
+                for s in &merged {
+                    let initial = s.initials[0];
+                    if let Some(prev) = self.backend.take_aggregate(&tuple.key, initial)? {
+                        acc = Some(match acc {
+                            None => prev,
+                            Some(a) => agg.merge(&a, &prev),
+                        });
+                    }
+                }
+                let acc = acc.unwrap_or_else(|| agg.create());
+                let acc = agg.add(&acc, &tuple.value);
+                let store_window = initials.first().copied().unwrap_or(proto);
+                self.backend.put_aggregate(&tuple.key, store_window, &acc)?;
+                Session {
+                    cover,
+                    initials: vec![store_window],
+                }
+            }
+        };
+        merged.clear();
+        let trigger_at = session.cover.end;
+        let mut rebuilt = kept;
+        rebuilt.push(session);
+        *sessions = rebuilt;
+        self.session_timers.insert((trigger_at, tuple.key.clone()));
+        Ok(())
+    }
+
+    fn on_count_element(&mut self, tuple: &Tuple, size: u64, out: &mut Vec<Tuple>) -> Result<()> {
+        let state = self.counts.entry(tuple.key.clone()).or_default();
+        let window = WindowId::new((state.seq * size) as i64, ((state.seq + 1) * size) as i64);
+        match &self.spec.aggregate {
+            AggregateSpec::FullList(_) => {
+                self.backend
+                    .append(&tuple.key, window, &tuple.value, tuple.timestamp)?;
+            }
+            AggregateSpec::Incremental(agg) => {
+                let acc = self
+                    .backend
+                    .take_aggregate(&tuple.key, window)?
+                    .unwrap_or_else(|| agg.create());
+                let acc = agg.add(&acc, &tuple.value);
+                self.backend.put_aggregate(&tuple.key, window, &acc)?;
+            }
+        }
+        state.in_window += 1;
+        if state.in_window >= size {
+            state.seq += 1;
+            state.in_window = 0;
+            let key = tuple.key.clone();
+            self.fire_key_window(&key, &[window], tuple.timestamp, out)?;
+        }
+        Ok(())
+    }
+
+    /// Fires aligned windows whose end time the watermark passed.
+    fn fire_aligned(&mut self, watermark: Timestamp, out: &mut Vec<Tuple>) -> Result<()> {
+        loop {
+            let Some(&(end, window)) = self.aligned_timers.iter().next() else {
+                return Ok(());
+            };
+            if end > watermark {
+                return Ok(());
+            }
+            self.aligned_timers.remove(&(end, window));
+            let out_ts = window.end.saturating_sub(1);
+            let custom = matches!(self.spec.assigner, WindowAssigner::Custom { .. });
+            match self.spec.aggregate.clone() {
+                AggregateSpec::FullList(f) if custom => {
+                    // Custom windows live in a per-key (unaligned) store:
+                    // fire each tracked key individually.
+                    let mut keys: Vec<Vec<u8>> = self
+                        .trigger_keys
+                        .remove(&window)
+                        .unwrap_or_default()
+                        .into_iter()
+                        .collect();
+                    keys.sort();
+                    for key in keys {
+                        let values = self.backend.take_values(&key, window)?;
+                        if values.is_empty() {
+                            continue;
+                        }
+                        for output in f.process(&key, window, &values) {
+                            out.push(Tuple::new(key.clone(), output, out_ts));
+                        }
+                    }
+                }
+                AggregateSpec::FullList(f) => {
+                    // Gradual loading: accumulate per-key lists chunk by
+                    // chunk, then process each complete key.
+                    let mut per_key: HashMap<Vec<u8>, Vec<Vec<u8>>> = HashMap::new();
+                    while let Some(chunk) = self.backend.get_window_chunk(window)? {
+                        for (key, values) in chunk {
+                            per_key.entry(key).or_default().extend(values);
+                        }
+                    }
+                    for (key, values) in per_key {
+                        for output in f.process(&key, window, &values) {
+                            out.push(Tuple::new(key.clone(), output, out_ts));
+                        }
+                    }
+                }
+                AggregateSpec::Incremental(agg) => {
+                    let keys = self.trigger_keys.remove(&window).unwrap_or_default();
+                    for key in keys {
+                        if let Some(acc) = self.backend.take_aggregate(&key, window)? {
+                            out.push(Tuple::new(key, agg.result(&acc), out_ts));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fires sessions whose gap the watermark passed.
+    fn fire_sessions(&mut self, watermark: Timestamp, out: &mut Vec<Tuple>) -> Result<()> {
+        loop {
+            let Some((end, key)) = self.session_timers.iter().next().cloned() else {
+                return Ok(());
+            };
+            if end > watermark {
+                return Ok(());
+            }
+            self.session_timers.remove(&(end, key.clone()));
+            let Some(sessions) = self.sessions.get_mut(&key) else {
+                continue;
+            };
+            let (expired, open): (Vec<Session>, Vec<Session>) = std::mem::take(sessions)
+                .into_iter()
+                .partition(|s| s.cover.end <= watermark);
+            if open.is_empty() {
+                self.sessions.remove(&key);
+            } else {
+                *sessions = open;
+            }
+            for session in expired {
+                let out_ts = session.cover.end.saturating_sub(1);
+                self.fire_key_window_at(&key, &session.initials, session.cover, out_ts, out)?;
+            }
+        }
+    }
+
+    /// Fires one key's window over the given store windows (count path).
+    fn fire_key_window(
+        &mut self,
+        key: &[u8],
+        store_windows: &[WindowId],
+        out_ts: Timestamp,
+        out: &mut Vec<Tuple>,
+    ) -> Result<()> {
+        let logical = store_windows[0];
+        self.fire_key_window_at(key, store_windows, logical, out_ts, out)
+    }
+
+    /// Reads, aggregates, and emits one key's window state.
+    fn fire_key_window_at(
+        &mut self,
+        key: &[u8],
+        store_windows: &[WindowId],
+        logical: WindowId,
+        out_ts: Timestamp,
+        out: &mut Vec<Tuple>,
+    ) -> Result<()> {
+        match self.spec.aggregate.clone() {
+            AggregateSpec::FullList(f) => {
+                let mut values = Vec::new();
+                for w in store_windows {
+                    values.extend(self.backend.take_values(key, *w)?);
+                }
+                if values.is_empty() {
+                    return Ok(());
+                }
+                for output in f.process(key, logical, &values) {
+                    out.push(Tuple::new(key.to_vec(), output, out_ts));
+                }
+            }
+            AggregateSpec::Incremental(agg) => {
+                let mut acc: Option<Vec<u8>> = None;
+                for w in store_windows {
+                    if let Some(a) = self.backend.take_aggregate(key, *w)? {
+                        acc = Some(match acc {
+                            None => a,
+                            Some(prev) => agg.merge(&prev, &a),
+                        });
+                    }
+                }
+                if let Some(acc) = acc {
+                    out.push(Tuple::new(key.to_vec(), agg.result(&acc), out_ts));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes pending count windows at end of stream.
+    ///
+    /// Count windows fire on arrivals, so a bounded stream may end with
+    /// partially filled windows; Flink discards those, and so do we —
+    /// this hook only exists for the final [`MAX_TIMESTAMP`] watermark to
+    /// fire aligned and session windows, which [`Self::on_watermark`]
+    /// already handles.
+    pub fn finish(&mut self, out: &mut Vec<Tuple>) -> Result<()> {
+        self.on_watermark(MAX_TIMESTAMP, out)?;
+        self.backend.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::{CountAggregate, FnProcess, MedianProcess, SumAggregate};
+    use crate::memstore::InMemoryBackend;
+    use std::sync::Arc;
+
+    fn op(assigner: WindowAssigner, aggregate: AggregateSpec) -> WindowOperator {
+        WindowOperator::new(
+            WindowSpec {
+                name: "test".into(),
+                assigner,
+                aggregate,
+            },
+            Box::new(InMemoryBackend::new(1 << 20, 8)),
+        )
+    }
+
+    fn t(key: &str, value: u64, ts: i64) -> Tuple {
+        Tuple::new(key.into(), value.to_le_bytes().to_vec(), ts)
+    }
+
+    fn u64_of(bytes: &[u8]) -> u64 {
+        crate::functions::decode_u64(bytes)
+    }
+
+    #[test]
+    fn fixed_rmw_counts_per_key() {
+        let mut o = op(
+            WindowAssigner::Fixed { size: 100 },
+            AggregateSpec::Incremental(Arc::new(CountAggregate)),
+        );
+        let mut out = Vec::new();
+        for i in 0..10 {
+            o.on_element(&t("a", i, 10 + i as i64), &mut out).unwrap();
+        }
+        o.on_element(&t("b", 1, 50), &mut out).unwrap();
+        // Nothing fires before the watermark passes the window end.
+        o.on_watermark(99, &mut out).unwrap();
+        assert!(out.is_empty());
+        o.on_watermark(100, &mut out).unwrap();
+        let mut results: Vec<(Vec<u8>, u64)> = out
+            .iter()
+            .map(|t| (t.key.clone(), u64_of(&t.value)))
+            .collect();
+        results.sort();
+        assert_eq!(results, vec![(b"a".to_vec(), 10), (b"b".to_vec(), 1)]);
+        // Windows fire once.
+        out.clear();
+        o.on_watermark(200, &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sliding_append_assigns_to_two_windows() {
+        let mut o = op(
+            WindowAssigner::Sliding {
+                size: 100,
+                slide: 50,
+            },
+            AggregateSpec::FullList(Arc::new(FnProcess::new(|_k, _w, vals| {
+                vec![(vals.len() as u64).to_le_bytes().to_vec()]
+            }))),
+        );
+        let mut out = Vec::new();
+        o.on_element(&t("k", 1, 75), &mut out).unwrap();
+        o.on_watermark(MAX_TIMESTAMP, &mut out).unwrap();
+        // The tuple lives in [0,100) and [50,150): two firings of count 1.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|t| u64_of(&t.value) == 1));
+    }
+
+    #[test]
+    fn session_windows_merge_and_fire_per_key() {
+        let mut o = op(
+            WindowAssigner::Session { gap: 50 },
+            AggregateSpec::FullList(Arc::new(MedianProcess)),
+        );
+        let mut out = Vec::new();
+        // Key `a`: two bursts separated by more than the gap.
+        o.on_element(&t("a", 10, 0), &mut out).unwrap();
+        o.on_element(&t("a", 20, 30), &mut out).unwrap();
+        o.on_element(&t("a", 90, 200), &mut out).unwrap();
+        // Key `b`: one burst.
+        o.on_element(&t("b", 5, 40), &mut out).unwrap();
+        o.on_watermark(150, &mut out).unwrap();
+        // Session a[0,80) (median 15) and b[40,90) (median 5) fired.
+        let mut fired: Vec<(Vec<u8>, u64)> = out
+            .iter()
+            .map(|t| (t.key.clone(), u64_of(&t.value)))
+            .collect();
+        fired.sort();
+        assert_eq!(fired, vec![(b"a".to_vec(), 15), (b"b".to_vec(), 5)]);
+        out.clear();
+        o.on_watermark(MAX_TIMESTAMP, &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(u64_of(&out[0].value), 90);
+    }
+
+    #[test]
+    fn session_merge_bridges_two_sessions() {
+        let mut o = op(
+            WindowAssigner::Session { gap: 20 },
+            AggregateSpec::FullList(Arc::new(FnProcess::new(|_k, _w, vals| {
+                vec![(vals.len() as u64).to_le_bytes().to_vec()]
+            }))),
+        );
+        let mut out = Vec::new();
+        // Two sessions [0,20) and [40,60), bridged by ts=20 whose proto
+        // [20,40) touches both.
+        o.on_element(&t("k", 1, 0), &mut out).unwrap();
+        o.on_element(&t("k", 2, 40), &mut out).unwrap();
+        o.on_element(&t("k", 3, 20), &mut out).unwrap();
+        o.on_watermark(MAX_TIMESTAMP, &mut out).unwrap();
+        assert_eq!(out.len(), 1, "bridged sessions must fire once: {out:?}");
+        assert_eq!(u64_of(&out[0].value), 3);
+    }
+
+    #[test]
+    fn session_rmw_merges_accumulators() {
+        let mut o = op(
+            WindowAssigner::Session { gap: 20 },
+            AggregateSpec::Incremental(Arc::new(SumAggregate)),
+        );
+        let mut out = Vec::new();
+        o.on_element(&t("k", 10, 0), &mut out).unwrap();
+        o.on_element(&t("k", 20, 40), &mut out).unwrap();
+        o.on_element(&t("k", 30, 20), &mut out).unwrap();
+        o.on_watermark(MAX_TIMESTAMP, &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(u64_of(&out[0].value), 60);
+    }
+
+    #[test]
+    fn count_windows_fire_on_size() {
+        let mut o = op(
+            WindowAssigner::Count { size: 3 },
+            AggregateSpec::Incremental(Arc::new(SumAggregate)),
+        );
+        let mut out = Vec::new();
+        for i in 1..=7u64 {
+            o.on_element(&t("k", i, i as i64), &mut out).unwrap();
+        }
+        // Two full windows fired: 1+2+3 and 4+5+6.
+        assert_eq!(out.len(), 2);
+        assert_eq!(u64_of(&out[0].value), 6);
+        assert_eq!(u64_of(&out[1].value), 15);
+    }
+
+    #[test]
+    fn late_tuples_can_be_collected_as_side_output() {
+        let mut o = op(
+            WindowAssigner::Fixed { size: 100 },
+            AggregateSpec::Incremental(Arc::new(CountAggregate)),
+        );
+        o.set_collect_late(true);
+        let mut out = Vec::new();
+        o.on_watermark(100, &mut out).unwrap();
+        o.on_element(&t("k", 7, 50), &mut out).unwrap();
+        let late = o.take_late();
+        assert_eq!(late.len(), 1);
+        assert_eq!(late[0].timestamp, 50);
+        assert!(o.take_late().is_empty());
+    }
+
+    #[test]
+    fn late_tuples_are_dropped() {
+        let mut o = op(
+            WindowAssigner::Fixed { size: 100 },
+            AggregateSpec::Incremental(Arc::new(CountAggregate)),
+        );
+        let mut out = Vec::new();
+        o.on_element(&t("k", 1, 10), &mut out).unwrap();
+        o.on_watermark(100, &mut out).unwrap();
+        out.clear();
+        o.on_element(&t("k", 1, 50), &mut out).unwrap();
+        assert_eq!(o.dropped_late(), 1);
+        o.on_watermark(MAX_TIMESTAMP, &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_restores_engine_and_store_state() {
+        use flowkv_common::scratch::ScratchDir;
+        let ckpt = ScratchDir::new("op-ckpt").unwrap();
+        let make = || {
+            op(
+                WindowAssigner::Session { gap: 50 },
+                AggregateSpec::FullList(Arc::new(MedianProcess)),
+            )
+        };
+        let mut a = make();
+        let mut out = Vec::new();
+        // First half of the stream: open sessions for three keys.
+        for (key, v, ts) in [("a", 10, 0), ("a", 20, 30), ("b", 5, 40), ("c", 7, 45)] {
+            a.on_element(&t(key, v, ts), &mut out).unwrap();
+        }
+        a.checkpoint(ckpt.path()).unwrap();
+
+        // Continue on the original operator for reference outputs.
+        let mut ref_out = Vec::new();
+        a.on_element(&t("a", 30, 60), &mut ref_out).unwrap();
+        a.on_watermark(MAX_TIMESTAMP, &mut ref_out).unwrap();
+
+        // Restore into a fresh operator and replay the same remainder.
+        let mut b = make();
+        b.restore(ckpt.path()).unwrap();
+        let mut res_out = Vec::new();
+        b.on_element(&t("a", 30, 60), &mut res_out).unwrap();
+        b.on_watermark(MAX_TIMESTAMP, &mut res_out).unwrap();
+
+        let sorted = |mut v: Vec<Tuple>| {
+            v.sort_by(|x, y| (&x.key, &x.value).cmp(&(&y.key, &y.value)));
+            v
+        };
+        assert_eq!(sorted(res_out), sorted(ref_out));
+    }
+
+    #[test]
+    fn checkpoint_restores_count_window_progress() {
+        use flowkv_common::scratch::ScratchDir;
+        let ckpt = ScratchDir::new("op-count-ckpt").unwrap();
+        let make = || {
+            op(
+                WindowAssigner::Count { size: 3 },
+                AggregateSpec::Incremental(Arc::new(SumAggregate)),
+            )
+        };
+        let mut a = make();
+        let mut out = Vec::new();
+        a.on_element(&t("k", 1, 1), &mut out).unwrap();
+        a.on_element(&t("k", 2, 2), &mut out).unwrap();
+        a.checkpoint(ckpt.path()).unwrap();
+
+        let mut b = make();
+        b.restore(ckpt.path()).unwrap();
+        let mut out = Vec::new();
+        // The third element completes the restored window: 1 + 2 + 3.
+        b.on_element(&t("k", 3, 3), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(u64_of(&out[0].value), 6);
+    }
+
+    #[test]
+    fn global_window_fires_at_end_of_stream() {
+        let mut o = op(
+            WindowAssigner::Global,
+            AggregateSpec::Incremental(Arc::new(CountAggregate)),
+        );
+        let mut out = Vec::new();
+        for i in 0..5 {
+            o.on_element(&t("k", i, i as i64), &mut out).unwrap();
+        }
+        o.on_watermark(1_000_000, &mut out).unwrap();
+        assert!(out.is_empty(), "global window fired early");
+        o.finish(&mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(u64_of(&out[0].value), 5);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for window assignment and the latency summary.
+
+use flowkv_spe::latency::{percentile, LatencySummary};
+use flowkv_spe::window::WindowAssigner;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every assigned fixed window contains its tuple, and exactly one
+    /// window is assigned.
+    #[test]
+    fn fixed_windows_partition_time(ts in -1_000_000i64..1_000_000, size in 1i64..10_000) {
+        let a = WindowAssigner::Fixed { size };
+        let windows = a.assign(ts);
+        prop_assert_eq!(windows.len(), 1);
+        prop_assert!(windows[0].contains(ts));
+        prop_assert_eq!(windows[0].length(), size);
+        // Window boundaries are aligned to multiples of the size.
+        prop_assert_eq!(windows[0].start.rem_euclid(size), 0);
+    }
+
+    /// Sliding windows: a tuple lands in exactly ceil(size/slide) windows
+    /// when slide divides size, every one of which contains it, and
+    /// consecutive windows differ by the slide.
+    #[test]
+    fn sliding_windows_cover_timestamp(
+        ts in 0i64..1_000_000,
+        slide in 1i64..1_000,
+        multiple in 1i64..6,
+    ) {
+        let size = slide * multiple;
+        let a = WindowAssigner::Sliding { size, slide };
+        let windows = a.assign(ts);
+        prop_assert_eq!(windows.len() as i64, multiple);
+        for w in &windows {
+            prop_assert!(w.contains(ts));
+            prop_assert_eq!(w.length(), size);
+            prop_assert_eq!(w.start.rem_euclid(slide), 0);
+        }
+        for pair in windows.windows(2) {
+            prop_assert_eq!(pair[1].start - pair[0].start, slide);
+        }
+    }
+
+    /// Two timestamps in the same fixed window get the same window; two
+    /// in different periods get different windows.
+    #[test]
+    fn fixed_assignment_is_consistent(a in 0i64..100_000, b in 0i64..100_000, size in 1i64..5_000) {
+        let assigner = WindowAssigner::Fixed { size };
+        let wa = assigner.assign(a)[0];
+        let wb = assigner.assign(b)[0];
+        prop_assert_eq!(wa == wb, a.div_euclid(size) == b.div_euclid(size));
+    }
+
+    /// Session proto windows span exactly the gap.
+    #[test]
+    fn session_proto_spans_gap(ts in -1_000_000i64..1_000_000, gap in 1i64..100_000) {
+        let a = WindowAssigner::Session { gap };
+        let w = a.assign(ts)[0];
+        prop_assert_eq!(w.start, ts);
+        prop_assert_eq!(w.length(), gap);
+    }
+
+    /// The percentile function is monotone in p and bounded by min/max.
+    #[test]
+    fn percentile_is_monotone(mut samples in prop::collection::vec(any::<u64>(), 1..200)) {
+        let lo = percentile(&mut samples.clone(), 0.1).unwrap();
+        let mid = percentile(&mut samples.clone(), 0.5).unwrap();
+        let hi = percentile(&mut samples.clone(), 0.9).unwrap();
+        prop_assert!(lo <= mid && mid <= hi);
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        prop_assert!(lo >= min && hi <= max);
+        let s = LatencySummary::compute(&mut samples);
+        prop_assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        prop_assert!(s.mean >= min as f64 && s.mean <= max as f64);
+    }
+}

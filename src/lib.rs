@@ -1,0 +1,22 @@
+//! Workspace root crate for the FlowKV reproduction.
+//!
+//! This crate only re-exports the member crates so that the repository's
+//! integration tests (`tests/`) and examples (`examples/`) can reach the
+//! whole system through a single dependency. The actual implementation
+//! lives in the `crates/` workspace members:
+//!
+//! - [`flowkv`] — the semantic-aware composite store (the paper's
+//!   contribution).
+//! - [`flowkv_common`] — shared types, log files, codec, metrics, and the
+//!   [`flowkv_common::backend::StateBackend`] trait.
+//! - [`flowkv_lsm`] — the RocksDB-analog LSM baseline.
+//! - [`flowkv_hashkv`] — the FASTER-analog hash-store baseline.
+//! - [`flowkv_spe`] — the mini stream-processing engine.
+//! - [`flowkv_nexmark`] — the NEXMark workload generator and queries.
+
+pub use flowkv;
+pub use flowkv_common;
+pub use flowkv_hashkv;
+pub use flowkv_lsm;
+pub use flowkv_nexmark;
+pub use flowkv_spe;

@@ -1,0 +1,242 @@
+//! Engine-level checkpoint / resume: the paper's fault-tolerance story
+//! (§8) end to end.
+//!
+//! A job runs with an aligned checkpoint barrier injected after K source
+//! tuples; each window operator snapshots its store and its engine state
+//! (timers, sessions, count progress) when the barrier aligns. A second
+//! run then *resumes*: operators restore from the checkpoint and the
+//! source replays from offset K. The resumed run must emit exactly the
+//! outputs the original run emitted after the barrier.
+
+use flowkv_common::scratch::ScratchDir;
+use flowkv_common::types::Tuple;
+use flowkv_nexmark::{EventGenerator, GeneratorConfig, QueryId, QueryParams};
+use flowkv_spe::{run_job, BackendChoice, RunOptions};
+
+fn sorted(mut v: Vec<Tuple>) -> Vec<(Vec<u8>, Vec<u8>, i64)> {
+    let mut out: Vec<(Vec<u8>, Vec<u8>, i64)> =
+        v.drain(..).map(|t| (t.key, t.value, t.timestamp)).collect();
+    out.sort();
+    out
+}
+
+fn source(num_events: u64) -> impl Iterator<Item = Tuple> + Send {
+    EventGenerator::new(GeneratorConfig {
+        num_events,
+        seed: 21,
+        events_per_second: 5_000,
+        active_people: 40,
+        active_auctions: 60,
+        ..GeneratorConfig::default()
+    })
+    .tuples()
+}
+
+fn checkpoint_resume_roundtrip(query: QueryId, backend: &BackendChoice) {
+    let events = 12_000u64;
+    let checkpoint_at = 6_000u64;
+    let params = QueryParams::new(500).with_parallelism(2);
+    let job = query.build(params);
+
+    let data = ScratchDir::new("eckpt-data").unwrap();
+    let ckpt = ScratchDir::new("eckpt-snap").unwrap();
+
+    // Run 1: full stream with a barrier after `checkpoint_at` tuples.
+    let mut opts = RunOptions::new(data.path().join("run1"));
+    opts.collect_outputs = true;
+    opts.watermark_interval = 100;
+    opts.checkpoint_after_tuples = Some(checkpoint_at);
+    opts.checkpoint_dir = Some(ckpt.path().to_path_buf());
+    let full = run_job(&job, source(events), backend.factory(), &opts)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", query.name(), backend.name()));
+    assert!(full.checkpoint_taken, "barrier never completed at the sink");
+
+    // Expected post-checkpoint outputs: full minus pre (as multisets).
+    let mut expected = sorted(full.outputs.clone());
+    for pre in sorted(full.outputs_pre_checkpoint.clone()) {
+        let pos = expected
+            .binary_search(&pre)
+            .expect("pre output missing from full set");
+        expected.remove(pos);
+    }
+
+    // Run 2: restore from the checkpoint and replay from offset K.
+    let mut opts = RunOptions::new(data.path().join("run2"));
+    opts.collect_outputs = true;
+    opts.watermark_interval = 100;
+    opts.restore_from = Some(ckpt.path().to_path_buf());
+    let resumed = run_job(
+        &job,
+        source(events).skip(checkpoint_at as usize),
+        backend.factory(),
+        &opts,
+    )
+    .unwrap_or_else(|e| panic!("resume {} on {}: {e}", query.name(), backend.name()));
+
+    assert_eq!(
+        sorted(resumed.outputs),
+        expected,
+        "{} on {}: resumed outputs diverge from the original post-checkpoint outputs",
+        query.name(),
+        backend.name()
+    );
+}
+
+#[test]
+fn rmw_session_query_resumes_exactly() {
+    for backend in BackendChoice::all_small_for_tests() {
+        checkpoint_resume_roundtrip(QueryId::Q11, &backend);
+    }
+}
+
+#[test]
+fn aur_median_query_resumes_exactly() {
+    for backend in BackendChoice::all_small_for_tests() {
+        checkpoint_resume_roundtrip(QueryId::Q11Median, &backend);
+    }
+}
+
+#[test]
+fn aar_fixed_window_query_resumes_exactly() {
+    for backend in BackendChoice::all_small_for_tests() {
+        checkpoint_resume_roundtrip(QueryId::Q7, &backend);
+    }
+}
+
+#[test]
+fn global_window_query_resumes_exactly() {
+    checkpoint_resume_roundtrip(QueryId::Q12, &BackendChoice::all_small_for_tests()[1]);
+}
+
+#[test]
+fn consecutive_window_query_resumes_exactly() {
+    // Q5 has two chained window stages: the barrier must align through
+    // the intermediate repartitioning and both operators must snapshot.
+    checkpoint_resume_roundtrip(QueryId::Q5, &BackendChoice::all_small_for_tests()[1]);
+}
+
+#[test]
+fn windowed_join_resumes_exactly() {
+    checkpoint_resume_roundtrip(QueryId::Q8, &BackendChoice::all_small_for_tests()[1]);
+}
+
+#[test]
+fn interval_join_resumes_exactly() {
+    use flowkv_spe::join::{tag_left, tag_right};
+    use flowkv_spe::JobBuilder;
+    use std::sync::Arc;
+
+    // A deterministic two-sided stream.
+    let tuples: Vec<Tuple> = (0..4_000i64)
+        .map(|i| {
+            let key = format!("k{}", i % 7).into_bytes();
+            let value = if i % 3 == 0 {
+                tag_left(format!("L{i}").as_bytes())
+            } else {
+                tag_right(format!("R{i}").as_bytes())
+            };
+            Tuple::new(key, value, i)
+        })
+        .collect();
+    let job = JobBuilder::new("join-ckpt")
+        .parallelism(2)
+        .interval_join(
+            "j",
+            -30,
+            30,
+            32,
+            Arc::new(|_k, l: &[u8], r: &[u8]| {
+                let mut v = l.to_vec();
+                v.push(b'|');
+                v.extend_from_slice(r);
+                Some(v)
+            }),
+        )
+        .build();
+
+    let data = ScratchDir::new("join-ckpt-data").unwrap();
+    let ckpt = ScratchDir::new("join-ckpt-snap").unwrap();
+    let backend = &BackendChoice::all_small_for_tests()[1];
+
+    let mut opts = RunOptions::new(data.path().join("run1"));
+    opts.collect_outputs = true;
+    opts.watermark_interval = 100;
+    opts.checkpoint_after_tuples = Some(2_000);
+    opts.checkpoint_dir = Some(ckpt.path().to_path_buf());
+    let full = run_job(&job, tuples.clone().into_iter(), backend.factory(), &opts).unwrap();
+    assert!(full.checkpoint_taken);
+
+    let mut expected = sorted(full.outputs.clone());
+    for pre in sorted(full.outputs_pre_checkpoint.clone()) {
+        let pos = expected.binary_search(&pre).expect("pre output in full");
+        expected.remove(pos);
+    }
+
+    let mut opts = RunOptions::new(data.path().join("run2"));
+    opts.collect_outputs = true;
+    opts.watermark_interval = 100;
+    opts.restore_from = Some(ckpt.path().to_path_buf());
+    let resumed = run_job(
+        &job,
+        tuples.into_iter().skip(2_000),
+        backend.factory(),
+        &opts,
+    )
+    .unwrap();
+    assert_eq!(sorted(resumed.outputs), expected);
+}
+
+#[test]
+fn resume_replays_from_a_durable_log_source() {
+    // The full recovery story (paper §8): tuples persisted to a
+    // rewindable log (the Kafka analog), checkpoint at offset K, crash,
+    // then restore state and replay the log from K.
+    use flowkv_spe::source::{LogSource, TupleLog};
+
+    let events = 10_000u64;
+    let checkpoint_at = 5_000u64;
+    let log_dir = ScratchDir::new("eckpt-log").unwrap();
+    let log_path = log_dir.path().join("stream.log");
+    TupleLog::record(&log_path, source(events)).unwrap();
+
+    let params = QueryParams::new(500).with_parallelism(2);
+    let job = QueryId::Q11.build(params);
+    let data = ScratchDir::new("eckpt-log-data").unwrap();
+    let ckpt = ScratchDir::new("eckpt-log-snap").unwrap();
+    let backend = &BackendChoice::all_small_for_tests()[1];
+
+    let mut opts = RunOptions::new(data.path().join("run1"));
+    opts.collect_outputs = true;
+    opts.watermark_interval = 100;
+    opts.checkpoint_after_tuples = Some(checkpoint_at);
+    opts.checkpoint_dir = Some(ckpt.path().to_path_buf());
+    let full = run_job(
+        &job,
+        LogSource::open(&log_path).unwrap(),
+        backend.factory(),
+        &opts,
+    )
+    .unwrap();
+    assert!(full.checkpoint_taken);
+    assert_eq!(full.input_count, events);
+
+    let mut expected = sorted(full.outputs.clone());
+    for pre in sorted(full.outputs_pre_checkpoint.clone()) {
+        let pos = expected.binary_search(&pre).expect("pre output in full");
+        expected.remove(pos);
+    }
+
+    let mut opts = RunOptions::new(data.path().join("run2"));
+    opts.collect_outputs = true;
+    opts.watermark_interval = 100;
+    opts.restore_from = Some(ckpt.path().to_path_buf());
+    let resumed = run_job(
+        &job,
+        LogSource::open_at(&log_path, checkpoint_at).unwrap(),
+        backend.factory(),
+        &opts,
+    )
+    .unwrap();
+    assert_eq!(resumed.input_count, events - checkpoint_at);
+    assert_eq!(sorted(resumed.outputs), expected);
+}

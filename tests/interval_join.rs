@@ -1,0 +1,128 @@
+//! End-to-end interval joins (paper §8, future work) against a
+//! brute-force model, on every backend.
+//!
+//! Bids are interval-joined with the auctions they belong to: a bid
+//! matches when it falls within `[auction.ts, auction.ts + horizon]`.
+//! The engine result must equal the O(n²) reference join, identically on
+//! the in-memory store, FlowKV, the LSM baseline, and the hash baseline.
+
+use std::sync::Arc;
+
+use flowkv_common::scratch::ScratchDir;
+use flowkv_common::types::Tuple;
+use flowkv_spe::join::{tag_left, tag_right};
+use flowkv_spe::{run_job, BackendChoice, JobBuilder, RunOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const HORIZON: i64 = 200;
+
+/// A two-sided stream: left = "auction opened", right = "bid placed".
+fn input(seed: u64, n: usize, keys: u64) -> Vec<Tuple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tuples = Vec::with_capacity(n);
+    for i in 0..n {
+        let key = format!("k{}", rng.gen_range(0..keys));
+        let ts = i as i64; // In-order arrival.
+        if rng.gen_bool(0.3) {
+            tuples.push(Tuple::new(
+                key.into_bytes(),
+                tag_left(format!("A{i}").as_bytes()),
+                ts,
+            ));
+        } else {
+            tuples.push(Tuple::new(
+                key.into_bytes(),
+                tag_right(format!("B{i}").as_bytes()),
+                ts,
+            ));
+        }
+    }
+    tuples
+}
+
+/// O(n²) reference join.
+fn brute_force(tuples: &[Tuple]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for l in tuples.iter().filter(|t| t.value[0] == 0) {
+        for r in tuples.iter().filter(|t| t.value[0] == 1) {
+            if l.key == r.key && r.timestamp >= l.timestamp && r.timestamp <= l.timestamp + HORIZON
+            {
+                let mut v = l.value[1..].to_vec();
+                v.push(b'|');
+                v.extend_from_slice(&r.value[1..]);
+                out.push(v);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn run_join(backend: &BackendChoice, tuples: Vec<Tuple>) -> Vec<Vec<u8>> {
+    let dir = ScratchDir::new(&format!("ijoin-{}", backend.name())).unwrap();
+    let job = JobBuilder::new("interval-join")
+        .parallelism(2)
+        .interval_join(
+            "auction-bids",
+            0,
+            HORIZON,
+            64,
+            Arc::new(|_k, l: &[u8], r: &[u8]| {
+                let mut v = l.to_vec();
+                v.push(b'|');
+                v.extend_from_slice(r);
+                Some(v)
+            }),
+        )
+        .build();
+    let mut opts = RunOptions::new(dir.path());
+    opts.collect_outputs = true;
+    opts.watermark_interval = 50;
+    let result = run_job(&job, tuples.into_iter(), backend.factory(), &opts).unwrap();
+    let mut out: Vec<Vec<u8>> = result.outputs.into_iter().map(|t| t.value).collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn interval_join_matches_brute_force_on_all_backends() {
+    let tuples = input(77, 2_000, 10);
+    let expected = brute_force(&tuples);
+    assert!(!expected.is_empty(), "degenerate test input");
+    for backend in BackendChoice::all_small_for_tests() {
+        let got = run_join(&backend, tuples.clone());
+        assert_eq!(
+            got,
+            expected,
+            "interval join diverges on {}",
+            backend.name()
+        );
+    }
+}
+
+#[test]
+fn interval_join_state_is_purged_by_watermarks() {
+    // A long stream with few keys: buffered rows must be purged as event
+    // time advances, so backend memory stays bounded well below total
+    // input size.
+    let tuples = input(5, 20_000, 4);
+    let backend = BackendChoice::all_small_for_tests().remove(0); // In-memory: OOMs if purging fails.
+    let dir = ScratchDir::new("ijoin-purge").unwrap();
+    let job = JobBuilder::new("interval-join")
+        .parallelism(1)
+        .interval_join("j", -50, 50, 64, Arc::new(|_k, _l: &[u8], _r: &[u8]| None))
+        .build();
+    let mut opts = RunOptions::new(dir.path());
+    opts.watermark_interval = 100;
+    // 64 KiB budget: holding all 20 k rows (~1 MB) would OOM; purged
+    // steady-state is a few hundred rows.
+    let backend = match backend {
+        BackendChoice::InMemory { .. } => BackendChoice::InMemory {
+            budget_per_partition: 64 << 10,
+        },
+        other => other,
+    };
+    let result = run_job(&job, tuples.into_iter(), backend.factory(), &opts).unwrap();
+    assert_eq!(result.input_count, 20_000);
+}

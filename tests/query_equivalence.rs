@@ -1,0 +1,108 @@
+//! Cross-backend equivalence: every NEXMark query must produce exactly
+//! the same results on the in-memory store, FlowKV, the LSM baseline,
+//! and the hash baseline. The in-memory store acts as the reference
+//! semantics; any divergence in a persistent store is a correctness bug.
+
+use flowkv_common::scratch::ScratchDir;
+use flowkv_common::types::Tuple;
+use flowkv_nexmark::{EventGenerator, GeneratorConfig, QueryId, QueryParams};
+use flowkv_spe::{run_job, BackendChoice, RunOptions};
+
+/// Runs `query` on `backend` over a small deterministic stream and
+/// returns its outputs as sorted `(key, value, ts)` triples.
+fn run_query(query: QueryId, backend: &BackendChoice) -> Vec<(Vec<u8>, Vec<u8>, i64)> {
+    let dir = ScratchDir::new(&format!("equiv-{}-{}", query.name(), backend.name())).unwrap();
+    let cfg = GeneratorConfig {
+        num_events: 20_000,
+        seed: 7,
+        events_per_second: 5_000,
+        active_people: 50,
+        active_auctions: 80,
+        ..GeneratorConfig::default()
+    };
+    let params = QueryParams::new(1_000).with_parallelism(2);
+    let job = query.build(params);
+    let mut opts = RunOptions::new(dir.path());
+    opts.collect_outputs = true;
+    opts.watermark_interval = 100;
+    let result = run_job(
+        &job,
+        EventGenerator::new(cfg).tuples(),
+        backend.factory(),
+        &opts,
+    )
+    .unwrap_or_else(|e| panic!("{} on {}: {e}", query.name(), backend.name()));
+    let mut outputs: Vec<(Vec<u8>, Vec<u8>, i64)> = result
+        .outputs
+        .into_iter()
+        .map(
+            |Tuple {
+                 key,
+                 value,
+                 timestamp,
+             }| (key, value, timestamp),
+        )
+        .collect();
+    outputs.sort();
+    outputs
+}
+
+fn assert_equivalent(query: QueryId) {
+    let backends = BackendChoice::all_small_for_tests();
+    let reference = run_query(query, &backends[0]);
+    assert!(
+        !reference.is_empty(),
+        "{}: reference run produced no output",
+        query.name()
+    );
+    for backend in &backends[1..] {
+        let got = run_query(query, backend);
+        assert_eq!(
+            got,
+            reference,
+            "{} diverges on backend {}",
+            query.name(),
+            backend.name()
+        );
+    }
+}
+
+#[test]
+fn q5_equivalent_across_backends() {
+    assert_equivalent(QueryId::Q5);
+}
+
+#[test]
+fn q5_append_equivalent_across_backends() {
+    assert_equivalent(QueryId::Q5Append);
+}
+
+#[test]
+fn q7_equivalent_across_backends() {
+    assert_equivalent(QueryId::Q7);
+}
+
+#[test]
+fn q7_session_equivalent_across_backends() {
+    assert_equivalent(QueryId::Q7Session);
+}
+
+#[test]
+fn q8_equivalent_across_backends() {
+    assert_equivalent(QueryId::Q8);
+}
+
+#[test]
+fn q11_equivalent_across_backends() {
+    assert_equivalent(QueryId::Q11);
+}
+
+#[test]
+fn q11_median_equivalent_across_backends() {
+    assert_equivalent(QueryId::Q11Median);
+}
+
+#[test]
+fn q12_equivalent_across_backends() {
+    assert_equivalent(QueryId::Q12);
+}
