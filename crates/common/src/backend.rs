@@ -145,6 +145,21 @@ pub trait StateBackend: Send {
     /// Forces buffered state to storage.
     fn flush(&mut self) -> Result<()>;
 
+    /// Builds an immutable snapshot of the store's live state for the
+    /// queryable-state registry ([`crate::registry`]).
+    ///
+    /// The snapshot is an owned copy: after it is returned the store may
+    /// continue appending, flushing, and compacting without invalidating
+    /// it. Building the view may flush buffered writes (it must not lose
+    /// or reorder state) but must never consume entries — a served store
+    /// produces byte-identical job output to an unserved one.
+    ///
+    /// The default returns `Ok(None)`: the store does not support
+    /// snapshot reads and is simply not queryable.
+    fn read_view(&mut self) -> Result<Option<crate::registry::StateView>> {
+        Ok(None)
+    }
+
     /// The metrics block charged by this store.
     fn metrics(&self) -> Arc<StoreMetrics>;
 

@@ -16,6 +16,9 @@
 //!   the paper's breakdown figures (Figures 4 and 10).
 //! - [`hash`] — the 64-bit key hash shared by hash indexes and
 //!   partitioning.
+//! - [`registry`] — the queryable-state registry: immutable snapshot
+//!   views of live operator state that workers publish at watermark
+//!   boundaries and the serving layer reads concurrently.
 //! - [`scratch`] — unique scratch directories for tests and benchmarks.
 
 pub mod backend;
@@ -24,9 +27,11 @@ pub mod error;
 pub mod hash;
 pub mod logfile;
 pub mod metrics;
+pub mod registry;
 pub mod scratch;
 pub mod types;
 
 pub use backend::StateBackend;
 pub use error::{Result, StoreError};
+pub use registry::{StateKey, StatePattern, StateRegistry, StateView, ViewValue};
 pub use types::{Timestamp, Tuple, WindowId};

@@ -156,6 +156,15 @@ impl LogWriter {
     }
 }
 
+/// Splits a record header into `(len, crc)` without any fallible
+/// conversion: the header is a fixed 8-byte array, so indexing cannot
+/// fail and no `expect` is needed on the parse path.
+fn split_header(header: &[u8; 8]) -> (u32, u32) {
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    (len, crc)
+}
+
 /// Scans `path` and returns the length of its longest intact prefix.
 fn recover_valid_length(path: &Path) -> Result<u64> {
     let mut reader = LogReader::open(path)?;
@@ -231,8 +240,7 @@ impl LogReader {
         self.file
             .read_exact(&mut header)
             .map_err(|e| StoreError::io("log read header", e))?;
-        let len = u32::from_le_bytes(header[..4].try_into().expect("fixed"));
-        let crc = u32::from_le_bytes(header[4..].try_into().expect("fixed"));
+        let (len, crc) = split_header(&header);
         let body_end = self.offset + RECORD_HEADER_LEN + u64::from(len);
         if body_end > self.file_len {
             return Err(self.corruption("torn record body"));
@@ -266,6 +274,7 @@ impl LogReader {
 pub struct RandomAccessLog {
     file: File,
     path: PathBuf,
+    file_len: u64,
 }
 
 impl RandomAccessLog {
@@ -273,11 +282,41 @@ impl RandomAccessLog {
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let file = File::open(&path).map_err(|e| StoreError::io("log open", e))?;
-        Ok(RandomAccessLog { file, path })
+        let file_len = file
+            .metadata()
+            .map_err(|e| StoreError::io("log stat", e))?
+            .len();
+        Ok(RandomAccessLog {
+            file,
+            path,
+            file_len,
+        })
+    }
+
+    /// Returns whether the file covers bytes up to `end`, re-statting
+    /// once if the cached length is too small — the underlying log may
+    /// have grown since open (AUR keeps one reader across appends).
+    fn covers(&mut self, end: u64) -> Result<bool> {
+        if end <= self.file_len {
+            return Ok(true);
+        }
+        self.file_len = self
+            .file
+            .metadata()
+            .map_err(|e| StoreError::io("log stat", e))?
+            .len();
+        Ok(end <= self.file_len)
     }
 
     /// Reads and verifies the record starting at `offset`.
     pub fn read_record_at(&mut self, offset: u64) -> Result<Vec<u8>> {
+        if !self.covers(offset + RECORD_HEADER_LEN)? {
+            return Err(StoreError::corruption(
+                &self.path,
+                offset,
+                "record offset past end of log",
+            ));
+        }
         self.file
             .seek(SeekFrom::Start(offset))
             .map_err(|e| StoreError::io("log seek", e))?;
@@ -285,8 +324,17 @@ impl RandomAccessLog {
         self.file
             .read_exact(&mut header)
             .map_err(|e| StoreError::io("log read header", e))?;
-        let len = u32::from_le_bytes(header[..4].try_into().expect("fixed"));
-        let crc = u32::from_le_bytes(header[4..].try_into().expect("fixed"));
+        let (len, crc) = split_header(&header);
+        // Validate the length against the file before trusting it with an
+        // allocation: a corrupt header must surface as an error, not as a
+        // multi-gigabyte buffer.
+        if !self.covers(offset + RECORD_HEADER_LEN + u64::from(len))? {
+            return Err(StoreError::corruption(
+                &self.path,
+                offset,
+                "record length runs past end of log",
+            ));
+        }
         let mut payload = vec![0u8; len as usize];
         self.file
             .read_exact(&mut payload)
@@ -420,6 +468,47 @@ mod tests {
         let mut r = LogReader::open(&path).unwrap();
         let err = r.next_record().unwrap_err();
         assert!(err.is_corruption());
+    }
+
+    #[test]
+    fn random_access_rejects_bad_offsets_and_lengths() {
+        let dir = scratch("log-random-bad");
+        let path = dir.path().join("a.log");
+        let mut w = LogWriter::create(&path).unwrap();
+        let loc = w.append(b"only record").unwrap();
+        w.flush().unwrap();
+        drop(w);
+
+        let mut ra = RandomAccessLog::open(&path).unwrap();
+        // Offset past the end of the file.
+        assert!(ra
+            .read_record_at(loc.end_offset() + 100)
+            .unwrap_err()
+            .is_corruption());
+
+        // A corrupt header length that runs past the end of the file must
+        // be rejected before any allocation, not misread.
+        let mut data = std::fs::read(&path).unwrap();
+        data[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &data).unwrap();
+        let mut ra = RandomAccessLog::open(&path).unwrap();
+        assert!(ra.read_record_at(0).unwrap_err().is_corruption());
+    }
+
+    #[test]
+    fn random_access_sees_records_appended_after_open() {
+        let dir = scratch("log-random-grow");
+        let path = dir.path().join("a.log");
+        let mut w = LogWriter::create(&path).unwrap();
+        w.append(b"first").unwrap();
+        w.flush().unwrap();
+
+        // Open the reader, then keep appending: the reader must follow
+        // the growing file (AUR holds one reader across appends).
+        let mut ra = RandomAccessLog::open(&path).unwrap();
+        let l2 = w.append(b"second, after open").unwrap();
+        w.flush().unwrap();
+        assert_eq!(ra.read_record_at(l2.offset).unwrap(), b"second, after open");
     }
 
     #[test]

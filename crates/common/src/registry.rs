@@ -1,0 +1,429 @@
+//! Queryable-state registry: snapshot views of live operator state.
+//!
+//! The paper's stores are single-writer — every [`StateBackend`] method
+//! takes `&mut self` and each store instance is owned by exactly one
+//! worker thread (§2.1). To serve external reads without perturbing that
+//! contract, the serving layer uses **epoch-pinned published views**:
+//!
+//! 1. At watermark boundaries, the owning worker calls
+//!    [`StateBackend::read_view`], which builds an immutable, owned
+//!    [`StateView`] — a point-in-time snapshot of the store's live
+//!    `(key, window)` entries (write buffers plus un-consumed on-disk
+//!    state).
+//! 2. The worker publishes the view into the process-wide
+//!    [`StateRegistry`] under its [`StateKey`].
+//! 3. Server threads resolve a `StateKey` to an `Arc<StateView>` and
+//!    answer point lookups and window-range scans against it, entirely
+//!    lock-free after the registry read.
+//!
+//! Readers therefore always observe a consistent snapshot aligned to a
+//! watermark (never a half-applied update), at the cost of staleness
+//! bounded by the watermark interval. This mirrors Flink's queryable
+//! state, which likewise reads a consistent copy rather than the live
+//! RocksDB instance.
+//!
+//! [`StateBackend`]: crate::backend::StateBackend
+//! [`StateBackend::read_view`]: crate::backend::StateBackend::read_view
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::ops::Bound;
+use std::sync::{Arc, RwLock};
+
+use crate::metrics::MetricsSnapshot;
+use crate::types::{Timestamp, WindowId, MIN_TIMESTAMP};
+
+/// Identifies one operator partition's published state within a process.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateKey {
+    /// Name of the job the operator runs in.
+    pub job: String,
+    /// Name of the logical operator.
+    pub operator: String,
+    /// Physical partition index.
+    pub partition: usize,
+}
+
+impl StateKey {
+    /// Convenience constructor.
+    pub fn new(job: impl Into<String>, operator: impl Into<String>, partition: usize) -> Self {
+        StateKey {
+            job: job.into(),
+            operator: operator.into(),
+            partition,
+        }
+    }
+}
+
+impl fmt::Display for StateKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/p{}", self.job, self.operator, self.partition)
+    }
+}
+
+/// The access pattern of the store a view was taken from (paper §3.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StatePattern {
+    /// Append & Aligned Read.
+    Aar,
+    /// Append & Unaligned Read.
+    Aur,
+    /// Read-Modify-Write.
+    Rmw,
+    /// Pattern unknown (e.g. a baseline store).
+    #[default]
+    Unknown,
+}
+
+impl StatePattern {
+    /// Stable single-byte encoding for the wire protocol.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            StatePattern::Aar => 0,
+            StatePattern::Aur => 1,
+            StatePattern::Rmw => 2,
+            StatePattern::Unknown => 3,
+        }
+    }
+
+    /// Inverse of [`as_u8`](Self::as_u8); unknown bytes map to
+    /// [`StatePattern::Unknown`].
+    pub fn from_u8(b: u8) -> Self {
+        match b {
+            0 => StatePattern::Aar,
+            1 => StatePattern::Aur,
+            2 => StatePattern::Rmw,
+            _ => StatePattern::Unknown,
+        }
+    }
+
+    /// Short lowercase name for logs and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            StatePattern::Aar => "aar",
+            StatePattern::Aur => "aur",
+            StatePattern::Rmw => "rmw",
+            StatePattern::Unknown => "unknown",
+        }
+    }
+}
+
+/// The state of one `(key, window)` pair inside a view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViewValue {
+    /// An RMW intermediate aggregate.
+    Aggregate(Vec<u8>),
+    /// The appended value list of an AAR/AUR entry.
+    Values(Vec<Vec<u8>>),
+}
+
+impl ViewValue {
+    /// Approximate heap footprint, for registry accounting.
+    pub fn memory_size(&self) -> usize {
+        match self {
+            ViewValue::Aggregate(a) => a.len(),
+            ViewValue::Values(vs) => vs.iter().map(|v| v.len() + 24).sum(),
+        }
+    }
+}
+
+/// An immutable point-in-time snapshot of one store's live state.
+///
+/// Entries are keyed `(key, window)` so point lookups — with or without
+/// an explicit window — are a `BTreeMap` range probe; window-range scans
+/// walk the map filtering on the window bounds.
+#[derive(Clone, Debug, Default)]
+pub struct StateView {
+    /// Pattern of the source store.
+    pub pattern: StatePattern,
+    /// Monotonic snapshot counter; increments per published view.
+    pub epoch: u64,
+    /// Event-time watermark the snapshot is aligned to.
+    pub watermark: Timestamp,
+    /// All live `(key, window)` entries at snapshot time.
+    pub entries: BTreeMap<(Vec<u8>, WindowId), ViewValue>,
+    /// Store metrics at snapshot time.
+    pub metrics: MetricsSnapshot,
+}
+
+impl StateView {
+    /// An empty view, useful as a published placeholder before the first
+    /// watermark.
+    pub fn empty(pattern: StatePattern) -> Self {
+        StateView {
+            pattern,
+            epoch: 0,
+            watermark: MIN_TIMESTAMP,
+            entries: BTreeMap::new(),
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+
+    /// Looks up `key` in an exact `window`.
+    pub fn get(&self, key: &[u8], window: WindowId) -> Option<&ViewValue> {
+        self.entries.get(&(key.to_vec(), window))
+    }
+
+    /// Looks up `key` in its latest (greatest-ordered) live window.
+    ///
+    /// This is the natural point query for RMW state, where an external
+    /// reader wants "the current aggregate for this key" without knowing
+    /// window boundaries.
+    pub fn get_latest(&self, key: &[u8]) -> Option<(WindowId, &ViewValue)> {
+        let lo = (key.to_vec(), WindowId::ordered_min());
+        let hi = (key.to_vec(), WindowId::ordered_max());
+        self.entries
+            .range((Bound::Included(lo), Bound::Included(hi)))
+            .next_back()
+            .map(|((_, w), v)| (*w, v))
+    }
+
+    /// Returns up to `limit` entries whose window overlaps
+    /// `[range_start, range_end]` (event-time milliseconds), in key
+    /// order.
+    pub fn scan_windows(
+        &self,
+        range_start: Timestamp,
+        range_end: Timestamp,
+        limit: usize,
+    ) -> Vec<(&[u8], WindowId, &ViewValue)> {
+        self.entries
+            .iter()
+            .filter(|((_, w), _)| w.start <= range_end && w.end >= range_start)
+            .take(limit)
+            .map(|((k, w), v)| (k.as_slice(), *w, v))
+            .collect()
+    }
+
+    /// Number of live `(key, window)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the view holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate heap footprint of the view.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|((k, _), v)| k.len() + 16 + v.memory_size())
+            .sum()
+    }
+}
+
+impl WindowId {
+    /// The smallest window in `(start, end)` order; a range probe's
+    /// lower bound.
+    fn ordered_min() -> WindowId {
+        WindowId {
+            start: crate::types::MIN_TIMESTAMP,
+            end: crate::types::MIN_TIMESTAMP,
+        }
+    }
+
+    /// The greatest window in `(start, end)` order; a range probe's
+    /// upper bound.
+    fn ordered_max() -> WindowId {
+        WindowId {
+            start: crate::types::MAX_TIMESTAMP,
+            end: crate::types::MAX_TIMESTAMP,
+        }
+    }
+}
+
+/// Summary of one published view, for state listings.
+#[derive(Clone, Debug)]
+pub struct StateDescriptor {
+    /// The registry key the view is published under.
+    pub key: StateKey,
+    /// Pattern of the source store.
+    pub pattern: StatePattern,
+    /// Epoch of the most recent published view.
+    pub epoch: u64,
+    /// Watermark the view is aligned to.
+    pub watermark: Timestamp,
+    /// Number of live entries in the view.
+    pub entries: u64,
+}
+
+/// Process-wide directory of published state views.
+///
+/// Workers publish; server threads read. The lock is held only to swap
+/// or clone an `Arc`, never while building or reading a view, and
+/// poisoning is deliberately swallowed: a panicking publisher must not
+/// take the serving path down with it.
+#[derive(Default)]
+pub struct StateRegistry {
+    views: RwLock<HashMap<StateKey, Arc<StateView>>>,
+}
+
+impl StateRegistry {
+    /// Creates an empty registry behind an `Arc`, ready to share between
+    /// the executor and a server.
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(StateRegistry::default())
+    }
+
+    /// Publishes `view` under `key`, replacing any previous view.
+    pub fn publish(&self, key: StateKey, view: StateView) {
+        let view = Arc::new(view);
+        self.views
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, view);
+    }
+
+    /// Resolves the most recently published view for `key`.
+    pub fn get(&self, key: &StateKey) -> Option<Arc<StateView>> {
+        self.views
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .cloned()
+    }
+
+    /// Removes the view published under `key`.
+    pub fn remove(&self, key: &StateKey) {
+        self.views
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(key);
+    }
+
+    /// Resolves every partition's view of one operator under a single
+    /// lock acquisition, sorted by partition index.
+    ///
+    /// This is the server's per-lookup path, so it clones only the
+    /// `Arc`s — no descriptor strings — and touches the lock once.
+    pub fn operator_views(&self, job: &str, operator: &str) -> Vec<(usize, Arc<StateView>)> {
+        let guard = self.views.read().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<(usize, Arc<StateView>)> = guard
+            .iter()
+            .filter(|(k, _)| k.job == job && k.operator == operator)
+            .map(|(k, v)| (k.partition, Arc::clone(v)))
+            .collect();
+        out.sort_unstable_by_key(|(p, _)| *p);
+        out
+    }
+
+    /// Describes every published view, sorted by key.
+    pub fn list(&self) -> Vec<StateDescriptor> {
+        let mut out: Vec<StateDescriptor> = self
+            .views
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(key, view)| StateDescriptor {
+                key: key.clone(),
+                pattern: view.pattern,
+                epoch: view.epoch,
+                watermark: view.watermark,
+                entries: view.len() as u64,
+            })
+            .collect();
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        out
+    }
+
+    /// Number of published views.
+    pub fn len(&self) -> usize {
+        self.views.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(start: i64, end: i64) -> WindowId {
+        WindowId { start, end }
+    }
+
+    fn view_with(entries: Vec<(&[u8], WindowId, ViewValue)>) -> StateView {
+        let mut v = StateView::empty(StatePattern::Rmw);
+        for (k, win, val) in entries {
+            v.entries.insert((k.to_vec(), win), val);
+        }
+        v
+    }
+
+    #[test]
+    fn point_lookup_exact_and_latest() {
+        let view = view_with(vec![
+            (b"a", w(0, 10), ViewValue::Aggregate(vec![1])),
+            (b"a", w(10, 20), ViewValue::Aggregate(vec![2])),
+            (b"b", w(0, 10), ViewValue::Aggregate(vec![3])),
+        ]);
+        assert_eq!(
+            view.get(b"a", w(0, 10)),
+            Some(&ViewValue::Aggregate(vec![1]))
+        );
+        let (win, val) = view.get_latest(b"a").unwrap();
+        assert_eq!(win, w(10, 20));
+        assert_eq!(val, &ViewValue::Aggregate(vec![2]));
+        assert!(view.get_latest(b"c").is_none());
+        assert!(view.get(b"b", w(10, 20)).is_none());
+    }
+
+    #[test]
+    fn window_scan_overlap_and_limit() {
+        let view = view_with(vec![
+            (b"a", w(0, 10), ViewValue::Values(vec![vec![1]])),
+            (b"b", w(5, 15), ViewValue::Values(vec![vec![2]])),
+            (b"c", w(20, 30), ViewValue::Values(vec![vec![3]])),
+        ]);
+        let hits = view.scan_windows(0, 12, 100);
+        assert_eq!(hits.len(), 2);
+        let hits = view.scan_windows(0, 100, 2);
+        assert_eq!(hits.len(), 2);
+        let hits = view.scan_windows(31, 40, 100);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn registry_publish_get_list() {
+        let reg = StateRegistry::new_shared();
+        let key = StateKey::new("job", "op", 0);
+        assert!(reg.get(&key).is_none());
+        let mut v = StateView::empty(StatePattern::Aar);
+        v.epoch = 7;
+        reg.publish(key.clone(), v);
+        let got = reg.get(&key).unwrap();
+        assert_eq!(got.epoch, 7);
+        let listing = reg.list();
+        assert_eq!(listing.len(), 1);
+        assert_eq!(listing[0].key, key);
+        assert_eq!(listing[0].epoch, 7);
+        reg.remove(&key);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn registry_survives_poisoned_publisher() {
+        let reg = StateRegistry::new_shared();
+        let key = StateKey::new("job", "op", 0);
+        reg.publish(key.clone(), StateView::empty(StatePattern::Rmw));
+        let reg2 = Arc::clone(&reg);
+        // Panic while holding the write lock to poison it.
+        let _ = std::thread::spawn(move || {
+            let _guard = reg2.views.write().unwrap();
+            panic!("publisher dies mid-publish");
+        })
+        .join();
+        // Readers and later publishers still work.
+        assert!(reg.get(&key).is_some());
+        reg.publish(
+            StateKey::new("job", "op", 1),
+            StateView::empty(StatePattern::Aur),
+        );
+        assert_eq!(reg.len(), 2);
+    }
+}

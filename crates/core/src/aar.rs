@@ -14,7 +14,7 @@
 //!   headline CPU saving of this store over an LSM baseline.
 
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -23,6 +23,7 @@ use flowkv_common::codec::{put_len_prefixed, put_varint_u64, Decoder};
 use flowkv_common::error::{Result, StoreError};
 use flowkv_common::logfile::{LogReader, LogWriter};
 use flowkv_common::metrics::{OpCategory, StoreMetrics};
+use flowkv_common::registry::ViewValue;
 use flowkv_common::types::WindowId;
 
 /// File name of the log holding one window's state.
@@ -212,6 +213,56 @@ impl AarStore {
         Ok(())
     }
 
+    /// Copies every live `(key, window)` value list into `out` for the
+    /// queryable-state registry (`flowkv_common::registry`).
+    ///
+    /// Disk state is read per window file (flushing that window's writer
+    /// first so the pass sees everything), then buffered pairs are
+    /// appended in arrival order — the same old-then-new order a drain
+    /// serves. Windows currently mid-drain are skipped: their state is
+    /// already being consumed by the engine and is gone from the store's
+    /// point of view. Nothing is removed.
+    pub fn collect_view(
+        &mut self,
+        out: &mut BTreeMap<(Vec<u8>, WindowId), ViewValue>,
+    ) -> Result<()> {
+        let mut windows: Vec<WindowId> = self
+            .on_disk
+            .iter()
+            .copied()
+            .filter(|w| !self.drains.contains_key(w))
+            .collect();
+        windows.sort();
+        for window in windows {
+            if let Some(w) = self.writers.get_mut(&window) {
+                w.flush()?;
+            }
+            let mut reader = LogReader::open(self.dir.join(window_file_name(window)))?;
+            let mut pairs: Vec<Pair> = Vec::new();
+            loop {
+                match reader.next_record() {
+                    Ok(Some((_, payload))) => decode_batch(&payload, &mut pairs)?,
+                    Ok(None) => break,
+                    // A torn tail ends the file, as in get_window_chunk.
+                    Err(e) if e.is_corruption() => break,
+                    Err(e) => return Err(e),
+                }
+            }
+            for (key, value) in pairs {
+                push_view_value(out, key, window, value)?;
+            }
+        }
+        for (&window, pairs) in &self.buffer {
+            if self.drains.contains_key(&window) {
+                continue;
+            }
+            for (key, value) in pairs {
+                push_view_value(out, key.clone(), window, value.clone())?;
+            }
+        }
+        Ok(())
+    }
+
     /// Approximate bytes of state held in memory.
     pub fn memory_bytes(&self) -> usize {
         self.buffer_bytes
@@ -335,6 +386,29 @@ fn decode_batch(payload: &[u8], out: &mut Vec<Pair>) -> Result<()> {
         out.push((k, v));
     }
     Ok(())
+}
+
+/// Appends one value to the `(key, window)` list of a snapshot view.
+///
+/// Shared by the AAR and AUR view builders (both snapshot value lists).
+pub(crate) fn push_view_value(
+    out: &mut BTreeMap<(Vec<u8>, WindowId), ViewValue>,
+    key: Vec<u8>,
+    window: WindowId,
+    value: Vec<u8>,
+) -> Result<()> {
+    match out
+        .entry((key, window))
+        .or_insert_with(|| ViewValue::Values(Vec::new()))
+    {
+        ViewValue::Values(values) => {
+            values.push(value);
+            Ok(())
+        }
+        ViewValue::Aggregate(_) => Err(StoreError::invalid_state(
+            "view value list collided with an aggregate",
+        )),
+    }
 }
 
 /// Groups a chunk's pairs by key, preserving first-seen key order.
@@ -507,6 +581,43 @@ mod tests {
             total += chunk.len();
         }
         assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn view_merges_disk_and_buffer_without_consuming() {
+        let dir = ScratchDir::new("aar-view").unwrap();
+        let mut s = store(dir.path());
+        let win = w(0, 100);
+        s.append(b"a", win, b"1").unwrap();
+        s.append(b"b", win, b"2").unwrap();
+        s.flush().unwrap();
+        s.append(b"a", win, b"3").unwrap();
+
+        let mut view = BTreeMap::new();
+        s.collect_view(&mut view).unwrap();
+        assert_eq!(
+            view.get(&(b"a".to_vec(), win)),
+            Some(&ViewValue::Values(vec![b"1".to_vec(), b"3".to_vec()]))
+        );
+        assert_eq!(
+            view.get(&(b"b".to_vec(), win)),
+            Some(&ViewValue::Values(vec![b"2".to_vec()]))
+        );
+
+        // A drain after the view sees exactly the same state.
+        let state = drain_all(&mut s, win);
+        let map: HashMap<Vec<u8>, Vec<Vec<u8>>> = state.into_iter().collect();
+        assert_eq!(map[&b"a".to_vec()], vec![b"1".to_vec(), b"3".to_vec()]);
+        assert_eq!(map[&b"b".to_vec()], vec![b"2".to_vec()]);
+
+        // A window mid-drain disappears from subsequent views.
+        let win2 = w(100, 200);
+        s.append(b"c", win2, b"x").unwrap();
+        s.flush().unwrap();
+        let _ = s.get_window_chunk(win2).unwrap();
+        let mut view2 = BTreeMap::new();
+        s.collect_view(&mut view2).unwrap();
+        assert!(view2.is_empty());
     }
 
     #[test]

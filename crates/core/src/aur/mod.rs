@@ -23,15 +23,17 @@ pub mod index_log;
 pub mod prefetch;
 pub mod stat;
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use flowkv_common::error::{Result, StoreError};
 use flowkv_common::logfile::{copy_range, LogReader, LogWriter, RandomAccessLog};
 use flowkv_common::metrics::{OpCategory, StoreMetrics};
+use flowkv_common::registry::ViewValue;
 use flowkv_common::types::{Timestamp, WindowId};
 
+use crate::aar::push_view_value;
 use crate::ett::EttPredictor;
 use index_log::{decode_values, encode_values, IndexEntry, IndexEntryRef};
 use prefetch::PrefetchBuffer;
@@ -282,6 +284,78 @@ impl AurStore {
             w.flush()?;
         }
         self.metrics.add_flush();
+        Ok(())
+    }
+
+    /// Copies every live `(key, window)` value list into `out` for the
+    /// queryable-state registry (`flowkv_common::registry`).
+    ///
+    /// Works like a read-only replica of the predictive batch read's
+    /// index scan: it walks the index log from the committed scan start,
+    /// skips each state key's dead prefix of consumed records using a
+    /// *local* counter map (never touching `consumed_records` or
+    /// `index_scan_start`), loads the live locations in offset order, and
+    /// finally appends buffered values after disk values — the same
+    /// old-then-new order a `take` serves. The prefetch buffer is a pure
+    /// cache of disk state and needs no special handling.
+    pub fn collect_view(
+        &mut self,
+        out: &mut BTreeMap<(Vec<u8>, WindowId), ViewValue>,
+    ) -> Result<()> {
+        if !self.stat.is_empty() {
+            if let Some(w) = self.data_writer.as_mut() {
+                w.flush()?;
+            }
+            if let Some(w) = self.index_writer.as_mut() {
+                w.flush()?;
+            }
+            let index_path = self.dir.join(index_file_name(self.generation));
+            if index_path.exists() {
+                let mut wanted: Vec<(StateKey, u64)> = Vec::new();
+                let mut seen: HashMap<StateKey, u64> = HashMap::new();
+                let mut reader = LogReader::open_at(&index_path, self.index_scan_start)?;
+                while let Some((_, payload)) = reader.next_record()? {
+                    let entry = IndexEntryRef::decode(&payload)?;
+                    let dead_prefix = self
+                        .consumed_records
+                        .get(entry.key)
+                        .and_then(|ws| ws.get(&entry.window))
+                        .copied()
+                        .unwrap_or(0);
+                    let is_dead = if dead_prefix == 0 {
+                        false
+                    } else {
+                        let position = seen.entry((entry.key.to_vec(), entry.window)).or_insert(0);
+                        let dead = *position < dead_prefix;
+                        *position += 1;
+                        dead
+                    };
+                    if is_dead || self.stat.get(entry.key, entry.window).is_none() {
+                        continue;
+                    }
+                    wanted.push(((entry.key.to_vec(), entry.window), entry.offset));
+                }
+                wanted.sort_by_key(|(_, offset)| *offset);
+                if !wanted.is_empty() && self.data_reader.is_none() {
+                    let data_path = self.dir.join(data_file_name(self.generation));
+                    self.data_reader = Some(RandomAccessLog::open(&data_path)?);
+                }
+                if let Some(data) = self.data_reader.as_mut() {
+                    for ((key, window), offset) in wanted {
+                        let payload = data.read_record_at(offset)?;
+                        let values = decode_values(&payload)?;
+                        for value in values {
+                            push_view_value(out, key.clone(), window, value)?;
+                        }
+                    }
+                }
+            }
+        }
+        for ((key, window), values) in &self.buffer {
+            for value in values {
+                push_view_value(out, key.clone(), *window, value.clone())?;
+            }
+        }
         Ok(())
     }
 
@@ -955,6 +1029,41 @@ mod tests {
                 1.0 / r
             );
         }
+    }
+
+    #[test]
+    fn view_sees_live_state_and_skips_consumed_windows() {
+        let dir = ScratchDir::new("aur-view").unwrap();
+        let mut cfg = cfg_small();
+        cfg.read_batch_ratio = 0.0;
+        let mut s = session_store(dir.path(), cfg);
+        s.append(b"live", w(0, 100), b"d1", 10).unwrap();
+        s.append(b"gone", w(0, 100), b"x", 10).unwrap();
+        s.flush().unwrap();
+        s.append(b"live", w(0, 100), b"d2", 20).unwrap();
+        s.flush().unwrap();
+        s.append(b"live", w(0, 100), b"mem", 30).unwrap();
+        // Consume one window so its index entries become a dead prefix.
+        s.take(b"gone", w(0, 100)).unwrap();
+
+        let mut view = BTreeMap::new();
+        s.collect_view(&mut view).unwrap();
+        assert_eq!(view.len(), 1);
+        assert_eq!(
+            view.get(&(b"live".to_vec(), w(0, 100))),
+            Some(&ViewValue::Values(vec![
+                b"d1".to_vec(),
+                b"d2".to_vec(),
+                b"mem".to_vec()
+            ]))
+        );
+
+        // Building the view consumed nothing and broke no invariants.
+        assert_eq!(
+            s.take(b"live", w(0, 100)).unwrap(),
+            vec![b"d1".to_vec(), b"d2".to_vec(), b"mem".to_vec()]
+        );
+        assert!(s.take(b"live", w(0, 100)).unwrap().is_empty());
     }
 
     #[test]

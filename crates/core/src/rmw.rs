@@ -9,7 +9,7 @@
 //! single-threaded stream workers. Compaction rewrites the log when
 //! space amplification exceeds the MSA, like the AUR store.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -17,6 +17,7 @@ use flowkv_common::codec::{put_len_prefixed, Decoder};
 use flowkv_common::error::{Result, StoreError};
 use flowkv_common::logfile::{LogReader, LogWriter, RandomAccessLog};
 use flowkv_common::metrics::{OpCategory, StoreMetrics};
+use flowkv_common::registry::ViewValue;
 use flowkv_common::types::WindowId;
 
 /// Tuning knobs of one RMW store instance.
@@ -47,6 +48,15 @@ fn composite_key(key: &[u8], window: WindowId) -> Vec<u8> {
     out.extend_from_slice(&window.to_ordered_bytes());
     out.extend_from_slice(key);
     out
+}
+
+/// Splits a composite key back into `(user-key, window)`.
+fn split_composite(composite: &[u8]) -> Result<(Vec<u8>, WindowId)> {
+    if composite.len() < 16 {
+        return Err(StoreError::invalid_state("rmw composite key too short"));
+    }
+    let window = WindowId::from_ordered_bytes(&composite[..16])?;
+    Ok((composite[16..].to_vec(), window))
 }
 
 /// The read-modify-write store for one partition.
@@ -172,6 +182,49 @@ impl RmwStore {
         self.metrics.add_flush();
         drop(_t);
         self.maybe_compact()
+    }
+
+    /// Copies every live aggregate into `out` for the queryable-state
+    /// registry (`flowkv_common::registry`).
+    ///
+    /// Flushed aggregates are recovered with one sequential pass over
+    /// the value log, keeping only records the index still points at and
+    /// that no dirty buffer entry shadows; buffered aggregates are then
+    /// copied on top. The store's logical state is untouched — at most
+    /// the log writer's userspace buffer is flushed so the pass sees
+    /// every indexed record.
+    pub fn collect_view(
+        &mut self,
+        out: &mut BTreeMap<(Vec<u8>, WindowId), ViewValue>,
+    ) -> Result<()> {
+        if !self.index.is_empty() {
+            if let Some(w) = self.writer.as_mut() {
+                w.flush()?;
+            }
+            let path = self.dir.join(log_file_name(self.generation));
+            if path.exists() {
+                let mut reader = LogReader::open(&path)?;
+                while let Some((loc, payload)) = reader.next_record()? {
+                    let mut dec = Decoder::new(&payload);
+                    let composite = dec.get_len_prefixed()?;
+                    let live = self
+                        .index
+                        .get(composite)
+                        .is_some_and(|&(offset, _)| offset == loc.offset);
+                    if !live || self.buffer.contains_key(composite) {
+                        continue;
+                    }
+                    let (key, window) = split_composite(composite)?;
+                    let aggregate = dec.get_len_prefixed()?.to_vec();
+                    out.insert((key, window), ViewValue::Aggregate(aggregate));
+                }
+            }
+        }
+        for (composite, aggregate) in &self.buffer {
+            let (key, window) = split_composite(composite)?;
+            out.insert((key, window), ViewValue::Aggregate(aggregate.clone()));
+        }
+        Ok(())
     }
 
     /// Approximate bytes of state held in memory.
@@ -494,6 +547,39 @@ mod tests {
         assert_eq!(s.take(b"a", win).unwrap(), Some(b"1".to_vec()));
         assert_eq!(s.take(b"gone", win).unwrap(), None);
         assert_eq!(s.take(b"b", win).unwrap(), None);
+    }
+
+    #[test]
+    fn view_sees_buffered_and_flushed_without_consuming() {
+        let dir = ScratchDir::new("rmw-view").unwrap();
+        let mut s = store(dir.path());
+        let win = w(0, 100);
+        s.put(b"flushed", win, b"old").unwrap();
+        s.put(b"shadowed", win, b"stale").unwrap();
+        s.flush().unwrap();
+        s.put(b"shadowed", win, b"fresh").unwrap();
+        s.put(b"dirty", win, b"hot").unwrap();
+
+        let mut view = BTreeMap::new();
+        s.collect_view(&mut view).unwrap();
+        assert_eq!(view.len(), 3);
+        assert_eq!(
+            view.get(&(b"flushed".to_vec(), win)),
+            Some(&ViewValue::Aggregate(b"old".to_vec()))
+        );
+        assert_eq!(
+            view.get(&(b"shadowed".to_vec(), win)),
+            Some(&ViewValue::Aggregate(b"fresh".to_vec()))
+        );
+        assert_eq!(
+            view.get(&(b"dirty".to_vec(), win)),
+            Some(&ViewValue::Aggregate(b"hot".to_vec()))
+        );
+
+        // Building the view consumed nothing.
+        assert_eq!(s.take(b"flushed", win).unwrap(), Some(b"old".to_vec()));
+        assert_eq!(s.take(b"shadowed", win).unwrap(), Some(b"fresh".to_vec()));
+        assert_eq!(s.take(b"dirty", win).unwrap(), Some(b"hot".to_vec()));
     }
 
     #[test]

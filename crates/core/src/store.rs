@@ -18,6 +18,7 @@ use flowkv_common::backend::{
 };
 use flowkv_common::error::{Result, StoreError};
 use flowkv_common::metrics::StoreMetrics;
+use flowkv_common::registry::{StatePattern, StateView};
 use flowkv_common::types::{Timestamp, WindowId};
 
 use crate::aar::AarStore;
@@ -200,6 +201,29 @@ impl StateBackend for FlowKvStore {
             Inner::Aur(p) => p.iter_mut().try_for_each(AurStore::flush),
             Inner::Rmw(p) => p.iter_mut().try_for_each(RmwStore::flush),
         }
+    }
+
+    fn read_view(&mut self) -> Result<Option<StateView>> {
+        let mut view = StateView::empty(match self.pattern {
+            AccessPattern::Aar => StatePattern::Aar,
+            AccessPattern::Aur => StatePattern::Aur,
+            AccessPattern::Rmw => StatePattern::Rmw,
+        });
+        // Key-hash routing makes instance key spaces disjoint, so merging
+        // the per-instance maps never collides.
+        match &mut self.inner {
+            Inner::Aar(p) => p
+                .iter_mut()
+                .try_for_each(|s| s.collect_view(&mut view.entries))?,
+            Inner::Aur(p) => p
+                .iter_mut()
+                .try_for_each(|s| s.collect_view(&mut view.entries))?,
+            Inner::Rmw(p) => p
+                .iter_mut()
+                .try_for_each(|s| s.collect_view(&mut view.entries))?,
+        }
+        view.metrics = self.metrics.snapshot();
+        Ok(Some(view))
     }
 
     fn metrics(&self) -> Arc<StoreMetrics> {
@@ -441,6 +465,38 @@ mod tests {
             b.take_aggregate(b"k", WindowId::global()).unwrap(),
             Some(b"1".to_vec())
         );
+    }
+
+    #[test]
+    fn read_view_merges_instances_and_never_consumes() {
+        use flowkv_common::registry::ViewValue;
+        let dir = ScratchDir::new("fkv-view").unwrap();
+        let mut s = open(
+            dir.path(),
+            AggregateKind::FullList,
+            WindowKind::Session { gap: 50 },
+        );
+        let win = w(0, 100);
+        for i in 0..20u32 {
+            s.append(format!("key-{i}").as_bytes(), win, &i.to_le_bytes(), 1)
+                .unwrap();
+        }
+        let view = s.read_view().unwrap().expect("flowkv is queryable");
+        assert_eq!(view.pattern, StatePattern::Aur);
+        assert_eq!(view.len(), 20);
+        for i in 0..20u32 {
+            assert_eq!(
+                view.get(format!("key-{i}").as_bytes(), win),
+                Some(&ViewValue::Values(vec![i.to_le_bytes().to_vec()]))
+            );
+        }
+        // The snapshot consumed nothing: every key is still takeable.
+        for i in 0..20u32 {
+            assert_eq!(
+                s.take_values(format!("key-{i}").as_bytes(), win).unwrap(),
+                vec![i.to_le_bytes().to_vec()]
+            );
+        }
     }
 
     #[test]

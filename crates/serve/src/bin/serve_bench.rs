@@ -1,0 +1,191 @@
+//! Load generator for the queryable-state server.
+//!
+//! Runs a rate-limited NEXMark Q12 job (RMW pattern: per-bidder counts
+//! over a global window) with snapshot publication enabled, serves the
+//! registry over TCP, and hammers the server with point lookups from a
+//! pool of client threads while the job is still ingesting. Reports
+//! sustained lookup throughput and p50/p99/p999 latency, and writes the
+//! same numbers to `BENCH_serve.json`.
+//!
+//! Usage:
+//! `cargo run --release -p flowkv-serve --bin serve_bench -- \
+//!   [--events=1000000] [--rate=100000] [--threads=4] \
+//!   [--measure-secs=5] [--parallelism=2] [--seed=1]`
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use flowkv_bench::{flowkv_cfg, run_cell, workload, CellOutcome, HarnessArgs};
+use flowkv_common::registry::StateRegistry;
+use flowkv_common::types::{MAX_TIMESTAMP, MIN_TIMESTAMP};
+use flowkv_nexmark::{QueryId, QueryParams};
+use flowkv_serve::{StateClient, StateServer};
+use flowkv_spe::BackendChoice;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Q12's job/operator coordinates (see `flowkv_nexmark::queries`).
+const JOB: &str = "q12";
+const OPERATOR: &str = "count-global";
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let events = args.u64("events", 1_000_000);
+    let rate = args.u64("rate", 100_000);
+    let threads = args.u64("threads", 4) as usize;
+    let measure_secs = args.f64("measure-secs", 5.0);
+    let parallelism = args.u64("parallelism", 2) as usize;
+    let seed = args.u64("seed", 1);
+
+    eprintln!(
+        "serve_bench: Q12 ({} events at {rate}/s, p={parallelism}) + {threads} lookup threads \
+         for {measure_secs:.1}s",
+        events
+    );
+
+    let registry = StateRegistry::new_shared();
+
+    // The job runs in the background, throttled so it is still live —
+    // appending to its RMW stores and republishing snapshots — while the
+    // lookup threads measure.
+    let job_registry = Arc::clone(&registry);
+    let job_thread = std::thread::spawn(move || {
+        run_cell(
+            QueryId::Q12,
+            &BackendChoice::FlowKv(flowkv_cfg()),
+            workload(events, seed),
+            QueryParams::new(1_000).with_parallelism(parallelism),
+            Duration::from_secs(600),
+            move |opts| {
+                opts.rate_limit = Some(rate);
+                opts.watermark_interval = 200;
+                opts.registry = Some(job_registry);
+            },
+        )
+    });
+
+    let mut server =
+        StateServer::spawn("127.0.0.1:0", Arc::clone(&registry)).expect("server spawn");
+    let addr = server.local_addr();
+    eprintln!("serve_bench: state server on {addr}");
+
+    // Wait for the first snapshots, then sample real keys off a scan so
+    // the lookup mix queries state that actually exists.
+    let mut sampler = StateClient::connect(addr).expect("sampler connect");
+    let keys = loop {
+        let scan = sampler
+            .scan(JOB, OPERATOR, MIN_TIMESTAMP, MAX_TIMESTAMP, 10_000)
+            .ok();
+        match scan {
+            Some(s) if s.entries.len() >= 100 => {
+                break s.entries.into_iter().map(|e| e.key).collect::<Vec<_>>();
+            }
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    eprintln!("serve_bench: sampled {} live keys", keys.len());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let keys = Arc::new(keys);
+    let mut workers = Vec::new();
+    let measure_start = Instant::now();
+    for t in 0..threads {
+        let stop = Arc::clone(&stop);
+        let keys = Arc::clone(&keys);
+        workers.push(std::thread::spawn(move || {
+            let mut client = StateClient::connect(addr).expect("client connect");
+            let mut rng = StdRng::seed_from_u64(0xbeef ^ t as u64);
+            let mut latencies = Vec::with_capacity(1 << 20);
+            let mut found = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = &keys[rng.gen_range(0..keys.len())];
+                let begin = Instant::now();
+                let result = client
+                    .lookup_latest(JOB, OPERATOR, key)
+                    .expect("lookup failed");
+                latencies.push(begin.elapsed().as_nanos() as u64);
+                if result.found.is_some() {
+                    found += 1;
+                }
+            }
+            (latencies, found)
+        }));
+    }
+
+    std::thread::sleep(Duration::from_secs_f64(measure_secs));
+    stop.store(true, Ordering::SeqCst);
+    let mut latencies = Vec::new();
+    let mut found = 0u64;
+    for w in workers {
+        let (l, f) = w.join().expect("worker panicked");
+        latencies.extend(l);
+        found += f;
+    }
+    let elapsed = measure_start.elapsed().as_secs_f64();
+    let job_live_after_measurement = !job_thread.is_finished();
+
+    latencies.sort_unstable();
+    let total = latencies.len() as u64;
+    let throughput = total as f64 / elapsed;
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let p999 = percentile(&latencies, 0.999);
+
+    // Let the job drain, then shut the server down.
+    let outcome = job_thread.join().expect("job thread panicked");
+    let job_ok = matches!(outcome, CellOutcome::Ok(_));
+    let (job_inputs, job_outputs) = match &outcome {
+        CellOutcome::Ok(r) => (r.input_count, r.output_count),
+        _ => (0, 0),
+    };
+    let requests = server.requests_served();
+    server.shutdown();
+
+    println!(
+        "lookups: {total} in {elapsed:.2}s = {throughput:.0}/s  \
+         (hit {found}, server answered {requests} total)"
+    );
+    println!(
+        "latency: p50 {:.1}us  p99 {:.1}us  p999 {:.1}us",
+        p50 as f64 / 1_000.0,
+        p99 as f64 / 1_000.0,
+        p999 as f64 / 1_000.0,
+    );
+    println!(
+        "job: ok={job_ok} inputs={job_inputs} outputs={job_outputs} \
+         live_during_measurement={job_live_after_measurement}"
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve_point_lookups\",\n  \"query\": \"Q12\",\n  \
+         \"pattern\": \"RMW\",\n  \"events\": {events},\n  \"ingest_rate\": {rate},\n  \
+         \"threads\": {threads},\n  \"measure_secs\": {elapsed:.3},\n  \
+         \"lookups\": {total},\n  \"lookups_found\": {found},\n  \
+         \"throughput_per_sec\": {throughput:.1},\n  \
+         \"p50_nanos\": {p50},\n  \"p99_nanos\": {p99},\n  \"p999_nanos\": {p999},\n  \
+         \"job_live_during_measurement\": {job_live_after_measurement},\n  \
+         \"job_completed_ok\": {job_ok}\n}}\n"
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    eprintln!("serve_bench: wrote BENCH_serve.json");
+
+    if !job_ok {
+        let reason = match &outcome {
+            CellOutcome::OutOfMemory => "out of memory".to_string(),
+            CellOutcome::Timeout => "timeout".to_string(),
+            CellOutcome::Failed(msg) => msg.clone(),
+            CellOutcome::Ok(_) => unreachable!(),
+        };
+        eprintln!("serve_bench: job failed: {reason}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Blocking client for the FlowKV state server.
+//!
+//! One [`StateClient`] wraps one TCP connection and issues strictly
+//! sequential request/response exchanges; it is deliberately not
+//! `Sync` — spawn one client per querying thread, as the load generator
+//! does.
+
+use std::io::BufWriter;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use flowkv_common::error::{Result, StoreError};
+use flowkv_common::metrics::MetricsSnapshot;
+use flowkv_common::registry::{StatePattern, ViewValue};
+use flowkv_common::types::{Timestamp, WindowId};
+
+use crate::protocol::{read_frame, write_frame, Request, Response, ScanEntry, StateInfo};
+
+/// A point-lookup answer: the snapshot coordinates plus the value, if
+/// the key was live.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LookupResult {
+    /// Epoch of the snapshot that answered.
+    pub epoch: u64,
+    /// Watermark the snapshot is aligned to.
+    pub watermark: Timestamp,
+    /// `(window, value)` if the key was found.
+    pub found: Option<(WindowId, ViewValue)>,
+}
+
+/// A range-scan answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanResult {
+    /// Minimum epoch across the answering partitions.
+    pub epoch: u64,
+    /// Minimum watermark across the answering partitions.
+    pub watermark: Timestamp,
+    /// Matching entries.
+    pub entries: Vec<ScanEntry>,
+}
+
+/// An operator-metrics answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsResult {
+    /// Pattern of the operator's store.
+    pub pattern: StatePattern,
+    /// Partitions merged into the report.
+    pub partitions: u64,
+    /// Live entries across partitions.
+    pub entries: u64,
+    /// Minimum watermark across partitions.
+    pub watermark: Timestamp,
+    /// Summed store counters.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Blocking connection to a [`StateServer`](crate::server::StateServer).
+pub struct StateClient {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+}
+
+impl StateClient {
+    /// Connects to a state server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| StoreError::io("state client connect", e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| StoreError::io("state client set_nodelay", e))?;
+        let reader = stream
+            .try_clone()
+            .map_err(|e| StoreError::io("state client clone", e))?;
+        Ok(StateClient {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Caps how long a single response read may block.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.reader
+            .set_read_timeout(timeout)
+            .map_err(|e| StoreError::io("state client set_read_timeout", e))
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response> {
+        use std::io::Write as _;
+        write_frame(&mut self.writer, &request.encode())?;
+        self.writer
+            .flush()
+            .map_err(|e| StoreError::io("state client flush", e))?;
+        let payload = read_frame(&mut self.reader)?
+            .ok_or_else(|| StoreError::invalid_state("server closed the connection"))?;
+        let response = Response::decode(&payload)?;
+        if let Response::Error { code, message } = response {
+            return Err(StoreError::invalid_state(format!(
+                "server error ({code:?}): {message}"
+            )));
+        }
+        Ok(response)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Enumerates every published state.
+    pub fn list_states(&mut self) -> Result<Vec<StateInfo>> {
+        match self.call(&Request::ListStates)? {
+            Response::States(states) => Ok(states),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Looks up `key` in a specific window.
+    pub fn lookup(
+        &mut self,
+        job: &str,
+        operator: &str,
+        key: &[u8],
+        window: WindowId,
+    ) -> Result<LookupResult> {
+        self.lookup_inner(job, operator, key, Some(window))
+    }
+
+    /// Looks up `key` in its latest live window.
+    pub fn lookup_latest(&mut self, job: &str, operator: &str, key: &[u8]) -> Result<LookupResult> {
+        self.lookup_inner(job, operator, key, None)
+    }
+
+    fn lookup_inner(
+        &mut self,
+        job: &str,
+        operator: &str,
+        key: &[u8],
+        window: Option<WindowId>,
+    ) -> Result<LookupResult> {
+        let request = Request::Lookup {
+            job: job.into(),
+            operator: operator.into(),
+            key: key.to_vec(),
+            window,
+        };
+        match self.call(&request)? {
+            Response::Value {
+                epoch,
+                watermark,
+                found,
+            } => Ok(LookupResult {
+                epoch,
+                watermark,
+                found,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Scans every entry whose window overlaps `[range_start, range_end]`.
+    pub fn scan(
+        &mut self,
+        job: &str,
+        operator: &str,
+        range_start: Timestamp,
+        range_end: Timestamp,
+        limit: u64,
+    ) -> Result<ScanResult> {
+        let request = Request::Scan {
+            job: job.into(),
+            operator: operator.into(),
+            range_start,
+            range_end,
+            limit,
+        };
+        match self.call(&request)? {
+            Response::ScanResult {
+                epoch,
+                watermark,
+                entries,
+            } => Ok(ScanResult {
+                epoch,
+                watermark,
+                entries,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches merged store metrics for one operator.
+    pub fn metrics(&mut self, job: &str, operator: &str) -> Result<MetricsResult> {
+        let request = Request::Metrics {
+            job: job.into(),
+            operator: operator.into(),
+        };
+        match self.call(&request)? {
+            Response::MetricsReport {
+                pattern,
+                partitions,
+                entries,
+                watermark,
+                metrics,
+            } => Ok(MetricsResult {
+                pattern,
+                partitions,
+                entries,
+                watermark,
+                metrics,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> StoreError {
+    StoreError::invalid_state(format!("unexpected response type: {resp:?}"))
+}

@@ -1,0 +1,33 @@
+//! Queryable-state serving layer for FlowKV.
+//!
+//! Stream-processing state is traditionally opaque: the only way to
+//! observe an aggregate is to wait for the job to emit it. This crate
+//! adds an external read path over live FlowKV stores without perturbing
+//! the write path:
+//!
+//! 1. Workers publish immutable, epoch-pinned
+//!    [`StateView`](flowkv_common::registry::StateView) snapshots into a
+//!    shared [`StateRegistry`](flowkv_common::registry::StateRegistry)
+//!    each time their watermark advances (see
+//!    `RunOptions::registry` in `flowkv-spe`).
+//! 2. [`StateServer`](server::StateServer) answers point lookups,
+//!    window-range scans, and metrics queries over those snapshots via a
+//!    length-prefixed binary TCP protocol ([`protocol`]).
+//! 3. [`StateClient`](client::StateClient) is the matching blocking
+//!    client; the `serve_bench` binary is a multi-threaded load
+//!    generator reporting lookup throughput and latency percentiles.
+//!
+//! Because snapshots are immutable and reads never touch worker-owned
+//! stores, serving is invisible to the job: outputs are byte-identical
+//! with or without concurrent queries (asserted by this crate's
+//! integration tests).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{LookupResult, MetricsResult, ScanResult, StateClient};
+pub use protocol::{ErrorCode, Request, Response, ScanEntry, StateInfo, MAX_FRAME};
+pub use server::{route_key, StateServer};

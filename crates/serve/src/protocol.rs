@@ -1,0 +1,663 @@
+//! The length-prefixed binary wire protocol of the state server.
+//!
+//! Every message travels as one **frame**:
+//!
+//! ```text
+//! +----------------+---------+-----------------------+
+//! | len: u32 (LE)  | opcode  | body (len - 1 bytes)  |
+//! +----------------+---------+-----------------------+
+//! ```
+//!
+//! `len` counts the opcode byte plus the body and is bounded by
+//! [`MAX_FRAME`]; a peer announcing a larger frame is rejected before any
+//! body byte is read, so a malicious or corrupt length cannot force an
+//! allocation. Bodies are built from the same varint / fixed-width
+//! primitives as every on-disk structure
+//! ([`flowkv_common::codec`]), so request and response encodings are
+//! deterministic and self-delimiting.
+//!
+//! Requests and responses are separate opcode spaces (`0x0_` vs `0x8_`).
+//! Every request yields exactly one response on the same connection, in
+//! order — the protocol is strictly request/response, which keeps the
+//! blocking client trivial.
+
+use std::io::{Read, Write};
+
+use flowkv_common::codec::{put_len_prefixed, put_u32, Decoder};
+use flowkv_common::error::{Result, StoreError};
+use flowkv_common::metrics::MetricsSnapshot;
+use flowkv_common::registry::{StateDescriptor, StateKey, StatePattern, ViewValue};
+use flowkv_common::types::{Timestamp, WindowId};
+
+/// Upper bound on one frame's payload (opcode + body), in bytes.
+///
+/// Large enough for a generous scan result, small enough that a bogus
+/// length header cannot balloon memory.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Byte length of the frame header (the `u32` length prefix).
+pub const FRAME_HEADER: usize = 4;
+
+fn proto_err(detail: impl Into<String>) -> StoreError {
+    StoreError::invalid_state(detail.into())
+}
+
+/// Writes one frame (length prefix + payload) to `w`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    if payload.is_empty() || payload.len() > MAX_FRAME {
+        return Err(proto_err(format!(
+            "outgoing frame of {} bytes outside 1..={MAX_FRAME}",
+            payload.len()
+        )));
+    }
+    let mut header = Vec::with_capacity(FRAME_HEADER);
+    put_u32(&mut header, payload.len() as u32);
+    w.write_all(&header)
+        .and_then(|()| w.write_all(payload))
+        .map_err(|e| StoreError::io("frame write", e))?;
+    Ok(())
+}
+
+/// Reads one frame's payload from `r`.
+///
+/// Returns `Ok(None)` on a clean EOF before any header byte (the peer
+/// closed between requests); a length outside `1..=MAX_FRAME` or a
+/// truncated body is an error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut header = [0u8; FRAME_HEADER];
+    let mut filled = 0;
+    while filled < FRAME_HEADER {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(proto_err("connection closed inside a frame header")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(StoreError::io("frame header read", e)),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(proto_err(format!(
+            "incoming frame length {len} outside 1..={MAX_FRAME}"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| StoreError::io("frame body read", e))?;
+    Ok(Some(payload))
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_len_prefixed(buf, s.as_bytes());
+}
+
+fn get_str(dec: &mut Decoder<'_>) -> Result<String> {
+    let bytes = dec.get_len_prefixed()?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| proto_err("string field is not UTF-8"))
+}
+
+fn put_window(buf: &mut Vec<u8>, w: WindowId) {
+    buf.extend_from_slice(&w.start.to_le_bytes());
+    buf.extend_from_slice(&w.end.to_le_bytes());
+}
+
+fn get_window(dec: &mut Decoder<'_>) -> Result<WindowId> {
+    let start = dec.get_i64()?;
+    let end = dec.get_i64()?;
+    Ok(WindowId { start, end })
+}
+
+fn put_view_value(buf: &mut Vec<u8>, v: &ViewValue) {
+    match v {
+        ViewValue::Aggregate(a) => {
+            buf.push(0);
+            put_len_prefixed(buf, a);
+        }
+        ViewValue::Values(vs) => {
+            buf.push(1);
+            flowkv_common::codec::put_varint_u64(buf, vs.len() as u64);
+            for v in vs {
+                put_len_prefixed(buf, v);
+            }
+        }
+    }
+}
+
+fn get_view_value(dec: &mut Decoder<'_>) -> Result<ViewValue> {
+    match dec.take(1, "view-value tag")?[0] {
+        0 => Ok(ViewValue::Aggregate(dec.get_len_prefixed()?.to_vec())),
+        1 => {
+            let n = dec.get_varint_u64()? as usize;
+            if n > MAX_FRAME {
+                return Err(proto_err("view-value list count exceeds frame bound"));
+            }
+            let mut vs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                vs.push(dec.get_len_prefixed()?.to_vec());
+            }
+            Ok(ViewValue::Values(vs))
+        }
+        tag => Err(proto_err(format!("unknown view-value tag {tag}"))),
+    }
+}
+
+fn put_metrics(buf: &mut Vec<u8>, m: &MetricsSnapshot) {
+    for v in [
+        m.write_nanos,
+        m.read_nanos,
+        m.compaction_nanos,
+        m.bytes_written,
+        m.bytes_read,
+        m.records_written,
+        m.records_read,
+        m.prefetch_hits,
+        m.prefetch_misses,
+        m.prefetch_evictions,
+        m.flushes,
+        m.compactions,
+    ] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn get_metrics(dec: &mut Decoder<'_>) -> Result<MetricsSnapshot> {
+    let mut m = MetricsSnapshot::default();
+    for field in [
+        &mut m.write_nanos,
+        &mut m.read_nanos,
+        &mut m.compaction_nanos,
+        &mut m.bytes_written,
+        &mut m.bytes_read,
+        &mut m.records_written,
+        &mut m.records_read,
+        &mut m.prefetch_hits,
+        &mut m.prefetch_misses,
+        &mut m.prefetch_evictions,
+        &mut m.flushes,
+        &mut m.compactions,
+    ] {
+        *field = dec.get_u64()?;
+    }
+    Ok(m)
+}
+
+/// A query sent by a client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Enumerate every published state.
+    ListStates,
+    /// Point lookup of `key` in one operator's state. With `window`
+    /// unset, the key's latest live window answers (the natural query
+    /// for RMW aggregates).
+    Lookup {
+        /// Job name.
+        job: String,
+        /// Operator name.
+        operator: String,
+        /// State key queried.
+        key: Vec<u8>,
+        /// Exact window, or `None` for the latest.
+        window: Option<WindowId>,
+    },
+    /// Range scan over every entry whose window overlaps
+    /// `[range_start, range_end]`, across all partitions of the operator.
+    Scan {
+        /// Job name.
+        job: String,
+        /// Operator name.
+        operator: String,
+        /// Inclusive event-time range start.
+        range_start: Timestamp,
+        /// Inclusive event-time range end.
+        range_end: Timestamp,
+        /// Maximum entries returned.
+        limit: u64,
+    },
+    /// Merged store metrics of one operator.
+    Metrics {
+        /// Job name.
+        job: String,
+        /// Operator name.
+        operator: String,
+    },
+}
+
+const OP_PING: u8 = 0x01;
+const OP_LIST: u8 = 0x02;
+const OP_LOOKUP: u8 = 0x03;
+const OP_SCAN: u8 = 0x04;
+const OP_METRICS: u8 = 0x05;
+
+impl Request {
+    /// Encodes this request as one frame payload (opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Ping => buf.push(OP_PING),
+            Request::ListStates => buf.push(OP_LIST),
+            Request::Lookup {
+                job,
+                operator,
+                key,
+                window,
+            } => {
+                buf.push(OP_LOOKUP);
+                put_str(&mut buf, job);
+                put_str(&mut buf, operator);
+                put_len_prefixed(&mut buf, key);
+                match window {
+                    Some(w) => {
+                        buf.push(1);
+                        put_window(&mut buf, *w);
+                    }
+                    None => buf.push(0),
+                }
+            }
+            Request::Scan {
+                job,
+                operator,
+                range_start,
+                range_end,
+                limit,
+            } => {
+                buf.push(OP_SCAN);
+                put_str(&mut buf, job);
+                put_str(&mut buf, operator);
+                buf.extend_from_slice(&range_start.to_le_bytes());
+                buf.extend_from_slice(&range_end.to_le_bytes());
+                buf.extend_from_slice(&limit.to_le_bytes());
+            }
+            Request::Metrics { job, operator } => {
+                buf.push(OP_METRICS);
+                put_str(&mut buf, job);
+                put_str(&mut buf, operator);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a frame payload into a request.
+    pub fn decode(payload: &[u8]) -> Result<Self> {
+        let mut dec = Decoder::new(payload);
+        let opcode = dec.take(1, "request opcode")?[0];
+        let req = match opcode {
+            OP_PING => Request::Ping,
+            OP_LIST => Request::ListStates,
+            OP_LOOKUP => {
+                let job = get_str(&mut dec)?;
+                let operator = get_str(&mut dec)?;
+                let key = dec.get_len_prefixed()?.to_vec();
+                let window = match dec.take(1, "window flag")?[0] {
+                    0 => None,
+                    1 => Some(get_window(&mut dec)?),
+                    flag => return Err(proto_err(format!("bad window flag {flag}"))),
+                };
+                Request::Lookup {
+                    job,
+                    operator,
+                    key,
+                    window,
+                }
+            }
+            OP_SCAN => Request::Scan {
+                job: get_str(&mut dec)?,
+                operator: get_str(&mut dec)?,
+                range_start: dec.get_i64()?,
+                range_end: dec.get_i64()?,
+                limit: dec.get_u64()?,
+            },
+            OP_METRICS => Request::Metrics {
+                job: get_str(&mut dec)?,
+                operator: get_str(&mut dec)?,
+            },
+            other => return Err(proto_err(format!("unknown request opcode {other:#x}"))),
+        };
+        if !dec.is_empty() {
+            return Err(proto_err("trailing bytes after request"));
+        }
+        Ok(req)
+    }
+}
+
+/// One row of a [`Response::States`] listing — a wire-friendly
+/// [`StateDescriptor`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StateInfo {
+    /// Registry key of the published view.
+    pub key: StateKey,
+    /// Pattern of the source store.
+    pub pattern: StatePattern,
+    /// Snapshot epoch.
+    pub epoch: u64,
+    /// Watermark the snapshot is aligned to.
+    pub watermark: Timestamp,
+    /// Number of live entries.
+    pub entries: u64,
+}
+
+impl From<StateDescriptor> for StateInfo {
+    fn from(d: StateDescriptor) -> Self {
+        StateInfo {
+            key: d.key,
+            pattern: d.pattern,
+            epoch: d.epoch,
+            watermark: d.watermark,
+            entries: d.entries,
+        }
+    }
+}
+
+/// One `(key, window, value)` row of a scan result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanEntry {
+    /// The state key.
+    pub key: Vec<u8>,
+    /// The entry's window.
+    pub window: WindowId,
+    /// The entry's value.
+    pub value: ViewValue,
+}
+
+/// Error codes carried by [`Response::Error`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request could not be decoded.
+    BadRequest,
+    /// No state is published for the addressed job/operator.
+    UnknownState,
+    /// The server failed internally.
+    Internal,
+}
+
+impl ErrorCode {
+    fn as_u8(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 0,
+            ErrorCode::UnknownState => 1,
+            ErrorCode::Internal => 2,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<Self> {
+        match b {
+            0 => Ok(ErrorCode::BadRequest),
+            1 => Ok(ErrorCode::UnknownState),
+            2 => Ok(ErrorCode::Internal),
+            other => Err(proto_err(format!("unknown error code {other}"))),
+        }
+    }
+}
+
+/// The server's answer to one [`Request`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::ListStates`].
+    States(Vec<StateInfo>),
+    /// Answer to [`Request::Lookup`]: the value, if the key is live, plus
+    /// the snapshot's consistency coordinates.
+    Value {
+        /// Epoch of the answering snapshot.
+        epoch: u64,
+        /// Watermark of the answering snapshot.
+        watermark: Timestamp,
+        /// The window the value was found in, with its value.
+        found: Option<(WindowId, ViewValue)>,
+    },
+    /// Answer to [`Request::Scan`].
+    ScanResult {
+        /// Minimum epoch across the partitions answering the scan.
+        epoch: u64,
+        /// Minimum watermark across the answering partitions.
+        watermark: Timestamp,
+        /// Matching entries, in partition-then-key order.
+        entries: Vec<ScanEntry>,
+    },
+    /// Answer to [`Request::Metrics`]: counters merged across the
+    /// operator's partitions.
+    MetricsReport {
+        /// Pattern of the operator's store.
+        pattern: StatePattern,
+        /// Number of partitions merged.
+        partitions: u64,
+        /// Total live entries across partitions.
+        entries: u64,
+        /// Minimum watermark across partitions.
+        watermark: Timestamp,
+        /// Element-wise summed store counters.
+        metrics: MetricsSnapshot,
+    },
+    /// The request failed.
+    Error {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+const OP_PONG: u8 = 0x81;
+const OP_STATES: u8 = 0x82;
+const OP_VALUE: u8 = 0x83;
+const OP_SCAN_RESULT: u8 = 0x84;
+const OP_METRICS_REPORT: u8 = 0x85;
+const OP_ERROR: u8 = 0xee;
+
+impl Response {
+    /// Encodes this response as one frame payload (opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Pong => buf.push(OP_PONG),
+            Response::States(states) => {
+                buf.push(OP_STATES);
+                flowkv_common::codec::put_varint_u64(&mut buf, states.len() as u64);
+                for s in states {
+                    put_str(&mut buf, &s.key.job);
+                    put_str(&mut buf, &s.key.operator);
+                    buf.extend_from_slice(&(s.key.partition as u64).to_le_bytes());
+                    buf.push(s.pattern.as_u8());
+                    buf.extend_from_slice(&s.epoch.to_le_bytes());
+                    buf.extend_from_slice(&s.watermark.to_le_bytes());
+                    buf.extend_from_slice(&s.entries.to_le_bytes());
+                }
+            }
+            Response::Value {
+                epoch,
+                watermark,
+                found,
+            } => {
+                buf.push(OP_VALUE);
+                buf.extend_from_slice(&epoch.to_le_bytes());
+                buf.extend_from_slice(&watermark.to_le_bytes());
+                match found {
+                    Some((window, value)) => {
+                        buf.push(1);
+                        put_window(&mut buf, *window);
+                        put_view_value(&mut buf, value);
+                    }
+                    None => buf.push(0),
+                }
+            }
+            Response::ScanResult {
+                epoch,
+                watermark,
+                entries,
+            } => {
+                buf.push(OP_SCAN_RESULT);
+                buf.extend_from_slice(&epoch.to_le_bytes());
+                buf.extend_from_slice(&watermark.to_le_bytes());
+                flowkv_common::codec::put_varint_u64(&mut buf, entries.len() as u64);
+                for e in entries {
+                    put_len_prefixed(&mut buf, &e.key);
+                    put_window(&mut buf, e.window);
+                    put_view_value(&mut buf, &e.value);
+                }
+            }
+            Response::MetricsReport {
+                pattern,
+                partitions,
+                entries,
+                watermark,
+                metrics,
+            } => {
+                buf.push(OP_METRICS_REPORT);
+                buf.push(pattern.as_u8());
+                buf.extend_from_slice(&partitions.to_le_bytes());
+                buf.extend_from_slice(&entries.to_le_bytes());
+                buf.extend_from_slice(&watermark.to_le_bytes());
+                put_metrics(&mut buf, metrics);
+            }
+            Response::Error { code, message } => {
+                buf.push(OP_ERROR);
+                buf.push(code.as_u8());
+                put_str(&mut buf, message);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a frame payload into a response.
+    pub fn decode(payload: &[u8]) -> Result<Self> {
+        let mut dec = Decoder::new(payload);
+        let opcode = dec.take(1, "response opcode")?[0];
+        let resp = match opcode {
+            OP_PONG => Response::Pong,
+            OP_STATES => {
+                let n = dec.get_varint_u64()? as usize;
+                if n > MAX_FRAME {
+                    return Err(proto_err("state count exceeds frame bound"));
+                }
+                let mut states = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let job = get_str(&mut dec)?;
+                    let operator = get_str(&mut dec)?;
+                    let partition = dec.get_u64()? as usize;
+                    let pattern = StatePattern::from_u8(dec.take(1, "pattern")?[0]);
+                    states.push(StateInfo {
+                        key: StateKey::new(job, operator, partition),
+                        pattern,
+                        epoch: dec.get_u64()?,
+                        watermark: dec.get_i64()?,
+                        entries: dec.get_u64()?,
+                    });
+                }
+                Response::States(states)
+            }
+            OP_VALUE => {
+                let epoch = dec.get_u64()?;
+                let watermark = dec.get_i64()?;
+                let found = match dec.take(1, "found flag")?[0] {
+                    0 => None,
+                    1 => {
+                        let window = get_window(&mut dec)?;
+                        Some((window, get_view_value(&mut dec)?))
+                    }
+                    flag => return Err(proto_err(format!("bad found flag {flag}"))),
+                };
+                Response::Value {
+                    epoch,
+                    watermark,
+                    found,
+                }
+            }
+            OP_SCAN_RESULT => {
+                let epoch = dec.get_u64()?;
+                let watermark = dec.get_i64()?;
+                let n = dec.get_varint_u64()? as usize;
+                if n > MAX_FRAME {
+                    return Err(proto_err("scan count exceeds frame bound"));
+                }
+                let mut entries = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    entries.push(ScanEntry {
+                        key: dec.get_len_prefixed()?.to_vec(),
+                        window: get_window(&mut dec)?,
+                        value: get_view_value(&mut dec)?,
+                    });
+                }
+                Response::ScanResult {
+                    epoch,
+                    watermark,
+                    entries,
+                }
+            }
+            OP_METRICS_REPORT => Response::MetricsReport {
+                pattern: StatePattern::from_u8(dec.take(1, "pattern")?[0]),
+                partitions: dec.get_u64()?,
+                entries: dec.get_u64()?,
+                watermark: dec.get_i64()?,
+                metrics: get_metrics(&mut dec)?,
+            },
+            OP_ERROR => Response::Error {
+                code: ErrorCode::from_u8(dec.take(1, "error code")?[0])?,
+                message: get_str(&mut dec)?,
+            },
+            other => return Err(proto_err(format!("unknown response opcode {other:#x}"))),
+        };
+        if !dec.is_empty() {
+            return Err(proto_err("trailing bytes after response"));
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Ping.encode()).unwrap();
+        write_frame(&mut wire, &Request::ListStates.encode()).unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        let p1 = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(Request::decode(&p1).unwrap(), Request::Ping);
+        let p2 = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(Request::decode(&p2).unwrap(), Request::ListStates);
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        put_u32(&mut wire, (MAX_FRAME + 1) as u32);
+        wire.extend_from_slice(&[0u8; 16]);
+        let err = read_frame(&mut std::io::Cursor::new(wire)).unwrap_err();
+        assert!(err.to_string().contains("frame length"));
+    }
+
+    #[test]
+    fn zero_length_frame_is_rejected() {
+        let mut wire = Vec::new();
+        put_u32(&mut wire, 0);
+        let err = read_frame(&mut std::io::Cursor::new(wire)).unwrap_err();
+        assert!(err.to_string().contains("frame length"));
+    }
+
+    #[test]
+    fn truncated_body_is_an_error() {
+        let mut wire = Vec::new();
+        put_u32(&mut wire, 100);
+        wire.extend_from_slice(&[1u8; 10]);
+        assert!(read_frame(&mut std::io::Cursor::new(wire)).is_err());
+    }
+
+    #[test]
+    fn unknown_opcodes_are_rejected() {
+        assert!(Request::decode(&[0x7f]).is_err());
+        assert!(Response::decode(&[0x7f]).is_err());
+        assert!(Request::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = Request::Ping.encode();
+        payload.push(0);
+        assert!(Request::decode(&payload).is_err());
+    }
+}

@@ -1,0 +1,408 @@
+//! Threaded TCP server answering read-only queries over a
+//! [`StateRegistry`].
+//!
+//! The server never touches a live store: it only reads the immutable
+//! [`StateView`](flowkv_common::registry::StateView) snapshots workers
+//! publish at watermark boundaries. Each accepted connection gets its own
+//! thread running a request/response loop; snapshots are shared via
+//! `Arc`, so concurrent queries cost no copies and no coordination with
+//! the job's workers.
+
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use flowkv_common::error::{Result, StoreError};
+use flowkv_common::hash::partition_of;
+use flowkv_common::metrics::MetricsSnapshot;
+use flowkv_common::registry::{StateKey, StatePattern, StateRegistry};
+use flowkv_common::types::{Timestamp, MAX_TIMESTAMP};
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, Request, Response, ScanEntry, StateInfo,
+};
+
+/// How often the accept loop re-checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// A running state server.
+///
+/// Dropping the handle (or calling [`StateServer::shutdown`]) stops the
+/// accept loop and joins every connection thread.
+pub struct StateServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    served: Arc<AtomicU64>,
+}
+
+impl StateServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving queries over `registry`.
+    pub fn spawn(addr: impl ToSocketAddrs, registry: Arc<StateRegistry>) -> Result<Self> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| StoreError::io("state server bind", e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| StoreError::io("state server set_nonblocking", e))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| StoreError::io("state server local_addr", e))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let served = Arc::clone(&served);
+            std::thread::Builder::new()
+                .name("flowkv-serve-accept".into())
+                .spawn(move || accept_loop(listener, registry, stop, served))
+                .map_err(|e| StoreError::io("state server accept thread", e))?
+        };
+        Ok(StateServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+            served,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total requests answered so far (including errors).
+    pub fn requests_served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting connections and joins all serving threads.
+    ///
+    /// In-flight requests complete; idle connections are closed the next
+    /// time their read times out.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for StateServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    registry: Arc<StateRegistry>,
+    stop: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+) {
+    let mut conn_threads = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let registry = Arc::clone(&registry);
+                let stop = Arc::clone(&stop);
+                let served = Arc::clone(&served);
+                let handle = std::thread::Builder::new()
+                    .name("flowkv-serve-conn".into())
+                    .spawn(move || serve_connection(stream, registry, stop, served));
+                match handle {
+                    Ok(h) => conn_threads.push(h),
+                    Err(_) => continue,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+        // Reap finished connection threads so a long-lived server does
+        // not accumulate handles.
+        conn_threads.retain(|h| !h.is_finished());
+    }
+    for h in conn_threads {
+        let _ = h.join();
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    registry: Arc<StateRegistry>,
+    stop: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+) {
+    // A finite read timeout doubles as the shutdown poll interval: an
+    // idle connection wakes up, notices the flag, and exits.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    while !stop.load(Ordering::SeqCst) {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            Err(StoreError::Io { source, .. })
+                if matches!(
+                    source.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        let response = match Request::decode(&payload) {
+            Ok(request) => answer(&registry, request),
+            Err(e) => Response::Error {
+                code: ErrorCode::BadRequest,
+                message: e.to_string(),
+            },
+        };
+        served.fetch_add(1, Ordering::Relaxed);
+        use std::io::Write as _;
+        if write_frame(&mut writer, &response.encode()).is_err() || writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+fn unknown_state(job: &str, operator: &str) -> Response {
+    Response::Error {
+        code: ErrorCode::UnknownState,
+        message: format!("no published state for {job}/{operator}"),
+    }
+}
+
+/// Computes the response for one decoded request.
+///
+/// Exposed to the crate so the integration tests can exercise query
+/// semantics without a socket.
+pub(crate) fn answer(registry: &StateRegistry, request: Request) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::ListStates => {
+            Response::States(registry.list().into_iter().map(StateInfo::from).collect())
+        }
+        Request::Lookup {
+            job,
+            operator,
+            key,
+            window,
+        } => {
+            // Keys are routed to partitions by hash, exactly as the
+            // executor routes tuples, so only one snapshot can hold the
+            // key. The partition count is recovered from the registry:
+            // workers publish densely indexed partitions 0..n.
+            let views = registry.operator_views(&job, &operator);
+            if views.is_empty() {
+                return unknown_state(&job, &operator);
+            }
+            let n = views.last().map(|(p, _)| p + 1).unwrap_or(1);
+            let target = partition_of(&key, n);
+            let Some(view) = views
+                .iter()
+                .find(|(p, _)| *p == target)
+                .map(|(_, v)| Arc::clone(v))
+            else {
+                return unknown_state(&job, &operator);
+            };
+            let found = match window {
+                Some(w) => view.get(&key, w).map(|v| (w, v.clone())),
+                None => view.get_latest(&key).map(|(w, v)| (w, v.clone())),
+            };
+            Response::Value {
+                epoch: view.epoch,
+                watermark: view.watermark,
+                found,
+            }
+        }
+        Request::Scan {
+            job,
+            operator,
+            range_start,
+            range_end,
+            limit,
+        } => {
+            let views = registry.operator_views(&job, &operator);
+            if views.is_empty() {
+                return unknown_state(&job, &operator);
+            }
+            let limit = usize::try_from(limit).unwrap_or(usize::MAX);
+            let mut entries = Vec::new();
+            let mut epoch = u64::MAX;
+            let mut watermark = MAX_TIMESTAMP;
+            for (_, view) in &views {
+                epoch = epoch.min(view.epoch);
+                watermark = watermark.min(view.watermark);
+                let remaining = limit.saturating_sub(entries.len());
+                if remaining == 0 {
+                    break;
+                }
+                for (key, window, value) in view.scan_windows(range_start, range_end, remaining) {
+                    entries.push(ScanEntry {
+                        key: key.to_vec(),
+                        window,
+                        value: value.clone(),
+                    });
+                }
+            }
+            Response::ScanResult {
+                epoch,
+                watermark,
+                entries,
+            }
+        }
+        Request::Metrics { job, operator } => {
+            let views = registry.operator_views(&job, &operator);
+            if views.is_empty() {
+                return unknown_state(&job, &operator);
+            }
+            let mut metrics = MetricsSnapshot::default();
+            let mut entries = 0u64;
+            let mut watermark: Timestamp = MAX_TIMESTAMP;
+            let mut pattern = StatePattern::Unknown;
+            for (_, view) in &views {
+                metrics = metrics.merged(&view.metrics);
+                entries += view.len() as u64;
+                watermark = watermark.min(view.watermark);
+                pattern = view.pattern;
+            }
+            Response::MetricsReport {
+                pattern,
+                partitions: views.len() as u64,
+                entries,
+                watermark,
+                metrics,
+            }
+        }
+    }
+}
+
+/// Builds the [`StateKey`] a lookup for `key` routes to, given the
+/// partition count. Exposed for tests and tools that want to bypass the
+/// server's own routing.
+pub fn route_key(job: &str, operator: &str, key: &[u8], partitions: usize) -> StateKey {
+    StateKey::new(job, operator, partition_of(key, partitions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowkv_common::registry::{StatePattern, StateView, ViewValue};
+    use flowkv_common::types::WindowId;
+
+    fn view_with(entries: &[(&[u8], WindowId, ViewValue)], epoch: u64) -> StateView {
+        let mut v = StateView::empty(StatePattern::Rmw);
+        v.epoch = epoch;
+        v.watermark = 1_000;
+        for (k, w, val) in entries {
+            v.entries.insert((k.to_vec(), *w), val.clone());
+        }
+        v
+    }
+
+    #[test]
+    fn lookup_routes_to_the_owning_partition() {
+        let registry = StateRegistry::new_shared();
+        let n = 4;
+        let key = b"user-17".to_vec();
+        let w = WindowId::global();
+        for p in 0..n {
+            let mut view = view_with(&[], 3);
+            if p == partition_of(&key, n) {
+                view.entries
+                    .insert((key.clone(), w), ViewValue::Aggregate(vec![9, 9]));
+            }
+            registry.publish(StateKey::new("j", "op", p), view);
+        }
+        let resp = answer(
+            &registry,
+            Request::Lookup {
+                job: "j".into(),
+                operator: "op".into(),
+                key: key.clone(),
+                window: None,
+            },
+        );
+        match resp {
+            Response::Value {
+                epoch,
+                found: Some((window, ViewValue::Aggregate(a))),
+                ..
+            } => {
+                assert_eq!(epoch, 3);
+                assert_eq!(window, w);
+                assert_eq!(a, vec![9, 9]);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_merges_partitions_and_honours_limit() {
+        let registry = StateRegistry::new_shared();
+        let w = WindowId::new(0, 100);
+        registry.publish(
+            StateKey::new("j", "op", 0),
+            view_with(&[(b"a", w, ViewValue::Aggregate(vec![1]))], 5),
+        );
+        registry.publish(
+            StateKey::new("j", "op", 1),
+            view_with(
+                &[
+                    (b"b", w, ViewValue::Aggregate(vec![2])),
+                    (b"c", w, ViewValue::Aggregate(vec![3])),
+                ],
+                7,
+            ),
+        );
+        let resp = answer(
+            &registry,
+            Request::Scan {
+                job: "j".into(),
+                operator: "op".into(),
+                range_start: 0,
+                range_end: 50,
+                limit: 2,
+            },
+        );
+        match resp {
+            Response::ScanResult { epoch, entries, .. } => {
+                assert_eq!(epoch, 5);
+                assert_eq!(entries.len(), 2);
+                assert_eq!(entries[0].key, b"a");
+                assert_eq!(entries[1].key, b"b");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_operator_yields_unknown_state() {
+        let registry = StateRegistry::new_shared();
+        let resp = answer(
+            &registry,
+            Request::Metrics {
+                job: "nope".into(),
+                operator: "nope".into(),
+            },
+        );
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::UnknownState,
+                ..
+            }
+        ));
+    }
+}

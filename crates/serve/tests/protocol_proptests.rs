@@ -1,0 +1,250 @@
+//! Property tests of the wire protocol: every request and response frame
+//! round-trips byte-exactly, and malformed frames (truncation, oversized
+//! or zero lengths, trailing garbage) are rejected rather than
+//! misparsed.
+
+use flowkv_common::codec::put_u32;
+use flowkv_common::registry::{StateKey, StatePattern, ViewValue};
+use flowkv_common::types::WindowId;
+use flowkv_serve::protocol::{
+    read_frame, write_frame, Request, Response, ScanEntry, StateInfo, MAX_FRAME,
+};
+use proptest::prelude::*;
+use proptest::strategy::Union;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    (any::<u64>(), 0u64..4).prop_map(|(v, style)| match style {
+        0 => format!("job-{v}"),
+        1 => String::new(),
+        2 => format!("op/{v}/π"), // non-ASCII survives UTF-8 framing
+        _ => format!("{v:x}"),
+    })
+}
+
+fn bytes_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..64)
+}
+
+fn window_strategy() -> impl Strategy<Value = WindowId> {
+    any::<(i64, i64)>().prop_map(|(a, b)| WindowId {
+        start: a.min(b),
+        end: a.max(b),
+    })
+}
+
+fn view_value_strategy() -> Union<ViewValue> {
+    prop_oneof![
+        bytes_strategy().prop_map(ViewValue::Aggregate),
+        prop::collection::vec(bytes_strategy(), 0..8).prop_map(ViewValue::Values),
+    ]
+}
+
+fn request_strategy() -> Union<Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        Just(Request::ListStates),
+        (
+            name_strategy(),
+            name_strategy(),
+            bytes_strategy(),
+            prop_oneof![Just(None), window_strategy().prop_map(Some),],
+        )
+            .prop_map(|(job, operator, key, window)| Request::Lookup {
+                job,
+                operator,
+                key,
+                window,
+            }),
+        (
+            name_strategy(),
+            name_strategy(),
+            any::<i64>(),
+            any::<i64>(),
+            any::<u64>(),
+        )
+            .prop_map(
+                |(job, operator, range_start, range_end, limit)| Request::Scan {
+                    job,
+                    operator,
+                    range_start,
+                    range_end,
+                    limit,
+                }
+            ),
+        (name_strategy(), name_strategy())
+            .prop_map(|(job, operator)| Request::Metrics { job, operator }),
+    ]
+}
+
+fn state_info_strategy() -> impl Strategy<Value = StateInfo> {
+    (
+        name_strategy(),
+        name_strategy(),
+        0usize..64,
+        0u64..4,
+        any::<u64>(),
+        any::<i64>(),
+    )
+        .prop_map(
+            |(job, operator, partition, pattern, epoch, watermark)| StateInfo {
+                key: StateKey::new(job, operator, partition),
+                pattern: StatePattern::from_u8(pattern as u8),
+                epoch,
+                watermark,
+                entries: epoch.wrapping_mul(31),
+            },
+        )
+}
+
+fn scan_entry_strategy() -> impl Strategy<Value = ScanEntry> {
+    (bytes_strategy(), window_strategy(), view_value_strategy())
+        .prop_map(|(key, window, value)| ScanEntry { key, window, value })
+}
+
+fn metrics_strategy() -> impl Strategy<Value = flowkv_common::metrics::MetricsSnapshot> {
+    prop::collection::vec(any::<u64>(), 12..13).prop_map(|v| {
+        let mut m = flowkv_common::metrics::MetricsSnapshot::default();
+        m.write_nanos = v[0];
+        m.read_nanos = v[1];
+        m.compaction_nanos = v[2];
+        m.bytes_written = v[3];
+        m.bytes_read = v[4];
+        m.records_written = v[5];
+        m.records_read = v[6];
+        m.prefetch_hits = v[7];
+        m.prefetch_misses = v[8];
+        m.prefetch_evictions = v[9];
+        m.flushes = v[10];
+        m.compactions = v[11];
+        m
+    })
+}
+
+fn response_strategy() -> Union<Response> {
+    prop_oneof![
+        Just(Response::Pong),
+        prop::collection::vec(state_info_strategy(), 0..8).prop_map(Response::States),
+        (
+            any::<u64>(),
+            any::<i64>(),
+            prop_oneof![
+                Just(None),
+                (window_strategy(), view_value_strategy()).prop_map(Some),
+            ],
+        )
+            .prop_map(|(epoch, watermark, found)| Response::Value {
+                epoch,
+                watermark,
+                found,
+            }),
+        (
+            any::<u64>(),
+            any::<i64>(),
+            prop::collection::vec(scan_entry_strategy(), 0..8),
+        )
+            .prop_map(|(epoch, watermark, entries)| Response::ScanResult {
+                epoch,
+                watermark,
+                entries,
+            }),
+        (
+            0u64..4,
+            any::<u64>(),
+            any::<u64>(),
+            any::<i64>(),
+            metrics_strategy(),
+        )
+            .prop_map(|(pattern, partitions, entries, watermark, metrics)| {
+                Response::MetricsReport {
+                    pattern: StatePattern::from_u8(pattern as u8),
+                    partitions,
+                    entries,
+                    watermark,
+                    metrics,
+                }
+            }),
+        (0u64..3, name_strategy()).prop_map(|(code, message)| Response::Error {
+            code: match code {
+                0 => flowkv_serve::ErrorCode::BadRequest,
+                1 => flowkv_serve::ErrorCode::UnknownState,
+                _ => flowkv_serve::ErrorCode::Internal,
+            },
+            message,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_roundtrip(req in request_strategy()) {
+        let payload = req.encode();
+        prop_assert_eq!(Request::decode(&payload).unwrap(), req);
+    }
+
+    #[test]
+    fn response_roundtrip(resp in response_strategy()) {
+        let payload = resp.encode();
+        prop_assert_eq!(Response::decode(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn framed_roundtrip_through_a_stream(
+        reqs in prop::collection::vec(request_strategy(), 1..10),
+    ) {
+        let mut wire = Vec::new();
+        for r in &reqs {
+            write_frame(&mut wire, &r.encode()).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        for r in &reqs {
+            let payload = read_frame(&mut cursor).unwrap().expect("frame present");
+            prop_assert_eq!(&Request::decode(&payload).unwrap(), r);
+        }
+        prop_assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frames_never_parse(
+        req in request_strategy(),
+        cut_sel in any::<prop::sample::Index>(),
+    ) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        // Cut strictly inside the frame: decoding must error, not hang or
+        // return a bogus frame.
+        let cut = 1 + cut_sel.index(wire.len() - 1);
+        let mut cursor = std::io::Cursor::new(&wire[..cut]);
+        prop_assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(req in request_strategy(), junk in 1u8..=255) {
+        let mut payload = req.encode();
+        payload.push(junk);
+        prop_assert!(Request::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn corrupt_response_payloads_do_not_panic(
+        resp in response_strategy(),
+        idx in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let mut payload = resp.encode();
+        let i = idx.index(payload.len());
+        payload[i] ^= flip;
+        // Any outcome but a panic is acceptable: either the mutation is
+        // caught, or it decodes to a (different or equal-by-luck) value.
+        let _ = Response::decode(&payload);
+    }
+
+    #[test]
+    fn oversized_lengths_are_rejected(extra in 1u64..=u32::MAX as u64 - MAX_FRAME as u64) {
+        let mut wire = Vec::new();
+        put_u32(&mut wire, (MAX_FRAME as u64 + extra) as u32);
+        wire.extend_from_slice(&[0u8; 64]);
+        prop_assert!(read_frame(&mut std::io::Cursor::new(wire)).is_err());
+    }
+}

@@ -25,6 +25,7 @@ use flowkv_common::backend::{OperatorContext, StateBackendFactory};
 use flowkv_common::error::StoreError;
 use flowkv_common::hash::partition_of;
 use flowkv_common::metrics::MetricsSnapshot;
+use flowkv_common::registry::{StateKey, StateRegistry};
 use flowkv_common::types::{Timestamp, Tuple, MAX_TIMESTAMP, MIN_TIMESTAMP};
 
 use crate::job::{Job, Stage};
@@ -125,6 +126,12 @@ pub struct RunOptions {
     /// Collect tuples dropped as late into [`JobResult::late_tuples`]
     /// (the late-data side output).
     pub collect_late: bool,
+    /// Queryable-state registry. When set, every stateful worker
+    /// publishes an immutable snapshot of its operator state after each
+    /// watermark advance (and once more when its input ends), keyed by
+    /// `job/operator/partition`. `None` (the default) leaves runs
+    /// entirely unobserved — no snapshots are built.
+    pub registry: Option<Arc<StateRegistry>>,
 }
 
 impl RunOptions {
@@ -143,6 +150,7 @@ impl RunOptions {
             checkpoint_dir: None,
             restore_from: None,
             collect_late: false,
+            registry: None,
         }
     }
 }
@@ -376,6 +384,8 @@ pub fn run_job(
                 checkpoint_dir: options.checkpoint_dir.clone(),
                 restore_from: options.restore_from.clone(),
                 collect_late: options.collect_late,
+                registry: options.registry.clone(),
+                job_name: job.name.clone(),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("spe-{}-{}", stage.name(), worker))
@@ -548,11 +558,14 @@ pub fn run_job(
     })
 }
 
-/// Checkpoint and restore locations handed to each worker.
+/// Checkpoint and restore locations handed to each worker, plus the
+/// optional queryable-state registry.
 struct WorkerPaths {
     checkpoint_dir: Option<PathBuf>,
     restore_from: Option<PathBuf>,
     collect_late: bool,
+    registry: Option<Arc<StateRegistry>>,
+    job_name: String,
 }
 
 /// Per-worker directory inside a checkpoint.
@@ -606,6 +619,35 @@ fn run_worker(
     let mut current_wm = MIN_TIMESTAMP;
     let mut ends = 0;
     let mut outputs: Vec<Tuple> = Vec::new();
+    // Monotone snapshot counter for the queryable-state registry.
+    let mut publish_epoch = 0u64;
+    let state_key = paths
+        .registry
+        .as_ref()
+        .map(|_| StateKey::new(paths.job_name.clone(), stage.name(), worker));
+
+    // Publishes an immutable snapshot of this worker's state. The worker
+    // is the sole writer of its store, so the snapshot is built between
+    // tuples and can never observe a half-applied update.
+    let publish_view = |operator: &mut Option<WorkerOp>,
+                        epoch: &mut u64,
+                        watermark: Timestamp|
+     -> Result<(), StoreError> {
+        let (Some(registry), Some(key), Some(op)) = (
+            paths.registry.as_ref(),
+            state_key.as_ref(),
+            operator.as_mut(),
+        ) else {
+            return Ok(());
+        };
+        if let Some(mut view) = op.backend_mut().read_view()? {
+            *epoch += 1;
+            view.epoch = *epoch;
+            view.watermark = watermark;
+            registry.publish(key.clone(), view);
+        }
+        Ok(())
+    };
 
     let route = |next: &[Sender<Envelope>], tuple: Tuple, origin: u64, worker: usize| -> bool {
         let dest = if next.len() == 1 {
@@ -697,6 +739,7 @@ fn run_worker(
                             msg: Msg::Watermark { ts: min_wm, origin },
                         });
                     }
+                    publish_view(&mut operator, &mut publish_epoch, min_wm)?;
                 }
                 Msg::Barrier => {
                     barrier_from[env.sender] = true;
@@ -720,6 +763,9 @@ fn run_worker(
                 Msg::End => {
                     ends += 1;
                     if ends == upstreams {
+                        // Leave a final snapshot behind so clients can
+                        // still query the job's terminal state.
+                        publish_view(&mut operator, &mut publish_epoch, current_wm)?;
                         for tx in &next {
                             let _ = tx.send(Envelope {
                                 sender: worker,
@@ -889,6 +935,46 @@ mod tests {
             .outputs
             .iter()
             .all(|t| crate::functions::decode_u64(&t.value) == 5));
+    }
+
+    #[test]
+    fn registry_receives_views_and_output_is_unchanged() {
+        let registry = StateRegistry::new_shared();
+        let mut counts = Vec::new();
+        for observe in [false, true] {
+            let dir = ScratchDir::new("exec-registry").unwrap();
+            let mut opts = RunOptions::new(dir.path());
+            opts.collect_outputs = true;
+            opts.watermark_interval = 50;
+            if observe {
+                opts.registry = Some(Arc::clone(&registry));
+            }
+            let result = run_job(
+                &count_job(2),
+                tuples(5000, 10).into_iter(),
+                BackendChoice::all_small_for_tests()[1].factory(),
+                &opts,
+            )
+            .unwrap();
+            let mut outputs: Vec<(Vec<u8>, Vec<u8>)> = result
+                .outputs
+                .into_iter()
+                .map(|t| (t.key, t.value))
+                .collect();
+            outputs.sort();
+            counts.push(outputs);
+        }
+        // Serving never changes what the job computes.
+        assert_eq!(counts[0], counts[1]);
+        // Both workers left a terminal snapshot behind.
+        let states = registry.list();
+        assert_eq!(states.len(), 2);
+        for s in &states {
+            assert_eq!(s.key.job, "count-job");
+            assert_eq!(s.key.operator, "counts");
+            assert!(s.epoch > 0, "no snapshot was ever published");
+            assert_eq!(s.watermark, MAX_TIMESTAMP);
+        }
     }
 
     #[test]
