@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks of the two hot-path kernels tuned for the
+//! micro-batched exchange:
+//!
+//! - `exchange`: cross-thread tuple transfer over the same bounded
+//!   crossbeam channels the executor uses, at exchange batch sizes
+//!   1/64/256 — isolating the per-message synchronization cost that
+//!   micro-batching amortizes;
+//! - `crc32`: the record checksum (`flowkv_common::codec::crc32`,
+//!   slicing-by-8) at log-record-relevant payload sizes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crossbeam::channel::bounded;
+use flowkv_common::codec::crc32;
+
+/// Mirrors the executor's channel capacity.
+const CHANNEL_CAPACITY: usize = 256;
+/// Tuples transferred per measured iteration.
+const TUPLES: usize = 65_536;
+
+/// A stand-in for `Stamped`: a small owned payload plus an origin stamp.
+#[derive(Debug)]
+struct FakeTuple {
+    payload: [u8; 32],
+    origin: u64,
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange_batch_size");
+    group.measurement_time(Duration::from_secs(5));
+    group.sample_size(10);
+    for batch_size in [1usize, 64, 256] {
+        group.bench_function(BenchmarkId::from_parameter(batch_size), |b| {
+            b.iter(|| {
+                let (tx, rx) = bounded::<Vec<FakeTuple>>(CHANNEL_CAPACITY);
+                let consumer = std::thread::spawn(move || {
+                    let mut sum = 0u64;
+                    while let Ok(batch) = rx.recv() {
+                        for t in &batch {
+                            sum = sum.wrapping_add(t.origin + u64::from(t.payload[0]));
+                        }
+                    }
+                    sum
+                });
+                let mut pending = Vec::with_capacity(batch_size);
+                for i in 0..TUPLES {
+                    pending.push(FakeTuple {
+                        payload: [i as u8; 32],
+                        origin: i as u64,
+                    });
+                    if pending.len() >= batch_size {
+                        tx.send(std::mem::replace(
+                            &mut pending,
+                            Vec::with_capacity(batch_size),
+                        ))
+                        .unwrap();
+                    }
+                }
+                if !pending.is_empty() {
+                    tx.send(pending).unwrap();
+                }
+                drop(tx);
+                consumer.join().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_crc32(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crc32");
+    group.measurement_time(Duration::from_secs(5));
+    for (label, len) in [("64B", 64usize), ("4KiB", 4 << 10), ("1MiB", 1 << 20)] {
+        let data: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| crc32(&data));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchange, bench_crc32);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! End-to-end pipeline throughput vs exchange batch size.
+//!
+//! Runs one query per FlowKV access pattern — Q7 (AAR), Q11-Median
+//! (AUR), Q11 (RMW) — on FlowKV at a fixed scale, sweeping the exchange
+//! `batch_size` over {1, 64, 256}. `batch_size = 1` is the classic
+//! tuple-at-a-time exchange; larger sizes amortize channel
+//! synchronization across micro-batches. Each run collects its outputs
+//! and the harness checksums them (sorted), asserting that batching is
+//! semantically invisible before reporting any speedup.
+//!
+//! Writes the grid to `BENCH_pipeline.json` (override with `--out=`).
+//!
+//! Usage: `cargo run --release -p flowkv-bench --bin pipeline_bench --
+//! [--scale=1.0] [--timeout=300] [--out=BENCH_pipeline.json]`
+
+use std::time::Duration;
+
+use flowkv_bench::{flowkv_cfg, run_cell, workload, HarnessArgs, BASE_EVENTS, EVENTS_PER_SECOND};
+use flowkv_common::codec::crc32;
+use flowkv_nexmark::{QueryId, QueryParams};
+use flowkv_spe::BackendChoice;
+
+const BATCH_SIZES: [usize; 3] = [1, 64, 256];
+
+struct Cell {
+    query: &'static str,
+    pattern: &'static str,
+    batch_size: usize,
+    tuples_per_sec: f64,
+    elapsed_s: f64,
+    outputs: u64,
+    outputs_crc32: u32,
+    outcome: String,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let events = (BASE_EVENTS as f64 * args.scale()) as u64;
+    let timeout = Duration::from_secs(args.u64("timeout", 300));
+    let out_path = args.str("out", "BENCH_pipeline.json");
+    let span_ms = (events * 1_000 / EVENTS_PER_SECOND) as i64;
+    let window_ms = span_ms / 8;
+    let params = QueryParams::new(window_ms).with_parallelism(2);
+
+    eprintln!(
+        "pipeline_bench: {events} events, window {window_ms} ms, batch sizes {BATCH_SIZES:?}"
+    );
+    let mut cells: Vec<Cell> = Vec::new();
+    for query in [QueryId::Q7, QueryId::Q11Median, QueryId::Q11] {
+        for &batch_size in &BATCH_SIZES {
+            let backend = BackendChoice::FlowKv(flowkv_cfg());
+            let outcome = run_cell(
+                query,
+                &backend,
+                workload(events, 11),
+                params,
+                timeout,
+                |o| {
+                    o.batch_size = batch_size;
+                    o.collect_outputs = true;
+                },
+            );
+            let cell = match outcome.result() {
+                Some(r) => {
+                    // Checksum the sorted outputs: equal across batch
+                    // sizes iff batching is semantically invisible.
+                    let mut lines: Vec<Vec<u8>> = r
+                        .outputs
+                        .iter()
+                        .map(|t| {
+                            let mut line = t.key.clone();
+                            line.push(b'\t');
+                            line.extend_from_slice(&t.value);
+                            line.push(b'\t');
+                            line.extend_from_slice(&t.timestamp.to_be_bytes());
+                            line
+                        })
+                        .collect();
+                    lines.sort();
+                    let checksum = crc32(&lines.concat());
+                    Cell {
+                        query: query.name(),
+                        pattern: query.pattern(),
+                        batch_size,
+                        tuples_per_sec: r.throughput(),
+                        elapsed_s: r.elapsed.as_secs_f64(),
+                        outputs: r.output_count,
+                        outputs_crc32: checksum,
+                        outcome: "ok".to_string(),
+                    }
+                }
+                None => Cell {
+                    query: query.name(),
+                    pattern: query.pattern(),
+                    batch_size,
+                    tuples_per_sec: 0.0,
+                    elapsed_s: 0.0,
+                    outputs: 0,
+                    outputs_crc32: 0,
+                    outcome: outcome.throughput_cell(),
+                },
+            };
+            eprintln!(
+                "  {} batch={batch_size}: {:.0} tuples/s ({})",
+                cell.query, cell.tuples_per_sec, cell.outcome
+            );
+            cells.push(cell);
+        }
+    }
+
+    // Batching must be invisible: every successful run of a query must
+    // produce the same (sorted) output bytes.
+    for query in [QueryId::Q7, QueryId::Q11Median, QueryId::Q11] {
+        let checksums: Vec<u32> = cells
+            .iter()
+            .filter(|c| c.query == query.name() && c.outcome == "ok")
+            .map(|c| c.outputs_crc32)
+            .collect();
+        assert!(
+            checksums.windows(2).all(|w| w[0] == w[1]),
+            "{}: outputs diverge across batch sizes (crc32s {checksums:x?})",
+            query.name()
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"pipeline_batch_sweep\",\n");
+    json.push_str("  \"backend\": \"flowkv\",\n");
+    json.push_str(&format!("  \"events\": {events},\n"));
+    json.push_str(&format!("  \"window_ms\": {window_ms},\n"));
+    json.push_str("  \"parallelism\": 2,\n");
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"query\": \"{}\", \"pattern\": \"{}\", \"batch_size\": {}, \
+             \"tuples_per_sec\": {:.1}, \"elapsed_s\": {:.3}, \"outputs\": {}, \
+             \"outputs_crc32\": {}, \"outcome\": \"{}\"}}{}\n",
+            c.query,
+            c.pattern,
+            c.batch_size,
+            c.tuples_per_sec,
+            c.elapsed_s,
+            c.outputs,
+            c.outputs_crc32,
+            c.outcome,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedup_256_vs_1\": {\n");
+    let queries = [QueryId::Q7, QueryId::Q11Median, QueryId::Q11];
+    for (i, query) in queries.iter().enumerate() {
+        let tput = |batch: usize| {
+            cells
+                .iter()
+                .find(|c| c.query == query.name() && c.batch_size == batch && c.outcome == "ok")
+                .map(|c| c.tuples_per_sec)
+        };
+        let speedup = match (tput(1), tput(256)) {
+            (Some(base), Some(fast)) if base > 0.0 => format!("{:.3}", fast / base),
+            _ => "null".to_string(),
+        };
+        json.push_str(&format!(
+            "    \"{}\": {speedup}{}\n",
+            query.name(),
+            if i + 1 < queries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("pipeline_bench: wrote {out_path}");
+}

@@ -63,6 +63,14 @@ impl HarnessArgs {
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
     }
+
+    /// A string argument with a default.
+    pub fn str(&self, key: &str, default: &str) -> String {
+        self.map
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
 }
 
 /// Base event count that `--scale` multiplies.

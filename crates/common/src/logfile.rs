@@ -120,9 +120,13 @@ impl LogWriter {
             offset: self.offset,
             len,
         };
+        // One buffered write for the whole 8-byte header instead of two:
+        // append is the hot path of every store flush.
+        let mut header = [0u8; 8];
+        header[..4].copy_from_slice(&len.to_le_bytes());
+        header[4..].copy_from_slice(&crc32(payload).to_le_bytes());
         self.file
-            .write_all(&len.to_le_bytes())
-            .and_then(|_| self.file.write_all(&crc32(payload).to_le_bytes()))
+            .write_all(&header)
             .and_then(|_| self.file.write_all(payload))
             .map_err(|e| StoreError::io("log append", e))?;
         self.offset = loc.end_offset();

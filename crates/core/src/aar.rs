@@ -65,6 +65,9 @@ pub struct AarStore {
     flush_clock: u64,
     on_disk: HashSet<WindowId>,
     drains: HashMap<WindowId, Drain>,
+    /// Reusable scratch for encoding flush chunks, so steady-state
+    /// flushing allocates no per-record `Vec<u8>`s.
+    encode_buf: Vec<u8>,
     metrics: Arc<StoreMetrics>,
 }
 
@@ -88,6 +91,7 @@ impl AarStore {
             flush_clock: 0,
             on_disk: HashSet::new(),
             drains: HashMap::new(),
+            encode_buf: Vec::new(),
             metrics,
         };
         store.scan_existing_files()?;
@@ -199,8 +203,8 @@ impl AarStore {
             // Records are capped at `chunk_entries` pairs so gradual
             // loading later reads bounded chunks.
             for batch in pairs.chunks(self.chunk_entries) {
-                let payload = encode_batch(batch);
-                let loc = writer.append(&payload)?;
+                encode_batch_into(&mut self.encode_buf, batch);
+                let loc = writer.append(&self.encode_buf)?;
                 self.metrics.add_bytes_written(loc.disk_len());
             }
             writer.flush()?;
@@ -364,15 +368,16 @@ fn parse_window_file_name(name: &str) -> Option<WindowId> {
     (start <= end).then(|| WindowId::new(start, end))
 }
 
-/// Encodes a flush batch: count then length-prefixed `(key, value)` pairs.
-fn encode_batch(pairs: &[Pair]) -> Vec<u8> {
-    let mut buf = Vec::new();
-    put_varint_u64(&mut buf, pairs.len() as u64);
+/// Encodes a flush batch into `buf` (cleared first): count then
+/// length-prefixed `(key, value)` pairs. Taking the buffer from the
+/// caller lets `flush` reuse one allocation across chunks and flushes.
+fn encode_batch_into(buf: &mut Vec<u8>, pairs: &[Pair]) {
+    buf.clear();
+    put_varint_u64(buf, pairs.len() as u64);
     for (k, v) in pairs {
-        put_len_prefixed(&mut buf, k);
-        put_len_prefixed(&mut buf, v);
+        put_len_prefixed(buf, k);
+        put_len_prefixed(buf, v);
     }
-    buf
 }
 
 /// Decodes a flush batch, appending its pairs to `out`.

@@ -32,13 +32,20 @@ impl IndexEntry {
     /// Serializes the entry into a log-record payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
-        put_len_prefixed(&mut buf, &self.key);
-        self.window.encode_to(&mut buf);
-        put_varint_i64(&mut buf, self.max_ts);
-        put_u64(&mut buf, self.offset);
-        put_u64(&mut buf, self.len);
-        put_varint_u64(&mut buf, self.count);
+        self.encode_into(&mut buf);
         buf
+    }
+
+    /// Encodes the entry into `buf` (cleared first), letting hot write
+    /// paths reuse one allocation across entries.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        put_len_prefixed(buf, &self.key);
+        self.window.encode_to(buf);
+        put_varint_i64(buf, self.max_ts);
+        put_u64(buf, self.offset);
+        put_u64(buf, self.len);
+        put_varint_u64(buf, self.count);
     }
 
     /// Parses an entry from a log-record payload.
@@ -114,11 +121,18 @@ impl<'a> IndexEntryRef<'a> {
 /// Encodes a flushed value group into a data-log record payload.
 pub fn encode_values(values: &[Vec<u8>]) -> Vec<u8> {
     let mut buf = Vec::new();
-    put_varint_u64(&mut buf, values.len() as u64);
-    for v in values {
-        put_len_prefixed(&mut buf, v);
-    }
+    encode_values_into(&mut buf, values);
     buf
+}
+
+/// Encodes a data-log record into `buf` (cleared first); the flush path
+/// reuses one buffer across groups instead of allocating per record.
+pub fn encode_values_into(buf: &mut Vec<u8>, values: &[Vec<u8>]) {
+    buf.clear();
+    put_varint_u64(buf, values.len() as u64);
+    for v in values {
+        put_len_prefixed(buf, v);
+    }
 }
 
 /// Decodes a data-log record payload back into its values.

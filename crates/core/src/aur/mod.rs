@@ -35,7 +35,7 @@ use flowkv_common::types::{Timestamp, WindowId};
 
 use crate::aar::push_view_value;
 use crate::ett::EttPredictor;
-use index_log::{decode_values, encode_values, IndexEntry, IndexEntryRef};
+use index_log::{decode_values, encode_values_into, IndexEntry, IndexEntryRef};
 use prefetch::PrefetchBuffer;
 use stat::{StatTable, StateKey};
 
@@ -99,6 +99,10 @@ pub struct AurStore {
     /// Largest tuple timestamp appended so far — the store's view of
     /// stream time; windows with ETT at or before it are already due.
     latest_ts: Timestamp,
+    /// Reusable scratch for encoding flush records (data payloads and
+    /// index entries), so steady-state flushing allocates no per-record
+    /// `Vec<u8>`s.
+    encode_buf: Vec<u8>,
     metrics: Arc<StoreMetrics>,
 }
 
@@ -128,6 +132,7 @@ impl AurStore {
             index_scan_start: 0,
             data_reader: None,
             latest_ts: Timestamp::MIN,
+            encode_buf: Vec::new(),
             metrics,
         };
         if let Some(generation) = store.find_generation()? {
@@ -248,9 +253,9 @@ impl AurStore {
         let groups = std::mem::take(&mut self.buffer);
         self.buffer_bytes = 0;
         for ((key, window), values) in groups {
-            let payload = encode_values(&values);
+            encode_values_into(&mut self.encode_buf, &values);
             let data_writer = self.data_writer.as_mut().expect("ensured above");
-            let loc = data_writer.append(&payload)?;
+            let loc = data_writer.append(&self.encode_buf)?;
             self.data_total += loc.disk_len();
             let max_ts = self
                 .stat
@@ -266,7 +271,8 @@ impl AurStore {
                 count: values.len() as u64,
             };
             let index_writer = self.index_writer.as_mut().expect("ensured above");
-            let index_loc = index_writer.append(&entry.encode())?;
+            entry.encode_into(&mut self.encode_buf);
+            let index_loc = index_writer.append(&self.encode_buf)?;
             self.metrics
                 .add_bytes_written(loc.disk_len() + index_loc.disk_len());
             self.stat.add_disk(&key, window, loc.disk_len());

@@ -75,6 +75,9 @@ pub struct RmwStore {
     generation: u64,
     total: u64,
     dead: u64,
+    /// Reusable scratch for encoding flush records, so steady-state
+    /// flushing allocates no per-record `Vec<u8>`s.
+    encode_buf: Vec<u8>,
     metrics: Arc<StoreMetrics>,
 }
 
@@ -93,6 +96,7 @@ impl RmwStore {
             generation: 0,
             total: 0,
             dead: 0,
+            encode_buf: Vec::new(),
             metrics,
         };
         if let Some(generation) = store.find_generation()? {
@@ -165,11 +169,11 @@ impl RmwStore {
         let dirty = std::mem::take(&mut self.buffer);
         self.buffer_bytes = 0;
         for (composite, aggregate) in dirty {
-            let mut payload = Vec::with_capacity(composite.len() + aggregate.len() + 8);
-            put_len_prefixed(&mut payload, &composite);
-            put_len_prefixed(&mut payload, &aggregate);
+            self.encode_buf.clear();
+            put_len_prefixed(&mut self.encode_buf, &composite);
+            put_len_prefixed(&mut self.encode_buf, &aggregate);
             let writer = self.writer.as_mut().expect("ensured above");
-            let loc = writer.append(&payload)?;
+            let loc = writer.append(&self.encode_buf)?;
             self.metrics.add_bytes_written(loc.disk_len());
             self.total += loc.disk_len();
             if let Some((_, old_len)) = self.index.insert(composite, (loc.offset, loc.disk_len())) {

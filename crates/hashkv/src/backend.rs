@@ -32,12 +32,11 @@ fn composite_key(key: &[u8], window: WindowId) -> Vec<u8> {
 }
 
 /// Serializes a list of values into one record payload.
-fn encode_list(values: &[Vec<u8>]) -> Vec<u8> {
-    let mut buf = Vec::new();
+fn encode_list_into(buf: &mut Vec<u8>, values: &[Vec<u8>]) {
+    buf.clear();
     for v in values {
-        put_len_prefixed(&mut buf, v);
+        put_len_prefixed(buf, v);
     }
-    buf
 }
 
 /// Parses a record payload back into a list of values.
@@ -58,6 +57,9 @@ pub struct HashBackend {
     /// Drain state for chunked window reads.
     draining: HashMap<WindowId, Vec<Vec<u8>>>,
     chunk_entries: usize,
+    /// Reusable scratch for re-encoding value lists on append, so the
+    /// read-modify-write hot path allocates no per-record `Vec<u8>`.
+    encode_buf: Vec<u8>,
 }
 
 impl HashBackend {
@@ -68,6 +70,7 @@ impl HashBackend {
             window_keys: HashMap::new(),
             draining: HashMap::new(),
             chunk_entries: chunk_entries.max(1),
+            encode_buf: Vec::new(),
         };
         backend.rebuild_registry()?;
         Ok(backend)
@@ -103,7 +106,8 @@ impl StateBackend for HashBackend {
             None => Vec::new(),
         };
         values.push(value.to_vec());
-        self.db.upsert(&composite, &encode_list(&values))?;
+        encode_list_into(&mut self.encode_buf, &values);
+        self.db.upsert(&composite, &self.encode_buf)?;
         self.window_keys
             .entry(window)
             .or_default()

@@ -26,11 +26,10 @@ use crate::db::{Db, DbConfig};
 use crate::entry::Resolved;
 
 /// Builds the composite key `window ‖ user-key`.
-fn composite_key(key: &[u8], window: WindowId) -> Vec<u8> {
-    let mut out = Vec::with_capacity(16 + key.len());
+fn composite_key_into(out: &mut Vec<u8>, key: &[u8], window: WindowId) {
+    out.clear();
     out.extend_from_slice(&window.to_ordered_bytes());
     out.extend_from_slice(key);
-    out
 }
 
 /// Smallest key with the window's prefix.
@@ -59,6 +58,9 @@ pub struct LsmBackend {
     /// Scan cursors of windows currently being drained by
     /// [`StateBackend::get_window_chunk`].
     window_cursors: HashMap<WindowId, Vec<u8>>,
+    /// Reusable scratch for composite keys, so per-tuple operations
+    /// allocate no `Vec<u8>` for the 16-byte-prefixed key.
+    key_buf: Vec<u8>,
 }
 
 impl LsmBackend {
@@ -68,6 +70,7 @@ impl LsmBackend {
             db: Db::open(dir, cfg)?,
             chunk_entries: chunk_entries.max(1),
             window_cursors: HashMap::new(),
+            key_buf: Vec::new(),
         })
     }
 
@@ -83,7 +86,8 @@ impl LsmBackend {
 impl StateBackend for LsmBackend {
     fn append(&mut self, key: &[u8], window: WindowId, value: &[u8], _ts: Timestamp) -> Result<()> {
         let _t = self.db.metrics().timer(OpCategory::Write);
-        self.db.merge(&composite_key(key, window), value)
+        composite_key_into(&mut self.key_buf, key, window);
+        self.db.merge(&self.key_buf, value)
     }
 
     fn get_window_chunk(&mut self, window: WindowId) -> Result<Option<WindowChunk>> {
@@ -119,27 +123,28 @@ impl StateBackend for LsmBackend {
 
     fn take_values(&mut self, key: &[u8], window: WindowId) -> Result<Vec<Vec<u8>>> {
         let _t = self.db.metrics().timer(OpCategory::Read);
-        let composite = composite_key(key, window);
-        let resolved = self.db.get(&composite)?;
+        composite_key_into(&mut self.key_buf, key, window);
+        let resolved = self.db.get(&self.key_buf)?;
         if !matches!(resolved, Resolved::Absent) {
-            self.db.delete(&composite)?;
+            self.db.delete(&self.key_buf)?;
         }
         Ok(Self::resolved_to_list(resolved))
     }
 
     fn peek_values(&mut self, key: &[u8], window: WindowId) -> Result<Vec<Vec<u8>>> {
         let _t = self.db.metrics().timer(OpCategory::Read);
-        let resolved = self.db.get(&composite_key(key, window))?;
+        composite_key_into(&mut self.key_buf, key, window);
+        let resolved = self.db.get(&self.key_buf)?;
         Ok(Self::resolved_to_list(resolved))
     }
 
     fn take_aggregate(&mut self, key: &[u8], window: WindowId) -> Result<Option<Vec<u8>>> {
         let _t = self.db.metrics().timer(OpCategory::Read);
-        let composite = composite_key(key, window);
-        match self.db.get(&composite)? {
+        composite_key_into(&mut self.key_buf, key, window);
+        match self.db.get(&self.key_buf)? {
             Resolved::Absent => Ok(None),
             Resolved::Value(v) => {
-                self.db.delete(&composite)?;
+                self.db.delete(&self.key_buf)?;
                 Ok(Some(v))
             }
             Resolved::List(_) => Err(StoreError::invalid_state(
@@ -150,7 +155,8 @@ impl StateBackend for LsmBackend {
 
     fn put_aggregate(&mut self, key: &[u8], window: WindowId, aggregate: &[u8]) -> Result<()> {
         let _t = self.db.metrics().timer(OpCategory::Write);
-        self.db.put(&composite_key(key, window), aggregate)
+        composite_key_into(&mut self.key_buf, key, window);
+        self.db.put(&self.key_buf, aggregate)
     }
 
     fn flush(&mut self) -> Result<()> {

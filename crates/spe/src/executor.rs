@@ -8,11 +8,20 @@
 //! `MAX_TIMESTAMP` watermark closes every window when a bounded source
 //! ends.
 //!
+//! Tuples move between stages in micro-batches of up to
+//! [`RunOptions::batch_size`] (one channel operation per batch instead
+//! of per tuple). Batches are force-flushed before every watermark,
+//! barrier, and end marker, and additionally after
+//! [`RunOptions::batch_linger`] on slow streams, so event-time
+//! semantics, checkpoint alignment, and the sink's accounting are
+//! independent of the batch size — see DESIGN.md § Exchange layer.
+//!
 //! Latency accounting: each tuple and watermark carries the wall-clock
-//! nanosecond at which it left the source; window outputs inherit the
-//! origin of the watermark that triggered them, so the sink observes true
-//! end-to-end latency including every store interaction (the paper's
-//! Kafka-based methodology, §6.2).
+//! nanosecond at which it left the source (one stamp per tuple, even
+//! inside a batch); window outputs inherit the origin of the watermark
+//! that triggered them, so the sink observes true end-to-end latency
+//! including every store interaction (the paper's Kafka-based
+//! methodology, §6.2).
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -30,7 +39,7 @@ use flowkv_common::types::{Timestamp, Tuple, MAX_TIMESTAMP, MIN_TIMESTAMP};
 
 use crate::job::{Job, Stage};
 use crate::join::IntervalJoinOperator;
-use crate::latency::LatencySummary;
+use crate::latency::{LatencySummary, Stamped};
 use crate::operator::WindowOperator;
 
 /// The stateful operator running inside a worker, if any.
@@ -40,10 +49,14 @@ enum WorkerOp {
 }
 
 impl WorkerOp {
-    fn on_element(&mut self, tuple: &Tuple, out: &mut Vec<Tuple>) -> Result<(), StoreError> {
+    fn on_batch(
+        &mut self,
+        batch: &mut [Stamped],
+        out: &mut Vec<Stamped>,
+    ) -> Result<(), StoreError> {
         match self {
-            WorkerOp::Window(op) => op.on_element(tuple, out),
-            WorkerOp::Join(op) => op.on_element(tuple, out),
+            WorkerOp::Window(op) => op.on_batch(batch, out),
+            WorkerOp::Join(op) => op.on_batch(batch, out),
         }
     }
 
@@ -132,6 +145,17 @@ pub struct RunOptions {
     /// `job/operator/partition`. `None` (the default) leaves runs
     /// entirely unobserved — no snapshots are built.
     pub registry: Option<Arc<StateRegistry>>,
+    /// Tuples per exchange micro-batch. Each inter-stage send carries up
+    /// to this many tuples in one channel operation, amortizing per-tuple
+    /// synchronization. Batches are force-flushed before every watermark,
+    /// barrier, and end-of-stream marker, so event-time semantics and
+    /// checkpoint alignment are identical at every batch size. `1` (the
+    /// default) reproduces the classic tuple-at-a-time exchange.
+    pub batch_size: usize,
+    /// Longest a partially filled source batch may linger before being
+    /// flushed anyway (checked as the next tuple arrives), bounding the
+    /// extra latency batching can add to slow, rate-limited streams.
+    pub batch_linger: Duration,
 }
 
 impl RunOptions {
@@ -151,6 +175,8 @@ impl RunOptions {
             restore_from: None,
             collect_late: false,
             registry: None,
+            batch_size: 1,
+            batch_linger: Duration::from_millis(5),
         }
     }
 }
@@ -220,11 +246,20 @@ impl JobResult {
 }
 
 /// One message on an inter-stage channel.
+///
+/// # Ordering invariant
+///
+/// Channels are FIFO per `(sender, channel)` pair, and every sender
+/// flushes its pending micro-batches *before* emitting a control message
+/// (watermark, barrier, end). Consequently a receiver observes, per
+/// upstream: all tuples produced before a watermark ahead of that
+/// watermark, and all pre-snapshot tuples ahead of that sender's
+/// barrier. Checkpoint alignment and the sink's pre/post-barrier output
+/// split both rely on this; the sink debug-asserts its observable
+/// consequence (per-sender watermarks never regress).
 enum Msg {
-    Tuple {
-        tuple: Tuple,
-        origin: u64,
-    },
+    /// A micro-batch of tuples, each carrying its own origin stamp.
+    Batch(Vec<Stamped>),
     Watermark {
         ts: Timestamp,
         origin: u64,
@@ -238,6 +273,87 @@ enum Msg {
 struct Envelope {
     sender: usize,
     msg: Msg,
+}
+
+/// A batching sender over one channel boundary.
+///
+/// Tuples accumulate into per-destination micro-batches sealed at
+/// `batch_size`; control messages go through [`Exchange::broadcast`],
+/// which force-flushes every pending batch first so the [`Msg`] ordering
+/// invariant holds at any batch size.
+struct Exchange {
+    txs: Vec<Sender<Envelope>>,
+    pending: Vec<Vec<Stamped>>,
+    batch_size: usize,
+    sender: usize,
+}
+
+impl Exchange {
+    fn new(txs: Vec<Sender<Envelope>>, batch_size: usize, sender: usize) -> Self {
+        let batch_size = batch_size.max(1);
+        let pending = txs.iter().map(|_| Vec::with_capacity(batch_size)).collect();
+        Exchange {
+            txs,
+            pending,
+            batch_size,
+            sender,
+        }
+    }
+
+    /// Queues one tuple for its key's partition, sending the batch once
+    /// full. Returns `false` when the receiver hung up.
+    fn send(&mut self, tuple: Tuple, origin: u64) -> bool {
+        let dest = if self.txs.len() == 1 {
+            0
+        } else {
+            partition_of(&tuple.key, self.txs.len())
+        };
+        self.pending[dest].push(Stamped { tuple, origin });
+        if self.pending[dest].len() >= self.batch_size {
+            return self.flush_dest(dest);
+        }
+        true
+    }
+
+    fn flush_dest(&mut self, dest: usize) -> bool {
+        if self.pending[dest].is_empty() {
+            return true;
+        }
+        let batch = std::mem::replace(&mut self.pending[dest], Vec::with_capacity(self.batch_size));
+        self.txs[dest]
+            .send(Envelope {
+                sender: self.sender,
+                msg: Msg::Batch(batch),
+            })
+            .is_ok()
+    }
+
+    /// Flushes every pending batch.
+    fn flush(&mut self) -> bool {
+        let mut ok = true;
+        for dest in 0..self.txs.len() {
+            ok &= self.flush_dest(dest);
+        }
+        ok
+    }
+
+    /// `true` while some destination holds an unsent partial batch.
+    fn has_pending(&self) -> bool {
+        self.pending.iter().any(|p| !p.is_empty())
+    }
+
+    /// Flushes pending batches, then sends one control message to every
+    /// destination (disconnects are ignored, as on the tuple path the
+    /// caller already observed them).
+    fn broadcast(&mut self, make: impl Fn() -> Msg) {
+        self.flush();
+        for tx in &self.txs {
+            let _ = tx.send(Envelope {
+                sender: self.sender,
+                msg: make(),
+            });
+        }
+    }
 }
 
 /// What each worker reports on exit.
@@ -300,6 +416,8 @@ pub fn run_job(
     let slack = options.watermark_slack;
     let rate_limit = options.rate_limit;
     let checkpoint_after = options.checkpoint_after_tuples;
+    let batch_size = options.batch_size.max(1);
+    let linger_nanos = options.batch_linger.as_nanos() as u64;
     let source_handle = std::thread::Builder::new()
         .name("spe-source".into())
         .spawn(move || -> Result<u64, StoreError> {
@@ -307,64 +425,54 @@ pub fn run_job(
             let pace_start = Instant::now();
             let mut count: u64 = 0;
             let mut max_ts = MIN_TIMESTAMP;
+            let mut exchange = Exchange::new(source_tx, batch_size, 0);
+            let mut last_flush: u64 = 0;
             for tuple in source {
                 if abort_src.load(Ordering::Relaxed) {
                     break;
                 }
                 if let Some(rate) = rate_limit {
                     // Token pacing: stay at or below `rate` tuples/sec.
-                    let expected = Duration::from_secs_f64(count as f64 / rate as f64);
-                    let elapsed = pace_start.elapsed();
-                    if expected > elapsed {
-                        std::thread::sleep(expected - elapsed);
+                    // The clock is only consulted at burst boundaries
+                    // (every 16 tuples), like `source::PacedSource`;
+                    // per-tuple clock reads would reintroduce the
+                    // per-element overhead batching removes.
+                    if count.is_multiple_of(16) {
+                        let expected = Duration::from_secs_f64(count as f64 / rate as f64);
+                        let elapsed = pace_start.elapsed();
+                        if expected > elapsed {
+                            std::thread::sleep(expected - elapsed);
+                        }
                     }
                 }
                 max_ts = max_ts.max(tuple.timestamp);
                 let origin = t0.elapsed().as_nanos() as u64;
-                let dest = partition_of(&tuple.key, source_tx.len());
-                if source_tx[dest]
-                    .send(Envelope {
-                        sender: 0,
-                        msg: Msg::Tuple { tuple, origin },
-                    })
-                    .is_err()
-                {
+                if !exchange.send(tuple, origin) {
                     break;
                 }
                 count += 1;
                 if checkpoint_after == Some(count) {
-                    for tx in &source_tx {
-                        let _ = tx.send(Envelope {
-                            sender: 0,
-                            msg: Msg::Barrier,
-                        });
-                    }
+                    exchange.broadcast(|| Msg::Barrier);
                 }
                 if count.is_multiple_of(wm_interval as u64) {
                     let origin = t0.elapsed().as_nanos() as u64;
                     let wm = max_ts.saturating_sub(slack);
-                    for tx in &source_tx {
-                        let _ = tx.send(Envelope {
-                            sender: 0,
-                            msg: Msg::Watermark { ts: wm, origin },
-                        });
-                    }
+                    exchange.broadcast(|| Msg::Watermark { ts: wm, origin });
+                    last_flush = origin;
+                } else if !exchange.has_pending() {
+                    last_flush = origin;
+                } else if origin.saturating_sub(last_flush) >= linger_nanos {
+                    // Slow stream: don't sit on a partial batch forever.
+                    exchange.flush();
+                    last_flush = origin;
                 }
             }
             let origin = t0.elapsed().as_nanos() as u64;
-            for tx in &source_tx {
-                let _ = tx.send(Envelope {
-                    sender: 0,
-                    msg: Msg::Watermark {
-                        ts: MAX_TIMESTAMP,
-                        origin,
-                    },
-                });
-                let _ = tx.send(Envelope {
-                    sender: 0,
-                    msg: Msg::End,
-                });
-            }
+            exchange.broadcast(|| Msg::Watermark {
+                ts: MAX_TIMESTAMP,
+                origin,
+            });
+            exchange.broadcast(|| Msg::End);
             Ok(count)
         })
         .expect("spawn source");
@@ -386,6 +494,7 @@ pub fn run_job(
                 collect_late: options.collect_late,
                 registry: options.registry.clone(),
                 job_name: job.name.clone(),
+                batch_size,
             };
             let handle = std::thread::Builder::new()
                 .name(format!("spe-{}-{}", stage.name(), worker))
@@ -418,29 +527,52 @@ pub fn run_job(
             };
             let mut ends = 0;
             let mut barrier_from = vec![false; n];
+            // Observable consequence of the per-channel ordering
+            // invariant (see [`Msg`]): each sender's watermarks arrive
+            // non-decreasing. The pre/post checkpoint split below relies
+            // on the same invariant.
+            let mut last_wm = vec![MIN_TIMESTAMP; n];
             loop {
                 match sink_rx.recv_timeout(Duration::from_millis(100)) {
                     Ok(env) => match env.msg {
-                        Msg::Tuple { tuple, origin } => {
-                            report.output_count += 1;
-                            // Per-channel ordering makes "arrived before
-                            // that sender's barrier" an exact pre/post
-                            // checkpoint split.
-                            if !barrier_from[env.sender] {
-                                report.pre_count += 1;
+                        Msg::Batch(batch) => {
+                            // One arrival instant for the whole batch,
+                            // but one origin per tuple: latency samples
+                            // reflect each tuple's true departure.
+                            let now = if record_latency {
+                                t0.elapsed().as_nanos() as u64
+                            } else {
+                                0
+                            };
+                            for stamped in batch {
+                                report.output_count += 1;
+                                // Batches flush before barriers, so
+                                // "arrived before that sender's barrier"
+                                // stays an exact pre/post checkpoint
+                                // split under batching.
+                                if !barrier_from[env.sender] {
+                                    report.pre_count += 1;
+                                    if collect {
+                                        report.outputs_pre.push(stamped.tuple.clone());
+                                    }
+                                }
+                                if record_latency {
+                                    report.latencies.push(now.saturating_sub(stamped.origin));
+                                }
                                 if collect {
-                                    report.outputs_pre.push(tuple.clone());
+                                    report.outputs.push(stamped.tuple);
                                 }
                             }
-                            if record_latency {
-                                let now = t0.elapsed().as_nanos() as u64;
-                                report.latencies.push(now.saturating_sub(origin));
-                            }
-                            if collect {
-                                report.outputs.push(tuple);
-                            }
                         }
-                        Msg::Watermark { .. } => {}
+                        Msg::Watermark { ts, .. } => {
+                            debug_assert!(
+                                ts >= last_wm[env.sender],
+                                "per-channel watermark order violated: {} < {}",
+                                ts,
+                                last_wm[env.sender]
+                            );
+                            last_wm[env.sender] = ts;
+                        }
                         Msg::Barrier => {
                             barrier_from[env.sender] = true;
                             if barrier_from.iter().all(|&b| b) {
@@ -559,13 +691,14 @@ pub fn run_job(
 }
 
 /// Checkpoint and restore locations handed to each worker, plus the
-/// optional queryable-state registry.
+/// optional queryable-state registry and the exchange batch size.
 struct WorkerPaths {
     checkpoint_dir: Option<PathBuf>,
     restore_from: Option<PathBuf>,
     collect_late: bool,
     registry: Option<Arc<StateRegistry>>,
     job_name: String,
+    batch_size: usize,
 }
 
 /// Per-worker directory inside a checkpoint.
@@ -619,6 +752,8 @@ fn run_worker(
     let mut current_wm = MIN_TIMESTAMP;
     let mut ends = 0;
     let mut outputs: Vec<Tuple> = Vec::new();
+    let mut stamped_out: Vec<Stamped> = Vec::new();
+    let mut exchange = Exchange::new(next, paths.batch_size, worker);
     // Monotone snapshot counter for the queryable-state registry.
     let mut publish_epoch = 0u64;
     let state_key = paths
@@ -647,20 +782,6 @@ fn run_worker(
             registry.publish(key.clone(), view);
         }
         Ok(())
-    };
-
-    let route = |next: &[Sender<Envelope>], tuple: Tuple, origin: u64, worker: usize| -> bool {
-        let dest = if next.len() == 1 {
-            0
-        } else {
-            partition_of(&tuple.key, next.len())
-        };
-        next[dest]
-            .send(Envelope {
-                sender: worker,
-                msg: Msg::Tuple { tuple, origin },
-            })
-            .is_ok()
     };
 
     // Aligned-barrier bookkeeping: once a sender's barrier arrives, its
@@ -694,19 +815,28 @@ fn run_worker(
                 continue;
             }
             match env.msg {
-                Msg::Tuple { tuple, origin } => {
-                    outputs.clear();
+                Msg::Batch(mut batch) => {
+                    stamped_out.clear();
                     match &stage {
-                        Stage::Stateless { f, .. } => f(&tuple, &mut outputs),
+                        Stage::Stateless { f, .. } => {
+                            for stamped in &batch {
+                                outputs.clear();
+                                f(&stamped.tuple, &mut outputs);
+                                let origin = stamped.origin;
+                                stamped_out.extend(
+                                    outputs.drain(..).map(|tuple| Stamped { tuple, origin }),
+                                );
+                            }
+                        }
                         Stage::Window(_) | Stage::IntervalJoin(_) => {
                             operator
                                 .as_mut()
                                 .expect("stateful stage has operator")
-                                .on_element(&tuple, &mut outputs)?;
+                                .on_batch(&mut batch, &mut stamped_out)?;
                         }
                     }
-                    for out in outputs.drain(..) {
-                        if !route(&next, out, origin, worker) {
+                    for stamped in stamped_out.drain(..) {
+                        if !exchange.send(stamped.tuple, stamped.origin) {
                             return Ok(WorkerReport::default());
                         }
                     }
@@ -728,17 +858,15 @@ fn run_worker(
                         outputs.clear();
                         op.on_watermark(min_wm, &mut outputs)?;
                         for out in outputs.drain(..) {
-                            if !route(&next, out, origin, worker) {
+                            if !exchange.send(out, origin) {
                                 return Ok(WorkerReport::default());
                             }
                         }
                     }
-                    for tx in &next {
-                        let _ = tx.send(Envelope {
-                            sender: worker,
-                            msg: Msg::Watermark { ts: min_wm, origin },
-                        });
-                    }
+                    // Forwarding the watermark flushes every pending
+                    // batch first, preserving tuple-before-watermark
+                    // order downstream.
+                    exchange.broadcast(|| Msg::Watermark { ts: min_wm, origin });
                     publish_view(&mut operator, &mut publish_epoch, min_wm)?;
                 }
                 Msg::Barrier => {
@@ -746,15 +874,13 @@ fn run_worker(
                     aligning = true;
                     if barrier_from.iter().all(|&b| b) {
                         // Barrier aligned: snapshot, forward, release.
+                        // The broadcast flushes pending batches before
+                        // the barrier, keeping the pre/post-snapshot
+                        // split exact downstream.
                         if let (Some(dir), Some(op)) = (&paths.checkpoint_dir, operator.as_mut()) {
                             op.checkpoint(&worker_ckpt_dir(dir, stage.name(), worker))?;
                         }
-                        for tx in &next {
-                            let _ = tx.send(Envelope {
-                                sender: worker,
-                                msg: Msg::Barrier,
-                            });
-                        }
+                        exchange.broadcast(|| Msg::Barrier);
                         aligning = false;
                         barrier_from.iter_mut().for_each(|b| *b = false);
                         pending.extend(held.drain(..));
@@ -766,12 +892,7 @@ fn run_worker(
                         // Leave a final snapshot behind so clients can
                         // still query the job's terminal state.
                         publish_view(&mut operator, &mut publish_epoch, current_wm)?;
-                        for tx in &next {
-                            let _ = tx.send(Envelope {
-                                sender: worker,
-                                msg: Msg::End,
-                            });
-                        }
+                        exchange.broadcast(|| Msg::End);
                         break;
                     }
                 }
@@ -1019,6 +1140,62 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, JobError::Timeout), "{err}");
+    }
+
+    #[test]
+    fn batched_exchange_matches_unbatched_and_keeps_checkpoint_split_exact() {
+        // A two-stage job (stateless fan-in feeding windows) so barrier
+        // alignment across multiple upstreams is exercised, with a
+        // mid-stream checkpoint. Every batch size must produce the same
+        // outputs, the same pre/post-barrier split, and one latency
+        // sample per output tuple.
+        let job = JobBuilder::new("batched")
+            .parallelism(3)
+            .stateless("pass", |t, out| out.push(t.clone()))
+            .window(
+                "counts",
+                WindowAssigner::Fixed { size: 1000 },
+                AggregateSpec::Incremental(StdArc::new(CountAggregate)),
+            )
+            .build();
+        let mut reference: Option<(Vec<(Vec<u8>, Vec<u8>)>, Vec<(Vec<u8>, Vec<u8>)>)> = None;
+        for batch_size in [1usize, 8, 256] {
+            let dir = ScratchDir::new("exec-batched").unwrap();
+            let ckpt = ScratchDir::new("exec-batched-ckpt").unwrap();
+            let mut opts = RunOptions::new(dir.path());
+            opts.collect_outputs = true;
+            opts.record_latency = true;
+            opts.watermark_interval = 50;
+            opts.batch_size = batch_size;
+            opts.checkpoint_after_tuples = Some(2_500);
+            opts.checkpoint_dir = Some(ckpt.path().to_path_buf());
+            let result = run_job(
+                &job,
+                tuples(5_000, 10).into_iter(),
+                BackendChoice::all_small_for_tests()[1].factory(),
+                &opts,
+            )
+            .unwrap_or_else(|e| panic!("batch_size {batch_size}: {e}"));
+            assert!(result.checkpoint_taken, "batch_size {batch_size}");
+            assert_eq!(
+                result.latency.count, result.output_count,
+                "one latency sample per tuple, not per batch (batch_size {batch_size})"
+            );
+            let sorted = |v: &[Tuple]| {
+                let mut v: Vec<(Vec<u8>, Vec<u8>)> =
+                    v.iter().map(|t| (t.key.clone(), t.value.clone())).collect();
+                v.sort();
+                v
+            };
+            let got = (
+                sorted(&result.outputs),
+                sorted(&result.outputs_pre_checkpoint),
+            );
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(&got, want, "batch_size {batch_size} diverged"),
+            }
+        }
     }
 
     #[test]

@@ -23,6 +23,8 @@ use flowkv_common::codec::{put_varint_i64, Decoder};
 use flowkv_common::error::Result;
 use flowkv_common::types::{Timestamp, Tuple, WindowId};
 
+use crate::latency::Stamped;
+
 /// Tag prefix marking a tuple of the left stream.
 pub const LEFT: u8 = 0;
 /// Tag prefix marking a tuple of the right stream.
@@ -104,6 +106,9 @@ pub struct IntervalJoinOperator {
     purge_timers: BTreeSet<(Timestamp, Vec<u8>, WindowId)>,
     watermark: Timestamp,
     dropped_late: u64,
+    /// Reused per-element output buffer for
+    /// [`IntervalJoinOperator::on_batch`].
+    batch_scratch: Vec<Tuple>,
 }
 
 impl IntervalJoinOperator {
@@ -116,6 +121,7 @@ impl IntervalJoinOperator {
             purge_timers: BTreeSet::new(),
             watermark: Timestamp::MIN,
             dropped_late: 0,
+            batch_scratch: Vec::new(),
         }
     }
 
@@ -186,6 +192,28 @@ impl IntervalJoinOperator {
             self.purge_timers
                 .insert((purge_at, tuple.key.clone(), bucket));
         }
+        Ok(())
+    }
+
+    /// Processes one exchange micro-batch, emitting joined rows into
+    /// `out` with each input's own origin stamp.
+    ///
+    /// The batch is stably sorted by key so same-key probes and appends
+    /// touch the store back to back; stability preserves per-key arrival
+    /// order, and tuples of different keys never join, so outputs match
+    /// element-at-a-time processing (up to cross-key emission order).
+    pub fn on_batch(&mut self, batch: &mut [Stamped], out: &mut Vec<Stamped>) -> Result<()> {
+        if batch.len() > 1 {
+            batch.sort_by(|a, b| a.tuple.key.cmp(&b.tuple.key));
+        }
+        let mut scratch = std::mem::take(&mut self.batch_scratch);
+        for stamped in batch.iter() {
+            scratch.clear();
+            self.on_element(&stamped.tuple, &mut scratch)?;
+            let origin = stamped.origin;
+            out.extend(scratch.drain(..).map(|tuple| Stamped { tuple, origin }));
+        }
+        self.batch_scratch = scratch;
         Ok(())
     }
 

@@ -1,4 +1,23 @@
-//! Latency aggregation for the tail-latency experiments (paper §6.2).
+//! Latency aggregation for the tail-latency experiments (paper §6.2),
+//! and the [`Stamped`] tuple carrying its per-tuple origin timestamp
+//! through the micro-batched exchange.
+
+use flowkv_common::types::Tuple;
+
+/// A tuple stamped with the wall-clock nanosecond at which it left the
+/// source.
+///
+/// The stamp travels *per tuple*, never per batch: micro-batching the
+/// exchange amortizes channel synchronization, but each tuple keeps its
+/// own departure time so the sink's [`LatencySummary`] samples true
+/// end-to-end latency regardless of how tuples were grouped in flight.
+#[derive(Clone, Debug)]
+pub struct Stamped {
+    /// The data tuple.
+    pub tuple: Tuple,
+    /// Wall-clock nanoseconds (from the run's epoch) at source departure.
+    pub origin: u64,
+}
 
 /// Returns the `p`-quantile (0.0–1.0) of `samples` by nearest-rank, or
 /// `None` when empty.

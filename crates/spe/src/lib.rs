@@ -33,4 +33,5 @@ pub mod window;
 pub use backends::BackendChoice;
 pub use executor::{run_job, JobResult, RunOptions};
 pub use job::{AggregateSpec, Job, JobBuilder, Stage};
+pub use latency::Stamped;
 pub use window::WindowAssigner;

@@ -23,6 +23,7 @@ use flowkv_common::error::Result;
 use flowkv_common::types::{Timestamp, Tuple, WindowId, MAX_TIMESTAMP};
 
 use crate::job::{AggregateSpec, WindowSpec};
+use crate::latency::Stamped;
 use crate::window::WindowAssigner;
 
 /// Returns `true` when two session extents overlap or touch.
@@ -67,6 +68,8 @@ pub struct WindowOperator {
     /// When set, dropped late tuples are retained for the side output.
     collect_late: bool,
     late: Vec<Tuple>,
+    /// Reused per-element output buffer for [`WindowOperator::on_batch`].
+    batch_scratch: Vec<Tuple>,
 }
 
 impl WindowOperator {
@@ -84,6 +87,7 @@ impl WindowOperator {
             dropped_late: 0,
             collect_late: false,
             late: Vec::new(),
+            batch_scratch: Vec::new(),
         }
     }
 
@@ -115,6 +119,33 @@ impl WindowOperator {
             WindowAssigner::Count { size } => self.on_count_element(tuple, size, out),
             WindowAssigner::Custom { .. } => self.on_custom_element(tuple),
         }
+    }
+
+    /// Processes one exchange micro-batch, emitting any per-element
+    /// results (count windows) into `out` with each input's own origin
+    /// stamp.
+    ///
+    /// The batch is first stably sorted by key so same-key store
+    /// operations run back to back (one bucket / hash-slot touch per key
+    /// group instead of one per tuple), and one output buffer is reused
+    /// across the whole batch instead of reallocating per element.
+    /// Stability keeps per-key arrival order, and the watermark cannot
+    /// move inside a batch (batches flush before watermarks), so the
+    /// reordering is invisible to window assignment, session merging,
+    /// late-drops, and per-key value order.
+    pub fn on_batch(&mut self, batch: &mut [Stamped], out: &mut Vec<Stamped>) -> Result<()> {
+        if batch.len() > 1 {
+            batch.sort_by(|a, b| a.tuple.key.cmp(&b.tuple.key));
+        }
+        let mut scratch = std::mem::take(&mut self.batch_scratch);
+        for stamped in batch.iter() {
+            scratch.clear();
+            self.on_element(&stamped.tuple, &mut scratch)?;
+            let origin = stamped.origin;
+            out.extend(scratch.drain(..).map(|tuple| Stamped { tuple, origin }));
+        }
+        self.batch_scratch = scratch;
+        Ok(())
     }
 
     /// Advances event time, firing every eligible window into `out`.
