@@ -36,6 +36,7 @@ fn make(
         partition: 0,
         semantics,
         data_dir: dir.path().to_path_buf(),
+        telemetry: None,
     };
     (choice.factory().create(&ctx).unwrap(), dir)
 }

@@ -9,7 +9,12 @@
 //!   [--query=Q11-Median] [--backend=flowkv|lsm|hashkv|inmemory] \
 //!   [--events=120000] [--window-ms=1500] [--parallelism=2] \
 //!   [--rate=0] [--timeout=300] [--ratio=0.02] [--msa=1.5] \
-//!   [--buffer-kb=1280] [--seed=1]`
+//!   [--buffer-kb=1280] [--seed=1] \
+//!   [--telemetry-out=run.jsonl] [--telemetry-interval-ms=250]`
+//!
+//! `--telemetry-out=` attaches the telemetry subsystem and streams
+//! periodic metric snapshots plus flight-recorder events (watermarks,
+//! checkpoint barriers, ETT predictions) to the given JSONL file.
 
 use std::time::Duration;
 
@@ -69,6 +74,11 @@ fn main() {
     let window_ms = args.u64("window-ms", 1_500) as i64;
     let parallelism = args.u64("parallelism", 2) as usize;
     let rate = args.u64("rate", 0);
+    let telemetry_out = {
+        let path = args.str("telemetry-out", "");
+        (!path.is_empty()).then(|| std::path::PathBuf::from(path))
+    };
+    let telemetry_interval = Duration::from_millis(args.u64("telemetry-interval-ms", 250));
     let gen_cfg = GeneratorConfig {
         seed: args.u64("seed", 1),
         ..workload(events, args.u64("seed", 1))
@@ -94,6 +104,11 @@ fn main() {
             if rate > 0 {
                 opts.rate_limit = Some(rate);
                 opts.record_latency = true;
+            }
+            if let Some(path) = telemetry_out {
+                eprintln!("telemetry -> {}", path.display());
+                opts.telemetry_out = Some(path);
+                opts.telemetry_interval = telemetry_interval;
             }
         },
     );

@@ -200,9 +200,15 @@ pub fn run_cell(
     opts.watermark_interval = 500;
     opts.timeout = Some(timeout);
     tune(&mut opts);
+    // When a harness asks for the JSONL stream without supplying its own
+    // telemetry handle, create one here so the generator's event-type
+    // counters land in the same registry as the executor's.
+    if opts.telemetry.is_none() && opts.telemetry_out.is_some() {
+        opts.telemetry = Some(flowkv_common::telemetry::Telemetry::new_shared());
+    }
     let outcome = run_job(
         &job,
-        EventGenerator::new(gen_cfg).tuples(),
+        EventGenerator::new(gen_cfg).tuples_with_telemetry(opts.telemetry.clone()),
         backend.factory(),
         &opts,
     );

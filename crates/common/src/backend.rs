@@ -189,6 +189,8 @@ pub struct OperatorContext {
     pub semantics: OperatorSemantics,
     /// Directory under which the store may create files.
     pub data_dir: PathBuf,
+    /// Job-wide telemetry handle; `None` disables store instrumentation.
+    pub telemetry: Option<Arc<crate::telemetry::Telemetry>>,
 }
 
 impl OperatorContext {
@@ -197,6 +199,11 @@ impl OperatorContext {
         self.data_dir
             .join(&self.operator)
             .join(format!("p{}", self.partition))
+    }
+
+    /// Label used to tag this partition's telemetry, `operator/p<N>`.
+    pub fn telemetry_tag(&self) -> String {
+        format!("{}/p{}", self.operator, self.partition)
     }
 }
 
@@ -233,10 +240,12 @@ mod tests {
                 WindowKind::Fixed { size: 100 },
             ),
             data_dir: PathBuf::from("/tmp/job"),
+            telemetry: None,
         };
         assert_eq!(
             ctx.partition_dir(),
             PathBuf::from("/tmp/job/window-join/p3")
         );
+        assert_eq!(ctx.telemetry_tag(), "window-join/p3");
     }
 }

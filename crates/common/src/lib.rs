@@ -20,6 +20,9 @@
 //!   views of live operator state that workers publish at watermark
 //!   boundaries and the serving layer reads concurrently.
 //! - [`scratch`] — unique scratch directories for tests and benchmarks.
+//! - [`telemetry`] — the pipeline-wide metric registry (counters, gauges,
+//!   log-linear histograms), bounded-ring flight recorder, and the JSONL
+//!   and Prometheus exposition formats.
 
 pub mod backend;
 pub mod codec;
@@ -29,9 +32,14 @@ pub mod logfile;
 pub mod metrics;
 pub mod registry;
 pub mod scratch;
+pub mod telemetry;
 pub mod types;
 
 pub use backend::StateBackend;
 pub use error::{Result, StoreError};
 pub use registry::{StateKey, StatePattern, StateRegistry, StateView, ViewValue};
+pub use telemetry::{
+    Counter, FlightRecorder, Gauge, Histogram, HistogramSnapshot, MetricRegistry, MetricSample,
+    SampleValue, Telemetry, TraceEvent,
+};
 pub use types::{Timestamp, Tuple, WindowId};

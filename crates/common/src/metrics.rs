@@ -212,21 +212,50 @@ impl MetricsSnapshot {
     }
 
     /// Element-wise difference since an earlier snapshot.
+    ///
+    /// Saturating: snapshots taken out of order (or a merged snapshot
+    /// diffed against a larger one) clamp to zero instead of panicking in
+    /// debug builds.
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
-            write_nanos: self.write_nanos - earlier.write_nanos,
-            read_nanos: self.read_nanos - earlier.read_nanos,
-            compaction_nanos: self.compaction_nanos - earlier.compaction_nanos,
-            bytes_written: self.bytes_written - earlier.bytes_written,
-            bytes_read: self.bytes_read - earlier.bytes_read,
-            records_written: self.records_written - earlier.records_written,
-            records_read: self.records_read - earlier.records_read,
-            prefetch_hits: self.prefetch_hits - earlier.prefetch_hits,
-            prefetch_misses: self.prefetch_misses - earlier.prefetch_misses,
-            prefetch_evictions: self.prefetch_evictions - earlier.prefetch_evictions,
-            flushes: self.flushes - earlier.flushes,
-            compactions: self.compactions - earlier.compactions,
+            write_nanos: self.write_nanos.saturating_sub(earlier.write_nanos),
+            read_nanos: self.read_nanos.saturating_sub(earlier.read_nanos),
+            compaction_nanos: self
+                .compaction_nanos
+                .saturating_sub(earlier.compaction_nanos),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            records_written: self.records_written.saturating_sub(earlier.records_written),
+            records_read: self.records_read.saturating_sub(earlier.records_read),
+            prefetch_hits: self.prefetch_hits.saturating_sub(earlier.prefetch_hits),
+            prefetch_misses: self.prefetch_misses.saturating_sub(earlier.prefetch_misses),
+            prefetch_evictions: self
+                .prefetch_evictions
+                .saturating_sub(earlier.prefetch_evictions),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            compactions: self.compactions.saturating_sub(earlier.compactions),
         }
+    }
+
+    /// Every counter as a `(name, value)` pair, in wire/display order.
+    ///
+    /// Shared by the serve-layer Prometheus renderer and anything else
+    /// that wants to iterate the counters without naming all twelve.
+    pub fn named(&self) -> [(&'static str, u64); 12] {
+        [
+            ("write_nanos", self.write_nanos),
+            ("read_nanos", self.read_nanos),
+            ("compaction_nanos", self.compaction_nanos),
+            ("bytes_written", self.bytes_written),
+            ("bytes_read", self.bytes_read),
+            ("records_written", self.records_written),
+            ("records_read", self.records_read),
+            ("prefetch_hits", self.prefetch_hits),
+            ("prefetch_misses", self.prefetch_misses),
+            ("prefetch_evictions", self.prefetch_evictions),
+            ("flushes", self.flushes),
+            ("compactions", self.compactions),
+        ]
     }
 }
 
@@ -291,6 +320,45 @@ mod tests {
         assert_eq!(sum.write_nanos, 15);
         assert_eq!(sum.read_nanos, 9);
         assert_eq!(sum.since(&b), a);
+    }
+
+    #[test]
+    fn since_saturates_on_out_of_order_snapshots() {
+        let small = MetricsSnapshot {
+            write_nanos: 5,
+            ..MetricsSnapshot::default()
+        };
+        let large = MetricsSnapshot {
+            write_nanos: 10,
+            read_nanos: 3,
+            ..MetricsSnapshot::default()
+        };
+        let diff = small.since(&large);
+        assert_eq!(diff.write_nanos, 0);
+        assert_eq!(diff.read_nanos, 0);
+    }
+
+    #[test]
+    fn named_covers_every_counter() {
+        let snap = MetricsSnapshot {
+            write_nanos: 1,
+            read_nanos: 2,
+            compaction_nanos: 3,
+            bytes_written: 4,
+            bytes_read: 5,
+            records_written: 6,
+            records_read: 7,
+            prefetch_hits: 8,
+            prefetch_misses: 9,
+            prefetch_evictions: 10,
+            flushes: 11,
+            compactions: 12,
+        };
+        let named = snap.named();
+        let sum: u64 = named.iter().map(|(_, v)| v).sum();
+        assert_eq!(sum, (1..=12).sum::<u64>());
+        assert_eq!(named[0].0, "write_nanos");
+        assert_eq!(named[11].0, "compactions");
     }
 
     #[test]

@@ -31,10 +31,11 @@ use flowkv_common::error::{Result, StoreError};
 use flowkv_common::logfile::{copy_range, LogReader, LogWriter, RandomAccessLog};
 use flowkv_common::metrics::{OpCategory, StoreMetrics};
 use flowkv_common::registry::ViewValue;
+use flowkv_common::telemetry::{Counter, Histogram, Telemetry};
 use flowkv_common::types::{Timestamp, WindowId};
 
 use crate::aar::push_view_value;
-use crate::ett::EttPredictor;
+use crate::ett::{EttObservation, EttPredictor};
 use index_log::{decode_values, encode_values_into, IndexEntry, IndexEntryRef};
 use prefetch::PrefetchBuffer;
 use stat::{StatTable, StateKey};
@@ -104,6 +105,58 @@ pub struct AurStore {
     /// `Vec<u8>`s.
     encode_buf: Vec<u8>,
     metrics: Arc<StoreMetrics>,
+    /// Prefetch-accuracy telemetry; `None` keeps the hot path untouched.
+    ett_probe: Option<EttProbe>,
+}
+
+/// Telemetry handles for predicted-vs-actual trigger-time accounting,
+/// resolved once at store open so consuming a window costs only atomic
+/// updates plus one ring append.
+struct EttProbe {
+    telemetry: Arc<Telemetry>,
+    /// Flight-recorder tag, `operator/p<N>` of the owning partition.
+    tag: String,
+    /// Histogram of `|actual - predicted|` in event-time milliseconds.
+    abs_error_ms: Arc<Histogram>,
+    /// Consumed windows that carried a trigger-time estimate.
+    observations: Arc<Counter>,
+    /// Observations whose estimate was not a safe lower bound.
+    unsafe_predictions: Arc<Counter>,
+}
+
+impl EttProbe {
+    fn new(telemetry: Arc<Telemetry>, tag: &str) -> Self {
+        let registry = telemetry.registry();
+        EttProbe {
+            abs_error_ms: registry.histogram(&format!("store_ett_abs_error_ms{{store={tag}}}")),
+            observations: registry.counter(&format!("store_ett_observations_total{{store={tag}}}")),
+            unsafe_predictions: registry.counter(&format!(
+                "store_ett_unsafe_predictions_total{{store={tag}}}"
+            )),
+            tag: tag.to_string(),
+            telemetry,
+        }
+    }
+
+    fn observe(&self, window: WindowId, obs: EttObservation, from_prefetch: bool) {
+        self.observations.inc();
+        self.abs_error_ms.record(obs.abs_error() as u64);
+        if !obs.was_safe() {
+            self.unsafe_predictions.inc();
+        }
+        self.telemetry.event(
+            "ett",
+            &self.tag,
+            vec![
+                ("window_start", window.start),
+                ("window_end", window.end),
+                ("predicted", obs.predicted),
+                ("actual", obs.actual),
+                ("error", obs.error()),
+                ("from_prefetch", i64::from(from_prefetch)),
+            ],
+        );
+    }
 }
 
 impl AurStore {
@@ -134,12 +187,20 @@ impl AurStore {
             latest_ts: Timestamp::MIN,
             encode_buf: Vec::new(),
             metrics,
+            ett_probe: None,
         };
         if let Some(generation) = store.find_generation()? {
             store.generation = generation;
             store.rebuild_from_index()?;
         }
         Ok(store)
+    }
+
+    /// Enables predicted-vs-actual trigger-time telemetry, tagging
+    /// metrics and flight events with `tag` (typically `operator/p<N>`).
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>, tag: &str) -> Self {
+        self.ett_probe = Some(EttProbe::new(telemetry, tag));
+        self
     }
 
     /// Appends `value` for `(key, window)` with tuple timestamp `ts`
@@ -176,6 +237,7 @@ impl AurStore {
     /// `Get(K, W)`).
     pub fn take(&mut self, key: &[u8], window: WindowId) -> Result<Vec<Vec<u8>>> {
         let mut disk_values = Vec::new();
+        let mut from_prefetch = false;
         {
             let _t = self.metrics.timer(OpCategory::Read);
             let has_disk = self
@@ -185,12 +247,23 @@ impl AurStore {
             if has_disk {
                 if let Some(values) = self.prefetch.take(key, window) {
                     self.metrics.add_prefetch_hit();
+                    from_prefetch = true;
                     disk_values = values;
                 } else {
                     disk_values = self.predictive_batch_read(key, window)?;
                 }
             }
             if let Some(stat) = self.stat.consume(key, window) {
+                if let (Some(probe), Some(predicted)) = (&self.ett_probe, stat.ett) {
+                    probe.observe(
+                        window,
+                        EttObservation {
+                            predicted,
+                            actual: self.latest_ts,
+                        },
+                        from_prefetch,
+                    );
+                }
                 self.data_dead += stat.disk_bytes;
                 if stat.disk_records > 0 {
                     *self
@@ -1086,6 +1159,46 @@ mod tests {
         s.restore(ckpt.path()).unwrap();
         assert_eq!(s.take(b"k", w(0, 100)).unwrap(), vec![b"v1".to_vec()]);
         assert!(s.take(b"dead", w(0, 100)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn telemetry_emits_predicted_vs_actual_events() {
+        let dir = ScratchDir::new("aur-telemetry").unwrap();
+        let telemetry = Telemetry::new_shared();
+        let mut s = session_store(dir.path(), cfg_small())
+            .with_telemetry(Arc::clone(&telemetry), "median/p0");
+        // Session gap 100: appending at ts 10 predicts ETT 110. Stream
+        // time then advances to 150 before the take, so actual = 150.
+        s.append(b"k", w(0, 1000), b"v", 10).unwrap();
+        s.append(b"other", w(0, 1000), b"v", 150).unwrap();
+        s.take(b"k", w(0, 1000)).unwrap();
+
+        let events = telemetry.recorder().drain();
+        assert_eq!(events.len(), 1);
+        let event = &events[0];
+        assert_eq!(event.kind, "ett");
+        assert_eq!(event.tag, "median/p0");
+        let field = |name: &str| {
+            event
+                .fields
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(field("predicted"), 110);
+        assert_eq!(field("actual"), 150);
+        assert_eq!(field("error"), 40);
+
+        let samples = telemetry.registry().snapshot();
+        let observations = samples
+            .iter()
+            .find(|s| s.name == "store_ett_observations_total{store=median/p0}")
+            .unwrap();
+        assert_eq!(
+            observations.value,
+            flowkv_common::telemetry::SampleValue::Counter(1)
+        );
     }
 
     #[test]

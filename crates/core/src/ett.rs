@@ -75,6 +75,45 @@ impl EttPredictor {
     }
 }
 
+/// One predicted-vs-actual trigger-time pair, the unit of prefetch
+/// accuracy accounting.
+///
+/// The AUR store emits one observation per consumed window that carried
+/// an estimate: `predicted` is the Stat table's ETT at consume time and
+/// `actual` is the store's view of stream time when the read happened.
+/// The flight recorder turns these into `"ett"` trace events so prefetch
+/// error distributions can be computed offline from the JSONL record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EttObservation {
+    /// The estimated trigger time.
+    pub predicted: Timestamp,
+    /// The stream time at which the window was actually read.
+    pub actual: Timestamp,
+}
+
+impl EttObservation {
+    /// Signed prediction error, `actual - predicted` (saturating).
+    ///
+    /// Positive: the window triggered later than estimated (a safe
+    /// lower-bound prediction that cost prefetch-buffer residency).
+    /// Negative: the window triggered before its estimate — an unsafe
+    /// prediction that forces a miss.
+    pub fn error(&self) -> i64 {
+        self.actual.saturating_sub(self.predicted)
+    }
+
+    /// Absolute prediction error.
+    pub fn abs_error(&self) -> i64 {
+        self.error().saturating_abs()
+    }
+
+    /// True when the estimate was a correct lower bound (the window did
+    /// not trigger before it).
+    pub fn was_safe(&self) -> bool {
+        self.predicted <= self.actual
+    }
+}
+
 impl std::fmt::Debug for EttPredictor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -130,5 +169,31 @@ mod tests {
     fn session_prediction_saturates() {
         let p = EttPredictor::SessionGap { gap: i64::MAX };
         assert_eq!(p.predict(b"k", WindowId::new(0, 10), 5), Some(i64::MAX));
+    }
+
+    #[test]
+    fn observation_error_and_safety() {
+        let late = EttObservation {
+            predicted: 100,
+            actual: 130,
+        };
+        assert_eq!(late.error(), 30);
+        assert_eq!(late.abs_error(), 30);
+        assert!(late.was_safe());
+
+        let early = EttObservation {
+            predicted: 100,
+            actual: 80,
+        };
+        assert_eq!(early.error(), -20);
+        assert_eq!(early.abs_error(), 20);
+        assert!(!early.was_safe());
+
+        let extreme = EttObservation {
+            predicted: i64::MAX,
+            actual: i64::MIN,
+        };
+        assert_eq!(extreme.error(), i64::MIN);
+        assert_eq!(extreme.abs_error(), i64::MAX);
     }
 }

@@ -60,5 +60,6 @@ pub mod rmw;
 pub mod store;
 
 pub use config::FlowKvConfig;
+pub use ett::EttObservation;
 pub use pattern::AccessPattern;
 pub use store::{FlowKvFactory, FlowKvStore};

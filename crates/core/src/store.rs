@@ -49,6 +49,20 @@ pub struct FlowKvStore {
 impl FlowKvStore {
     /// Opens a store in `dir` for an operator with the given semantics.
     pub fn open(dir: &Path, semantics: OperatorSemantics, config: FlowKvConfig) -> Result<Self> {
+        FlowKvStore::open_with_telemetry(dir, semantics, config, None, "")
+    }
+
+    /// Like [`FlowKvStore::open`], additionally wiring a job-wide
+    /// telemetry handle into the AUR instances so predicted-vs-actual
+    /// trigger-time events flow into the flight recorder. `tag` labels
+    /// the emitting partition (`operator/p<N>`).
+    pub fn open_with_telemetry(
+        dir: &Path,
+        semantics: OperatorSemantics,
+        config: FlowKvConfig,
+        telemetry: Option<Arc<flowkv_common::telemetry::Telemetry>>,
+        tag: &str,
+    ) -> Result<Self> {
         config.validate()?;
         let pattern = classify(&semantics);
         let metrics = StoreMetrics::new_shared();
@@ -79,12 +93,16 @@ impl FlowKvStore {
                 };
                 let mut instances = Vec::with_capacity(m);
                 for j in 0..m {
-                    instances.push(AurStore::open(
+                    let mut store = AurStore::open(
                         &dir.join(format!("inst{j}")),
                         aur_cfg.clone(),
                         predictor.clone(),
                         Arc::clone(&metrics),
-                    )?);
+                    )?;
+                    if let Some(t) = &telemetry {
+                        store = store.with_telemetry(Arc::clone(t), &format!("{tag}/inst{j}"));
+                    }
+                    instances.push(store);
                 }
                 Inner::Aur(Partitioned::new(instances))
             }
@@ -304,10 +322,12 @@ impl StateBackendFactory for FlowKvFactory {
     fn create(&self, ctx: &OperatorContext) -> Result<Box<dyn StateBackend>> {
         let dir = ctx.partition_dir();
         std::fs::create_dir_all(&dir).map_err(|e| StoreError::io("backend dir", e))?;
-        Ok(Box::new(FlowKvStore::open(
+        Ok(Box::new(FlowKvStore::open_with_telemetry(
             &dir,
             ctx.semantics,
             self.config.clone(),
+            ctx.telemetry.clone(),
+            &ctx.telemetry_tag(),
         )?))
     }
 
@@ -458,6 +478,7 @@ mod tests {
             partition: 1,
             semantics: OperatorSemantics::new(AggregateKind::Incremental, WindowKind::Global),
             data_dir: dir.path().to_path_buf(),
+            telemetry: None,
         };
         let mut b = factory.create(&ctx).unwrap();
         b.put_aggregate(b"k", WindowId::global(), b"1").unwrap();

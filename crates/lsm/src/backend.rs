@@ -331,6 +331,7 @@ mod tests {
                 flowkv_common::backend::WindowKind::Fixed { size: 100 },
             ),
             data_dir: dir.path().to_path_buf(),
+            telemetry: None,
         };
         let mut b = factory.create(&ctx).unwrap();
         b.append(b"k", w(0, 100), b"v", 1).unwrap();

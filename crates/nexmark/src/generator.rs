@@ -113,9 +113,39 @@ impl EventGenerator {
     /// sequence number (queries re-key in their first stage) and the
     /// value is the serialized event.
     pub fn tuples(self) -> impl Iterator<Item = Tuple> {
+        self.tuples_with_telemetry(None)
+    }
+
+    /// Like [`tuples`](Self::tuples), additionally publishing generator
+    /// telemetry when a handle is given: per-type event counters
+    /// (`nexmark_events_total{type=person|auction|bid}`) and the latest
+    /// generated event time (`nexmark_event_time_ms`), which together
+    /// with the executor's `operator_watermark` gauges make end-to-end
+    /// ingest lag observable. `None` costs nothing per event.
+    pub fn tuples_with_telemetry(
+        self,
+        telemetry: Option<std::sync::Arc<flowkv_common::telemetry::Telemetry>>,
+    ) -> impl Iterator<Item = Tuple> {
+        let probe = telemetry.map(|t| {
+            let registry = t.registry();
+            (
+                registry.counter("nexmark_events_total{type=person}"),
+                registry.counter("nexmark_events_total{type=auction}"),
+                registry.counter("nexmark_events_total{type=bid}"),
+                registry.gauge("nexmark_event_time_ms"),
+            )
+        });
         let mut seq: u64 = 0;
         self.map(move |event| {
             let ts = event.timestamp();
+            if let Some((people, auctions, bids, event_time)) = &probe {
+                match &event {
+                    Event::Person(_) => people.inc(),
+                    Event::Auction(_) => auctions.inc(),
+                    Event::Bid(_) => bids.inc(),
+                }
+                event_time.set(ts);
+            }
             let t = Tuple::new(seq.to_le_bytes().to_vec(), event.encode(), ts);
             seq += 1;
             t

@@ -12,6 +12,7 @@ use std::time::Duration;
 use flowkv_common::error::{Result, StoreError};
 use flowkv_common::metrics::MetricsSnapshot;
 use flowkv_common::registry::{StatePattern, ViewValue};
+use flowkv_common::telemetry::MetricSample;
 use flowkv_common::types::{Timestamp, WindowId};
 
 use crate::protocol::{read_frame, write_frame, Request, Response, ScanEntry, StateInfo};
@@ -192,9 +193,29 @@ impl StateClient {
 
     /// Fetches merged store metrics for one operator.
     pub fn metrics(&mut self, job: &str, operator: &str) -> Result<MetricsResult> {
+        self.metrics_inner(job, operator, false).map(|(m, _)| m)
+    }
+
+    /// Fetches merged store metrics plus the server's telemetry-registry
+    /// samples (empty when the server was started without telemetry).
+    pub fn metrics_with_registry(
+        &mut self,
+        job: &str,
+        operator: &str,
+    ) -> Result<(MetricsResult, Vec<MetricSample>)> {
+        self.metrics_inner(job, operator, true)
+    }
+
+    fn metrics_inner(
+        &mut self,
+        job: &str,
+        operator: &str,
+        include_registry: bool,
+    ) -> Result<(MetricsResult, Vec<MetricSample>)> {
         let request = Request::Metrics {
             job: job.into(),
             operator: operator.into(),
+            include_registry,
         };
         match self.call(&request)? {
             Response::MetricsReport {
@@ -203,13 +224,26 @@ impl StateClient {
                 entries,
                 watermark,
                 metrics,
-            } => Ok(MetricsResult {
-                pattern,
-                partitions,
-                entries,
-                watermark,
-                metrics,
-            }),
+                registry,
+            } => Ok((
+                MetricsResult {
+                    pattern,
+                    partitions,
+                    entries,
+                    watermark,
+                    metrics,
+                },
+                registry,
+            )),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the server's full metric surface rendered in Prometheus
+    /// text exposition format 0.0.4.
+    pub fn prometheus(&mut self) -> Result<String> {
+        match self.call(&Request::Prometheus)? {
+            Response::PrometheusText(text) => Ok(text),
             other => Err(unexpected(&other)),
         }
     }

@@ -27,6 +27,7 @@ use flowkv_common::codec::{put_len_prefixed, put_u32, Decoder};
 use flowkv_common::error::{Result, StoreError};
 use flowkv_common::metrics::MetricsSnapshot;
 use flowkv_common::registry::{StateDescriptor, StateKey, StatePattern, ViewValue};
+use flowkv_common::telemetry::{HistogramSnapshot, MetricSample, SampleValue};
 use flowkv_common::types::{Timestamp, WindowId};
 
 /// Upper bound on one frame's payload (opcode + body), in bytes.
@@ -181,6 +182,78 @@ fn get_metrics(dec: &mut Decoder<'_>) -> Result<MetricsSnapshot> {
     Ok(m)
 }
 
+/// Sample-kind tags on the wire.
+const SAMPLE_COUNTER: u8 = 0;
+const SAMPLE_GAUGE: u8 = 1;
+const SAMPLE_HISTOGRAM: u8 = 2;
+
+fn put_samples(buf: &mut Vec<u8>, samples: &[MetricSample]) {
+    flowkv_common::codec::put_varint_u64(buf, samples.len() as u64);
+    for s in samples {
+        put_str(buf, &s.name);
+        match &s.value {
+            SampleValue::Counter(v) => {
+                buf.push(SAMPLE_COUNTER);
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            SampleValue::Gauge(v) => {
+                buf.push(SAMPLE_GAUGE);
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            SampleValue::Histogram(h) => {
+                buf.push(SAMPLE_HISTOGRAM);
+                buf.extend_from_slice(&h.count.to_le_bytes());
+                buf.extend_from_slice(&h.sum.to_le_bytes());
+                buf.extend_from_slice(&h.min.to_le_bytes());
+                buf.extend_from_slice(&h.max.to_le_bytes());
+                flowkv_common::codec::put_varint_u64(buf, h.counts.len() as u64);
+                for &c in &h.counts {
+                    flowkv_common::codec::put_varint_u64(buf, c);
+                }
+            }
+        }
+    }
+}
+
+fn get_samples(dec: &mut Decoder<'_>) -> Result<Vec<MetricSample>> {
+    let n = dec.get_varint_u64()? as usize;
+    if n > MAX_FRAME {
+        return Err(proto_err("sample count exceeds frame bound"));
+    }
+    let mut samples = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = get_str(dec)?;
+        let value = match dec.take(1, "sample kind")?[0] {
+            SAMPLE_COUNTER => SampleValue::Counter(dec.get_u64()?),
+            SAMPLE_GAUGE => SampleValue::Gauge(dec.get_i64()?),
+            SAMPLE_HISTOGRAM => {
+                let count = dec.get_u64()?;
+                let sum = dec.get_u64()?;
+                let min = dec.get_u64()?;
+                let max = dec.get_u64()?;
+                let buckets = dec.get_varint_u64()? as usize;
+                if buckets > MAX_FRAME {
+                    return Err(proto_err("bucket count exceeds frame bound"));
+                }
+                let mut counts = Vec::with_capacity(buckets.min(4096));
+                for _ in 0..buckets {
+                    counts.push(dec.get_varint_u64()?);
+                }
+                SampleValue::Histogram(HistogramSnapshot {
+                    counts,
+                    count,
+                    sum,
+                    min,
+                    max,
+                })
+            }
+            tag => return Err(proto_err(format!("unknown sample kind {tag}"))),
+        };
+        samples.push(MetricSample { name, value });
+    }
+    Ok(samples)
+}
+
 /// A query sent by a client.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
@@ -221,7 +294,16 @@ pub enum Request {
         job: String,
         /// Operator name.
         operator: String,
+        /// Also return the server's telemetry registry (counters,
+        /// gauges, histograms). Encoded as an *optional trailing flag
+        /// byte*: `false` produces the exact pre-telemetry frame, so old
+        /// servers still answer new clients and old clients' frames still
+        /// decode here.
+        include_registry: bool,
     },
+    /// The server's full telemetry registry rendered as Prometheus text
+    /// exposition format 0.0.4.
+    Prometheus,
 }
 
 const OP_PING: u8 = 0x01;
@@ -229,6 +311,7 @@ const OP_LIST: u8 = 0x02;
 const OP_LOOKUP: u8 = 0x03;
 const OP_SCAN: u8 = 0x04;
 const OP_METRICS: u8 = 0x05;
+const OP_PROMETHEUS: u8 = 0x06;
 
 impl Request {
     /// Encodes this request as one frame payload (opcode + body).
@@ -269,11 +352,21 @@ impl Request {
                 buf.extend_from_slice(&range_end.to_le_bytes());
                 buf.extend_from_slice(&limit.to_le_bytes());
             }
-            Request::Metrics { job, operator } => {
+            Request::Metrics {
+                job,
+                operator,
+                include_registry,
+            } => {
                 buf.push(OP_METRICS);
                 put_str(&mut buf, job);
                 put_str(&mut buf, operator);
+                // Only emitted when set: the `false` encoding is
+                // byte-identical to the pre-telemetry protocol.
+                if *include_registry {
+                    buf.push(1);
+                }
             }
+            Request::Prometheus => buf.push(OP_PROMETHEUS),
         }
         buf
     }
@@ -308,10 +401,26 @@ impl Request {
                 range_end: dec.get_i64()?,
                 limit: dec.get_u64()?,
             },
-            OP_METRICS => Request::Metrics {
-                job: get_str(&mut dec)?,
-                operator: get_str(&mut dec)?,
-            },
+            OP_METRICS => {
+                let job = get_str(&mut dec)?;
+                let operator = get_str(&mut dec)?;
+                // Absent flag byte = legacy frame = store counters only.
+                let include_registry = if dec.is_empty() {
+                    false
+                } else {
+                    match dec.take(1, "registry flag")?[0] {
+                        0 => false,
+                        1 => true,
+                        flag => return Err(proto_err(format!("bad registry flag {flag}"))),
+                    }
+                };
+                Request::Metrics {
+                    job,
+                    operator,
+                    include_registry,
+                }
+            }
+            OP_PROMETHEUS => Request::Prometheus,
             other => return Err(proto_err(format!("unknown request opcode {other:#x}"))),
         };
         if !dec.is_empty() {
@@ -429,7 +538,15 @@ pub enum Response {
         watermark: Timestamp,
         /// Element-wise summed store counters.
         metrics: MetricsSnapshot,
+        /// Telemetry registry samples; populated only when the request
+        /// set `include_registry`, and appended to the frame only when
+        /// non-empty so legacy decoders (which reject trailing bytes)
+        /// keep working.
+        registry: Vec<MetricSample>,
     },
+    /// Answer to [`Request::Prometheus`]: the registry in Prometheus
+    /// text exposition format 0.0.4.
+    PrometheusText(String),
     /// The request failed.
     Error {
         /// Machine-readable reason.
@@ -444,6 +561,7 @@ const OP_STATES: u8 = 0x82;
 const OP_VALUE: u8 = 0x83;
 const OP_SCAN_RESULT: u8 = 0x84;
 const OP_METRICS_REPORT: u8 = 0x85;
+const OP_PROM_TEXT: u8 = 0x86;
 const OP_ERROR: u8 = 0xee;
 
 impl Response {
@@ -503,6 +621,7 @@ impl Response {
                 entries,
                 watermark,
                 metrics,
+                registry,
             } => {
                 buf.push(OP_METRICS_REPORT);
                 buf.push(pattern.as_u8());
@@ -510,6 +629,15 @@ impl Response {
                 buf.extend_from_slice(&entries.to_le_bytes());
                 buf.extend_from_slice(&watermark.to_le_bytes());
                 put_metrics(&mut buf, metrics);
+                // Appended only when present: the empty encoding is the
+                // pre-telemetry frame, which old clients still decode.
+                if !registry.is_empty() {
+                    put_samples(&mut buf, registry);
+                }
+            }
+            Response::PrometheusText(text) => {
+                buf.push(OP_PROM_TEXT);
+                put_str(&mut buf, text);
             }
             Response::Error { code, message } => {
                 buf.push(OP_ERROR);
@@ -585,13 +713,28 @@ impl Response {
                     entries,
                 }
             }
-            OP_METRICS_REPORT => Response::MetricsReport {
-                pattern: StatePattern::from_u8(dec.take(1, "pattern")?[0]),
-                partitions: dec.get_u64()?,
-                entries: dec.get_u64()?,
-                watermark: dec.get_i64()?,
-                metrics: get_metrics(&mut dec)?,
-            },
+            OP_METRICS_REPORT => {
+                let pattern = StatePattern::from_u8(dec.take(1, "pattern")?[0]);
+                let partitions = dec.get_u64()?;
+                let entries = dec.get_u64()?;
+                let watermark = dec.get_i64()?;
+                let metrics = get_metrics(&mut dec)?;
+                // Absent suffix = legacy frame = no registry samples.
+                let registry = if dec.is_empty() {
+                    Vec::new()
+                } else {
+                    get_samples(&mut dec)?
+                };
+                Response::MetricsReport {
+                    pattern,
+                    partitions,
+                    entries,
+                    watermark,
+                    metrics,
+                    registry,
+                }
+            }
+            OP_PROM_TEXT => Response::PrometheusText(get_str(&mut dec)?),
             OP_ERROR => Response::Error {
                 code: ErrorCode::from_u8(dec.take(1, "error code")?[0])?,
                 message: get_str(&mut dec)?,

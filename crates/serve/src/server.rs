@@ -19,6 +19,7 @@ use flowkv_common::error::{Result, StoreError};
 use flowkv_common::hash::partition_of;
 use flowkv_common::metrics::MetricsSnapshot;
 use flowkv_common::registry::{StateKey, StatePattern, StateRegistry};
+use flowkv_common::telemetry::{self, MetricSample, SampleValue, Telemetry};
 use flowkv_common::types::{Timestamp, MAX_TIMESTAMP};
 
 use crate::protocol::{
@@ -43,6 +44,17 @@ impl StateServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
     /// starts serving queries over `registry`.
     pub fn spawn(addr: impl ToSocketAddrs, registry: Arc<StateRegistry>) -> Result<Self> {
+        Self::spawn_with_telemetry(addr, registry, None)
+    }
+
+    /// Like [`spawn`](Self::spawn), additionally exposing `telemetry`
+    /// through the metrics opcode (registry samples) and the Prometheus
+    /// opcode (text exposition format 0.0.4).
+    pub fn spawn_with_telemetry(
+        addr: impl ToSocketAddrs,
+        registry: Arc<StateRegistry>,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Result<Self> {
         let listener =
             TcpListener::bind(addr).map_err(|e| StoreError::io("state server bind", e))?;
         listener
@@ -58,7 +70,7 @@ impl StateServer {
             let served = Arc::clone(&served);
             std::thread::Builder::new()
                 .name("flowkv-serve-accept".into())
-                .spawn(move || accept_loop(listener, registry, stop, served))
+                .spawn(move || accept_loop(listener, registry, telemetry, stop, served))
                 .map_err(|e| StoreError::io("state server accept thread", e))?
         };
         Ok(StateServer {
@@ -100,6 +112,7 @@ impl Drop for StateServer {
 fn accept_loop(
     listener: TcpListener,
     registry: Arc<StateRegistry>,
+    telemetry: Option<Arc<Telemetry>>,
     stop: Arc<AtomicBool>,
     served: Arc<AtomicU64>,
 ) {
@@ -108,11 +121,12 @@ fn accept_loop(
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let registry = Arc::clone(&registry);
+                let telemetry = telemetry.clone();
                 let stop = Arc::clone(&stop);
                 let served = Arc::clone(&served);
                 let handle = std::thread::Builder::new()
                     .name("flowkv-serve-conn".into())
-                    .spawn(move || serve_connection(stream, registry, stop, served));
+                    .spawn(move || serve_connection(stream, registry, telemetry, stop, served));
                 match handle {
                     Ok(h) => conn_threads.push(h),
                     Err(_) => continue,
@@ -135,6 +149,7 @@ fn accept_loop(
 fn serve_connection(
     stream: TcpStream,
     registry: Arc<StateRegistry>,
+    telemetry: Option<Arc<Telemetry>>,
     stop: Arc<AtomicBool>,
     served: Arc<AtomicU64>,
 ) {
@@ -162,7 +177,7 @@ fn serve_connection(
             Err(_) => return,
         };
         let response = match Request::decode(&payload) {
-            Ok(request) => answer(&registry, request),
+            Ok(request) => answer(&registry, telemetry.as_deref(), request),
             Err(e) => Response::Error {
                 code: ErrorCode::BadRequest,
                 message: e.to_string(),
@@ -187,7 +202,11 @@ fn unknown_state(job: &str, operator: &str) -> Response {
 ///
 /// Exposed to the crate so the integration tests can exercise query
 /// semantics without a socket.
-pub(crate) fn answer(registry: &StateRegistry, request: Request) -> Response {
+pub(crate) fn answer(
+    registry: &StateRegistry,
+    telemetry: Option<&Telemetry>,
+    request: Request,
+) -> Response {
     match request {
         Request::Ping => Response::Pong,
         Request::ListStates => {
@@ -262,7 +281,11 @@ pub(crate) fn answer(registry: &StateRegistry, request: Request) -> Response {
                 entries,
             }
         }
-        Request::Metrics { job, operator } => {
+        Request::Metrics {
+            job,
+            operator,
+            include_registry,
+        } => {
             let views = registry.operator_views(&job, &operator);
             if views.is_empty() {
                 return unknown_state(&job, &operator);
@@ -277,15 +300,60 @@ pub(crate) fn answer(registry: &StateRegistry, request: Request) -> Response {
                 watermark = watermark.min(view.watermark);
                 pattern = view.pattern;
             }
+            let samples = if include_registry {
+                telemetry
+                    .map(|t| t.registry().snapshot())
+                    .unwrap_or_default()
+            } else {
+                Vec::new()
+            };
             Response::MetricsReport {
                 pattern,
                 partitions: views.len() as u64,
                 entries,
                 watermark,
                 metrics,
+                registry: samples,
             }
         }
+        Request::Prometheus => {
+            let samples = prometheus_samples(registry, telemetry);
+            Response::PrometheusText(telemetry::render_prometheus(&samples))
+        }
     }
+}
+
+/// Collects everything the server can expose to a Prometheus scrape:
+/// the telemetry registry plus the per-operator store counters of every
+/// published state, rendered as
+/// `store_<counter>{job=...,operator=...}` series.
+fn prometheus_samples(
+    registry: &StateRegistry,
+    telemetry: Option<&Telemetry>,
+) -> Vec<MetricSample> {
+    let mut samples = telemetry
+        .map(|t| t.registry().snapshot())
+        .unwrap_or_default();
+    let mut operators: Vec<(String, String)> = registry
+        .list()
+        .into_iter()
+        .map(|d| (d.key.job, d.key.operator))
+        .collect();
+    operators.sort();
+    operators.dedup();
+    for (job, operator) in operators {
+        let mut merged = MetricsSnapshot::default();
+        for (_, view) in registry.operator_views(&job, &operator) {
+            merged = merged.merged(&view.metrics);
+        }
+        for (name, value) in merged.named() {
+            samples.push(MetricSample {
+                name: format!("store_{name}{{job={job},operator={operator}}}"),
+                value: SampleValue::Counter(value),
+            });
+        }
+    }
+    samples
 }
 
 /// Builds the [`StateKey`] a lookup for `key` routes to, given the
@@ -327,6 +395,7 @@ mod tests {
         }
         let resp = answer(
             &registry,
+            None,
             Request::Lookup {
                 job: "j".into(),
                 operator: "op".into(),
@@ -368,6 +437,7 @@ mod tests {
         );
         let resp = answer(
             &registry,
+            None,
             Request::Scan {
                 job: "j".into(),
                 operator: "op".into(),
@@ -392,9 +462,11 @@ mod tests {
         let registry = StateRegistry::new_shared();
         let resp = answer(
             &registry,
+            None,
             Request::Metrics {
                 job: "nope".into(),
                 operator: "nope".into(),
+                include_registry: false,
             },
         );
         assert!(matches!(

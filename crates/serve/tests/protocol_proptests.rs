@@ -5,6 +5,7 @@
 
 use flowkv_common::codec::put_u32;
 use flowkv_common::registry::{StateKey, StatePattern, ViewValue};
+use flowkv_common::telemetry::{HistogramSnapshot, MetricSample, SampleValue};
 use flowkv_common::types::WindowId;
 use flowkv_serve::protocol::{
     read_frame, write_frame, Request, Response, ScanEntry, StateInfo, MAX_FRAME,
@@ -71,9 +72,42 @@ fn request_strategy() -> Union<Request> {
                     limit,
                 }
             ),
-        (name_strategy(), name_strategy())
-            .prop_map(|(job, operator)| Request::Metrics { job, operator }),
+        (name_strategy(), name_strategy(), any::<bool>()).prop_map(
+            |(job, operator, include_registry)| Request::Metrics {
+                job,
+                operator,
+                include_registry,
+            }
+        ),
+        Just(Request::Prometheus),
     ]
+}
+
+fn sample_strategy() -> impl Strategy<Value = MetricSample> {
+    (
+        name_strategy(),
+        prop_oneof![
+            any::<u64>().prop_map(SampleValue::Counter),
+            any::<i64>().prop_map(SampleValue::Gauge),
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                prop::collection::vec(any::<u64>(), 0..32),
+            )
+                .prop_map(|(count, sum, min, max, counts)| {
+                    SampleValue::Histogram(HistogramSnapshot {
+                        counts,
+                        count,
+                        sum,
+                        min,
+                        max,
+                    })
+                }),
+        ],
+    )
+        .prop_map(|(name, value)| MetricSample { name, value })
 }
 
 fn state_info_strategy() -> impl Strategy<Value = StateInfo> {
@@ -153,16 +187,21 @@ fn response_strategy() -> Union<Response> {
             any::<u64>(),
             any::<i64>(),
             metrics_strategy(),
+            prop::collection::vec(sample_strategy(), 0..6),
         )
-            .prop_map(|(pattern, partitions, entries, watermark, metrics)| {
-                Response::MetricsReport {
-                    pattern: StatePattern::from_u8(pattern as u8),
-                    partitions,
-                    entries,
-                    watermark,
-                    metrics,
+            .prop_map(
+                |(pattern, partitions, entries, watermark, metrics, registry)| {
+                    Response::MetricsReport {
+                        pattern: StatePattern::from_u8(pattern as u8),
+                        partitions,
+                        entries,
+                        watermark,
+                        metrics,
+                        registry,
+                    }
                 }
-            }),
+            ),
+        name_strategy().prop_map(Response::PrometheusText),
         (0u64..3, name_strategy()).prop_map(|(code, message)| Response::Error {
             code: match code {
                 0 => flowkv_serve::ErrorCode::BadRequest,
@@ -223,7 +262,94 @@ proptest! {
     fn trailing_garbage_is_rejected(req in request_strategy(), junk in 1u8..=255) {
         let mut payload = req.encode();
         payload.push(junk);
-        prop_assert!(Request::decode(&payload).is_err());
+        match (&req, junk) {
+            // The one deliberate exception: a flag-less Metrics frame
+            // followed by the single byte `1` IS the extended frame that
+            // requests registry samples.
+            (
+                Request::Metrics {
+                    job,
+                    operator,
+                    include_registry: false,
+                },
+                1,
+            ) => {
+                let decoded = Request::decode(&payload).unwrap();
+                prop_assert_eq!(
+                    decoded,
+                    Request::Metrics {
+                        job: job.clone(),
+                        operator: operator.clone(),
+                        include_registry: true,
+                    }
+                );
+            }
+            _ => prop_assert!(Request::decode(&payload).is_err()),
+        }
+    }
+
+    /// A pre-telemetry client's Metrics frame (opcode + the two names,
+    /// no flag byte) still decodes, as `include_registry: false` — and
+    /// the new encoder emits exactly that legacy frame when the flag is
+    /// off, so old servers keep answering new clients.
+    #[test]
+    fn legacy_metrics_request_frames_interoperate(
+        job in name_strategy(),
+        operator in name_strategy(),
+    ) {
+        let mut legacy = vec![0x05u8];
+        flowkv_common::codec::put_len_prefixed(&mut legacy, job.as_bytes());
+        flowkv_common::codec::put_len_prefixed(&mut legacy, operator.as_bytes());
+        let off = Request::Metrics {
+            job: job.clone(),
+            operator: operator.clone(),
+            include_registry: false,
+        };
+        prop_assert_eq!(&off.encode(), &legacy);
+        prop_assert_eq!(Request::decode(&legacy).unwrap(), off);
+        let on = Request::Metrics {
+            job,
+            operator,
+            include_registry: true,
+        };
+        let mut extended = legacy;
+        extended.push(1);
+        prop_assert_eq!(&on.encode(), &extended);
+        prop_assert_eq!(Request::decode(&extended).unwrap(), on);
+    }
+
+    /// The registry samples ride as a pure suffix on the MetricsReport
+    /// frame: the extended frame starts with the byte-identical legacy
+    /// frame, and that legacy prefix alone still decodes (what an old
+    /// client effectively sees when the registry is empty).
+    #[test]
+    fn metrics_report_registry_suffix_is_optional(
+        partitions in any::<u64>(),
+        entries in any::<u64>(),
+        watermark in any::<i64>(),
+        metrics in metrics_strategy(),
+        registry in prop::collection::vec(sample_strategy(), 1..6),
+    ) {
+        let make = |registry: Vec<MetricSample>| Response::MetricsReport {
+            pattern: StatePattern::from_u8(1),
+            partitions,
+            entries,
+            watermark,
+            metrics: metrics.clone(),
+            registry,
+        };
+        let legacy = make(Vec::new()).encode();
+        let full = make(registry.clone()).encode();
+        prop_assert!(full.len() > legacy.len());
+        prop_assert_eq!(&full[..legacy.len()], &legacy[..]);
+        match Response::decode(&legacy).unwrap() {
+            Response::MetricsReport { registry, .. } => prop_assert!(registry.is_empty()),
+            other => prop_assert!(false, "unexpected: {:?}", other),
+        }
+        match Response::decode(&full).unwrap() {
+            Response::MetricsReport { registry: got, .. } => prop_assert_eq!(got, registry),
+            other => prop_assert!(false, "unexpected: {:?}", other),
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::time::Duration;
 use flowkv::{FlowKvConfig, FlowKvFactory};
 use flowkv_common::registry::StateRegistry;
 use flowkv_common::scratch::ScratchDir;
+use flowkv_common::telemetry::{validate_prometheus, Telemetry};
 use flowkv_common::types::{Tuple, MAX_TIMESTAMP, MIN_TIMESTAMP};
 use flowkv_nexmark::{EventGenerator, GeneratorConfig, QueryId, QueryParams};
 use flowkv_serve::{StateClient, StateServer};
@@ -185,5 +186,65 @@ fn terminal_snapshot_reflects_the_drained_store() {
         metrics.metrics.records_written > 0,
         "merged metrics should reflect the job's writes"
     );
+    server.shutdown();
+}
+
+#[test]
+fn telemetry_server_exposes_prometheus_and_registry_samples() {
+    // Run a small job with a telemetry handle attached, then serve both
+    // the published snapshots and the telemetry registry.
+    let telemetry = Telemetry::new_shared();
+    let registry = StateRegistry::new_shared();
+    let dir = ScratchDir::new("serve-int-telemetry").unwrap();
+    {
+        let job = QueryId::Q12.build(QueryParams::new(1_000).with_parallelism(2));
+        let mut opts = RunOptions::new(dir.path());
+        opts.watermark_interval = 100;
+        opts.registry = Some(Arc::clone(&registry));
+        opts.telemetry = Some(Arc::clone(&telemetry));
+        let factory = Arc::new(FlowKvFactory::new(FlowKvConfig::small_for_tests()));
+        run_job(
+            &job,
+            EventGenerator::new(generator()).tuples(),
+            factory,
+            &opts,
+        )
+        .expect("job run failed");
+    }
+
+    let mut server = StateServer::spawn_with_telemetry(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        Some(Arc::clone(&telemetry)),
+    )
+    .unwrap();
+    let mut client = StateClient::connect(server.local_addr()).unwrap();
+
+    // The Prometheus opcode returns well-formed exposition text covering
+    // both the executor's telemetry metrics and the per-operator store
+    // counters.
+    let text = client.prometheus().unwrap();
+    validate_prometheus(&text).expect("invalid Prometheus exposition text");
+    assert!(
+        text.contains("flowkv_operator_busy_nanos"),
+        "missing executor telemetry in:\n{text}"
+    );
+    assert!(
+        text.contains("flowkv_store_records_written"),
+        "missing store counters in:\n{text}"
+    );
+    assert!(text.contains("# TYPE"), "missing TYPE comments");
+
+    // The extended metrics opcode carries the registry samples; the
+    // legacy form stays sample-free.
+    let (report, samples) = client.metrics_with_registry(JOB, OPERATOR).unwrap();
+    assert_eq!(report.partitions, 2);
+    assert!(
+        samples
+            .iter()
+            .any(|s| s.name.starts_with("operator_busy_nanos")),
+        "registry ride-along missing executor metrics"
+    );
+    assert!(client.metrics(JOB, OPERATOR).is_ok());
     server.shutdown();
 }

@@ -53,6 +53,16 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::try_send`]; carries the unsent
+    /// message like crossbeam's.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
     /// The sending half; cloneable.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
@@ -109,6 +119,22 @@ pub mod channel {
                     .wait(st)
                     .unwrap_or_else(|e| e.into_inner());
             }
+        }
+
+        /// Non-blocking send: enqueues `msg` if there is room right now,
+        /// otherwise returns it in the error.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut st = lock(&self.shared);
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if st.queue.len() < self.shared.capacity {
+                st.queue.push_back(msg);
+                drop(st);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            Err(TrySendError::Full(msg))
         }
     }
 
@@ -179,6 +205,19 @@ pub mod channel {
                     .unwrap_or_else(|e| e.into_inner());
                 st = guard;
             }
+        }
+
+        /// Number of messages currently buffered in the channel.
+        ///
+        /// A point-in-time reading (the queue may change immediately
+        /// after); the executor samples it for queue-depth telemetry.
+        pub fn len(&self) -> usize {
+            lock(&self.shared).queue.len()
+        }
+
+        /// True when no messages are currently buffered.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
 
         /// Non-blocking receive.
@@ -262,6 +301,17 @@ pub mod channel {
                 rx.recv_timeout(Duration::from_millis(10)),
                 Err(RecvTimeoutError::Disconnected)
             );
+        }
+
+        #[test]
+        fn len_tracks_buffered_messages() {
+            let (tx, rx) = bounded::<u8>(4);
+            assert!(rx.is_empty());
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.len(), 2);
+            rx.recv().unwrap();
+            assert_eq!(rx.len(), 1);
         }
 
         #[test]

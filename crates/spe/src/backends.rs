@@ -85,6 +85,7 @@ mod tests {
                     WindowKind::Session { gap: 100 },
                 ),
                 data_dir: dir.path().to_path_buf(),
+                telemetry: None,
             };
             let mut backend = factory.create(&ctx).unwrap();
             let w = WindowId::new(0, 100);

@@ -28,13 +28,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 
 use flowkv_common::backend::{OperatorContext, StateBackendFactory};
 use flowkv_common::error::StoreError;
 use flowkv_common::hash::partition_of;
 use flowkv_common::metrics::MetricsSnapshot;
 use flowkv_common::registry::{StateKey, StateRegistry};
+use flowkv_common::telemetry::{self, Counter, Gauge, Histogram, HistogramSnapshot, Telemetry};
 use flowkv_common::types::{Timestamp, Tuple, MAX_TIMESTAMP, MIN_TIMESTAMP};
 
 use crate::job::{Job, Stage};
@@ -156,6 +157,21 @@ pub struct RunOptions {
     /// flushed anyway (checked as the next tuple arrives), bounding the
     /// extra latency batching can add to slow, rate-limited streams.
     pub batch_linger: Duration,
+    /// Shared telemetry hub. When set, every worker records per-operator
+    /// busy/idle time, queue depth, backpressure-stall time, batch fill,
+    /// watermark lag, and checkpoint-barrier alignment time into its
+    /// registry, and the state stores emit flight-recorder events (e.g.
+    /// predicted-vs-actual trigger times). `None` (the default) skips
+    /// every probe — the hot path carries only untaken `if let None`
+    /// branches.
+    pub telemetry: Option<Arc<Telemetry>>,
+    /// Stream telemetry as JSONL to this file: periodic registry
+    /// snapshots plus drained flight-recorder events (see
+    /// `flowkv_common::telemetry::validate_jsonl_line` for the schema).
+    /// A fresh hub is created when `telemetry` is unset.
+    pub telemetry_out: Option<PathBuf>,
+    /// Interval between JSONL snapshot lines.
+    pub telemetry_interval: Duration,
 }
 
 impl RunOptions {
@@ -177,6 +193,9 @@ impl RunOptions {
             registry: None,
             batch_size: 1,
             batch_linger: Duration::from_millis(5),
+            telemetry: None,
+            telemetry_out: None,
+            telemetry_interval: Duration::from_millis(250),
         }
     }
 }
@@ -220,8 +239,11 @@ pub struct JobResult {
     pub store_metrics: MetricsSnapshot,
     /// Latency summary (when `record_latency` was set).
     pub latency: LatencySummary,
-    /// Raw latency samples in nanoseconds (when `record_latency`).
-    pub latencies_nanos: Vec<u64>,
+    /// Full end-to-end latency distribution in nanoseconds (when
+    /// `record_latency`). A mergeable log-linear histogram replaces the
+    /// old per-sample vector: the sink's memory stays O(buckets) no
+    /// matter how many tuples flow.
+    pub latency_histogram: HistogramSnapshot,
     /// Tuples dropped for arriving behind the watermark.
     pub dropped_late: u64,
     /// Whether the aligned checkpoint barrier completed at the sink.
@@ -275,6 +297,19 @@ struct Envelope {
     msg: Msg,
 }
 
+/// Registry handles for one exchange's backpressure accounting.
+///
+/// Only built when telemetry is enabled; the disabled path never takes a
+/// clock reading on a send.
+struct ExchangeProbe {
+    /// Nanoseconds spent inside channel sends (time blocked on a full
+    /// downstream queue dominates — the backpressure-stall signal).
+    stall_nanos: Arc<Counter>,
+    /// Tuples per sealed batch, recorded at flush time. Compare against
+    /// the configured batch size for the fill ratio.
+    batch_fill: Arc<Histogram>,
+}
+
 /// A batching sender over one channel boundary.
 ///
 /// Tuples accumulate into per-destination micro-batches sealed at
@@ -286,10 +321,16 @@ struct Exchange {
     pending: Vec<Vec<Stamped>>,
     batch_size: usize,
     sender: usize,
+    probe: Option<ExchangeProbe>,
 }
 
 impl Exchange {
-    fn new(txs: Vec<Sender<Envelope>>, batch_size: usize, sender: usize) -> Self {
+    fn new(
+        txs: Vec<Sender<Envelope>>,
+        batch_size: usize,
+        sender: usize,
+        probe: Option<ExchangeProbe>,
+    ) -> Self {
         let batch_size = batch_size.max(1);
         let pending = txs.iter().map(|_| Vec::with_capacity(batch_size)).collect();
         Exchange {
@@ -297,6 +338,7 @@ impl Exchange {
             pending,
             batch_size,
             sender,
+            probe,
         }
     }
 
@@ -320,12 +362,31 @@ impl Exchange {
             return true;
         }
         let batch = std::mem::replace(&mut self.pending[dest], Vec::with_capacity(self.batch_size));
-        self.txs[dest]
-            .send(Envelope {
-                sender: self.sender,
-                msg: Msg::Batch(batch),
-            })
-            .is_ok()
+        let env = Envelope {
+            sender: self.sender,
+            msg: Msg::Batch(batch),
+        };
+        match &self.probe {
+            None => self.txs[dest].send(env).is_ok(),
+            Some(probe) => {
+                if let Msg::Batch(batch) = &env.msg {
+                    probe.batch_fill.record(batch.len() as u64);
+                }
+                // Clock the send only when the channel is actually full:
+                // the uncontended path stays timer-free, and the stall
+                // counter measures pure backpressure wait.
+                match self.txs[dest].try_send(env) {
+                    Ok(()) => true,
+                    Err(TrySendError::Disconnected(_)) => false,
+                    Err(TrySendError::Full(env)) => {
+                        let start = Instant::now();
+                        let ok = self.txs[dest].send(env).is_ok();
+                        probe.stall_nanos.add(start.elapsed().as_nanos() as u64);
+                        ok
+                    }
+                }
+            }
+        }
     }
 
     /// Flushes every pending batch.
@@ -369,7 +430,8 @@ struct SinkReport {
     outputs_pre: Vec<Tuple>,
     output_count: u64,
     pre_count: u64,
-    latencies: Vec<u64>,
+    /// End-to-end latency distribution (empty unless `record_latency`).
+    latency: HistogramSnapshot,
     checkpoint_complete: bool,
 }
 
@@ -389,6 +451,14 @@ pub fn run_job(
     let started = Instant::now();
     let epoch = started;
     let abort = Arc::new(AtomicBool::new(false));
+
+    // Resolve the telemetry hub: an explicit hub wins; a JSONL sink alone
+    // gets a fresh one; neither leaves the run fully uninstrumented.
+    let run_telemetry: Option<Arc<Telemetry>> = match (&options.telemetry, &options.telemetry_out) {
+        (Some(t), _) => Some(Arc::clone(t)),
+        (None, Some(_)) => Some(Telemetry::new_shared()),
+        (None, None) => None,
+    };
 
     // Channels: stage boundaries plus the sink boundary.
     let num_boundaries = job.stages.len() + 1;
@@ -418,6 +488,20 @@ pub fn run_job(
     let checkpoint_after = options.checkpoint_after_tuples;
     let batch_size = options.batch_size.max(1);
     let linger_nanos = options.batch_linger.as_nanos() as u64;
+    let source_probe = run_telemetry.as_ref().map(|t| ExchangeProbe {
+        stall_nanos: t
+            .registry()
+            .counter("exchange_stall_nanos{operator=source,partition=0}"),
+        batch_fill: t
+            .registry()
+            .histogram("exchange_batch_fill{operator=source,partition=0}"),
+    });
+    let source_counters = run_telemetry.as_ref().map(|t| {
+        (
+            t.registry().counter("source_tuples_total"),
+            t.registry().gauge("source_watermark"),
+        )
+    });
     let source_handle = std::thread::Builder::new()
         .name("spe-source".into())
         .spawn(move || -> Result<u64, StoreError> {
@@ -425,7 +509,7 @@ pub fn run_job(
             let pace_start = Instant::now();
             let mut count: u64 = 0;
             let mut max_ts = MIN_TIMESTAMP;
-            let mut exchange = Exchange::new(source_tx, batch_size, 0);
+            let mut exchange = Exchange::new(source_tx, batch_size, 0, source_probe);
             let mut last_flush: u64 = 0;
             for tuple in source {
                 if abort_src.load(Ordering::Relaxed) {
@@ -451,12 +535,18 @@ pub fn run_job(
                     break;
                 }
                 count += 1;
+                if let Some((tuples, _)) = &source_counters {
+                    tuples.inc();
+                }
                 if checkpoint_after == Some(count) {
                     exchange.broadcast(|| Msg::Barrier);
                 }
                 if count.is_multiple_of(wm_interval as u64) {
                     let origin = t0.elapsed().as_nanos() as u64;
                     let wm = max_ts.saturating_sub(slack);
+                    if let Some((_, watermark)) = &source_counters {
+                        watermark.set(wm);
+                    }
                     exchange.broadcast(|| Msg::Watermark { ts: wm, origin });
                     last_flush = origin;
                 } else if !exchange.has_pending() {
@@ -495,6 +585,7 @@ pub fn run_job(
                 registry: options.registry.clone(),
                 job_name: job.name.clone(),
                 batch_size,
+                telemetry: run_telemetry.clone(),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("spe-{}-{}", stage.name(), worker))
@@ -513,6 +604,20 @@ pub fn run_job(
     let collect = options.collect_outputs;
     let record_latency = options.record_latency;
     let abort_sink = Arc::clone(&abort);
+    // The latency histogram lives in the registry when telemetry is on
+    // (so snapshots and Prometheus scrapes see it live), standalone
+    // otherwise; either way the sink never buffers raw samples.
+    let sink_hist = if record_latency {
+        Some(match &run_telemetry {
+            Some(t) => t.registry().histogram("sink_latency_nanos"),
+            None => Arc::new(Histogram::new()),
+        })
+    } else {
+        None
+    };
+    let sink_tuples = run_telemetry
+        .as_ref()
+        .map(|t| t.registry().counter("sink_tuples_total"));
     let sink_handle = std::thread::Builder::new()
         .name("spe-sink".into())
         .spawn(move || -> SinkReport {
@@ -522,7 +627,7 @@ pub fn run_job(
                 outputs_pre: Vec::new(),
                 output_count: 0,
                 pre_count: 0,
-                latencies: Vec::new(),
+                latency: HistogramSnapshot::default(),
                 checkpoint_complete: false,
             };
             let mut ends = 0;
@@ -544,6 +649,9 @@ pub fn run_job(
                             } else {
                                 0
                             };
+                            if let Some(tuples) = &sink_tuples {
+                                tuples.add(batch.len() as u64);
+                            }
                             for stamped in batch {
                                 report.output_count += 1;
                                 // Batches flush before barriers, so
@@ -556,8 +664,8 @@ pub fn run_job(
                                         report.outputs_pre.push(stamped.tuple.clone());
                                     }
                                 }
-                                if record_latency {
-                                    report.latencies.push(now.saturating_sub(stamped.origin));
+                                if let Some(hist) = &sink_hist {
+                                    hist.record(now.saturating_sub(stamped.origin));
                                 }
                                 if collect {
                                     report.outputs.push(stamped.tuple);
@@ -594,6 +702,9 @@ pub fn run_job(
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
+            if let Some(hist) = &sink_hist {
+                report.latency = hist.snapshot();
+            }
             report
         })
         .expect("spawn sink");
@@ -602,6 +713,26 @@ pub fn run_job(
     // disconnects propagate.
     drop(receivers);
     drop(senders);
+
+    // JSONL telemetry writer: periodic registry snapshots interleaved
+    // with drained flight-recorder events, plus one final snapshot when
+    // the run ends. Best-effort — a full disk never fails the job.
+    let writer_stop = Arc::new(AtomicBool::new(false));
+    let writer_handle = match (&run_telemetry, &options.telemetry_out) {
+        (Some(t), Some(path)) => {
+            let t = Arc::clone(t);
+            let path = path.clone();
+            let interval = options.telemetry_interval.max(Duration::from_millis(10));
+            let stop = Arc::clone(&writer_stop);
+            Some(
+                std::thread::Builder::new()
+                    .name("spe-telemetry".into())
+                    .spawn(move || write_telemetry_jsonl(&t, &path, interval, &stop))
+                    .expect("spawn telemetry writer"),
+            )
+        }
+        _ => None,
+    };
 
     // Watchdog for the wall-clock timeout.
     let timed_out = Arc::new(AtomicBool::new(false));
@@ -665,6 +796,12 @@ pub fn run_job(
     if let Some(w) = watchdog {
         let _ = w.join();
     }
+    writer_stop.store(true, Ordering::Relaxed);
+    if let Some(w) = writer_handle {
+        if let Ok(Err(e)) = w.join() {
+            eprintln!("telemetry writer failed: {e}");
+        }
+    }
 
     if timed_out.load(Ordering::Relaxed) {
         return Err(JobError::Timeout);
@@ -673,8 +810,7 @@ pub fn run_job(
         return Err(e);
     }
 
-    let mut latencies = sink.latencies;
-    let latency = LatencySummary::compute(&mut latencies);
+    let latency = LatencySummary::from_histogram(&sink.latency);
     Ok(JobResult {
         outputs: sink.outputs,
         output_count: sink.output_count,
@@ -682,7 +818,7 @@ pub fn run_job(
         elapsed: started.elapsed(),
         store_metrics: merged,
         latency,
-        latencies_nanos: latencies,
+        latency_histogram: sink.latency,
         dropped_late,
         checkpoint_taken: sink.checkpoint_complete,
         late_tuples,
@@ -690,8 +826,50 @@ pub fn run_job(
     })
 }
 
+/// The body of the `spe-telemetry` writer thread: drains the flight
+/// recorder and snapshots the registry every `interval` until `stop`,
+/// then writes one final drain + snapshot so short runs still leave a
+/// complete record.
+fn write_telemetry_jsonl(
+    t: &Telemetry,
+    path: &std::path::Path,
+    interval: Duration,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let mut seq = 0u64;
+    loop {
+        let stopping = stop.load(Ordering::Relaxed);
+        for event in t.recorder().drain() {
+            writeln!(out, "{}", telemetry::event_json(&event))?;
+        }
+        seq += 1;
+        let uptime_ms = t.now_nanos() / 1_000_000;
+        let samples = t.registry().snapshot();
+        writeln!(
+            out,
+            "{}",
+            telemetry::snapshot_json(seq, uptime_ms, &samples)
+        )?;
+        if stopping {
+            break;
+        }
+        // Sleep in short slices so shutdown stays prompt even with long
+        // snapshot intervals.
+        let mut slept = Duration::ZERO;
+        while slept < interval && !stop.load(Ordering::Relaxed) {
+            let step = (interval - slept).min(Duration::from_millis(20));
+            std::thread::sleep(step);
+            slept += step;
+        }
+    }
+    out.flush()
+}
+
 /// Checkpoint and restore locations handed to each worker, plus the
-/// optional queryable-state registry and the exchange batch size.
+/// optional queryable-state registry, the exchange batch size, and the
+/// run's telemetry hub.
 struct WorkerPaths {
     checkpoint_dir: Option<PathBuf>,
     restore_from: Option<PathBuf>,
@@ -699,11 +877,48 @@ struct WorkerPaths {
     registry: Option<Arc<StateRegistry>>,
     job_name: String,
     batch_size: usize,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 /// Per-worker directory inside a checkpoint.
 fn worker_ckpt_dir(root: &std::path::Path, stage_name: &str, worker: usize) -> PathBuf {
     root.join(stage_name).join(format!("p{worker}"))
+}
+
+/// Registry handles for one worker's self-accounting, labelled
+/// `{operator=<stage>,partition=<worker>}`. Built once at worker start;
+/// the hot loop then only touches `Arc`ed atomics.
+struct WorkerProbe {
+    /// Nanoseconds spent processing messages (operator + exchange work).
+    busy_nanos: Arc<Counter>,
+    /// Nanoseconds spent waiting on the input channel.
+    idle_nanos: Arc<Counter>,
+    /// Tuples received in data batches.
+    tuples: Arc<Counter>,
+    /// Input-queue depth sampled at every channel receive.
+    queue_depth: Arc<Histogram>,
+    /// Last event-time watermark applied (sentinel-free).
+    watermark: Arc<Gauge>,
+    /// `max event ts seen − watermark` at each advance, clamped to ≥ 0.
+    watermark_lag: Arc<Gauge>,
+    /// First-barrier-to-alignment time per checkpoint.
+    barrier_align: Arc<Histogram>,
+}
+
+impl WorkerProbe {
+    fn new(telemetry: &Telemetry, operator: &str, worker: usize) -> Self {
+        let labels = format!("{{operator={operator},partition={worker}}}");
+        let registry = telemetry.registry();
+        WorkerProbe {
+            busy_nanos: registry.counter(&format!("operator_busy_nanos{labels}")),
+            idle_nanos: registry.counter(&format!("operator_idle_nanos{labels}")),
+            tuples: registry.counter(&format!("operator_tuples_total{labels}")),
+            queue_depth: registry.histogram(&format!("operator_queue_depth{labels}")),
+            watermark: registry.gauge(&format!("operator_watermark{labels}")),
+            watermark_lag: registry.gauge(&format!("operator_watermark_lag_ms{labels}")),
+            barrier_align: registry.histogram(&format!("barrier_align_nanos{labels}")),
+        }
+    }
 }
 
 /// The body of one stage worker.
@@ -731,6 +946,7 @@ fn run_worker(
             partition: worker,
             semantics,
             data_dir,
+            telemetry: paths.telemetry.clone(),
         };
         let backend = factory.create(&ctx)?;
         let mut op = match &stage {
@@ -747,13 +963,33 @@ fn run_worker(
         operator = Some(op);
     }
 
+    let probe = paths
+        .telemetry
+        .as_ref()
+        .map(|t| WorkerProbe::new(t, stage.name(), worker));
+    let exchange_probe = paths.telemetry.as_ref().map(|t| {
+        let labels = format!("{{operator={},partition={}}}", stage.name(), worker);
+        ExchangeProbe {
+            stall_nanos: t
+                .registry()
+                .counter(&format!("exchange_stall_nanos{labels}")),
+            batch_fill: t
+                .registry()
+                .histogram(&format!("exchange_batch_fill{labels}")),
+        }
+    });
+
     let mut wms = vec![MIN_TIMESTAMP; upstreams];
     let mut origins = vec![0u64; upstreams];
     let mut current_wm = MIN_TIMESTAMP;
+    // Largest tuple timestamp this worker has seen (probe-only).
+    let mut max_event_ts = MIN_TIMESTAMP;
+    // First-barrier arrival instant of the in-flight alignment.
+    let mut barrier_started: Option<Instant> = None;
     let mut ends = 0;
     let mut outputs: Vec<Tuple> = Vec::new();
     let mut stamped_out: Vec<Stamped> = Vec::new();
-    let mut exchange = Exchange::new(next, paths.batch_size, worker);
+    let mut exchange = Exchange::new(next, paths.batch_size, worker, exchange_probe);
     // Monotone snapshot counter for the queryable-state registry.
     let mut publish_epoch = 0u64;
     let state_key = paths
@@ -791,13 +1027,36 @@ fn run_worker(
     let mut held: Vec<Envelope> = Vec::new();
     let mut pending: std::collections::VecDeque<Envelope> = std::collections::VecDeque::new();
 
+    // Busy/idle accounting runs on a single chained clock: each phase
+    // boundary takes ONE `Instant::now()` that ends the previous span
+    // and starts the next, halving the per-message timer cost. Queue
+    // depth is sampled every 16th receive — it is a distribution sample
+    // anyway, and `rx.len()` takes the channel lock.
+    let mut clock = probe.as_ref().map(|_| Instant::now());
+    let mut recv_count = 0u32;
     let result = (|| -> Result<WorkerReport, StoreError> {
-        loop {
+        'recv: loop {
             let env = if let Some(env) = pending.pop_front() {
+                // Held messages replay inside the busy span of the
+                // barrier that released them; no idle boundary here.
                 env
             } else {
-                match rx.recv_timeout(Duration::from_millis(100)) {
-                    Ok(env) => env,
+                let received = rx.recv_timeout(Duration::from_millis(100));
+                if let (Some(p), Some(last)) = (&probe, clock.as_mut()) {
+                    let now = Instant::now();
+                    p.idle_nanos.add((now - *last).as_nanos() as u64);
+                    *last = now;
+                }
+                match received {
+                    Ok(env) => {
+                        if let Some(p) = &probe {
+                            recv_count = recv_count.wrapping_add(1);
+                            if recv_count & 0xf == 0 {
+                                p.queue_depth.record(rx.len() as u64);
+                            }
+                        }
+                        env
+                    }
                     Err(RecvTimeoutError::Timeout) => {
                         if abort.load(Ordering::Relaxed) {
                             break;
@@ -814,88 +1073,122 @@ fn run_worker(
                 held.push(env);
                 continue;
             }
-            match env.msg {
-                Msg::Batch(mut batch) => {
-                    stamped_out.clear();
-                    match &stage {
-                        Stage::Stateless { f, .. } => {
+            // Busy time covers operator work plus downstream sends; the
+            // labeled block lets the watermark fast-path skip out without
+            // bypassing the accounting below it.
+            'handle: {
+                match env.msg {
+                    Msg::Batch(mut batch) => {
+                        if let Some(p) = &probe {
+                            p.tuples.add(batch.len() as u64);
                             for stamped in &batch {
-                                outputs.clear();
-                                f(&stamped.tuple, &mut outputs);
-                                let origin = stamped.origin;
-                                stamped_out.extend(
-                                    outputs.drain(..).map(|tuple| Stamped { tuple, origin }),
-                                );
+                                max_event_ts = max_event_ts.max(stamped.tuple.timestamp);
                             }
                         }
-                        Stage::Window(_) | Stage::IntervalJoin(_) => {
-                            operator
-                                .as_mut()
-                                .expect("stateful stage has operator")
-                                .on_batch(&mut batch, &mut stamped_out)?;
+                        stamped_out.clear();
+                        match &stage {
+                            Stage::Stateless { f, .. } => {
+                                for stamped in &batch {
+                                    outputs.clear();
+                                    f(&stamped.tuple, &mut outputs);
+                                    let origin = stamped.origin;
+                                    stamped_out.extend(
+                                        outputs.drain(..).map(|tuple| Stamped { tuple, origin }),
+                                    );
+                                }
+                            }
+                            Stage::Window(_) | Stage::IntervalJoin(_) => {
+                                operator
+                                    .as_mut()
+                                    .expect("stateful stage has operator")
+                                    .on_batch(&mut batch, &mut stamped_out)?;
+                            }
                         }
-                    }
-                    for stamped in stamped_out.drain(..) {
-                        if !exchange.send(stamped.tuple, stamped.origin) {
-                            return Ok(WorkerReport::default());
-                        }
-                    }
-                }
-                Msg::Watermark { ts, origin } => {
-                    wms[env.sender] = ts;
-                    origins[env.sender] = origin;
-                    let (min_idx, &min_wm) = wms
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, ts)| **ts)
-                        .expect("at least one upstream");
-                    if min_wm <= current_wm {
-                        continue;
-                    }
-                    current_wm = min_wm;
-                    let origin = origins[min_idx];
-                    if let Some(op) = operator.as_mut() {
-                        outputs.clear();
-                        op.on_watermark(min_wm, &mut outputs)?;
-                        for out in outputs.drain(..) {
-                            if !exchange.send(out, origin) {
+                        for stamped in stamped_out.drain(..) {
+                            if !exchange.send(stamped.tuple, stamped.origin) {
                                 return Ok(WorkerReport::default());
                             }
                         }
                     }
-                    // Forwarding the watermark flushes every pending
-                    // batch first, preserving tuple-before-watermark
-                    // order downstream.
-                    exchange.broadcast(|| Msg::Watermark { ts: min_wm, origin });
-                    publish_view(&mut operator, &mut publish_epoch, min_wm)?;
-                }
-                Msg::Barrier => {
-                    barrier_from[env.sender] = true;
-                    aligning = true;
-                    if barrier_from.iter().all(|&b| b) {
-                        // Barrier aligned: snapshot, forward, release.
-                        // The broadcast flushes pending batches before
-                        // the barrier, keeping the pre/post-snapshot
-                        // split exact downstream.
-                        if let (Some(dir), Some(op)) = (&paths.checkpoint_dir, operator.as_mut()) {
-                            op.checkpoint(&worker_ckpt_dir(dir, stage.name(), worker))?;
+                    Msg::Watermark { ts, origin } => {
+                        wms[env.sender] = ts;
+                        origins[env.sender] = origin;
+                        let (min_idx, &min_wm) = wms
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, ts)| **ts)
+                            .expect("at least one upstream");
+                        if min_wm <= current_wm {
+                            break 'handle;
                         }
-                        exchange.broadcast(|| Msg::Barrier);
-                        aligning = false;
-                        barrier_from.iter_mut().for_each(|b| *b = false);
-                        pending.extend(held.drain(..));
+                        current_wm = min_wm;
+                        if let Some(p) = &probe {
+                            // The MAX_TIMESTAMP end-of-stream sentinel would
+                            // wreck the gauge (and the lag), so it never
+                            // lands in the registry.
+                            if min_wm != MAX_TIMESTAMP {
+                                p.watermark.set(min_wm);
+                                p.watermark_lag
+                                    .set(max_event_ts.saturating_sub(min_wm).max(0));
+                            }
+                        }
+                        let origin = origins[min_idx];
+                        if let Some(op) = operator.as_mut() {
+                            outputs.clear();
+                            op.on_watermark(min_wm, &mut outputs)?;
+                            for out in outputs.drain(..) {
+                                if !exchange.send(out, origin) {
+                                    return Ok(WorkerReport::default());
+                                }
+                            }
+                        }
+                        // Forwarding the watermark flushes every pending
+                        // batch first, preserving tuple-before-watermark
+                        // order downstream.
+                        exchange.broadcast(|| Msg::Watermark { ts: min_wm, origin });
+                        publish_view(&mut operator, &mut publish_epoch, min_wm)?;
+                    }
+                    Msg::Barrier => {
+                        if probe.is_some() && barrier_started.is_none() {
+                            barrier_started = Some(Instant::now());
+                        }
+                        barrier_from[env.sender] = true;
+                        aligning = true;
+                        if barrier_from.iter().all(|&b| b) {
+                            if let (Some(p), Some(t0)) = (&probe, barrier_started.take()) {
+                                p.barrier_align.record(t0.elapsed().as_nanos() as u64);
+                            }
+                            // Barrier aligned: snapshot, forward, release.
+                            // The broadcast flushes pending batches before
+                            // the barrier, keeping the pre/post-snapshot
+                            // split exact downstream.
+                            if let (Some(dir), Some(op)) =
+                                (&paths.checkpoint_dir, operator.as_mut())
+                            {
+                                op.checkpoint(&worker_ckpt_dir(dir, stage.name(), worker))?;
+                            }
+                            exchange.broadcast(|| Msg::Barrier);
+                            aligning = false;
+                            barrier_from.iter_mut().for_each(|b| *b = false);
+                            pending.extend(held.drain(..));
+                        }
+                    }
+                    Msg::End => {
+                        ends += 1;
+                        if ends == upstreams {
+                            // Leave a final snapshot behind so clients can
+                            // still query the job's terminal state.
+                            publish_view(&mut operator, &mut publish_epoch, current_wm)?;
+                            exchange.broadcast(|| Msg::End);
+                            break 'recv;
+                        }
                     }
                 }
-                Msg::End => {
-                    ends += 1;
-                    if ends == upstreams {
-                        // Leave a final snapshot behind so clients can
-                        // still query the job's terminal state.
-                        publish_view(&mut operator, &mut publish_epoch, current_wm)?;
-                        exchange.broadcast(|| Msg::End);
-                        break;
-                    }
-                }
+            }
+            if let (Some(p), Some(last)) = (&probe, clock.as_mut()) {
+                let now = Instant::now();
+                p.busy_nanos.add((now - *last).as_nanos() as u64);
+                *last = now;
             }
         }
         Ok(WorkerReport::default())

@@ -1,7 +1,15 @@
 //! Latency aggregation for the tail-latency experiments (paper §6.2),
 //! and the [`Stamped`] tuple carrying its per-tuple origin timestamp
 //! through the micro-batched exchange.
+//!
+//! The sink records every end-to-end sample into a streaming
+//! [`Histogram`](flowkv_common::telemetry::Histogram) and summarizes the
+//! resulting [`HistogramSnapshot`] — memory stays O(buckets) instead of
+//! O(samples), and quantiles carry the histogram's bounded relative
+//! error (≤ 1/32). The exact sort-based summary survives under
+//! `#[cfg(test)]` as the oracle for that error bound.
 
+use flowkv_common::telemetry::HistogramSnapshot;
 use flowkv_common::types::Tuple;
 
 /// A tuple stamped with the wall-clock nanosecond at which it left the
@@ -48,7 +56,31 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    /// Computes the summary, sorting `samples` in place.
+    /// Summarizes a streaming latency histogram.
+    ///
+    /// `count`, `max`, and `mean` are exact (the histogram tracks them
+    /// alongside the buckets); the quantiles inherit the histogram's
+    /// bounded relative error.
+    pub fn from_histogram(h: &HistogramSnapshot) -> LatencySummary {
+        if h.is_empty() {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            count: h.count,
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+            max: h.max,
+            mean: h.mean(),
+        }
+    }
+
+    /// Computes the exact summary, sorting `samples` in place.
+    ///
+    /// Test-only oracle: production paths summarize via
+    /// [`from_histogram`](Self::from_histogram) so the sink never buffers
+    /// the full sample vector.
+    #[cfg(test)]
     pub fn compute(samples: &mut [u64]) -> LatencySummary {
         if samples.is_empty() {
             return LatencySummary::default();
@@ -97,5 +129,68 @@ mod tests {
     fn empty_summary_is_zeroed() {
         let s = LatencySummary::compute(&mut []);
         assert_eq!(s, LatencySummary::default());
+        let h = flowkv_common::telemetry::Histogram::new();
+        assert_eq!(LatencySummary::from_histogram(&h.snapshot()), s);
+    }
+
+    #[test]
+    fn histogram_summary_tracks_exact_summary() {
+        let h = flowkv_common::telemetry::Histogram::new();
+        let mut samples: Vec<u64> = (1..=1000).map(|i| i * 37 % 90_000 + 1).collect();
+        for &v in &samples {
+            h.record(v);
+        }
+        let approx = LatencySummary::from_histogram(&h.snapshot());
+        let exact = LatencySummary::compute(&mut samples);
+        assert_eq!(approx.count, exact.count);
+        assert_eq!(approx.max, exact.max);
+        assert!((approx.mean - exact.mean).abs() < 1e-6);
+        for (a, e) in [
+            (approx.p50, exact.p50),
+            (approx.p95, exact.p95),
+            (approx.p99, exact.p99),
+        ] {
+            let err = a.abs_diff(e) as f64;
+            assert!(err <= e as f64 / 32.0 + 1.0, "approx {a} vs exact {e}");
+        }
+    }
+
+    /// Exact nearest-rank percentile under the same rank rule the
+    /// histogram uses (`ceil(q·n)`, 1-indexed).
+    fn exact_nearest_rank(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    proptest::proptest! {
+        /// The histogram-backed quantiles stay within the histogram's
+        /// relative error bound (1/32, plus one unit of integer slack) of
+        /// the exact nearest-rank percentiles, and the summary's exact
+        /// fields (count, max, mean) match the sort-based oracle.
+        #[test]
+        fn histogram_quantile_error_is_bounded(
+            samples in proptest::collection::vec(0u64..5_000_000, 1..400),
+        ) {
+            let h = flowkv_common::telemetry::Histogram::new();
+            for &v in &samples {
+                h.record(v);
+            }
+            let snap = h.snapshot();
+            let mut sorted = samples.clone();
+            let exact = LatencySummary::compute(&mut sorted);
+            let approx = LatencySummary::from_histogram(&snap);
+            proptest::prop_assert_eq!(approx.count, exact.count);
+            proptest::prop_assert_eq!(approx.max, exact.max);
+            proptest::prop_assert!((approx.mean - exact.mean).abs() < 1e-6);
+            for q in [0.50, 0.95, 0.99] {
+                let e = exact_nearest_rank(&sorted, q);
+                let a = snap.quantile(q);
+                let tol = e as f64 / 32.0 + 1.0;
+                proptest::prop_assert!(
+                    (a.abs_diff(e)) as f64 <= tol,
+                    "q{}: approx {} vs exact {} (tol {})", q, a, e, tol
+                );
+            }
+        }
     }
 }

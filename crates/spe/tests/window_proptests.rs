@@ -1,5 +1,6 @@
 //! Property tests for window assignment and the latency summary.
 
+use flowkv_common::telemetry::Histogram;
 use flowkv_spe::latency::{percentile, LatencySummary};
 use flowkv_spe::window::WindowAssigner;
 use proptest::prelude::*;
@@ -61,8 +62,10 @@ proptest! {
     }
 
     /// The percentile function is monotone in p and bounded by min/max.
+    /// (Samples bounded so 200 of them cannot wrap the histogram's exact
+    /// u64 sum.)
     #[test]
-    fn percentile_is_monotone(mut samples in prop::collection::vec(any::<u64>(), 1..200)) {
+    fn percentile_is_monotone(samples in prop::collection::vec(0u64..(1 << 48), 1..200)) {
         let lo = percentile(&mut samples.clone(), 0.1).unwrap();
         let mid = percentile(&mut samples.clone(), 0.5).unwrap();
         let hi = percentile(&mut samples.clone(), 0.9).unwrap();
@@ -70,8 +73,17 @@ proptest! {
         let min = *samples.iter().min().unwrap();
         let max = *samples.iter().max().unwrap();
         prop_assert!(lo >= min && hi <= max);
-        let s = LatencySummary::compute(&mut samples);
+        // The histogram-backed summary preserves the same ordering and
+        // stays inside the observed range.
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = LatencySummary::from_histogram(&h.snapshot());
+        prop_assert_eq!(s.count, samples.len() as u64);
+        prop_assert_eq!(s.max, max);
         prop_assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        prop_assert!(s.p50 >= min);
         prop_assert!(s.mean >= min as f64 && s.mean <= max as f64);
     }
 }

@@ -18,6 +18,7 @@ fn ctx(dir: &ScratchDir, semantics: OperatorSemantics, name: &str) -> OperatorCo
         partition: 0,
         semantics,
         data_dir: dir.path().to_path_buf(),
+        telemetry: None,
     }
 }
 

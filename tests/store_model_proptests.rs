@@ -79,6 +79,7 @@ fn make_store(choice: &BackendChoice, semantics: OperatorSemantics) -> Box<dyn S
         partition: 0,
         semantics,
         data_dir: dir.into_kept(),
+        telemetry: None,
     };
     choice.factory().create(&ctx).unwrap()
 }

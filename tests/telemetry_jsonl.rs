@@ -1,0 +1,201 @@
+//! Schema and semantics checks of the JSONL telemetry stream.
+//!
+//! Runs real NEXMark jobs with `RunOptions::telemetry_out` set and
+//! validates the file the writer thread produced: every line passes the
+//! checked-in schema validator, snapshot sequence numbers and operator
+//! watermarks advance monotonically, stall counters never regress, and
+//! the Q11-Median (AUR session windows) flight record carries `"ett"`
+//! events from which prefetch trigger-time error is computable.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use flowkv::{FlowKvConfig, FlowKvFactory};
+use flowkv_common::scratch::ScratchDir;
+use flowkv_common::telemetry::{parse_json, validate_jsonl_line, Json};
+use flowkv_nexmark::{EventGenerator, GeneratorConfig, QueryId, QueryParams};
+use flowkv_spe::{run_job, RunOptions};
+
+fn generator(events: u64) -> GeneratorConfig {
+    GeneratorConfig {
+        num_events: events,
+        seed: 11,
+        first_ts: 0,
+        events_per_second: 10_000,
+        active_people: 400,
+        active_auctions: 400,
+        hot_ratio: 0.1,
+        out_of_order_ms: 0,
+    }
+}
+
+/// Runs `query` with the JSONL writer attached and returns the parsed,
+/// schema-validated lines.
+fn run_with_jsonl(query: QueryId, events: u64, scratch: &str) -> Vec<Json> {
+    let dir = ScratchDir::new(scratch).unwrap();
+    let out_path = dir.path().join("telemetry.jsonl");
+    let job = query.build(QueryParams::new(1_000).with_parallelism(2));
+    let mut opts = RunOptions::new(dir.path());
+    opts.watermark_interval = 100;
+    opts.record_latency = true;
+    opts.telemetry_out = Some(out_path.clone());
+    opts.telemetry_interval = Duration::from_millis(25);
+    let factory = Arc::new(FlowKvFactory::new(FlowKvConfig::small_for_tests()));
+    run_job(
+        &job,
+        EventGenerator::new(generator(events)).tuples(),
+        factory,
+        &opts,
+    )
+    .expect("job run failed");
+
+    let text = std::fs::read_to_string(&out_path).expect("telemetry file missing");
+    assert!(!text.is_empty(), "telemetry file is empty");
+    text.lines()
+        .map(|line| {
+            validate_jsonl_line(line).unwrap_or_else(|e| panic!("bad line: {e}\n{line}"));
+            parse_json(line).expect("validated line failed to parse")
+        })
+        .collect()
+}
+
+/// Extracts `metrics` entries of one kind whose name starts with `prefix`,
+/// as `(name, value)` pairs, from a snapshot line.
+fn metric_values<'a>(snapshot: &'a Json, prefix: &str, kind: &str) -> Vec<(&'a str, i64)> {
+    let metrics = snapshot
+        .get("metrics")
+        .and_then(Json::as_obj)
+        .expect("snapshot without metrics object");
+    metrics
+        .iter()
+        .filter(|(name, _)| name.starts_with(prefix))
+        .filter(|(_, v)| v.get("kind").and_then(Json::as_str) == Some(kind))
+        .map(|(name, v)| {
+            let value = v
+                .get("value")
+                .and_then(Json::as_i64)
+                .expect("metric without integer value");
+            (name.as_str(), value)
+        })
+        .collect()
+}
+
+#[test]
+fn q7_jsonl_stream_is_well_formed_and_monotone() {
+    let lines = run_with_jsonl(QueryId::Q7, 60_000, "telemetry-q7");
+    let snapshots: Vec<&Json> = lines
+        .iter()
+        .filter(|l| l.get("type").and_then(Json::as_str) == Some("snapshot"))
+        .collect();
+    assert!(
+        snapshots.len() >= 2,
+        "expected multiple snapshots, got {}",
+        snapshots.len()
+    );
+
+    // Snapshot sequence numbers strictly increase.
+    let seqs: Vec<i64> = snapshots
+        .iter()
+        .map(|s| s.get("seq").and_then(Json::as_i64).expect("missing seq"))
+        .collect();
+    assert!(
+        seqs.windows(2).all(|w| w[1] > w[0]),
+        "snapshot seq not strictly increasing: {seqs:?}"
+    );
+
+    // Per-operator watermarks advance monotonically across snapshots,
+    // and the lag gauge derived from them never goes negative.
+    let mut last_watermark: std::collections::HashMap<String, i64> = Default::default();
+    for snap in &snapshots {
+        for (name, value) in metric_values(snap, "operator_watermark", "gauge") {
+            if name.contains("watermark_lag") {
+                assert!(value >= 0, "negative watermark lag in {name}: {value}");
+                continue;
+            }
+            let prev = last_watermark.insert(name.to_string(), value);
+            if let Some(prev) = prev {
+                assert!(
+                    value >= prev,
+                    "watermark regressed in {name}: {prev} -> {value}"
+                );
+            }
+        }
+    }
+    assert!(
+        last_watermark.values().any(|&w| w > 0),
+        "no operator watermark ever advanced"
+    );
+
+    // Backpressure-stall counters are non-negative and never regress.
+    let mut last_stall: std::collections::HashMap<String, i64> = Default::default();
+    let mut saw_stall_metric = false;
+    for snap in &snapshots {
+        for (name, value) in metric_values(snap, "exchange_stall_nanos", "counter") {
+            saw_stall_metric = true;
+            assert!(value >= 0, "negative stall counter in {name}: {value}");
+            let prev = last_stall.insert(name.to_string(), value);
+            if let Some(prev) = prev {
+                assert!(
+                    value >= prev,
+                    "stall counter regressed in {name}: {prev} -> {value}"
+                );
+            }
+        }
+    }
+    assert!(saw_stall_metric, "no exchange_stall_nanos counter emitted");
+
+    // The executor's core per-operator instruments are all present in
+    // the final snapshot.
+    let terminal = snapshots.last().unwrap();
+    for prefix in [
+        "operator_busy_nanos",
+        "operator_idle_nanos",
+        "operator_tuples_total",
+        "operator_queue_depth",
+        "exchange_batch_fill",
+        "sink_latency_nanos",
+        "source_tuples_total",
+    ] {
+        let metrics = terminal.get("metrics").and_then(Json::as_obj).unwrap();
+        assert!(
+            metrics.iter().any(|(name, _)| name.starts_with(prefix)),
+            "terminal snapshot missing {prefix}"
+        );
+    }
+}
+
+#[test]
+fn q11_median_flight_record_yields_ett_error() {
+    let lines = run_with_jsonl(QueryId::Q11Median, 60_000, "telemetry-q11m");
+    let mut observations = 0u64;
+    let mut abs_error_sum = 0i64;
+    for line in &lines {
+        if line.get("type").and_then(Json::as_str) != Some("event") {
+            continue;
+        }
+        if line.get("kind").and_then(Json::as_str) != Some("ett") {
+            continue;
+        }
+        let fields = line.get("fields").expect("ett event without fields");
+        let predicted = fields.get("predicted").and_then(Json::as_i64).unwrap();
+        let actual = fields.get("actual").and_then(Json::as_i64).unwrap();
+        let error = fields.get("error").and_then(Json::as_i64).unwrap();
+        // The recorded error is exactly the predicted-vs-actual delta,
+        // so prefetch accuracy is computable from the flight record
+        // alone.
+        assert_eq!(error, actual - predicted, "inconsistent ett event");
+        observations += 1;
+        abs_error_sum += error.abs();
+    }
+    assert!(
+        observations > 0,
+        "AUR run produced no ett flight-recorder events"
+    );
+    // Mean absolute trigger-time error in event-time ms: finite and
+    // bounded by the stream's horizon, or the record is garbage.
+    let mean_abs_error = abs_error_sum as f64 / observations as f64;
+    assert!(
+        (0.0..=60_000.0).contains(&mean_abs_error),
+        "implausible mean ETT error: {mean_abs_error}"
+    );
+}
