@@ -8,12 +8,19 @@ use std::path::PathBuf;
 pub type Result<T> = std::result::Result<T, StoreError>;
 
 /// Errors produced by state stores and their substrates.
+///
+/// The enum is `#[non_exhaustive]`: downstream matches must carry a
+/// wildcard arm so new failure classes (the fault-injection work keeps
+/// finding them) can be added without a breaking change.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum StoreError {
     /// An underlying I/O operation failed.
     Io {
         /// The operation that failed, for context in error messages.
         context: &'static str,
+        /// The file the operation touched, when known.
+        path: Option<PathBuf>,
         /// The originating I/O error.
         source: io::Error,
     },
@@ -74,7 +81,21 @@ pub enum StoreError {
 impl StoreError {
     /// Wraps an I/O error with a static context string.
     pub fn io(context: &'static str, source: io::Error) -> Self {
-        StoreError::Io { context, source }
+        StoreError::Io {
+            context,
+            path: None,
+            source,
+        }
+    }
+
+    /// Wraps an I/O error with the operation name *and* the path it
+    /// touched — the preferred constructor wherever a path is in hand.
+    pub fn io_at(context: &'static str, path: impl Into<PathBuf>, source: io::Error) -> Self {
+        StoreError::Io {
+            context,
+            path: Some(path.into()),
+            source,
+        }
     }
 
     /// Builds a [`StoreError::Corruption`] for `file` at `offset`.
@@ -107,7 +128,14 @@ impl StoreError {
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StoreError::Io { context, source } => write!(f, "I/O error during {context}: {source}"),
+            StoreError::Io {
+                context,
+                path,
+                source,
+            } => match path {
+                Some(p) => write!(f, "I/O error during {context} on {}: {source}", p.display()),
+                None => write!(f, "I/O error during {context}: {source}"),
+            },
             StoreError::Corruption {
                 file,
                 offset,
@@ -147,6 +175,7 @@ impl From<io::Error> for StoreError {
     fn from(source: io::Error) -> Self {
         StoreError::Io {
             context: "unspecified",
+            path: None,
             source,
         }
     }
@@ -162,6 +191,15 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains("flush"));
         assert!(text.contains("disk full"));
+    }
+
+    #[test]
+    fn display_io_error_with_path() {
+        let err = StoreError::io_at("append", "/tmp/wal.log", io::Error::other("torn"));
+        let text = err.to_string();
+        assert!(text.contains("append"));
+        assert!(text.contains("/tmp/wal.log"));
+        assert!(text.contains("torn"));
     }
 
     #[test]

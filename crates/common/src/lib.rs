@@ -23,6 +23,10 @@
 //! - [`telemetry`] — the pipeline-wide metric registry (counters, gauges,
 //!   log-linear histograms), bounded-ring flight recorder, and the JSONL
 //!   and Prometheus exposition formats.
+//! - [`vfs`] — the virtual filesystem seam every store persists through:
+//!   a passthrough [`vfs::StdVfs`] and a deterministic, seeded
+//!   [`vfs::FaultVfs`] for torn-write / dropped-fsync / ENOSPC /
+//!   crash-point injection.
 
 pub mod backend;
 pub mod codec;
@@ -34,6 +38,7 @@ pub mod registry;
 pub mod scratch;
 pub mod telemetry;
 pub mod types;
+pub mod vfs;
 
 pub use backend::StateBackend;
 pub use error::{Result, StoreError};
@@ -43,3 +48,4 @@ pub use telemetry::{
     SampleValue, Telemetry, TraceEvent,
 };
 pub use types::{Timestamp, Tuple, WindowId};
+pub use vfs::{FaultKind, FaultPlan, FaultVfs, StdVfs, Vfs, VfsFile};

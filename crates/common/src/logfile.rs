@@ -14,13 +14,20 @@
 //! Readers tolerate a torn write at the tail of a log — the normal result
 //! of a crash mid-append — by stopping there; corruption anywhere else is
 //! reported as [`StoreError::Corruption`].
+//!
+//! All file access goes through the [`crate::vfs`] seam: the plain
+//! constructors use the passthrough [`StdVfs`], and the `_in` variants
+//! accept any [`Vfs`] — in particular a fault-injecting
+//! [`crate::vfs::FaultVfs`] — so every store built on these logs can be
+//! crash-tested without touching its code.
 
-use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::codec::crc32;
 use crate::error::{Result, StoreError};
+use crate::vfs::{StdVfs, Vfs, VfsFile};
 
 /// Size of the per-record header (`len` + `crc`).
 pub const RECORD_HEADER_LEN: u64 = 8;
@@ -54,18 +61,21 @@ impl RecordLocation {
 /// use flowkv_common::logfile::{LogReader, LogWriter};
 /// use flowkv_common::scratch::ScratchDir;
 ///
-/// let dir = ScratchDir::new("logfile-doc").unwrap();
+/// # fn main() -> flowkv_common::error::Result<()> {
+/// let dir = ScratchDir::new("logfile-doc")?;
 /// let path = dir.path().join("example.log");
-/// let mut w = LogWriter::create(&path).unwrap();
-/// w.append(b"hello").unwrap();
-/// w.flush().unwrap();
+/// let mut w = LogWriter::create(&path)?;
+/// w.append(b"hello")?;
+/// w.flush()?;
 ///
-/// let mut r = LogReader::open(&path).unwrap();
-/// assert_eq!(r.next_record().unwrap().unwrap().1, b"hello");
-/// assert!(r.next_record().unwrap().is_none());
+/// let mut r = LogReader::open(&path)?;
+/// assert_eq!(r.next_record()?.unwrap().1, b"hello");
+/// assert!(r.next_record()?.is_none());
+/// # Ok(())
+/// # }
 /// ```
 pub struct LogWriter {
-    file: BufWriter<File>,
+    file: BufWriter<Box<dyn VfsFile>>,
     path: PathBuf,
     offset: u64,
 }
@@ -73,13 +83,15 @@ pub struct LogWriter {
 impl LogWriter {
     /// Creates a new log file, truncating any existing file at `path`.
     pub fn create(path: impl AsRef<Path>) -> Result<Self> {
+        Self::create_in(&StdVfs::shared(), path)
+    }
+
+    /// [`LogWriter::create`] through an explicit [`Vfs`].
+    pub fn create_in(vfs: &Arc<dyn Vfs>, path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&path)
-            .map_err(|e| StoreError::io("log create", e))?;
+        let file = vfs
+            .create(&path)
+            .map_err(|e| StoreError::io_at("log create", &path, e))?;
         Ok(LogWriter {
             file: BufWriter::new(file),
             path,
@@ -92,17 +104,21 @@ impl LogWriter {
     /// The file is scanned to find the recovery point; a torn record at
     /// the tail is truncated away so new appends are contiguous.
     pub fn open_append(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_append_in(&StdVfs::shared(), path)
+    }
+
+    /// [`LogWriter::open_append`] through an explicit [`Vfs`].
+    pub fn open_append_in(vfs: &Arc<dyn Vfs>, path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let valid_len = recover_valid_length(&path)?;
-        let file = OpenOptions::new()
-            .write(true)
-            .open(&path)
-            .map_err(|e| StoreError::io("log open", e))?;
+        let valid_len = recover_valid_length_in(vfs, &path)?;
+        let file = vfs
+            .open_append(&path)
+            .map_err(|e| StoreError::io_at("log open", &path, e))?;
         file.set_len(valid_len)
-            .map_err(|e| StoreError::io("log truncate", e))?;
+            .map_err(|e| StoreError::io_at("log truncate", &path, e))?;
         let mut file = BufWriter::new(file);
         file.seek(SeekFrom::Start(valid_len))
-            .map_err(|e| StoreError::io("log seek", e))?;
+            .map_err(|e| StoreError::io_at("log seek", &path, e))?;
         Ok(LogWriter {
             file,
             path,
@@ -128,7 +144,7 @@ impl LogWriter {
         self.file
             .write_all(&header)
             .and_then(|_| self.file.write_all(payload))
-            .map_err(|e| StoreError::io("log append", e))?;
+            .map_err(|e| StoreError::io_at("log append", &self.path, e))?;
         self.offset = loc.end_offset();
         Ok(loc)
     }
@@ -137,16 +153,16 @@ impl LogWriter {
     pub fn flush(&mut self) -> Result<()> {
         self.file
             .flush()
-            .map_err(|e| StoreError::io("log flush", e))
+            .map_err(|e| StoreError::io_at("log flush", &self.path, e))
     }
 
     /// Flushes and then fsyncs the file to stable storage.
     pub fn sync(&mut self) -> Result<()> {
         self.flush()?;
         self.file
-            .get_ref()
+            .get_mut()
             .sync_data()
-            .map_err(|e| StoreError::io("log sync", e))
+            .map_err(|e| StoreError::io_at("log sync", &self.path, e))
     }
 
     /// Offset at which the next record will be written.
@@ -170,8 +186,8 @@ fn split_header(header: &[u8; 8]) -> (u32, u32) {
 }
 
 /// Scans `path` and returns the length of its longest intact prefix.
-fn recover_valid_length(path: &Path) -> Result<u64> {
-    let mut reader = LogReader::open(path)?;
+fn recover_valid_length_in(vfs: &Arc<dyn Vfs>, path: &Path) -> Result<u64> {
+    let mut reader = LogReader::open_in(vfs, path)?;
     let mut valid = 0u64;
     loop {
         match reader.next_record() {
@@ -187,7 +203,7 @@ fn recover_valid_length(path: &Path) -> Result<u64> {
 
 /// Sequential reader over the records of a log file.
 pub struct LogReader {
-    file: BufReader<File>,
+    file: BufReader<Box<dyn VfsFile>>,
     path: PathBuf,
     offset: u64,
     file_len: u64,
@@ -199,15 +215,26 @@ impl LogReader {
         Self::open_at(path, 0)
     }
 
+    /// [`LogReader::open`] through an explicit [`Vfs`].
+    pub fn open_in(vfs: &Arc<dyn Vfs>, path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_at_in(vfs, path, 0)
+    }
+
     /// Opens `path` positioned at `offset`, which must be a record
     /// boundary previously returned by this reader or a writer.
     pub fn open_at(path: impl AsRef<Path>, offset: u64) -> Result<Self> {
+        Self::open_at_in(&StdVfs::shared(), path, offset)
+    }
+
+    /// [`LogReader::open_at`] through an explicit [`Vfs`].
+    pub fn open_at_in(vfs: &Arc<dyn Vfs>, path: impl AsRef<Path>, offset: u64) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = File::open(&path).map_err(|e| StoreError::io("log open", e))?;
+        let file = vfs
+            .open_read(&path)
+            .map_err(|e| StoreError::io_at("log open", &path, e))?;
         let file_len = file
-            .metadata()
-            .map_err(|e| StoreError::io("log stat", e))?
-            .len();
+            .len()
+            .map_err(|e| StoreError::io_at("log stat", &path, e))?;
         if offset > file_len {
             return Err(StoreError::corruption(
                 &path,
@@ -218,7 +245,7 @@ impl LogReader {
         let mut reader = BufReader::new(file);
         reader
             .seek(SeekFrom::Start(offset))
-            .map_err(|e| StoreError::io("log seek", e))?;
+            .map_err(|e| StoreError::io_at("log seek", &path, e))?;
         Ok(LogReader {
             file: reader,
             path,
@@ -243,7 +270,7 @@ impl LogReader {
         let mut header = [0u8; 8];
         self.file
             .read_exact(&mut header)
-            .map_err(|e| StoreError::io("log read header", e))?;
+            .map_err(|e| StoreError::io_at("log read header", &self.path, e))?;
         let (len, crc) = split_header(&header);
         let body_end = self.offset + RECORD_HEADER_LEN + u64::from(len);
         if body_end > self.file_len {
@@ -252,7 +279,7 @@ impl LogReader {
         let mut payload = vec![0u8; len as usize];
         self.file
             .read_exact(&mut payload)
-            .map_err(|e| StoreError::io("log read body", e))?;
+            .map_err(|e| StoreError::io_at("log read body", &self.path, e))?;
         if crc32(&payload) != crc {
             return Err(self.corruption("checksum mismatch"));
         }
@@ -276,7 +303,7 @@ impl LogReader {
 
 /// Random-access reads of individual records.
 pub struct RandomAccessLog {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     file_len: u64,
 }
@@ -284,12 +311,18 @@ pub struct RandomAccessLog {
 impl RandomAccessLog {
     /// Opens `path` for positioned record reads.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_in(&StdVfs::shared(), path)
+    }
+
+    /// [`RandomAccessLog::open`] through an explicit [`Vfs`].
+    pub fn open_in(vfs: &Arc<dyn Vfs>, path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = File::open(&path).map_err(|e| StoreError::io("log open", e))?;
+        let file = vfs
+            .open_read(&path)
+            .map_err(|e| StoreError::io_at("log open", &path, e))?;
         let file_len = file
-            .metadata()
-            .map_err(|e| StoreError::io("log stat", e))?
-            .len();
+            .len()
+            .map_err(|e| StoreError::io_at("log stat", &path, e))?;
         Ok(RandomAccessLog {
             file,
             path,
@@ -306,9 +339,8 @@ impl RandomAccessLog {
         }
         self.file_len = self
             .file
-            .metadata()
-            .map_err(|e| StoreError::io("log stat", e))?
-            .len();
+            .len()
+            .map_err(|e| StoreError::io_at("log stat", &self.path, e))?;
         Ok(end <= self.file_len)
     }
 
@@ -323,11 +355,11 @@ impl RandomAccessLog {
         }
         self.file
             .seek(SeekFrom::Start(offset))
-            .map_err(|e| StoreError::io("log seek", e))?;
+            .map_err(|e| StoreError::io_at("log seek", &self.path, e))?;
         let mut header = [0u8; 8];
         self.file
             .read_exact(&mut header)
-            .map_err(|e| StoreError::io("log read header", e))?;
+            .map_err(|e| StoreError::io_at("log read header", &self.path, e))?;
         let (len, crc) = split_header(&header);
         // Validate the length against the file before trusting it with an
         // allocation: a corrupt header must surface as an error, not as a
@@ -342,7 +374,7 @@ impl RandomAccessLog {
         let mut payload = vec![0u8; len as usize];
         self.file
             .read_exact(&mut payload)
-            .map_err(|e| StoreError::io("log read body", e))?;
+            .map_err(|e| StoreError::io_at("log read body", &self.path, e))?;
         if crc32(&payload) != crc {
             return Err(StoreError::corruption(
                 &self.path,
@@ -364,8 +396,14 @@ impl RandomAccessLog {
 /// This is the reproduction of the paper's zero-copy byte transfer (§5):
 /// AUR compaction relocates whole byte ranges of a data log — identified
 /// by scanning the index log — without decoding the values in between.
-/// `std::io::copy` specializes to `copy_file_range`/`sendfile` on Linux.
-pub fn copy_range(src: &mut File, dst: &mut impl Write, offset: u64, len: u64) -> Result<u64> {
+/// `std::io::copy` specializes to `copy_file_range`/`sendfile` on Linux
+/// when both ends are real files.
+pub fn copy_range<S: Read + Seek>(
+    src: &mut S,
+    dst: &mut impl Write,
+    offset: u64,
+    len: u64,
+) -> Result<u64> {
     src.seek(SeekFrom::Start(offset))
         .map_err(|e| StoreError::io("range seek", e))?;
     let mut limited = src.take(len);
@@ -382,6 +420,7 @@ pub fn copy_range(src: &mut File, dst: &mut impl Write, offset: u64, len: u64) -
 mod tests {
     use super::*;
     use crate::scratch::ScratchDir;
+    use std::fs::{File, OpenOptions};
 
     fn scratch(name: &str) -> ScratchDir {
         ScratchDir::new(name).expect("scratch dir")

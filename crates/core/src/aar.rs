@@ -25,6 +25,7 @@ use flowkv_common::logfile::{LogReader, LogWriter};
 use flowkv_common::metrics::{OpCategory, StoreMetrics};
 use flowkv_common::registry::ViewValue;
 use flowkv_common::types::WindowId;
+use flowkv_common::vfs::{StdVfs, Vfs};
 
 /// File name of the log holding one window's state.
 fn window_file_name(window: WindowId) -> String {
@@ -69,17 +70,36 @@ pub struct AarStore {
     /// flushing allocates no per-record `Vec<u8>`s.
     encode_buf: Vec<u8>,
     metrics: Arc<StoreMetrics>,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl AarStore {
-    /// Opens a store rooted at `dir`.
+    /// Opens a store rooted at `dir` on the real filesystem.
     pub fn open(
         dir: &Path,
         write_buffer_bytes: usize,
         chunk_entries: usize,
         metrics: Arc<StoreMetrics>,
     ) -> Result<Self> {
-        std::fs::create_dir_all(dir).map_err(|e| StoreError::io("aar dir", e))?;
+        Self::open_with_vfs(
+            dir,
+            write_buffer_bytes,
+            chunk_entries,
+            metrics,
+            StdVfs::shared(),
+        )
+    }
+
+    /// Opens a store rooted at `dir`, performing all file IO through `vfs`.
+    pub fn open_with_vfs(
+        dir: &Path,
+        write_buffer_bytes: usize,
+        chunk_entries: usize,
+        metrics: Arc<StoreMetrics>,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self> {
+        vfs.create_dir_all(dir)
+            .map_err(|e| StoreError::io_at("aar dir", dir, e))?;
         let mut store = AarStore {
             dir: dir.to_path_buf(),
             write_buffer_bytes: write_buffer_bytes.max(1024),
@@ -93,6 +113,7 @@ impl AarStore {
             drains: HashMap::new(),
             encode_buf: Vec::new(),
             metrics,
+            vfs,
         };
         store.scan_existing_files()?;
         Ok(store)
@@ -129,7 +150,10 @@ impl AarStore {
                 if let Some(w) = self.writers.get_mut(&window) {
                     w.flush()?;
                 }
-                Some(LogReader::open(self.dir.join(window_file_name(window)))?)
+                Some(LogReader::open_in(
+                    &self.vfs,
+                    self.dir.join(window_file_name(window)),
+                )?)
             } else {
                 None
             };
@@ -171,7 +195,9 @@ impl AarStore {
             self.writers.remove(&window);
             self.writer_recency.remove(&window);
             if self.on_disk.remove(&window) {
-                let _ = std::fs::remove_file(self.dir.join(window_file_name(window)));
+                let _ = self
+                    .vfs
+                    .remove_file(&self.dir.join(window_file_name(window)));
             }
             return Ok(None);
         }
@@ -192,10 +218,10 @@ impl AarStore {
                 Entry::Occupied(w) => w.into_mut(),
                 Entry::Vacant(slot) => {
                     let path = self.dir.join(window_file_name(window));
-                    let writer = if path.exists() {
-                        LogWriter::open_append(&path)?
+                    let writer = if self.vfs.exists(&path) {
+                        LogWriter::open_append_in(&self.vfs, &path)?
                     } else {
-                        LogWriter::create(&path)?
+                        LogWriter::create_in(&self.vfs, &path)?
                     };
                     slot.insert(writer)
                 }
@@ -241,7 +267,8 @@ impl AarStore {
             if let Some(w) = self.writers.get_mut(&window) {
                 w.flush()?;
             }
-            let mut reader = LogReader::open(self.dir.join(window_file_name(window)))?;
+            let mut reader =
+                LogReader::open_in(&self.vfs, self.dir.join(window_file_name(window)))?;
             let mut pairs: Vec<Pair> = Vec::new();
             loop {
                 match reader.next_record() {
@@ -298,33 +325,44 @@ impl AarStore {
     /// Writes a self-contained snapshot into `dst`.
     pub fn checkpoint(&mut self, dst: &Path) -> Result<()> {
         self.flush()?;
-        std::fs::create_dir_all(dst).map_err(|e| StoreError::io("aar checkpoint dir", e))?;
+        self.vfs
+            .create_dir_all(dst)
+            .map_err(|e| StoreError::io_at("aar checkpoint dir", dst, e))?;
         let mut manifest = Vec::new();
         put_varint_u64(&mut manifest, self.on_disk.len() as u64);
         for window in &self.on_disk {
             window.encode_to(&mut manifest);
             let name = window_file_name(*window);
-            std::fs::copy(self.dir.join(&name), dst.join(&name))
-                .map_err(|e| StoreError::io("aar checkpoint copy", e))?;
+            self.vfs
+                .copy(&self.dir.join(&name), &dst.join(&name))
+                .map_err(|e| StoreError::io_at("aar checkpoint copy", dst.join(&name), e))?;
         }
-        std::fs::write(dst.join(MANIFEST_NAME), &manifest)
-            .map_err(|e| StoreError::io("aar checkpoint manifest", e))?;
+        self.vfs
+            .write(&dst.join(MANIFEST_NAME), &manifest)
+            .map_err(|e| {
+                StoreError::io_at("aar checkpoint manifest", dst.join(MANIFEST_NAME), e)
+            })?;
         Ok(())
     }
 
     /// Replaces the store contents with the snapshot in `src`.
     pub fn restore(&mut self, src: &Path) -> Result<()> {
         self.close()?;
-        std::fs::create_dir_all(&self.dir).map_err(|e| StoreError::io("aar dir", e))?;
-        let manifest = std::fs::read(src.join(MANIFEST_NAME))
-            .map_err(|e| StoreError::io("aar restore manifest", e))?;
+        self.vfs
+            .create_dir_all(&self.dir)
+            .map_err(|e| StoreError::io_at("aar dir", &self.dir, e))?;
+        let manifest = self
+            .vfs
+            .read(&src.join(MANIFEST_NAME))
+            .map_err(|e| StoreError::io_at("aar restore manifest", src.join(MANIFEST_NAME), e))?;
         let mut dec = Decoder::new(&manifest);
         let n = dec.get_varint_u64()? as usize;
         for _ in 0..n {
             let window = WindowId::decode_from(&mut dec)?;
             let name = window_file_name(window);
-            std::fs::copy(src.join(&name), self.dir.join(&name))
-                .map_err(|e| StoreError::io("aar restore copy", e))?;
+            self.vfs
+                .copy(&src.join(&name), &self.dir.join(&name))
+                .map_err(|e| StoreError::io_at("aar restore copy", src.join(&name), e))?;
             self.on_disk.insert(window);
         }
         Ok(())
@@ -338,19 +376,21 @@ impl AarStore {
         self.writer_recency.clear();
         self.drains.clear();
         for window in std::mem::take(&mut self.on_disk) {
-            let _ = std::fs::remove_file(self.dir.join(window_file_name(window)));
+            let _ = self
+                .vfs
+                .remove_file(&self.dir.join(window_file_name(window)));
         }
         Ok(())
     }
 
     /// Rediscovers per-window files after a restart.
     fn scan_existing_files(&mut self) -> Result<()> {
-        let entries = std::fs::read_dir(&self.dir).map_err(|e| StoreError::io("aar scan", e))?;
-        for entry in entries {
-            let entry = entry.map_err(|e| StoreError::io("aar scan", e))?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
-            if let Some(window) = parse_window_file_name(name) {
+        let names = self
+            .vfs
+            .read_dir_names(&self.dir)
+            .map_err(|e| StoreError::io_at("aar scan", &self.dir, e))?;
+        for name in names {
+            if let Some(window) = parse_window_file_name(&name) {
                 self.on_disk.insert(window);
             }
         }

@@ -33,6 +33,7 @@ use flowkv_common::metrics::{OpCategory, StoreMetrics};
 use flowkv_common::registry::ViewValue;
 use flowkv_common::telemetry::{Counter, Histogram, Telemetry};
 use flowkv_common::types::{Timestamp, WindowId};
+use flowkv_common::vfs::{StdVfs, Vfs};
 
 use crate::aar::push_view_value;
 use crate::ett::{EttObservation, EttPredictor};
@@ -107,6 +108,7 @@ pub struct AurStore {
     metrics: Arc<StoreMetrics>,
     /// Prefetch-accuracy telemetry; `None` keeps the hot path untouched.
     ett_probe: Option<EttProbe>,
+    vfs: Arc<dyn Vfs>,
 }
 
 /// Telemetry handles for predicted-vs-actual trigger-time accounting,
@@ -167,7 +169,19 @@ impl AurStore {
         predictor: EttPredictor,
         metrics: Arc<StoreMetrics>,
     ) -> Result<Self> {
-        std::fs::create_dir_all(dir).map_err(|e| StoreError::io("aur dir", e))?;
+        Self::open_with_vfs(dir, cfg, predictor, metrics, StdVfs::shared())
+    }
+
+    /// Opens a store rooted at `dir`, performing all file IO through `vfs`.
+    pub fn open_with_vfs(
+        dir: &Path,
+        cfg: AurConfig,
+        predictor: EttPredictor,
+        metrics: Arc<StoreMetrics>,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self> {
+        vfs.create_dir_all(dir)
+            .map_err(|e| StoreError::io_at("aur dir", dir, e))?;
         let mut store = AurStore {
             dir: dir.to_path_buf(),
             cfg,
@@ -188,6 +202,7 @@ impl AurStore {
             encode_buf: Vec::new(),
             metrics,
             ett_probe: None,
+            vfs,
         };
         if let Some(generation) = store.find_generation()? {
             store.generation = generation;
@@ -389,10 +404,11 @@ impl AurStore {
                 w.flush()?;
             }
             let index_path = self.dir.join(index_file_name(self.generation));
-            if index_path.exists() {
+            if self.vfs.exists(&index_path) {
                 let mut wanted: Vec<(StateKey, u64)> = Vec::new();
                 let mut seen: HashMap<StateKey, u64> = HashMap::new();
-                let mut reader = LogReader::open_at(&index_path, self.index_scan_start)?;
+                let mut reader =
+                    LogReader::open_at_in(&self.vfs, &index_path, self.index_scan_start)?;
                 while let Some((_, payload)) = reader.next_record()? {
                     let entry = IndexEntryRef::decode(&payload)?;
                     let dead_prefix = self
@@ -417,7 +433,7 @@ impl AurStore {
                 wanted.sort_by_key(|(_, offset)| *offset);
                 if !wanted.is_empty() && self.data_reader.is_none() {
                     let data_path = self.dir.join(data_file_name(self.generation));
-                    self.data_reader = Some(RandomAccessLog::open(&data_path)?);
+                    self.data_reader = Some(RandomAccessLog::open_in(&self.vfs, &data_path)?);
                 }
                 if let Some(data) = self.data_reader.as_mut() {
                     for ((key, window), offset) in wanted {
@@ -475,17 +491,21 @@ impl AurStore {
         if let Some(w) = self.index_writer.as_mut() {
             w.sync()?;
         }
-        std::fs::create_dir_all(dst).map_err(|e| StoreError::io("aur checkpoint dir", e))?;
+        self.vfs
+            .create_dir_all(dst)
+            .map_err(|e| StoreError::io_at("aur checkpoint dir", dst, e))?;
         for name in ["data.aurd", "index.auri"] {
-            let _ = std::fs::remove_file(dst.join(name));
+            let _ = self.vfs.remove_file(&dst.join(name));
         }
         let data_src = self.dir.join(data_file_name(self.generation));
         let index_src = self.dir.join(index_file_name(self.generation));
-        if data_src.exists() {
-            std::fs::copy(&data_src, dst.join("data.aurd"))
-                .map_err(|e| StoreError::io("aur checkpoint copy", e))?;
-            std::fs::copy(&index_src, dst.join("index.auri"))
-                .map_err(|e| StoreError::io("aur checkpoint copy", e))?;
+        if self.vfs.exists(&data_src) {
+            self.vfs
+                .copy(&data_src, &dst.join("data.aurd"))
+                .map_err(|e| StoreError::io_at("aur checkpoint copy", &data_src, e))?;
+            self.vfs
+                .copy(&index_src, &dst.join("index.auri"))
+                .map_err(|e| StoreError::io_at("aur checkpoint copy", &index_src, e))?;
         }
         Ok(())
     }
@@ -493,13 +513,17 @@ impl AurStore {
     /// Replaces the store contents with the snapshot in `src`.
     pub fn restore(&mut self, src: &Path) -> Result<()> {
         self.close()?;
-        std::fs::create_dir_all(&self.dir).map_err(|e| StoreError::io("aur dir", e))?;
+        self.vfs
+            .create_dir_all(&self.dir)
+            .map_err(|e| StoreError::io_at("aur dir", &self.dir, e))?;
         self.generation = 0;
-        if src.join("data.aurd").exists() {
-            std::fs::copy(src.join("data.aurd"), self.dir.join(data_file_name(0)))
-                .map_err(|e| StoreError::io("aur restore copy", e))?;
-            std::fs::copy(src.join("index.auri"), self.dir.join(index_file_name(0)))
-                .map_err(|e| StoreError::io("aur restore copy", e))?;
+        if self.vfs.exists(&src.join("data.aurd")) {
+            self.vfs
+                .copy(&src.join("data.aurd"), &self.dir.join(data_file_name(0)))
+                .map_err(|e| StoreError::io_at("aur restore copy", src.join("data.aurd"), e))?;
+            self.vfs
+                .copy(&src.join("index.auri"), &self.dir.join(index_file_name(0)))
+                .map_err(|e| StoreError::io_at("aur restore copy", src.join("index.auri"), e))?;
             self.rebuild_from_index()?;
         }
         Ok(())
@@ -516,8 +540,12 @@ impl AurStore {
         self.data_reader = None;
         self.data_writer = None;
         self.index_writer = None;
-        let _ = std::fs::remove_file(self.dir.join(data_file_name(self.generation)));
-        let _ = std::fs::remove_file(self.dir.join(index_file_name(self.generation)));
+        let _ = self
+            .vfs
+            .remove_file(&self.dir.join(data_file_name(self.generation)));
+        let _ = self
+            .vfs
+            .remove_file(&self.dir.join(index_file_name(self.generation)));
         self.data_total = 0;
         self.data_dead = 0;
         Ok(())
@@ -551,7 +579,7 @@ impl AurStore {
             w.flush()?;
         }
         let index_path = self.dir.join(index_file_name(self.generation));
-        if !index_path.exists() {
+        if !self.vfs.exists(&index_path) {
             return Ok(Vec::new());
         }
 
@@ -588,7 +616,7 @@ impl AurStore {
         let mut prefix_dead: Vec<StateKey> = Vec::new();
         let mut new_scan_start: Option<u64> = None;
         let mut scanned_bytes = 0u64;
-        let mut reader = LogReader::open_at(&index_path, self.index_scan_start)?;
+        let mut reader = LogReader::open_at_in(&self.vfs, &index_path, self.index_scan_start)?;
         while let Some((loc, payload)) = reader.next_record()? {
             scanned_bytes += loc.disk_len();
             let entry = IndexEntryRef::decode(&payload)?;
@@ -651,7 +679,7 @@ impl AurStore {
         wanted.sort_by_key(|(_, offset, _)| *offset);
         if self.data_reader.is_none() {
             let data_path = self.dir.join(data_file_name(self.generation));
-            self.data_reader = Some(RandomAccessLog::open(&data_path)?);
+            self.data_reader = Some(RandomAccessLog::open_in(&self.vfs, &data_path)?);
         }
         let data = self.data_reader.as_mut().expect("opened above");
         for (state_key, offset, len) in wanted {
@@ -706,13 +734,13 @@ impl AurStore {
         let new_data_path = self.dir.join(data_file_name(new_gen));
 
         let mut moved = 0u64;
-        if old_index.exists() {
+        if self.vfs.exists(&old_index) {
             // Collect live entries in append order, skipping each state
             // key's dead prefix of consumed records (everything before
             // `index_scan_start` is known dead).
             let mut live: Vec<IndexEntry> = Vec::new();
             let mut seen: HashMap<StateKey, u64> = HashMap::new();
-            let mut reader = LogReader::open_at(&old_index, self.index_scan_start)?;
+            let mut reader = LogReader::open_at_in(&self.vfs, &old_index, self.index_scan_start)?;
             while let Some((_, payload)) = reader.next_record()? {
                 let entry = IndexEntryRef::decode(&payload)?;
                 let dead_prefix = self
@@ -734,13 +762,16 @@ impl AurStore {
                 }
             }
             // Relocate the live byte ranges of the data log.
-            let mut src = std::fs::File::open(&old_data)
-                .map_err(|e| StoreError::io("aur compact open", e))?;
+            let mut src = self
+                .vfs
+                .open_read(&old_data)
+                .map_err(|e| StoreError::io_at("aur compact open", &old_data, e))?;
             let mut dst = std::io::BufWriter::new(
-                std::fs::File::create(&new_data_path)
-                    .map_err(|e| StoreError::io("aur compact create", e))?,
+                self.vfs
+                    .create(&new_data_path)
+                    .map_err(|e| StoreError::io_at("aur compact create", &new_data_path, e))?,
             );
-            let mut new_index = LogWriter::create(&new_index_path)?;
+            let mut new_index = LogWriter::create_in(&self.vfs, &new_index_path)?;
             let mut new_offset = 0u64;
             for mut entry in live {
                 copy_range(&mut src, &mut dst, entry.offset, entry.len)?;
@@ -751,18 +782,20 @@ impl AurStore {
             }
             use std::io::Write as _;
             dst.flush()
-                .map_err(|e| StoreError::io("aur compact flush", e))?;
+                .map_err(|e| StoreError::io_at("aur compact flush", &new_data_path, e))?;
             dst.into_inner()
-                .map_err(|e| StoreError::io("aur compact flush", e.into_error()))?
+                .map_err(|e| {
+                    StoreError::io_at("aur compact flush", &new_data_path, e.into_error())
+                })?
                 .sync_data()
-                .map_err(|e| StoreError::io("aur compact sync", e))?;
+                .map_err(|e| StoreError::io_at("aur compact sync", &new_data_path, e))?;
             new_index.sync()?;
-            let _ = std::fs::remove_file(&old_index);
-            let _ = std::fs::remove_file(&old_data);
+            let _ = self.vfs.remove_file(&old_index);
+            let _ = self.vfs.remove_file(&old_data);
         } else {
             // Nothing on disk: just advance the generation.
-            LogWriter::create(&new_data_path)?.sync()?;
-            LogWriter::create(&new_index_path)?.sync()?;
+            LogWriter::create_in(&self.vfs, &new_data_path)?.sync()?;
+            LogWriter::create_in(&self.vfs, &new_index_path)?.sync()?;
         }
 
         self.generation = new_gen;
@@ -782,15 +815,15 @@ impl AurStore {
         if self.data_writer.is_none() {
             let data_path = self.dir.join(data_file_name(self.generation));
             let index_path = self.dir.join(index_file_name(self.generation));
-            self.data_writer = Some(if data_path.exists() {
-                LogWriter::open_append(&data_path)?
+            self.data_writer = Some(if self.vfs.exists(&data_path) {
+                LogWriter::open_append_in(&self.vfs, &data_path)?
             } else {
-                LogWriter::create(&data_path)?
+                LogWriter::create_in(&self.vfs, &data_path)?
             });
-            self.index_writer = Some(if index_path.exists() {
-                LogWriter::open_append(&index_path)?
+            self.index_writer = Some(if self.vfs.exists(&index_path) {
+                LogWriter::open_append_in(&self.vfs, &index_path)?
             } else {
-                LogWriter::create(&index_path)?
+                LogWriter::create_in(&self.vfs, &index_path)?
             });
         }
         Ok(())
@@ -799,11 +832,11 @@ impl AurStore {
     /// Finds the highest on-disk generation, if any.
     fn find_generation(&self) -> Result<Option<u64>> {
         let mut best: Option<u64> = None;
-        let entries = std::fs::read_dir(&self.dir).map_err(|e| StoreError::io("aur scan", e))?;
-        for entry in entries {
-            let entry = entry.map_err(|e| StoreError::io("aur scan", e))?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
+        let names = self
+            .vfs
+            .read_dir_names(&self.dir)
+            .map_err(|e| StoreError::io_at("aur scan", &self.dir, e))?;
+        for name in names {
             if let Some(generation) = name
                 .strip_prefix("index_")
                 .and_then(|s| s.strip_suffix(".auri"))
@@ -830,12 +863,12 @@ impl AurStore {
         self.data_total = 0;
         self.data_dead = 0;
         let index_path = self.dir.join(index_file_name(self.generation));
-        if !index_path.exists() {
+        if !self.vfs.exists(&index_path) {
             return Ok(());
         }
         // Truncate any torn tail left by a crash mid-flush.
-        LogWriter::open_append(&index_path)?;
-        let mut reader = LogReader::open(&index_path)?;
+        LogWriter::open_append_in(&self.vfs, &index_path)?;
+        let mut reader = LogReader::open_in(&self.vfs, &index_path)?;
         while let Some((_, payload)) = reader.next_record()? {
             let entry = IndexEntry::decode(&payload)?;
             self.latest_ts = self.latest_ts.max(entry.max_ts);

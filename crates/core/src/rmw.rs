@@ -19,6 +19,7 @@ use flowkv_common::logfile::{LogReader, LogWriter, RandomAccessLog};
 use flowkv_common::metrics::{OpCategory, StoreMetrics};
 use flowkv_common::registry::ViewValue;
 use flowkv_common::types::WindowId;
+use flowkv_common::vfs::{StdVfs, Vfs};
 
 /// Tuning knobs of one RMW store instance.
 #[derive(Clone, Debug)]
@@ -79,12 +80,24 @@ pub struct RmwStore {
     /// flushing allocates no per-record `Vec<u8>`s.
     encode_buf: Vec<u8>,
     metrics: Arc<StoreMetrics>,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl RmwStore {
     /// Opens a store rooted at `dir`, recovering any existing generation.
     pub fn open(dir: &Path, cfg: RmwConfig, metrics: Arc<StoreMetrics>) -> Result<Self> {
-        std::fs::create_dir_all(dir).map_err(|e| StoreError::io("rmw dir", e))?;
+        Self::open_with_vfs(dir, cfg, metrics, StdVfs::shared())
+    }
+
+    /// Opens a store rooted at `dir`, performing all file IO through `vfs`.
+    pub fn open_with_vfs(
+        dir: &Path,
+        cfg: RmwConfig,
+        metrics: Arc<StoreMetrics>,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self> {
+        vfs.create_dir_all(dir)
+            .map_err(|e| StoreError::io_at("rmw dir", dir, e))?;
         let mut store = RmwStore {
             dir: dir.to_path_buf(),
             cfg,
@@ -98,6 +111,7 @@ impl RmwStore {
             dead: 0,
             encode_buf: Vec::new(),
             metrics,
+            vfs,
         };
         if let Some(generation) = store.find_generation()? {
             store.generation = generation;
@@ -206,8 +220,8 @@ impl RmwStore {
                 w.flush()?;
             }
             let path = self.dir.join(log_file_name(self.generation));
-            if path.exists() {
-                let mut reader = LogReader::open(&path)?;
+            if self.vfs.exists(&path) {
+                let mut reader = LogReader::open_in(&self.vfs, &path)?;
                 while let Some((loc, payload)) = reader.next_record()? {
                     let mut dec = Decoder::new(&payload);
                     let composite = dec.get_len_prefixed()?;
@@ -266,11 +280,14 @@ impl RmwStore {
         if let Some(w) = self.writer.as_mut() {
             w.sync()?;
         }
-        std::fs::create_dir_all(dst).map_err(|e| StoreError::io("rmw checkpoint dir", e))?;
+        self.vfs
+            .create_dir_all(dst)
+            .map_err(|e| StoreError::io_at("rmw checkpoint dir", dst, e))?;
         let src = self.dir.join(log_file_name(self.generation));
-        if src.exists() {
-            std::fs::copy(&src, dst.join("agg.rmw"))
-                .map_err(|e| StoreError::io("rmw checkpoint copy", e))?;
+        if self.vfs.exists(&src) {
+            self.vfs
+                .copy(&src, &dst.join("agg.rmw"))
+                .map_err(|e| StoreError::io_at("rmw checkpoint copy", &src, e))?;
         }
         Ok(())
     }
@@ -278,12 +295,15 @@ impl RmwStore {
     /// Replaces the store contents with the snapshot in `src`.
     pub fn restore(&mut self, src: &Path) -> Result<()> {
         self.close()?;
-        std::fs::create_dir_all(&self.dir).map_err(|e| StoreError::io("rmw dir", e))?;
+        self.vfs
+            .create_dir_all(&self.dir)
+            .map_err(|e| StoreError::io_at("rmw dir", &self.dir, e))?;
         self.generation = 0;
         let from = src.join("agg.rmw");
-        if from.exists() {
-            std::fs::copy(&from, self.dir.join(log_file_name(0)))
-                .map_err(|e| StoreError::io("rmw restore copy", e))?;
+        if self.vfs.exists(&from) {
+            self.vfs
+                .copy(&from, &self.dir.join(log_file_name(0)))
+                .map_err(|e| StoreError::io_at("rmw restore copy", &from, e))?;
             self.rebuild_from_log()?;
         }
         Ok(())
@@ -296,7 +316,9 @@ impl RmwStore {
         self.index.clear();
         self.writer = None;
         self.reader = None;
-        let _ = std::fs::remove_file(self.dir.join(log_file_name(self.generation)));
+        let _ = self
+            .vfs
+            .remove_file(&self.dir.join(log_file_name(self.generation)));
         self.total = 0;
         self.dead = 0;
         Ok(())
@@ -308,7 +330,7 @@ impl RmwStore {
         }
         if self.reader.is_none() {
             let path = self.dir.join(log_file_name(self.generation));
-            self.reader = Some(RandomAccessLog::open(&path)?);
+            self.reader = Some(RandomAccessLog::open_in(&self.vfs, &path)?);
         }
         let log = self.reader.as_mut().expect("opened above");
         let payload = log.read_record_at(offset)?;
@@ -321,10 +343,10 @@ impl RmwStore {
     fn ensure_writer(&mut self) -> Result<()> {
         if self.writer.is_none() {
             let path = self.dir.join(log_file_name(self.generation));
-            self.writer = Some(if path.exists() {
-                LogWriter::open_append(&path)?
+            self.writer = Some(if self.vfs.exists(&path) {
+                LogWriter::open_append_in(&self.vfs, &path)?
             } else {
-                LogWriter::create(&path)?
+                LogWriter::create_in(&self.vfs, &path)?
             });
         }
         Ok(())
@@ -357,11 +379,11 @@ impl RmwStore {
         let new_gen = old_gen + 1;
         let old_path = self.dir.join(log_file_name(old_gen));
         let new_path = self.dir.join(log_file_name(new_gen));
-        let mut new_writer = LogWriter::create(&new_path)?;
+        let mut new_writer = LogWriter::create_in(&self.vfs, &new_path)?;
         let mut new_index = HashMap::with_capacity(self.index.len());
         let mut moved = 0u64;
-        if old_path.exists() {
-            let mut old = RandomAccessLog::open(&old_path)?;
+        if self.vfs.exists(&old_path) {
+            let mut old = RandomAccessLog::open_in(&self.vfs, &old_path)?;
             // Deterministic relocation order keeps the new log sequential.
             let mut live: Vec<(Vec<u8>, (u64, u64))> = self.index.drain().collect();
             live.sort_by_key(|(_, (offset, _))| *offset);
@@ -373,7 +395,7 @@ impl RmwStore {
             }
         }
         new_writer.sync()?;
-        let _ = std::fs::remove_file(&old_path);
+        let _ = self.vfs.remove_file(&old_path);
         self.generation = new_gen;
         self.index = new_index;
         self.writer = Some(new_writer);
@@ -388,11 +410,11 @@ impl RmwStore {
 
     fn find_generation(&self) -> Result<Option<u64>> {
         let mut best: Option<u64> = None;
-        let entries = std::fs::read_dir(&self.dir).map_err(|e| StoreError::io("rmw scan", e))?;
-        for entry in entries {
-            let entry = entry.map_err(|e| StoreError::io("rmw scan", e))?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
+        let names = self
+            .vfs
+            .read_dir_names(&self.dir)
+            .map_err(|e| StoreError::io_at("rmw scan", &self.dir, e))?;
+        for name in names {
             if let Some(generation) = name
                 .strip_prefix("agg_")
                 .and_then(|s| s.strip_suffix(".rmw"))
@@ -414,12 +436,12 @@ impl RmwStore {
         self.total = 0;
         self.dead = 0;
         let path = self.dir.join(log_file_name(self.generation));
-        if !path.exists() {
+        if !self.vfs.exists(&path) {
             return Ok(());
         }
         // Truncate any torn tail left by a crash mid-flush.
-        LogWriter::open_append(&path)?;
-        let mut reader = LogReader::open(&path)?;
+        LogWriter::open_append_in(&self.vfs, &path)?;
+        let mut reader = LogReader::open_in(&self.vfs, &path)?;
         while let Some((loc, payload)) = reader.next_record()? {
             let mut dec = Decoder::new(&payload);
             let composite = dec.get_len_prefixed()?.to_vec();

@@ -20,6 +20,7 @@ use flowkv_common::error::{Result, StoreError};
 use flowkv_common::metrics::StoreMetrics;
 use flowkv_common::registry::{StatePattern, StateView};
 use flowkv_common::types::{Timestamp, WindowId};
+use flowkv_common::vfs::{StdVfs, Vfs};
 
 use crate::aar::AarStore;
 use crate::aur::{AurConfig, AurStore};
@@ -44,6 +45,7 @@ pub struct FlowKvStore {
     /// Drain cursors for AAR windows spanning several instances.
     window_cursors: HashMap<WindowId, usize>,
     metrics: Arc<StoreMetrics>,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl FlowKvStore {
@@ -63,6 +65,19 @@ impl FlowKvStore {
         telemetry: Option<Arc<flowkv_common::telemetry::Telemetry>>,
         tag: &str,
     ) -> Result<Self> {
+        Self::open_with_vfs(dir, semantics, config, telemetry, tag, StdVfs::shared())
+    }
+
+    /// Like [`FlowKvStore::open_with_telemetry`], additionally routing
+    /// every file operation of every inner store instance through `vfs`.
+    pub fn open_with_vfs(
+        dir: &Path,
+        semantics: OperatorSemantics,
+        config: FlowKvConfig,
+        telemetry: Option<Arc<flowkv_common::telemetry::Telemetry>>,
+        tag: &str,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self> {
         config.validate()?;
         let pattern = classify(&semantics);
         let metrics = StoreMetrics::new_shared();
@@ -74,11 +89,12 @@ impl FlowKvStore {
             AccessPattern::Aar => {
                 let mut instances = Vec::with_capacity(m);
                 for j in 0..m {
-                    instances.push(AarStore::open(
+                    instances.push(AarStore::open_with_vfs(
                         &dir.join(format!("inst{j}")),
                         per_instance_buffer,
                         config.chunk_entries,
                         Arc::clone(&metrics),
+                        Arc::clone(&vfs),
                     )?);
                 }
                 Inner::Aar(Partitioned::new(instances))
@@ -93,11 +109,12 @@ impl FlowKvStore {
                 };
                 let mut instances = Vec::with_capacity(m);
                 for j in 0..m {
-                    let mut store = AurStore::open(
+                    let mut store = AurStore::open_with_vfs(
                         &dir.join(format!("inst{j}")),
                         aur_cfg.clone(),
                         predictor.clone(),
                         Arc::clone(&metrics),
+                        Arc::clone(&vfs),
                     )?;
                     if let Some(t) = &telemetry {
                         store = store.with_telemetry(Arc::clone(t), &format!("{tag}/inst{j}"));
@@ -113,10 +130,11 @@ impl FlowKvStore {
                 };
                 let mut instances = Vec::with_capacity(m);
                 for j in 0..m {
-                    instances.push(RmwStore::open(
+                    instances.push(RmwStore::open_with_vfs(
                         &dir.join(format!("inst{j}")),
                         rmw_cfg.clone(),
                         Arc::clone(&metrics),
+                        Arc::clone(&vfs),
                     )?);
                 }
                 Inner::Rmw(Partitioned::new(instances))
@@ -128,6 +146,7 @@ impl FlowKvStore {
             inner,
             window_cursors: HashMap::new(),
             metrics,
+            vfs,
         })
     }
 
@@ -257,7 +276,9 @@ impl StateBackend for FlowKvStore {
     }
 
     fn checkpoint(&mut self, dir: &Path) -> Result<()> {
-        std::fs::create_dir_all(dir).map_err(|e| StoreError::io("flowkv checkpoint dir", e))?;
+        self.vfs
+            .create_dir_all(dir)
+            .map_err(|e| StoreError::io_at("flowkv checkpoint dir", dir, e))?;
         let run = |j: usize| dir.join(format!("inst{j}"));
         match &mut self.inner {
             Inner::Aar(p) => p
@@ -309,25 +330,37 @@ impl StateBackend for FlowKvStore {
 /// Factory producing [`FlowKvStore`] instances for operator partitions.
 pub struct FlowKvFactory {
     config: FlowKvConfig,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl FlowKvFactory {
     /// Creates a factory with the given configuration.
     pub fn new(config: FlowKvConfig) -> Self {
-        FlowKvFactory { config }
+        FlowKvFactory {
+            config,
+            vfs: StdVfs::shared(),
+        }
+    }
+
+    /// Routes the file IO of every store this factory creates through
+    /// `vfs` (fault injection in tests; [`StdVfs`] by default).
+    pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = vfs;
+        self
     }
 }
 
 impl StateBackendFactory for FlowKvFactory {
     fn create(&self, ctx: &OperatorContext) -> Result<Box<dyn StateBackend>> {
         let dir = ctx.partition_dir();
-        std::fs::create_dir_all(&dir).map_err(|e| StoreError::io("backend dir", e))?;
-        Ok(Box::new(FlowKvStore::open_with_telemetry(
+        std::fs::create_dir_all(&dir).map_err(|e| StoreError::io_at("backend dir", &dir, e))?;
+        Ok(Box::new(FlowKvStore::open_with_vfs(
             &dir,
             ctx.semantics,
             self.config.clone(),
             ctx.telemetry.clone(),
             &ctx.telemetry_tag(),
+            Arc::clone(&self.vfs),
         )?))
     }
 

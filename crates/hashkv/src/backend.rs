@@ -20,6 +20,7 @@ use flowkv_common::codec::{put_len_prefixed, Decoder};
 use flowkv_common::error::{Result, StoreError};
 use flowkv_common::metrics::{OpCategory, StoreMetrics};
 use flowkv_common::types::{Timestamp, WindowId};
+use flowkv_common::vfs::{StdVfs, Vfs};
 
 use crate::db::{HashDb, HashDbConfig};
 
@@ -65,8 +66,23 @@ pub struct HashBackend {
 impl HashBackend {
     /// Opens a backend over a store in `dir`.
     pub fn open(dir: &Path, cfg: HashDbConfig, chunk_entries: usize) -> Result<Self> {
+        Self::open_with_vfs(dir, cfg, chunk_entries, StdVfs::shared())
+    }
+
+    /// Opens a backend performing all file IO through `vfs`.
+    pub fn open_with_vfs(
+        dir: &Path,
+        cfg: HashDbConfig,
+        chunk_entries: usize,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self> {
         let mut backend = HashBackend {
-            db: HashDb::open(dir, cfg)?,
+            db: HashDb::open_with_vfs(
+                dir,
+                cfg,
+                flowkv_common::metrics::StoreMetrics::new_shared(),
+                vfs,
+            )?,
             window_keys: HashMap::new(),
             draining: HashMap::new(),
             chunk_entries: chunk_entries.max(1),
@@ -235,6 +251,7 @@ impl StateBackend for HashBackend {
 pub struct HashBackendFactory {
     cfg: HashDbConfig,
     chunk_entries: usize,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl HashBackendFactory {
@@ -243,6 +260,7 @@ impl HashBackendFactory {
         HashBackendFactory {
             cfg,
             chunk_entries: 1024,
+            vfs: StdVfs::shared(),
         }
     }
 
@@ -251,16 +269,24 @@ impl HashBackendFactory {
         self.chunk_entries = n.max(1);
         self
     }
+
+    /// Routes the file IO of every store this factory creates through
+    /// `vfs` (fault injection in tests; [`StdVfs`] by default).
+    pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = vfs;
+        self
+    }
 }
 
 impl StateBackendFactory for HashBackendFactory {
     fn create(&self, ctx: &OperatorContext) -> Result<Box<dyn StateBackend>> {
         let dir = ctx.partition_dir();
-        std::fs::create_dir_all(&dir).map_err(|e| StoreError::io("backend dir", e))?;
-        Ok(Box::new(HashBackend::open(
+        std::fs::create_dir_all(&dir).map_err(|e| StoreError::io_at("backend dir", &dir, e))?;
+        Ok(Box::new(HashBackend::open_with_vfs(
             &dir,
             self.cfg.clone(),
             self.chunk_entries,
+            Arc::clone(&self.vfs),
         )?))
     }
 

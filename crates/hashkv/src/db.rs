@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use flowkv_common::error::{Result, StoreError};
 use flowkv_common::metrics::{OpCategory, StoreMetrics};
+use flowkv_common::vfs::{StdVfs, Vfs};
 
 use crate::epoch::EpochTable;
 use crate::hlog::{HybridLog, Record};
@@ -71,6 +72,7 @@ pub struct HashDb {
     metrics: Arc<StoreMetrics>,
     live_bytes: u64,
     appended_total: u64,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl HashDb {
@@ -85,33 +87,35 @@ impl HashDb {
         cfg: HashDbConfig,
         metrics: Arc<StoreMetrics>,
     ) -> Result<Self> {
+        Self::open_with_vfs(dir, cfg, metrics, StdVfs::shared())
+    }
+
+    /// Opens a store performing all file IO through `vfs`.
+    pub fn open_with_vfs(
+        dir: impl AsRef<Path>,
+        cfg: HashDbConfig,
+        metrics: Arc<StoreMetrics>,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir).map_err(|e| StoreError::io("hashdb dir", e))?;
+        vfs.create_dir_all(&dir)
+            .map_err(|e| StoreError::io_at("hashdb dir", &dir, e))?;
         let log_path = dir.join(LOG_NAME);
-        let mut db = if log_path.exists() {
-            let log = HybridLog::open(&log_path, cfg.mem_budget, Arc::clone(&metrics))?;
-            HashDb {
-                dir,
-                index: HashIndex::with_capacity(cfg.initial_index_capacity),
-                cfg,
-                log,
-                epoch: EpochTable::new(),
-                metrics,
-                live_bytes: 0,
-                appended_total: 0,
-            }
+        let log = if vfs.exists(&log_path) {
+            HybridLog::open_in(&vfs, &log_path, cfg.mem_budget, Arc::clone(&metrics))?
         } else {
-            let log = HybridLog::create(&log_path, cfg.mem_budget, Arc::clone(&metrics))?;
-            HashDb {
-                dir,
-                index: HashIndex::with_capacity(cfg.initial_index_capacity),
-                cfg,
-                log,
-                epoch: EpochTable::new(),
-                metrics,
-                live_bytes: 0,
-                appended_total: 0,
-            }
+            HybridLog::create_in(&vfs, &log_path, cfg.mem_budget, Arc::clone(&metrics))?
+        };
+        let mut db = HashDb {
+            dir,
+            index: HashIndex::with_capacity(cfg.initial_index_capacity),
+            cfg,
+            log,
+            epoch: EpochTable::new(),
+            metrics,
+            live_bytes: 0,
+            appended_total: 0,
+            vfs,
         };
         db.rebuild_index()?;
         Ok(db)
@@ -243,9 +247,13 @@ impl HashDb {
     pub fn checkpoint(&mut self, dst: &Path) -> Result<()> {
         self.log.flush()?;
         self.log.sync()?;
-        std::fs::create_dir_all(dst).map_err(|e| StoreError::io("checkpoint dir", e))?;
+        self.vfs
+            .create_dir_all(dst)
+            .map_err(|e| StoreError::io_at("checkpoint dir", dst, e))?;
         let to = dst.join(LOG_NAME);
-        std::fs::copy(self.log.path(), &to).map_err(|e| StoreError::io("checkpoint copy", e))?;
+        self.vfs
+            .copy(self.log.path(), &to)
+            .map_err(|e| StoreError::io_at("checkpoint copy", &to, e))?;
         Ok(())
     }
 
@@ -253,8 +261,15 @@ impl HashDb {
     pub fn restore(&mut self, src: &Path) -> Result<()> {
         let from = src.join(LOG_NAME);
         let to = self.dir.join(LOG_NAME);
-        std::fs::copy(&from, &to).map_err(|e| StoreError::io("restore copy", e))?;
-        self.log = HybridLog::open(&to, self.cfg.mem_budget, Arc::clone(&self.metrics))?;
+        self.vfs
+            .copy(&from, &to)
+            .map_err(|e| StoreError::io_at("restore copy", &from, e))?;
+        self.log = HybridLog::open_in(
+            &self.vfs,
+            &to,
+            self.cfg.mem_budget,
+            Arc::clone(&self.metrics),
+        )?;
         self.rebuild_index()?;
         Ok(())
     }
@@ -263,13 +278,14 @@ impl HashDb {
     pub fn destroy(&mut self) -> Result<()> {
         self.index.clear();
         self.live_bytes = 0;
-        let _ = std::fs::remove_file(self.dir.join(LOG_NAME));
-        self.log = HybridLog::create(
+        let _ = self.vfs.remove_file(&self.dir.join(LOG_NAME));
+        self.log = HybridLog::create_in(
+            &self.vfs,
             self.dir.join(LOG_NAME),
             self.cfg.mem_budget,
             Arc::clone(&self.metrics),
         )?;
-        let _ = std::fs::remove_file(self.dir.join(LOG_NAME));
+        let _ = self.vfs.remove_file(&self.dir.join(LOG_NAME));
         Ok(())
     }
 
@@ -338,8 +354,12 @@ impl HashDb {
         }
         let _t = self.metrics.timer(OpCategory::Compaction);
         let tmp_path = self.dir.join("hybrid.log.compact");
-        let mut new_log =
-            HybridLog::create(&tmp_path, self.cfg.mem_budget, Arc::clone(&self.metrics))?;
+        let mut new_log = HybridLog::create_in(
+            &self.vfs,
+            &tmp_path,
+            self.cfg.mem_budget,
+            Arc::clone(&self.metrics),
+        )?;
         let mut new_index = HashIndex::with_capacity(self.index.len().max(8));
         let addrs: Vec<u64> = self.index.iter_addrs().collect();
         let mut new_live = 0u64;
@@ -360,9 +380,15 @@ impl HashDb {
         new_log.flush()?;
         new_log.sync()?;
         let final_path = self.dir.join(LOG_NAME);
-        std::fs::rename(&tmp_path, &final_path)
-            .map_err(|e| StoreError::io("compaction rename", e))?;
-        self.log = HybridLog::open(&final_path, self.cfg.mem_budget, Arc::clone(&self.metrics))?;
+        self.vfs
+            .rename(&tmp_path, &final_path)
+            .map_err(|e| StoreError::io_at("compaction rename", &final_path, e))?;
+        self.log = HybridLog::open_in(
+            &self.vfs,
+            &final_path,
+            self.cfg.mem_budget,
+            Arc::clone(&self.metrics),
+        )?;
         self.index = new_index;
         self.live_bytes = new_live;
         self.epoch.bump();

@@ -8,13 +8,12 @@
 //!
 //! Record layout: `key_len:u32 val_len:u32 flags:u8 key value`.
 
-use std::fs::{File, OpenOptions};
-use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use flowkv_common::error::{Result, StoreError};
 use flowkv_common::metrics::StoreMetrics;
+use flowkv_common::vfs::{StdVfs, Vfs, VfsFile};
 
 /// Size of the fixed record header.
 pub const HEADER_LEN: usize = 9;
@@ -52,7 +51,7 @@ impl Record {
 
 /// The hybrid log over one file plus an in-memory tail.
 pub struct HybridLog {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     /// Bytes of the log persisted on disk.
     disk_len: u64,
@@ -70,14 +69,20 @@ impl HybridLog {
         mem_budget: usize,
         metrics: Arc<StoreMetrics>,
     ) -> Result<Self> {
+        Self::create_in(&StdVfs::shared(), path, mem_budget, metrics)
+    }
+
+    /// [`HybridLog::create`] through an explicit [`Vfs`].
+    pub fn create_in(
+        vfs: &Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        mem_budget: usize,
+        metrics: Arc<StoreMetrics>,
+    ) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .create(true)
-            .read(true)
-            .write(true)
-            .truncate(true)
-            .open(&path)
-            .map_err(|e| StoreError::io("hlog create", e))?;
+        let file = vfs
+            .create(&path)
+            .map_err(|e| StoreError::io_at("hlog create", &path, e))?;
         Ok(HybridLog {
             file,
             path,
@@ -99,20 +104,27 @@ impl HybridLog {
         mem_budget: usize,
         metrics: Arc<StoreMetrics>,
     ) -> Result<Self> {
+        Self::open_in(&StdVfs::shared(), path, mem_budget, metrics)
+    }
+
+    /// [`HybridLog::open`] through an explicit [`Vfs`].
+    pub fn open_in(
+        vfs: &Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        mem_budget: usize,
+        metrics: Arc<StoreMetrics>,
+    ) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(&path)
-            .map_err(|e| StoreError::io("hlog open", e))?;
+        let file = vfs
+            .open_rw(&path)
+            .map_err(|e| StoreError::io_at("hlog open", &path, e))?;
         let file_len = file
-            .metadata()
-            .map_err(|e| StoreError::io("hlog stat", e))?
-            .len();
-        let disk_len = recover_valid_length(&file, file_len)?;
+            .len()
+            .map_err(|e| StoreError::io_at("hlog stat", &path, e))?;
+        let disk_len = recover_valid_length(file.as_ref(), file_len)?;
         if disk_len < file_len {
             file.set_len(disk_len)
-                .map_err(|e| StoreError::io("hlog truncate", e))?;
+                .map_err(|e| StoreError::io_at("hlog truncate", &path, e))?;
         }
         Ok(HybridLog {
             file,
@@ -162,12 +174,12 @@ impl HybridLog {
             let mut header = [0u8; HEADER_LEN];
             self.file
                 .read_exact_at(&mut header, addr)
-                .map_err(|e| StoreError::io("hlog read header", e))?;
+                .map_err(|e| StoreError::io_at("hlog read header", &self.path, e))?;
             let (klen, vlen, flags) = parse_header(&header);
             let mut body = vec![0u8; klen + vlen];
             self.file
                 .read_exact_at(&mut body, addr + HEADER_LEN as u64)
-                .map_err(|e| StoreError::io("hlog read body", e))?;
+                .map_err(|e| StoreError::io_at("hlog read body", &self.path, e))?;
             self.metrics
                 .add_bytes_read((HEADER_LEN + klen + vlen) as u64);
             let value = body.split_off(klen);
@@ -205,7 +217,7 @@ impl HybridLog {
         }
         self.file
             .write_all_at(&self.mem, self.disk_len)
-            .map_err(|e| StoreError::io("hlog flush", e))?;
+            .map_err(|e| StoreError::io_at("hlog flush", &self.path, e))?;
         self.metrics.add_bytes_written(self.mem.len() as u64);
         self.disk_len += self.mem.len() as u64;
         self.mem.clear();
@@ -250,13 +262,13 @@ impl HybridLog {
     pub fn sync(&mut self) -> Result<()> {
         self.file
             .sync_data()
-            .map_err(|e| StoreError::io("hlog sync", e))
+            .map_err(|e| StoreError::io_at("hlog sync", &self.path, e))
     }
 }
 
 /// Walks records from the start of `file`, returning the length of the
 /// longest prefix of fully intact records.
-fn recover_valid_length(file: &File, file_len: u64) -> Result<u64> {
+fn recover_valid_length(file: &dyn VfsFile, file_len: u64) -> Result<u64> {
     let mut addr = 0u64;
     let mut header = [0u8; HEADER_LEN];
     loop {

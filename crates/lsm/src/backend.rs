@@ -21,6 +21,7 @@ use flowkv_common::backend::{OperatorContext, StateBackend, StateBackendFactory,
 use flowkv_common::error::{Result, StoreError};
 use flowkv_common::metrics::{OpCategory, StoreMetrics};
 use flowkv_common::types::{Timestamp, WindowId};
+use flowkv_common::vfs::{StdVfs, Vfs};
 
 use crate::db::{Db, DbConfig};
 use crate::entry::Resolved;
@@ -66,8 +67,18 @@ pub struct LsmBackend {
 impl LsmBackend {
     /// Opens a backend over a database in `dir`.
     pub fn open(dir: &Path, cfg: DbConfig, chunk_entries: usize) -> Result<Self> {
+        Self::open_with_vfs(dir, cfg, chunk_entries, StdVfs::shared())
+    }
+
+    /// Opens a backend whose file operations go through `vfs`.
+    pub fn open_with_vfs(
+        dir: &Path,
+        cfg: DbConfig,
+        chunk_entries: usize,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self> {
         Ok(LsmBackend {
-            db: Db::open(dir, cfg)?,
+            db: Db::open_with_vfs(dir, cfg, StoreMetrics::new_shared(), vfs)?,
             chunk_entries: chunk_entries.max(1),
             window_cursors: HashMap::new(),
             key_buf: Vec::new(),
@@ -189,6 +200,7 @@ impl StateBackend for LsmBackend {
 pub struct LsmBackendFactory {
     cfg: DbConfig,
     chunk_entries: usize,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl LsmBackendFactory {
@@ -197,6 +209,7 @@ impl LsmBackendFactory {
         LsmBackendFactory {
             cfg,
             chunk_entries: 1024,
+            vfs: StdVfs::shared(),
         }
     }
 
@@ -205,16 +218,25 @@ impl LsmBackendFactory {
         self.chunk_entries = n.max(1);
         self
     }
+
+    /// Routes every file operation of produced backends through `vfs`.
+    pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = vfs;
+        self
+    }
 }
 
 impl StateBackendFactory for LsmBackendFactory {
     fn create(&self, ctx: &OperatorContext) -> Result<Box<dyn StateBackend>> {
         let dir = ctx.partition_dir();
-        std::fs::create_dir_all(&dir).map_err(|e| StoreError::io("backend dir", e))?;
-        Ok(Box::new(LsmBackend::open(
+        self.vfs
+            .create_dir_all(&dir)
+            .map_err(|e| StoreError::io_at("backend dir", &dir, e))?;
+        Ok(Box::new(LsmBackend::open_with_vfs(
             &dir,
             self.cfg.clone(),
             self.chunk_entries,
+            Arc::clone(&self.vfs),
         )?))
     }
 

@@ -7,8 +7,10 @@
 //! and `DeleteMerge` entries collapse.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use flowkv_common::error::Result;
+use flowkv_common::vfs::{StdVfs, Vfs};
 
 use crate::iter::MergingIter;
 use crate::sstable::{SstBuilder, SstMeta};
@@ -26,6 +28,17 @@ pub struct CompactionParams {
 /// Merges `inputs` into new table files in `dir`, allocating file numbers
 /// from `next_file_no`.
 pub fn compact(
+    inputs: MergingIter<'_>,
+    dir: &Path,
+    next_file_no: &mut u64,
+    params: &CompactionParams,
+) -> Result<Vec<SstMeta>> {
+    compact_in(&StdVfs::shared(), inputs, dir, next_file_no, params)
+}
+
+/// [`compact`], writing output tables through `vfs`.
+pub fn compact_in(
+    vfs: &Arc<dyn Vfs>,
     mut inputs: MergingIter<'_>,
     dir: &Path,
     next_file_no: &mut u64,
@@ -46,7 +59,12 @@ pub fn compact(
             let file_no = *next_file_no;
             *next_file_no += 1;
             let path = dir.join(SstMeta::file_name(file_no));
-            builder = Some(SstBuilder::create(&path, file_no, params.block_size)?);
+            builder = Some(SstBuilder::create_in(
+                vfs,
+                &path,
+                file_no,
+                params.block_size,
+            )?);
         }
         let b = builder.as_mut().expect("just created");
         b.add(&key, &entry)?;

@@ -12,9 +12,10 @@ use std::sync::Arc;
 
 use flowkv_common::error::{Result, StoreError};
 use flowkv_common::metrics::{OpCategory, StoreMetrics};
+use flowkv_common::vfs::{StdVfs, Vfs};
 
 use crate::cache::BlockCache;
-use crate::compaction::{compact, CompactionParams};
+use crate::compaction::{compact_in, CompactionParams};
 use crate::entry::{Entry, Resolved};
 use crate::iter::{EntrySource, MergingIter, VecSource};
 use crate::memtable::MemTable;
@@ -97,6 +98,7 @@ pub type ScanPage = (Vec<(Vec<u8>, Resolved)>, Option<Vec<u8>>);
 pub struct Db {
     dir: PathBuf,
     cfg: DbConfig,
+    vfs: Arc<dyn Vfs>,
     mem: MemTable,
     version: Version,
     readers: HashMap<u64, SstReader>,
@@ -118,13 +120,25 @@ impl Db {
         cfg: DbConfig,
         metrics: Arc<StoreMetrics>,
     ) -> Result<Self> {
+        Self::open_with_vfs(dir, cfg, metrics, StdVfs::shared())
+    }
+
+    /// Opens a database whose every file operation goes through `vfs`.
+    pub fn open_with_vfs(
+        dir: impl AsRef<Path>,
+        cfg: DbConfig,
+        metrics: Arc<StoreMetrics>,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir).map_err(|e| StoreError::io("db create dir", e))?;
-        let version = Version::load(&dir)?;
+        vfs.create_dir_all(&dir)
+            .map_err(|e| StoreError::io_at("db create dir", &dir, e))?;
+        let version = Version::load_in(&vfs, &dir)?;
         let cache = BlockCache::new(cfg.block_cache_bytes);
         let mut db = Db {
             dir,
             cfg,
+            vfs,
             mem: MemTable::new(),
             version,
             readers: HashMap::new(),
@@ -261,7 +275,8 @@ impl Db {
         let mem = std::mem::take(&mut self.mem);
         let pairs: Vec<(Vec<u8>, Entry)> = mem.into_sorted().collect();
         let mut next = self.version.next_file_no;
-        let outputs = compact(
+        let outputs = compact_in(
+            &self.vfs,
             MergingIter::new(vec![Box::new(VecSource::new(pairs))])?,
             &self.dir,
             &mut next,
@@ -279,7 +294,7 @@ impl Db {
             self.version.levels[0].insert(0, meta);
         }
         self.metrics.add_flush();
-        self.version.save(&self.dir)?;
+        self.version.save_in(&self.vfs, &self.dir)?;
         drop(_t);
         self.maybe_compact()
     }
@@ -323,18 +338,20 @@ impl Db {
     /// Copies a consistent snapshot of the database into `dst`.
     pub fn checkpoint(&mut self, dst: &Path) -> Result<()> {
         self.flush()?;
-        std::fs::create_dir_all(dst).map_err(|e| StoreError::io("checkpoint dir", e))?;
+        self.vfs
+            .create_dir_all(dst)
+            .map_err(|e| StoreError::io_at("checkpoint dir", dst, e))?;
         for file_no in self.version.all_file_nos() {
             let name = SstMeta::file_name(file_no);
             let from = self.dir.join(&name);
             let to = dst.join(&name);
-            // Hard links make checkpoints cheap; fall back to copying
-            // across filesystems.
-            if std::fs::hard_link(&from, &to).is_err() {
-                std::fs::copy(&from, &to).map_err(|e| StoreError::io("checkpoint copy", e))?;
-            }
+            // Hard links make checkpoints cheap; the VFS falls back to
+            // copying across filesystems.
+            self.vfs
+                .link_or_copy(&from, &to)
+                .map_err(|e| StoreError::io_at("checkpoint copy", &to, e))?;
         }
-        self.version.save(dst)?;
+        self.version.save_in(&self.vfs, dst)?;
         Ok(())
     }
 
@@ -342,21 +359,23 @@ impl Db {
     pub fn restore(&mut self, src: &Path) -> Result<()> {
         self.mem.clear();
         for file_no in self.version.all_file_nos() {
-            let _ = std::fs::remove_file(self.dir.join(SstMeta::file_name(file_no)));
+            let _ = self
+                .vfs
+                .remove_file(&self.dir.join(SstMeta::file_name(file_no)));
             self.cache.evict_file(file_no);
         }
         self.readers.clear();
-        let version = Version::load(src)?;
+        let version = Version::load_in(&self.vfs, src)?;
         for file_no in version.all_file_nos() {
             let name = SstMeta::file_name(file_no);
             let from = src.join(&name);
             let to = self.dir.join(&name);
-            if std::fs::hard_link(&from, &to).is_err() {
-                std::fs::copy(&from, &to).map_err(|e| StoreError::io("restore copy", e))?;
-            }
+            self.vfs
+                .link_or_copy(&from, &to)
+                .map_err(|e| StoreError::io_at("restore copy", &to, e))?;
         }
         self.version = version;
-        self.version.save(&self.dir)?;
+        self.version.save_in(&self.vfs, &self.dir)?;
         for meta in self
             .version
             .levels
@@ -375,9 +394,13 @@ impl Db {
         self.mem.clear();
         self.readers.clear();
         for file_no in self.version.all_file_nos() {
-            let _ = std::fs::remove_file(self.dir.join(SstMeta::file_name(file_no)));
+            let _ = self
+                .vfs
+                .remove_file(&self.dir.join(SstMeta::file_name(file_no)));
         }
-        let _ = std::fs::remove_file(self.dir.join(crate::version::MANIFEST_NAME));
+        let _ = self
+            .vfs
+            .remove_file(&self.dir.join(crate::version::MANIFEST_NAME));
         self.version = Version::new();
         Ok(())
     }
@@ -395,7 +418,8 @@ impl Db {
 
     fn ensure_reader(&mut self, meta: &SstMeta) -> Result<&SstReader> {
         if !self.readers.contains_key(&meta.file_no) {
-            let reader = SstReader::open(
+            let reader = SstReader::open_in(
+                &self.vfs,
                 &self.dir,
                 meta.clone(),
                 Arc::clone(&self.cache),
@@ -461,7 +485,8 @@ impl Db {
             .collect();
         let merging = MergingIter::new(sources)?;
         let mut next = self.version.next_file_no;
-        let outputs = compact(
+        let outputs = compact_in(
+            &self.vfs,
             merging,
             &self.dir,
             &mut next,
@@ -485,11 +510,11 @@ impl Db {
             self.ensure_reader(&meta)?;
             self.version.insert_sorted(output_level, meta);
         }
-        self.version.save(&self.dir)?;
+        self.version.save_in(&self.vfs, &self.dir)?;
         for no in input_nos {
             self.readers.remove(&no);
             self.cache.evict_file(no);
-            let _ = std::fs::remove_file(self.dir.join(SstMeta::file_name(no)));
+            let _ = self.vfs.remove_file(&self.dir.join(SstMeta::file_name(no)));
         }
         Ok(())
     }

@@ -21,15 +21,14 @@
 //! block's last key, and scan one block — the same path, and therefore the
 //! same CPU shape, as RocksDB's.
 
-use std::fs::File;
 use std::io::{BufWriter, Write};
-use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use flowkv_common::codec::{crc32, put_len_prefixed, put_u64, put_varint_u64, Decoder};
 use flowkv_common::error::{Result, StoreError};
 use flowkv_common::metrics::StoreMetrics;
+use flowkv_common::vfs::{StdVfs, Vfs, VfsFile};
 
 use crate::bloom::BloomFilter;
 use crate::cache::BlockCache;
@@ -72,7 +71,8 @@ impl SstMeta {
 
 /// Streaming writer producing one SSTable from ascending keys.
 pub struct SstBuilder {
-    writer: BufWriter<File>,
+    writer: BufWriter<Box<dyn VfsFile>>,
+    path: PathBuf,
     file_no: u64,
     block_target: usize,
     block_buf: Vec<u8>,
@@ -88,12 +88,26 @@ pub struct SstBuilder {
 }
 
 impl SstBuilder {
-    /// Creates a builder writing to `path`.
+    /// Creates a builder writing to `path` through the standard
+    /// filesystem.
     pub fn create(path: impl AsRef<Path>, file_no: u64, block_target: usize) -> Result<Self> {
+        Self::create_in(&StdVfs::shared(), path, file_no, block_target)
+    }
+
+    /// Creates a builder writing to `path` through `vfs`.
+    pub fn create_in(
+        vfs: &Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        file_no: u64,
+        block_target: usize,
+    ) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = File::create(&path).map_err(|e| StoreError::io("sst create", e))?;
+        let file = vfs
+            .create(&path)
+            .map_err(|e| StoreError::io_at("sst create", &path, e))?;
         Ok(SstBuilder {
             writer: BufWriter::new(file),
+            path,
             file_no,
             block_target: block_target.max(256),
             block_buf: Vec::new(),
@@ -167,15 +181,15 @@ impl SstBuilder {
         put_u64(&mut footer, MAGIC);
         self.writer
             .write_all(&footer)
-            .map_err(|e| StoreError::io("sst footer", e))?;
+            .map_err(|e| StoreError::io_at("sst footer", &self.path, e))?;
         self.offset += FOOTER_LEN;
         self.writer
             .flush()
-            .map_err(|e| StoreError::io("sst flush", e))?;
+            .map_err(|e| StoreError::io_at("sst flush", &self.path, e))?;
         self.writer
-            .get_ref()
+            .get_mut()
             .sync_data()
-            .map_err(|e| StoreError::io("sst sync", e))?;
+            .map_err(|e| StoreError::io_at("sst sync", &self.path, e))?;
 
         Ok(SstMeta {
             file_no: self.file_no,
@@ -211,7 +225,7 @@ impl SstBuilder {
         self.writer
             .write_all(payload)
             .and_then(|_| self.writer.write_all(&crc32(payload).to_le_bytes()))
-            .map_err(|e| StoreError::io("sst write", e))?;
+            .map_err(|e| StoreError::io_at("sst write", &self.path, e))?;
         self.offset += payload.len() as u64 + 4;
         Ok(())
     }
@@ -219,7 +233,7 @@ impl SstBuilder {
 
 /// Read handle over one immutable table file.
 pub struct SstReader {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     meta: SstMeta,
     index: Vec<(Vec<u8>, u64, u64)>,
@@ -229,25 +243,38 @@ pub struct SstReader {
 }
 
 impl SstReader {
-    /// Opens the table file described by `meta` inside `dir`.
+    /// Opens the table file described by `meta` inside `dir` through the
+    /// standard filesystem.
     pub fn open(
         dir: &Path,
         meta: SstMeta,
         cache: Arc<BlockCache>,
         metrics: Arc<StoreMetrics>,
     ) -> Result<Self> {
+        Self::open_in(&StdVfs::shared(), dir, meta, cache, metrics)
+    }
+
+    /// Opens the table file described by `meta` inside `dir` through `vfs`.
+    pub fn open_in(
+        vfs: &Arc<dyn Vfs>,
+        dir: &Path,
+        meta: SstMeta,
+        cache: Arc<BlockCache>,
+        metrics: Arc<StoreMetrics>,
+    ) -> Result<Self> {
         let path = dir.join(SstMeta::file_name(meta.file_no));
-        let file = File::open(&path).map_err(|e| StoreError::io("sst open", e))?;
+        let file = vfs
+            .open_read(&path)
+            .map_err(|e| StoreError::io_at("sst open", &path, e))?;
         let len = file
-            .metadata()
-            .map_err(|e| StoreError::io("sst stat", e))?
-            .len();
+            .len()
+            .map_err(|e| StoreError::io_at("sst stat", &path, e))?;
         if len < FOOTER_LEN {
             return Err(StoreError::corruption(&path, 0, "file shorter than footer"));
         }
         let mut footer = vec![0u8; FOOTER_LEN as usize];
         file.read_exact_at(&mut footer, len - FOOTER_LEN)
-            .map_err(|e| StoreError::io("sst footer read", e))?;
+            .map_err(|e| StoreError::io_at("sst footer read", &path, e))?;
         let mut dec = Decoder::new(&footer);
         let index_off = dec.get_u64()?;
         let index_len = dec.get_u64()?;
@@ -257,7 +284,7 @@ impl SstReader {
         if magic != MAGIC {
             return Err(StoreError::corruption(&path, len - 8, "bad magic"));
         }
-        let index_raw = read_region(&file, &path, index_off, index_len)?;
+        let index_raw = read_region(file.as_ref(), &path, index_off, index_len)?;
         let mut dec = Decoder::new(&index_raw);
         let n = dec.get_varint_u64()? as usize;
         let mut index = Vec::with_capacity(n);
@@ -267,7 +294,7 @@ impl SstReader {
             let blen = dec.get_u64()?;
             index.push((last_key, off, blen));
         }
-        let bloom_raw = read_region(&file, &path, bloom_off, bloom_len)?;
+        let bloom_raw = read_region(file.as_ref(), &path, bloom_off, bloom_len)?;
         let bloom = BloomFilter::decode_from(&mut Decoder::new(&bloom_raw))?;
         Ok(SstReader {
             file,
@@ -348,7 +375,7 @@ impl SstReader {
         if let Some(block) = self.cache.get(cache_key) {
             return Ok(block);
         }
-        let raw = read_region(&self.file, &self.path, off, len)?;
+        let raw = read_region(self.file.as_ref(), &self.path, off, len)?;
         self.metrics.add_bytes_read(len + 4);
         let block = Arc::new(raw);
         self.cache.insert(cache_key, Arc::clone(&block));
@@ -378,10 +405,10 @@ fn read_block_key(dec: &mut Decoder<'_>, current: &mut Vec<u8>, path: &Path) -> 
 }
 
 /// Reads a CRC-protected region and verifies its checksum.
-fn read_region(file: &File, path: &Path, off: u64, len: u64) -> Result<Vec<u8>> {
+fn read_region(file: &dyn VfsFile, path: &Path, off: u64, len: u64) -> Result<Vec<u8>> {
     let mut buf = vec![0u8; len as usize + 4];
     file.read_exact_at(&mut buf, off)
-        .map_err(|e| StoreError::io("sst region read", e))?;
+        .map_err(|e| StoreError::io_at("sst region read", path, e))?;
     let crc_stored = u32::from_le_bytes(buf[len as usize..].try_into().expect("fixed"));
     buf.truncate(len as usize);
     if crc32(&buf) != crc_stored {

@@ -7,9 +7,11 @@
 //! rename), so a crash leaves either the old or the new version.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use flowkv_common::codec::{crc32, put_len_prefixed, put_u64, put_varint_u64, Decoder};
 use flowkv_common::error::{Result, StoreError};
+use flowkv_common::vfs::{StdVfs, Vfs};
 
 use crate::sstable::SstMeta;
 
@@ -144,20 +146,33 @@ impl Version {
 
     /// Atomically persists the version as `dir/MANIFEST`.
     pub fn save(&self, dir: &Path) -> Result<()> {
+        self.save_in(&StdVfs::shared(), dir)
+    }
+
+    /// Atomically persists the version as `dir/MANIFEST` through `vfs`.
+    pub fn save_in(&self, vfs: &Arc<dyn Vfs>, dir: &Path) -> Result<()> {
         let tmp = dir.join("MANIFEST.tmp");
         let target = dir.join(MANIFEST_NAME);
-        std::fs::write(&tmp, self.encode()).map_err(|e| StoreError::io("manifest write", e))?;
-        std::fs::rename(&tmp, &target).map_err(|e| StoreError::io("manifest rename", e))?;
+        vfs.write(&tmp, &self.encode())
+            .map_err(|e| StoreError::io_at("manifest write", &tmp, e))?;
+        vfs.rename(&tmp, &target)
+            .map_err(|e| StoreError::io_at("manifest rename", &target, e))?;
         Ok(())
     }
 
     /// Loads `dir/MANIFEST`, or returns a fresh version if none exists.
     pub fn load(dir: &Path) -> Result<Self> {
+        Self::load_in(&StdVfs::shared(), dir)
+    }
+
+    /// Loads `dir/MANIFEST` through `vfs`, or returns a fresh version if
+    /// none exists.
+    pub fn load_in(vfs: &Arc<dyn Vfs>, dir: &Path) -> Result<Self> {
         let path = dir.join(MANIFEST_NAME);
-        match std::fs::read(&path) {
+        match vfs.read(&path) {
             Ok(data) => Version::decode(&data, &path),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Version::new()),
-            Err(e) => Err(StoreError::io("manifest read", e)),
+            Err(e) => Err(StoreError::io_at("manifest read", &path, e)),
         }
     }
 }

@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use flowkv::{FlowKvConfig, FlowKvFactory};
 use flowkv_common::backend::StateBackendFactory;
+use flowkv_common::vfs::Vfs;
 use flowkv_hashkv::backend::HashBackendFactory;
 use flowkv_hashkv::HashDbConfig;
 use flowkv_lsm::backend::LsmBackendFactory;
@@ -49,6 +50,22 @@ impl BackendChoice {
             BackendChoice::FlowKv(cfg) => Arc::new(FlowKvFactory::new(cfg.clone())),
             BackendChoice::Lsm(cfg) => Arc::new(LsmBackendFactory::new(cfg.clone())),
             BackendChoice::HashKv(cfg) => Arc::new(HashBackendFactory::new(cfg.clone())),
+        }
+    }
+
+    /// Builds a factory whose backends perform every file operation
+    /// through `vfs` — the hook fault-injection tests use to reach all
+    /// four stores uniformly.
+    pub fn factory_with_vfs(&self, vfs: Arc<dyn Vfs>) -> Arc<dyn StateBackendFactory> {
+        match self {
+            BackendChoice::InMemory {
+                budget_per_partition,
+            } => Arc::new(InMemoryFactory::new(*budget_per_partition).with_vfs(vfs)),
+            BackendChoice::FlowKv(cfg) => Arc::new(FlowKvFactory::new(cfg.clone()).with_vfs(vfs)),
+            BackendChoice::Lsm(cfg) => Arc::new(LsmBackendFactory::new(cfg.clone()).with_vfs(vfs)),
+            BackendChoice::HashKv(cfg) => {
+                Arc::new(HashBackendFactory::new(cfg.clone()).with_vfs(vfs))
+            }
         }
     }
 

@@ -111,7 +111,14 @@ impl WorkerOp {
 }
 
 /// Options controlling one job run.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`RunOptions::new`] (then mutate fields) or, preferably, through
+/// [`RunOptions::builder`]. Direct struct-literal construction is
+/// deprecated and impossible outside this crate, so new knobs can be
+/// added without a breaking change.
 #[derive(Clone)]
+#[non_exhaustive]
 pub struct RunOptions {
     /// Directory for state-backend files.
     pub data_dir: PathBuf,
@@ -172,6 +179,14 @@ pub struct RunOptions {
     pub telemetry_out: Option<PathBuf>,
     /// Interval between JSONL snapshot lines.
     pub telemetry_interval: Duration,
+    /// How many times [`crate::supervisor::run_supervised`] may restart
+    /// a failed run before giving up and surfacing the error. `0` (the
+    /// default) fails fast, matching plain [`run_job`].
+    pub max_restarts: u32,
+    /// Base delay between supervised restarts. Attempt `k` (1-based)
+    /// waits `restart_backoff * 2^(k-1)` — classic bounded exponential
+    /// backoff.
+    pub restart_backoff: Duration,
 }
 
 impl RunOptions {
@@ -196,7 +211,156 @@ impl RunOptions {
             telemetry: None,
             telemetry_out: None,
             telemetry_interval: Duration::from_millis(250),
+            max_restarts: 0,
+            restart_backoff: Duration::from_millis(50),
         }
+    }
+
+    /// Starts a builder rooted at `data_dir` — the preferred way to
+    /// construct options.
+    pub fn builder(data_dir: impl Into<PathBuf>) -> RunOptionsBuilder {
+        RunOptionsBuilder {
+            opts: RunOptions::new(data_dir),
+        }
+    }
+}
+
+/// Fluent builder for [`RunOptions`].
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use flowkv_spe::executor::RunOptions;
+///
+/// let opts = RunOptions::builder("/tmp/flowkv-doc")
+///     .collect_outputs(true)
+///     .watermark_interval(50)
+///     .max_restarts(2)
+///     .restart_backoff(Duration::from_millis(10))
+///     .build();
+/// assert_eq!(opts.max_restarts, 2);
+/// ```
+#[derive(Clone)]
+pub struct RunOptionsBuilder {
+    opts: RunOptions,
+}
+
+impl RunOptionsBuilder {
+    /// Tuples between source watermarks.
+    pub fn watermark_interval(mut self, n: usize) -> Self {
+        self.opts.watermark_interval = n;
+        self
+    }
+
+    /// Out-of-orderness allowance subtracted from the max timestamp.
+    pub fn watermark_slack(mut self, slack: i64) -> Self {
+        self.opts.watermark_slack = slack;
+        self
+    }
+
+    /// Collect output tuples into [`JobResult::outputs`].
+    pub fn collect_outputs(mut self, yes: bool) -> Self {
+        self.opts.collect_outputs = yes;
+        self
+    }
+
+    /// Record per-output latencies.
+    pub fn record_latency(mut self, yes: bool) -> Self {
+        self.opts.record_latency = yes;
+        self
+    }
+
+    /// Cap the source rate (tuples per second of wall time).
+    pub fn rate_limit(mut self, rate: u64) -> Self {
+        self.opts.rate_limit = Some(rate);
+        self
+    }
+
+    /// Abort the run after this much wall time.
+    pub fn timeout(mut self, limit: Duration) -> Self {
+        self.opts.timeout = Some(limit);
+        self
+    }
+
+    /// Capacity of inter-stage channels.
+    pub fn channel_capacity(mut self, cap: usize) -> Self {
+        self.opts.channel_capacity = cap;
+        self
+    }
+
+    /// Emit an aligned checkpoint barrier after `n` source tuples,
+    /// writing the snapshot into `dir`.
+    pub fn checkpoint(mut self, n: u64, dir: impl Into<PathBuf>) -> Self {
+        self.opts.checkpoint_after_tuples = Some(n);
+        self.opts.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Restore every window operator from this checkpoint before
+    /// processing.
+    pub fn restore_from(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.opts.restore_from = Some(dir.into());
+        self
+    }
+
+    /// Collect tuples dropped as late into [`JobResult::late_tuples`].
+    pub fn collect_late(mut self, yes: bool) -> Self {
+        self.opts.collect_late = yes;
+        self
+    }
+
+    /// Publish queryable-state snapshots into `registry`.
+    pub fn registry(mut self, registry: Arc<StateRegistry>) -> Self {
+        self.opts.registry = Some(registry);
+        self
+    }
+
+    /// Tuples per exchange micro-batch.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.opts.batch_size = n;
+        self
+    }
+
+    /// Longest a partially filled source batch may linger.
+    pub fn batch_linger(mut self, linger: Duration) -> Self {
+        self.opts.batch_linger = linger;
+        self
+    }
+
+    /// Shared telemetry hub recording per-operator probes.
+    pub fn telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.opts.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Stream telemetry as JSONL to this file.
+    pub fn telemetry_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.opts.telemetry_out = Some(path.into());
+        self
+    }
+
+    /// Interval between JSONL snapshot lines.
+    pub fn telemetry_interval(mut self, interval: Duration) -> Self {
+        self.opts.telemetry_interval = interval;
+        self
+    }
+
+    /// Bounded restarts for [`crate::supervisor::run_supervised`].
+    pub fn max_restarts(mut self, n: u32) -> Self {
+        self.opts.max_restarts = n;
+        self
+    }
+
+    /// Base delay of the supervised exponential restart backoff.
+    pub fn restart_backoff(mut self, backoff: Duration) -> Self {
+        self.opts.restart_backoff = backoff;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> RunOptions {
+        self.opts
     }
 }
 
@@ -447,6 +611,32 @@ pub fn run_job(
     factory: Arc<dyn StateBackendFactory>,
     options: &RunOptions,
 ) -> Result<JobResult, JobError> {
+    run_job_inner(job, source, factory, options).0
+}
+
+/// What the supervisor can salvage from a failed attempt: whether the
+/// aligned checkpoint completed at the sink, and the outputs the sink
+/// observed ahead of every barrier (exactly the tuples a downstream
+/// system would have consumed as committed when the checkpoint closed).
+#[derive(Default)]
+pub(crate) struct AttemptSalvage {
+    pub(crate) checkpoint_complete: bool,
+    pub(crate) outputs_pre: Vec<Tuple>,
+    pub(crate) pre_count: u64,
+}
+
+/// Name of the file inside a checkpoint directory recording the source
+/// offset (in tuples) at which the aligned barrier was injected.
+pub(crate) const SOURCE_OFFSET_FILE: &str = "SOURCE_OFFSET";
+
+/// [`run_job`], additionally returning the sink-side salvage the
+/// supervisor needs even when the run fails.
+pub(crate) fn run_job_inner(
+    job: &Job,
+    source: impl Iterator<Item = Tuple> + Send + 'static,
+    factory: Arc<dyn StateBackendFactory>,
+    options: &RunOptions,
+) -> (Result<JobResult, JobError>, AttemptSalvage) {
     let n = job.parallelism;
     let started = Instant::now();
     let epoch = started;
@@ -789,9 +979,23 @@ pub fn run_job(
             }
         }
     }
-    let sink = sink_handle
-        .join()
-        .map_err(|_| JobError::Panic("sink panicked".into()))?;
+    let sink = match sink_handle.join() {
+        Ok(sink) => sink,
+        Err(_) => {
+            abort.store(true, Ordering::Relaxed);
+            writer_stop.store(true, Ordering::Relaxed);
+            if let Some(w) = watchdog {
+                let _ = w.join();
+            }
+            if let Some(w) = writer_handle {
+                let _ = w.join();
+            }
+            return (
+                Err(JobError::Panic("sink panicked".into())),
+                AttemptSalvage::default(),
+            );
+        }
+    };
     abort.store(true, Ordering::Relaxed);
     if let Some(w) = watchdog {
         let _ = w.join();
@@ -803,15 +1007,38 @@ pub fn run_job(
         }
     }
 
+    // Persist the barrier's source offset next to the snapshot so the
+    // supervisor can rewind the log source on recovery. Written via
+    // temporary file + rename, like the stores' own manifests, so a
+    // crash mid-write leaves no half-formed offset.
+    if sink.checkpoint_complete {
+        if let (Some(dir), Some(offset)) =
+            (&options.checkpoint_dir, options.checkpoint_after_tuples)
+        {
+            let tmp = dir.join("SOURCE_OFFSET.tmp");
+            let target = dir.join(SOURCE_OFFSET_FILE);
+            let write = std::fs::write(&tmp, offset.to_string())
+                .and_then(|_| std::fs::rename(&tmp, &target));
+            if let Err(e) = write {
+                eprintln!("failed to persist checkpoint source offset: {e}");
+            }
+        }
+    }
+
+    let salvage = AttemptSalvage {
+        checkpoint_complete: sink.checkpoint_complete,
+        outputs_pre: sink.outputs_pre,
+        pre_count: sink.pre_count,
+    };
     if timed_out.load(Ordering::Relaxed) {
-        return Err(JobError::Timeout);
+        return (Err(JobError::Timeout), salvage);
     }
     if let Some(e) = first_error {
-        return Err(e);
+        return (Err(e), salvage);
     }
 
     let latency = LatencySummary::from_histogram(&sink.latency);
-    Ok(JobResult {
+    let result = JobResult {
         outputs: sink.outputs,
         output_count: sink.output_count,
         input_count,
@@ -820,10 +1047,11 @@ pub fn run_job(
         latency,
         latency_histogram: sink.latency,
         dropped_late,
-        checkpoint_taken: sink.checkpoint_complete,
+        checkpoint_taken: salvage.checkpoint_complete,
         late_tuples,
-        outputs_pre_checkpoint: sink.outputs_pre,
-    })
+        outputs_pre_checkpoint: salvage.outputs_pre.clone(),
+    };
+    (Ok(result), salvage)
 }
 
 /// The body of the `spe-telemetry` writer thread: drains the flight

@@ -17,7 +17,10 @@
 //!   baseline, and a budgeted in-memory store ([`memstore`]) that fails
 //!   with out-of-memory like the paper's in-memory baseline;
 //! - latency sampling at the sink ([`latency`]) for the paper's
-//!   tail-latency experiments (§6.2).
+//!   tail-latency experiments (§6.2);
+//! - supervised recovery ([`supervisor`]): bounded restart-with-backoff
+//!   that restores operators from the last completed checkpoint and
+//!   rewinds the replayable source to its recorded offset (§8).
 
 pub mod backends;
 pub mod executor;
@@ -28,10 +31,12 @@ pub mod latency;
 pub mod memstore;
 pub mod operator;
 pub mod source;
+pub mod supervisor;
 pub mod window;
 
 pub use backends::BackendChoice;
-pub use executor::{run_job, JobResult, RunOptions};
+pub use executor::{run_job, JobError, JobResult, RunOptions, RunOptionsBuilder};
 pub use job::{AggregateSpec, Job, JobBuilder, Stage};
 pub use latency::Stamped;
+pub use supervisor::{run_supervised, SupervisedResult};
 pub use window::WindowAssigner;

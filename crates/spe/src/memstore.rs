@@ -17,6 +17,7 @@ use flowkv_common::error::{Result, StoreError};
 use flowkv_common::logfile::{LogReader, LogWriter};
 use flowkv_common::metrics::{OpCategory, StoreMetrics};
 use flowkv_common::types::{Timestamp, WindowId};
+use flowkv_common::vfs::{StdVfs, Vfs};
 
 type StateKey = (Vec<u8>, WindowId);
 
@@ -30,11 +31,17 @@ pub struct InMemoryBackend {
     draining: HashMap<WindowId, Vec<Vec<u8>>>,
     chunk_entries: usize,
     metrics: Arc<StoreMetrics>,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl InMemoryBackend {
     /// Creates a backend bounded at `budget` bytes of state.
     pub fn new(budget: usize, chunk_entries: usize) -> Self {
+        Self::new_with_vfs(budget, chunk_entries, StdVfs::shared())
+    }
+
+    /// Creates a backend whose checkpoint files go through `vfs`.
+    pub fn new_with_vfs(budget: usize, chunk_entries: usize, vfs: Arc<dyn Vfs>) -> Self {
         InMemoryBackend {
             budget,
             used: 0,
@@ -44,6 +51,7 @@ impl InMemoryBackend {
             draining: HashMap::new(),
             chunk_entries: chunk_entries.max(1),
             metrics: StoreMetrics::new_shared(),
+            vfs,
         }
     }
 
@@ -185,8 +193,10 @@ impl StateBackend for InMemoryBackend {
     }
 
     fn checkpoint(&mut self, dir: &Path) -> Result<()> {
-        std::fs::create_dir_all(dir).map_err(|e| StoreError::io("mem checkpoint dir", e))?;
-        let mut w = LogWriter::create(dir.join("mem.ckpt"))?;
+        self.vfs
+            .create_dir_all(dir)
+            .map_err(|e| StoreError::io_at("mem checkpoint dir", dir, e))?;
+        let mut w = LogWriter::create_in(&self.vfs, dir.join("mem.ckpt"))?;
         for ((key, window), values) in &self.lists {
             let mut buf = vec![0u8];
             put_len_prefixed(&mut buf, key);
@@ -213,7 +223,7 @@ impl StateBackend for InMemoryBackend {
         self.window_keys.clear();
         self.draining.clear();
         self.used = 0;
-        let mut r = LogReader::open(dir.join("mem.ckpt"))?;
+        let mut r = LogReader::open_in(&self.vfs, dir.join("mem.ckpt"))?;
         while let Some((_, payload)) = r.next_record()? {
             let mut dec = Decoder::new(&payload);
             let tag = dec.take(1, "mem tag")?[0];
@@ -265,6 +275,7 @@ impl StateBackend for InMemoryBackend {
 pub struct InMemoryFactory {
     budget_per_partition: usize,
     chunk_entries: usize,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl InMemoryFactory {
@@ -273,15 +284,23 @@ impl InMemoryFactory {
         InMemoryFactory {
             budget_per_partition,
             chunk_entries: 1024,
+            vfs: StdVfs::shared(),
         }
+    }
+
+    /// Routes checkpoint files of produced backends through `vfs`.
+    pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = vfs;
+        self
     }
 }
 
 impl StateBackendFactory for InMemoryFactory {
     fn create(&self, _ctx: &OperatorContext) -> Result<Box<dyn StateBackend>> {
-        Ok(Box::new(InMemoryBackend::new(
+        Ok(Box::new(InMemoryBackend::new_with_vfs(
             self.budget_per_partition,
             self.chunk_entries,
+            Arc::clone(&self.vfs),
         )))
     }
 

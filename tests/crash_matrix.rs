@@ -1,0 +1,203 @@
+//! Randomized crash-point matrix: for every backend × query pair, crash
+//! the job at a random store operation, recover under supervision, and
+//! require byte-identical output versus an undisturbed run.
+//!
+//! The crash point is drawn from the SplitMix64 stream seeded by
+//! `FLOWKV_FAULT_SEED` (default below); the seed is printed so any
+//! failure reproduces with `FLOWKV_FAULT_SEED=<seed> cargo test`.
+
+use std::sync::Arc;
+
+use flowkv_common::scratch::ScratchDir;
+use flowkv_common::telemetry::{SampleValue, Telemetry};
+use flowkv_common::types::Tuple;
+use flowkv_common::vfs::{FaultPlan, FaultVfs, StdVfs};
+use flowkv_nexmark::{EventGenerator, GeneratorConfig, QueryId, QueryParams};
+use flowkv_spe::source::{LogSource, TupleLog};
+use flowkv_spe::{run_job, run_supervised, BackendChoice, RunOptions};
+
+const NUM_EVENTS: u64 = 8_000;
+const DEFAULT_SEED: u64 = 0xF10C;
+
+fn fault_seed() -> u64 {
+    std::env::var("FLOWKV_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+fn generator() -> EventGenerator {
+    EventGenerator::new(GeneratorConfig {
+        num_events: NUM_EVENTS,
+        seed: 7,
+        events_per_second: 5_000,
+        active_people: 50,
+        active_auctions: 80,
+        ..GeneratorConfig::default()
+    })
+}
+
+fn sorted_triples(tuples: &[Tuple]) -> Vec<(Vec<u8>, Vec<u8>, i64)> {
+    let mut v: Vec<(Vec<u8>, Vec<u8>, i64)> = tuples
+        .iter()
+        .map(|t| (t.key.clone(), t.value.clone(), t.timestamp))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Distinct crash points per cell, all reproducible from the one seed.
+fn cell_seed(seed: u64, query: QueryId, backend: &BackendChoice) -> u64 {
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for b in query.name().bytes().chain(backend.name().bytes()) {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+fn crash_matrix_cell(query: QueryId, backend: &BackendChoice, seed: u64) {
+    let dir =
+        ScratchDir::new(&format!("crash-matrix-{}-{}", query.name(), backend.name())).unwrap();
+    let log = dir.path().join("events.log");
+    TupleLog::record(&log, generator().tuples()).unwrap();
+    let params = QueryParams::new(1_000).with_parallelism(2);
+    let job = query.build(params);
+
+    // Undisturbed reference run.
+    let ref_opts = RunOptions::builder(dir.path().join("ref"))
+        .collect_outputs(true)
+        .watermark_interval(100)
+        .build();
+    let reference = run_job(
+        &job,
+        LogSource::open(&log).unwrap(),
+        backend.factory(),
+        &ref_opts,
+    )
+    .unwrap_or_else(|e| {
+        panic!(
+            "{} on {}: reference run failed: {e}",
+            query.name(),
+            backend.name()
+        )
+    });
+    assert!(
+        !reference.outputs.is_empty(),
+        "{} on {}: reference run produced no output",
+        query.name(),
+        backend.name()
+    );
+
+    // Measure the run's store-op footprint so the crash point can be
+    // drawn from the range the run actually exercises.
+    let counter = FaultVfs::counting(StdVfs::shared());
+    let counted_opts = RunOptions::builder(dir.path().join("count"))
+        .watermark_interval(100)
+        .checkpoint(NUM_EVENTS / 2, dir.path().join("count-ckpt"))
+        .build();
+    run_job(
+        &job,
+        LogSource::open(&log).unwrap(),
+        backend.factory_with_vfs(counter.clone()),
+        &counted_opts,
+    )
+    .unwrap_or_else(|e| {
+        panic!(
+            "{} on {}: counting run failed: {e}",
+            query.name(),
+            backend.name()
+        )
+    });
+    let total_ops = counter.ops();
+    assert!(total_ops > 0, "store never touched the vfs");
+
+    // Crash somewhere in the first nine tenths of the op range (the cap
+    // absorbs run-to-run scheduling variance in the op count), then
+    // recover under supervision and compare byte-for-byte.
+    let combo_seed = cell_seed(seed, query, backend);
+    let plan = FaultPlan::random_crash(combo_seed, total_ops * 9 / 10);
+    let faulty = FaultVfs::new(StdVfs::shared(), plan);
+    let telemetry = Telemetry::new_shared();
+    let opts = RunOptions::builder(dir.path().join("data"))
+        .collect_outputs(true)
+        .watermark_interval(100)
+        .checkpoint(NUM_EVENTS / 2, dir.path().join("ckpt"))
+        .max_restarts(2)
+        .restart_backoff(std::time::Duration::from_millis(1))
+        .telemetry(Arc::clone(&telemetry))
+        .build();
+    let sup = run_supervised(&job, &log, backend.factory_with_vfs(faulty.clone()), &opts)
+        .unwrap_or_else(|e| {
+            panic!(
+                "{} on {}: supervised run failed (seed {seed}): {e}",
+                query.name(),
+                backend.name()
+            )
+        });
+
+    let fired = faulty.fired();
+    assert_eq!(
+        fired.len(),
+        1,
+        "{} on {}: expected exactly one injected crash (seed {seed}), fired {fired:?}",
+        query.name(),
+        backend.name()
+    );
+    assert_eq!(
+        sup.restarts,
+        1,
+        "{} on {}: one crash must cost exactly one restart (seed {seed})",
+        query.name(),
+        backend.name()
+    );
+    assert_eq!(
+        sorted_triples(&sup.all_outputs()),
+        sorted_triples(&reference.outputs),
+        "{} on {}: recovered output diverged (seed {seed}, crash at op {})",
+        query.name(),
+        backend.name(),
+        fired[0].0
+    );
+
+    let samples = telemetry.registry().snapshot();
+    let restarts_total = samples
+        .iter()
+        .find(|s| s.name == "recovery_restarts_total")
+        .expect("recovery_restarts_total missing");
+    match restarts_total.value {
+        SampleValue::Counter(v) => assert_eq!(
+            v,
+            1,
+            "{} on {}: recovery_restarts_total must equal the injected crash count",
+            query.name(),
+            backend.name()
+        ),
+        _ => panic!("recovery_restarts_total is not a counter"),
+    }
+}
+
+fn crash_matrix_row(query: QueryId) {
+    let seed = fault_seed();
+    println!(
+        "crash matrix {}: FLOWKV_FAULT_SEED={seed} (set the env var to replay)",
+        query.name()
+    );
+    for backend in &BackendChoice::all_small_for_tests() {
+        crash_matrix_cell(query, backend, seed);
+    }
+}
+
+#[test]
+fn crash_matrix_q7() {
+    crash_matrix_row(QueryId::Q7);
+}
+
+#[test]
+fn crash_matrix_q11_median() {
+    crash_matrix_row(QueryId::Q11Median);
+}
+
+#[test]
+fn crash_matrix_q11() {
+    crash_matrix_row(QueryId::Q11);
+}
