@@ -97,6 +97,56 @@ impl OperatorSemantics {
 /// their appended values.
 pub type WindowChunk = Vec<(Vec<u8>, Vec<Vec<u8>>)>;
 
+/// One migratable unit of store state, produced by
+/// [`StateBackend::extract_range`] and consumed by
+/// [`StateBackend::inject_entries`].
+///
+/// An entry carries everything needed to re-create the state in a
+/// different store instance, independent of the source store's layout:
+/// the two variants mirror the two physical shapes every backend holds
+/// (appended value lists and intermediate aggregates).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StateEntry {
+    /// The appended values of one `(key, window)` pair, in append order.
+    Values {
+        /// The tuple key.
+        key: Vec<u8>,
+        /// The window the values belong to.
+        window: WindowId,
+        /// All appended values, oldest first.
+        values: Vec<Vec<u8>>,
+    },
+    /// The intermediate aggregate of one `(key, window)` pair.
+    Aggregate {
+        /// The tuple key.
+        key: Vec<u8>,
+        /// The window the aggregate belongs to.
+        window: WindowId,
+        /// The encoded aggregate.
+        value: Vec<u8>,
+    },
+}
+
+impl StateEntry {
+    /// The key this entry belongs to — what range filters inspect.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            StateEntry::Values { key, .. } | StateEntry::Aggregate { key, .. } => key,
+        }
+    }
+
+    /// The window this entry belongs to.
+    pub fn window(&self) -> WindowId {
+        match self {
+            StateEntry::Values { window, .. } | StateEntry::Aggregate { window, .. } => *window,
+        }
+    }
+}
+
+/// A key predicate used to select the state entries to migrate —
+/// typically "is this key's range hash inside shard `s`".
+pub type KeyFilter<'a> = &'a dyn Fn(&[u8]) -> bool;
+
 /// A state store for one physical window-operator partition.
 ///
 /// Methods correspond to the paper's Listing 1:
@@ -158,6 +208,59 @@ pub trait StateBackend: Send {
     /// snapshot reads and is simply not queryable.
     fn read_view(&mut self) -> Result<Option<crate::registry::StateView>> {
         Ok(None)
+    }
+
+    /// Extracts every live entry whose key satisfies `in_range`,
+    /// *without* consuming any state (a rescale must be able to abort).
+    ///
+    /// Per-key value lists preserve append order; cross-key order is
+    /// unspecified. Together with [`StateBackend::inject_entries`] this
+    /// is the store half of key-range state migration: the old worker's
+    /// store is scanned once per receiving shard with that shard's hash
+    /// range as the filter, and the pieces are injected into fresh
+    /// stores at the new parallelism. Single-writer ownership (each
+    /// store instance belongs to one worker thread) is what makes the
+    /// scan safe without coordination.
+    ///
+    /// Like [`StateBackend::read_view`], building the extract may flush
+    /// buffered writes but must never lose or reorder state.
+    ///
+    /// `kind` is the owning operator's aggregate signature: stores whose
+    /// record layout cannot distinguish an appended list from an opaque
+    /// aggregate (the hash baseline stores both as raw payloads) need it
+    /// to shape the entries, exactly as the engine selects list vs.
+    /// aggregate calls from the same classification at runtime.
+    fn extract_range(
+        &mut self,
+        in_range: KeyFilter<'_>,
+        kind: AggregateKind,
+    ) -> Result<Vec<StateEntry>>;
+
+    /// Re-creates `entries` in this store.
+    ///
+    /// The default implementation replays value lists through
+    /// [`StateBackend::append`] (with the window start as the tuple
+    /// timestamp — migrated appends carry no per-tuple timestamps) and
+    /// aggregates through [`StateBackend::put_aggregate`]; backends
+    /// with cheaper bulk paths may override.
+    fn inject_entries(&mut self, entries: Vec<StateEntry>) -> Result<()> {
+        for entry in entries {
+            match entry {
+                StateEntry::Values {
+                    key,
+                    window,
+                    values,
+                } => {
+                    for value in values {
+                        self.append(&key, window, &value, window.start)?;
+                    }
+                }
+                StateEntry::Aggregate { key, window, value } => {
+                    self.put_aggregate(&key, window, &value)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The metrics block charged by this store.

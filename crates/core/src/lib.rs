@@ -55,11 +55,13 @@ pub mod aur;
 pub mod config;
 pub mod ett;
 pub mod partition;
+pub mod partitioner;
 pub mod pattern;
 pub mod rmw;
 pub mod store;
 
 pub use config::FlowKvConfig;
 pub use ett::EttObservation;
+pub use partitioner::KeyRangePartitioner;
 pub use pattern::AccessPattern;
 pub use store::{FlowKvFactory, FlowKvStore};

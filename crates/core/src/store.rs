@@ -14,11 +14,12 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use flowkv_common::backend::{
-    OperatorContext, OperatorSemantics, StateBackend, StateBackendFactory, WindowChunk,
+    AggregateKind, KeyFilter, OperatorContext, OperatorSemantics, StateBackend,
+    StateBackendFactory, StateEntry, WindowChunk,
 };
 use flowkv_common::error::{Result, StoreError};
 use flowkv_common::metrics::StoreMetrics;
-use flowkv_common::registry::{StatePattern, StateView};
+use flowkv_common::registry::{StatePattern, StateView, ViewValue};
 use flowkv_common::types::{Timestamp, WindowId};
 use flowkv_common::vfs::{StdVfs, Vfs};
 
@@ -261,6 +262,31 @@ impl StateBackend for FlowKvStore {
         }
         view.metrics = self.metrics.snapshot();
         Ok(Some(view))
+    }
+
+    fn extract_range(
+        &mut self,
+        in_range: KeyFilter<'_>,
+        _kind: AggregateKind,
+    ) -> Result<Vec<StateEntry>> {
+        // The queryable-state snapshot is exact and non-consuming by
+        // contract, which is precisely what migration needs; reuse it.
+        let view = self.read_view()?.expect("flowkv always supports read_view");
+        let mut entries = Vec::new();
+        for ((key, window), value) in view.entries {
+            if !in_range(&key) {
+                continue;
+            }
+            entries.push(match value {
+                ViewValue::Values(values) => StateEntry::Values {
+                    key,
+                    window,
+                    values,
+                },
+                ViewValue::Aggregate(value) => StateEntry::Aggregate { key, window, value },
+            });
+        }
+        Ok(entries)
     }
 
     fn metrics(&self) -> Arc<StoreMetrics> {

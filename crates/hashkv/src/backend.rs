@@ -15,7 +15,10 @@ use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::Arc;
 
-use flowkv_common::backend::{OperatorContext, StateBackend, StateBackendFactory, WindowChunk};
+use flowkv_common::backend::{
+    AggregateKind, KeyFilter, OperatorContext, StateBackend, StateBackendFactory, StateEntry,
+    WindowChunk,
+};
 use flowkv_common::codec::{put_len_prefixed, Decoder};
 use flowkv_common::error::{Result, StoreError};
 use flowkv_common::metrics::{OpCategory, StoreMetrics};
@@ -216,6 +219,44 @@ impl StateBackend for HashBackend {
 
     fn flush(&mut self) -> Result<()> {
         self.db.flush()
+    }
+
+    fn extract_range(
+        &mut self,
+        in_range: KeyFilter<'_>,
+        kind: AggregateKind,
+    ) -> Result<Vec<StateEntry>> {
+        // The store is point-access only, so records carry raw payloads
+        // with nothing to tell an encoded value list from an opaque
+        // aggregate; `kind` decides, exactly as the engine decides which
+        // API to call on this backend.
+        let mut raw: Vec<(Vec<u8>, WindowId, Vec<u8>)> = Vec::new();
+        self.db.scan_live(|composite, value| {
+            if composite.len() >= 16 {
+                if let Ok(window) = WindowId::from_ordered_bytes(&composite[..16]) {
+                    raw.push((composite[16..].to_vec(), window, value.to_vec()));
+                }
+            }
+        })?;
+        let mut entries = Vec::new();
+        for (key, window, payload) in raw {
+            if !in_range(&key) {
+                continue;
+            }
+            entries.push(match kind {
+                AggregateKind::FullList => StateEntry::Values {
+                    values: decode_list(&payload)?,
+                    key,
+                    window,
+                },
+                AggregateKind::Incremental => StateEntry::Aggregate {
+                    key,
+                    window,
+                    value: payload,
+                },
+            });
+        }
+        Ok(entries)
     }
 
     fn metrics(&self) -> Arc<StoreMetrics> {

@@ -17,7 +17,10 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
 
-use flowkv_common::backend::{OperatorContext, StateBackend, StateBackendFactory, WindowChunk};
+use flowkv_common::backend::{
+    AggregateKind, KeyFilter, OperatorContext, StateBackend, StateBackendFactory, StateEntry,
+    WindowChunk,
+};
 use flowkv_common::error::{Result, StoreError};
 use flowkv_common::metrics::{OpCategory, StoreMetrics};
 use flowkv_common::types::{Timestamp, WindowId};
@@ -172,6 +175,48 @@ impl StateBackend for LsmBackend {
 
     fn flush(&mut self) -> Result<()> {
         self.db.flush()
+    }
+
+    fn extract_range(
+        &mut self,
+        in_range: KeyFilter<'_>,
+        _kind: AggregateKind,
+    ) -> Result<Vec<StateEntry>> {
+        // Full-range scan in resumable chunks; the upper bound is the
+        // same sentinel `window_prefix_end` falls back to, which sorts
+        // past every 16-byte window prefix.
+        let mut entries = Vec::new();
+        let mut start = Vec::new();
+        let end = vec![0xff; 17];
+        loop {
+            let (items, next) = self.db.scan(&start, &end, self.chunk_entries)?;
+            for (composite, resolved) in items {
+                let window = WindowId::from_ordered_bytes(&composite[..16])?;
+                let key = composite[16..].to_vec();
+                if !in_range(&key) {
+                    continue;
+                }
+                // `put` resolves to `Value` (an aggregate), `merge`
+                // operands resolve to `List` (appended values) — the
+                // same discrimination `take_aggregate` relies on.
+                match resolved {
+                    Resolved::Absent => {}
+                    Resolved::Value(value) => {
+                        entries.push(StateEntry::Aggregate { key, window, value })
+                    }
+                    Resolved::List(values) => entries.push(StateEntry::Values {
+                        key,
+                        window,
+                        values,
+                    }),
+                }
+            }
+            match next {
+                Some(resume) => start = resume,
+                None => break,
+            }
+        }
+        Ok(entries)
     }
 
     fn metrics(&self) -> Arc<StoreMetrics> {

@@ -1,0 +1,81 @@
+//! Deterministic restart backoff with seed-derived jitter.
+//!
+//! Plain exponential backoff makes two supervised runs with the same
+//! fault seed diverge in wall-clock schedule; wall-clock-random jitter
+//! would make them diverge in *behavior*. Instead the jitter factor is
+//! drawn from the SplitMix64 stream seeded by `FLOWKV_FAULT_SEED` — the
+//! same environment knob the crash matrix uses — so a failing
+//! rescale/crash test replays its exact backoff schedule from the one
+//! printed seed.
+
+use std::time::Duration;
+
+use flowkv_common::hash::splitmix64;
+
+/// Default seed when `FLOWKV_FAULT_SEED` is unset; matches the crash
+/// matrix's default so one seed reproduces a whole failing run.
+pub const DEFAULT_FAULT_SEED: u64 = 0xF10C;
+
+/// Reads `FLOWKV_FAULT_SEED` from the environment, falling back to
+/// [`DEFAULT_FAULT_SEED`].
+pub fn fault_seed() -> u64 {
+    std::env::var("FLOWKV_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_FAULT_SEED)
+}
+
+/// The delay before restart number `attempt` (1-based): exponential in
+/// the attempt with a deterministic jitter factor in `[0.5, 1.0)`
+/// derived from `seed` and `attempt` alone.
+pub fn jittered_backoff(base: Duration, attempt: u32, seed: u64) -> Duration {
+    let exp = base.saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+    let mixed = splitmix64(seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    // Top 53 bits → a uniform fraction in [0, 1), mapped to [0.5, 1.0).
+    let frac = (mixed >> 11) as f64 / (1u64 << 53) as f64;
+    exp.mul_f64(0.5 + frac / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let base = Duration::from_millis(50);
+        for attempt in 1..=6 {
+            assert_eq!(
+                jittered_backoff(base, attempt, 0xF10C),
+                jittered_backoff(base, attempt, 0xF10C)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let base = Duration::from_millis(50);
+        let a: Vec<Duration> = (1..=6).map(|n| jittered_backoff(base, n, 1)).collect();
+        let b: Vec<Duration> = (1..=6).map(|n| jittered_backoff(base, n, 2)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn jitter_stays_inside_the_exponential_envelope() {
+        let base = Duration::from_millis(10);
+        for attempt in 1..=10u32 {
+            let exp = base * (1 << (attempt - 1).min(16));
+            for seed in 0..50u64 {
+                let d = jittered_backoff(base, attempt, seed);
+                assert!(d >= exp / 2, "attempt {attempt} seed {seed}: {d:?} < half");
+                assert!(d < exp, "attempt {attempt} seed {seed}: {d:?} >= full");
+            }
+        }
+    }
+
+    #[test]
+    fn attempt_shift_saturates() {
+        // Very large attempt numbers must not overflow the shift.
+        let d = jittered_backoff(Duration::from_millis(1), 100, 7);
+        assert!(d <= Duration::from_millis(1 << 16));
+    }
+}

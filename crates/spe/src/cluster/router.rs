@@ -1,0 +1,235 @@
+//! The coordinator's source router: one pass over the source stream
+//! that slices tuples across key-range shards while computing the
+//! *global* watermark/barrier schedule every shard must observe.
+//!
+//! A shard that derived its own watermarks from the tuples it happens to
+//! own would lag the global event clock (its max timestamp trails the
+//! stream's), and a lagging watermark can flip a session-window merge
+//! decision at the gap boundary — producing output that differs from the
+//! N=1 run. The router therefore injects identical
+//! [`SourceItem::Watermark`]s into every shard, derived from the full
+//! stream exactly as the single-worker source thread would: every
+//! `wm_interval` source tuples, at `max_ts - slack`.
+//!
+//! For a rescale the same pass splits the stream at the barrier offset:
+//! tuples up to and including offset `B` go to the old shards followed
+//! by a [`SourceItem::Barrier`] and a [`SourceItem::Halt`]; everything
+//! after `B` — including the watermark due *at* `B`, which must not fire
+//! windows the barrier just snapshotted — goes to the new shards with
+//! the schedule (tuple count and max timestamp) carrying over.
+
+use flowkv::KeyRangePartitioner;
+use flowkv_common::types::{Tuple, MIN_TIMESTAMP};
+
+use crate::executor::SourceItem;
+use crate::job::Stage;
+
+/// The routed item streams for one cluster run.
+pub(crate) struct RoutePlan {
+    /// Per-shard items at the initial parallelism.
+    pub(crate) phase1: Vec<Vec<SourceItem>>,
+    /// Per-shard items at the rescaled parallelism (rescale runs only).
+    pub(crate) phase2: Option<Vec<Vec<SourceItem>>>,
+    /// Source tuples consumed.
+    pub(crate) input_count: u64,
+    /// Whether the rescale barrier was actually reached.
+    pub(crate) barrier_taken: bool,
+}
+
+/// Routes `source` into per-shard item streams.
+///
+/// `prefix` is the job's leading stateless stages, applied here so
+/// routing sees the keys the stateful stage will group by. `rescale`
+/// carries the target partitioner and the barrier offset (in source
+/// tuples) at which the stream splits.
+pub(crate) fn route(
+    source: impl Iterator<Item = Tuple>,
+    prefix: &[Stage],
+    partitioner: &KeyRangePartitioner,
+    rescale: Option<(&KeyRangePartitioner, u64)>,
+    wm_interval: u64,
+    slack: i64,
+) -> RoutePlan {
+    let wm_interval = wm_interval.max(1);
+    let mut phase1: Vec<Vec<SourceItem>> = vec![Vec::new(); partitioner.shards()];
+    let mut phase2: Option<Vec<Vec<SourceItem>>> =
+        rescale.map(|(p, _)| vec![Vec::new(); p.shards()]);
+    let barrier_at = rescale.map(|(_, b)| b);
+    let mut barrier_taken = false;
+    let mut count: u64 = 0;
+    let mut max_ts = MIN_TIMESTAMP;
+    let mut derived: Vec<Tuple> = Vec::new();
+    let mut next: Vec<Tuple> = Vec::new();
+    for tuple in source {
+        count += 1;
+        max_ts = max_ts.max(tuple.timestamp);
+        derived.clear();
+        derived.push(tuple);
+        for stage in prefix {
+            let Stage::Stateless { f, .. } = stage else {
+                unreachable!("router prefix is stateless by construction");
+            };
+            next.clear();
+            for t in &derived {
+                f(t, &mut next);
+            }
+            std::mem::swap(&mut derived, &mut next);
+        }
+        // Tuple `B` itself is pre-barrier: the single-stream source emits
+        // the tuple first, then the barrier.
+        let post_barrier = barrier_at.is_some_and(|b| count > b);
+        let (part, shards) = match (&mut phase2, post_barrier) {
+            (Some(p2), true) => (rescale.unwrap().0, p2),
+            _ => (partitioner, &mut phase1),
+        };
+        for t in derived.drain(..) {
+            shards[part.shard_of(&t.key)].push(SourceItem::Tuple(t));
+        }
+        if barrier_at == Some(count) {
+            for shard in &mut phase1 {
+                shard.push(SourceItem::Barrier);
+            }
+            barrier_taken = true;
+        }
+        if count.is_multiple_of(wm_interval) {
+            let wm = max_ts.saturating_sub(slack);
+            // The watermark due at the barrier offset belongs to phase 2:
+            // firing it in phase 1 would consume window state the barrier
+            // just checkpointed, and the migrated state would fire the
+            // same windows again.
+            let at_or_past_barrier = barrier_at.is_some_and(|b| count >= b);
+            let shards = match (&mut phase2, at_or_past_barrier) {
+                (Some(p2), true) => p2,
+                _ => &mut phase1,
+            };
+            for shard in shards.iter_mut() {
+                shard.push(SourceItem::Watermark(wm));
+            }
+        }
+    }
+    if barrier_taken {
+        for shard in &mut phase1 {
+            shard.push(SourceItem::Halt);
+        }
+    }
+    RoutePlan {
+        phase1,
+        phase2,
+        input_count: count,
+        barrier_taken,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(key: &str, ts: i64) -> Tuple {
+        Tuple::new(key.into(), vec![1], ts)
+    }
+
+    #[test]
+    fn every_shard_sees_the_same_watermark_schedule() {
+        let part = KeyRangePartitioner::new(3);
+        let source = (0..100i64).map(|i| t(&format!("k{i}"), i));
+        let plan = route(source, &[], &part, None, 10, 2);
+        assert_eq!(plan.input_count, 100);
+        assert!(!plan.barrier_taken);
+        let wms = |shard: &[SourceItem]| -> Vec<i64> {
+            shard
+                .iter()
+                .filter_map(|i| match i {
+                    SourceItem::Watermark(ts) => Some(*ts),
+                    _ => None,
+                })
+                .collect()
+        };
+        let want: Vec<i64> = (1..=10).map(|i| i * 10 - 1 - 2).collect();
+        for shard in &plan.phase1 {
+            assert_eq!(wms(shard), want);
+        }
+        // Every tuple landed exactly once, on its key's shard.
+        let total: usize = plan
+            .phase1
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .filter(|i| matches!(i, SourceItem::Tuple(_)))
+                    .count()
+            })
+            .sum();
+        assert_eq!(total, 100);
+        for (idx, shard) in plan.phase1.iter().enumerate() {
+            for item in shard {
+                if let SourceItem::Tuple(t) = item {
+                    assert_eq!(part.shard_of(&t.key), idx);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rescale_splits_at_the_barrier_with_halt_and_carried_schedule() {
+        let old = KeyRangePartitioner::new(2);
+        let new = KeyRangePartitioner::new(4);
+        let source = (0..100i64).map(|i| t(&format!("k{i}"), i));
+        let plan = route(source, &[], &old, Some((&new, 50)), 10, 0);
+        assert!(plan.barrier_taken);
+        let phase2 = plan.phase2.as_ref().unwrap();
+        for shard in &plan.phase1 {
+            // Barrier then Halt close every old shard; no watermark in
+            // between (the one due at offset 50 moved to phase 2).
+            let tail: Vec<&SourceItem> = shard.iter().rev().take(2).collect();
+            assert!(matches!(tail[0], SourceItem::Halt), "{tail:?}");
+            assert!(matches!(tail[1], SourceItem::Barrier), "{tail:?}");
+            assert!(shard
+                .iter()
+                .skip_while(|i| !matches!(i, SourceItem::Barrier))
+                .all(|i| !matches!(i, SourceItem::Watermark(_))));
+        }
+        // Phase 2 opens with the watermark due at the barrier offset and
+        // continues the global cadence.
+        for shard in phase2 {
+            assert!(
+                matches!(shard.first(), Some(SourceItem::Watermark(49))),
+                "{:?}",
+                shard.first()
+            );
+        }
+        let p1: usize = plan
+            .phase1
+            .iter()
+            .flatten()
+            .filter(|i| matches!(i, SourceItem::Tuple(_)))
+            .count();
+        let p2: usize = phase2
+            .iter()
+            .flatten()
+            .filter(|i| matches!(i, SourceItem::Tuple(_)))
+            .count();
+        assert_eq!((p1, p2), (50, 50));
+    }
+
+    #[test]
+    fn prefix_is_applied_before_routing() {
+        let part = KeyRangePartitioner::new(4);
+        let prefix = vec![Stage::Stateless {
+            name: "rekey".into(),
+            f: std::sync::Arc::new(|t: &Tuple, out: &mut Vec<Tuple>| {
+                out.push(Tuple::new(b"fixed".to_vec(), t.value.clone(), t.timestamp));
+            }),
+        }];
+        let source = (0..20i64).map(|i| t(&format!("k{i}"), i));
+        let plan = route(source, &prefix, &part, None, 1000, 0);
+        // All derived tuples share one key, so exactly one shard is
+        // non-empty and it is that key's shard.
+        let owner = part.shard_of(b"fixed");
+        for (idx, shard) in plan.phase1.iter().enumerate() {
+            let tuples = shard
+                .iter()
+                .filter(|i| matches!(i, SourceItem::Tuple(_)))
+                .count();
+            assert_eq!(tuples, if idx == owner { 20 } else { 0 });
+        }
+    }
+}

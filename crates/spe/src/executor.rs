@@ -184,9 +184,20 @@ pub struct RunOptions {
     /// default) fails fast, matching plain [`run_job`].
     pub max_restarts: u32,
     /// Base delay between supervised restarts. Attempt `k` (1-based)
-    /// waits `restart_backoff * 2^(k-1)` — classic bounded exponential
-    /// backoff.
+    /// waits `restart_backoff * 2^(k-1)`, scaled by a deterministic
+    /// jitter factor derived from `FLOWKV_FAULT_SEED` (see
+    /// [`crate::backoff`]).
     pub restart_backoff: Duration,
+    /// Number of key-range shards for [`crate::cluster::run_cluster`].
+    /// Each shard is a full executor instance over a disjoint hash
+    /// range; `1` (the default) is a single-worker cluster. Plain
+    /// [`run_job`] ignores this knob.
+    pub workers: usize,
+    /// When set, [`crate::cluster::run_cluster`] takes a coordinated
+    /// checkpoint mid-stream, repartitions every store's state to this
+    /// parallelism, and resumes — live rescaling as recovery at a
+    /// different worker count. Plain [`run_job`] ignores this knob.
+    pub rescale_to: Option<usize>,
 }
 
 impl RunOptions {
@@ -213,6 +224,8 @@ impl RunOptions {
             telemetry_interval: Duration::from_millis(250),
             max_restarts: 0,
             restart_backoff: Duration::from_millis(50),
+            workers: 1,
+            rescale_to: None,
         }
     }
 
@@ -358,6 +371,19 @@ impl RunOptionsBuilder {
         self
     }
 
+    /// Number of key-range shards for [`crate::cluster::run_cluster`].
+    pub fn workers(mut self, n: usize) -> Self {
+        self.opts.workers = n;
+        self
+    }
+
+    /// Rescale the cluster to this parallelism mid-stream (see
+    /// [`crate::cluster::run_cluster`]).
+    pub fn rescale_to(mut self, n: usize) -> Self {
+        self.opts.rescale_to = Some(n);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> RunOptions {
         self.opts
@@ -429,6 +455,33 @@ impl JobResult {
             self.input_count as f64 / secs
         }
     }
+}
+
+/// One element of an externally coordinated source stream, consumed by
+/// [`run_job_items`].
+///
+/// Plain [`run_job`] wraps its tuple iterator in [`SourceItem::Tuple`]
+/// and keeps the automatic watermark/barrier cadence; a cluster
+/// coordinator instead injects the *global* schedule explicitly so every
+/// key-range shard observes byte-identical event time (a shard-local
+/// watermark would lag the global one and could flip session-window
+/// merge decisions at the boundary).
+#[derive(Clone, Debug)]
+pub enum SourceItem {
+    /// A data tuple.
+    Tuple(Tuple),
+    /// An explicit watermark. Injected watermarks bypass the automatic
+    /// `watermark_interval` cadence (which still runs alongside unless
+    /// the interval is set out of reach).
+    Watermark(Timestamp),
+    /// An aligned checkpoint barrier (same effect as reaching
+    /// `checkpoint_after_tuples`).
+    Barrier,
+    /// Ends the stream *without* the final `MAX_TIMESTAMP` watermark:
+    /// open windows stay open in the operators' checkpointed state
+    /// instead of firing. This is how a rescale pauses a shard — the
+    /// un-fired windows migrate and fire at the new parallelism.
+    Halt,
 }
 
 /// One message on an inter-stage channel.
@@ -611,6 +664,21 @@ pub fn run_job(
     factory: Arc<dyn StateBackendFactory>,
     options: &RunOptions,
 ) -> Result<JobResult, JobError> {
+    run_job_inner(job, source.map(SourceItem::Tuple), factory, options).0
+}
+
+/// [`run_job`] over a pre-coordinated item stream: tuples interleaved
+/// with explicit watermarks, barriers, and an optional [`SourceItem::Halt`].
+///
+/// This is the executor entry the cluster coordinator uses — one call
+/// per key-range shard, each shard receiving its slice of the tuples but
+/// the *same* global watermark/barrier schedule.
+pub fn run_job_items(
+    job: &Job,
+    source: impl Iterator<Item = SourceItem> + Send + 'static,
+    factory: Arc<dyn StateBackendFactory>,
+    options: &RunOptions,
+) -> Result<JobResult, JobError> {
     run_job_inner(job, source, factory, options).0
 }
 
@@ -633,7 +701,7 @@ pub(crate) const SOURCE_OFFSET_FILE: &str = "SOURCE_OFFSET";
 /// supervisor needs even when the run fails.
 pub(crate) fn run_job_inner(
     job: &Job,
-    source: impl Iterator<Item = Tuple> + Send + 'static,
+    source: impl Iterator<Item = SourceItem> + Send + 'static,
     factory: Arc<dyn StateBackendFactory>,
     options: &RunOptions,
 ) -> (Result<JobResult, JobError>, AttemptSalvage) {
@@ -701,10 +769,31 @@ pub(crate) fn run_job_inner(
             let mut max_ts = MIN_TIMESTAMP;
             let mut exchange = Exchange::new(source_tx, batch_size, 0, source_probe);
             let mut last_flush: u64 = 0;
-            for tuple in source {
+            let mut halted = false;
+            for item in source {
                 if abort_src.load(Ordering::Relaxed) {
                     break;
                 }
+                let tuple = match item {
+                    SourceItem::Tuple(tuple) => tuple,
+                    SourceItem::Watermark(ts) => {
+                        let origin = t0.elapsed().as_nanos() as u64;
+                        if let Some((_, watermark)) = &source_counters {
+                            watermark.set(ts);
+                        }
+                        exchange.broadcast(|| Msg::Watermark { ts, origin });
+                        last_flush = origin;
+                        continue;
+                    }
+                    SourceItem::Barrier => {
+                        exchange.broadcast(|| Msg::Barrier);
+                        continue;
+                    }
+                    SourceItem::Halt => {
+                        halted = true;
+                        break;
+                    }
+                };
                 if let Some(rate) = rate_limit {
                     // Token pacing: stay at or below `rate` tuples/sec.
                     // The clock is only consulted at burst boundaries
@@ -747,11 +836,13 @@ pub(crate) fn run_job_inner(
                     last_flush = origin;
                 }
             }
-            let origin = t0.elapsed().as_nanos() as u64;
-            exchange.broadcast(|| Msg::Watermark {
-                ts: MAX_TIMESTAMP,
-                origin,
-            });
+            if !halted {
+                let origin = t0.elapsed().as_nanos() as u64;
+                exchange.broadcast(|| Msg::Watermark {
+                    ts: MAX_TIMESTAMP,
+                    origin,
+                });
+            }
             exchange.broadcast(|| Msg::End);
             Ok(count)
         })

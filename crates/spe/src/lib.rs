@@ -23,6 +23,8 @@
 //!   rewinds the replayable source to its recorded offset (§8).
 
 pub mod backends;
+pub mod backoff;
+pub mod cluster;
 pub mod executor;
 pub mod functions;
 pub mod job;
@@ -35,7 +37,10 @@ pub mod supervisor;
 pub mod window;
 
 pub use backends::BackendChoice;
-pub use executor::{run_job, JobError, JobResult, RunOptions, RunOptionsBuilder};
+pub use cluster::{run_cluster, ClusterResult};
+pub use executor::{
+    run_job, run_job_items, JobError, JobResult, RunOptions, RunOptionsBuilder, SourceItem,
+};
 pub use job::{AggregateSpec, Job, JobBuilder, Stage};
 pub use latency::Stamped;
 pub use supervisor::{run_supervised, SupervisedResult};

@@ -11,7 +11,10 @@ use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::Arc;
 
-use flowkv_common::backend::{OperatorContext, StateBackend, StateBackendFactory, WindowChunk};
+use flowkv_common::backend::{
+    AggregateKind, KeyFilter, OperatorContext, StateBackend, StateBackendFactory, StateEntry,
+    WindowChunk,
+};
 use flowkv_common::codec::{put_len_prefixed, put_varint_u64, Decoder};
 use flowkv_common::error::{Result, StoreError};
 use flowkv_common::logfile::{LogReader, LogWriter};
@@ -182,6 +185,33 @@ impl StateBackend for InMemoryBackend {
 
     fn flush(&mut self) -> Result<()> {
         Ok(())
+    }
+
+    fn extract_range(
+        &mut self,
+        in_range: KeyFilter<'_>,
+        _kind: AggregateKind,
+    ) -> Result<Vec<StateEntry>> {
+        let mut entries = Vec::new();
+        for ((key, window), values) in &self.lists {
+            if in_range(key) {
+                entries.push(StateEntry::Values {
+                    key: key.clone(),
+                    window: *window,
+                    values: values.clone(),
+                });
+            }
+        }
+        for ((key, window), value) in &self.aggregates {
+            if in_range(key) {
+                entries.push(StateEntry::Aggregate {
+                    key: key.clone(),
+                    window: *window,
+                    value: value.clone(),
+                });
+            }
+        }
+        Ok(entries)
     }
 
     fn metrics(&self) -> Arc<StoreMetrics> {

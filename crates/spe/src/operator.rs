@@ -47,6 +47,25 @@ struct CountState {
     in_window: u64,
 }
 
+/// One key's open sessions in transit: `(cover, initials)` pairs, the
+/// raw fields of the private [`Session`] struct.
+pub(crate) type SessionRows = Vec<(WindowId, Vec<WindowId>)>;
+
+/// One migration target's slice of an operator's engine-side state,
+/// produced by [`WindowOperator::export_engine_shards`] and folded back
+/// in by [`WindowOperator::absorb_engine_shard`]. Sessions and counts
+/// travel as raw tuples (`(cover, initials)` / `(key, seq, in_window)`)
+/// so the private engine structs stay private.
+pub(crate) struct EngineShard {
+    pub(crate) watermark: Timestamp,
+    pub(crate) dropped_late: u64,
+    pub(crate) aligned_timers: BTreeSet<(Timestamp, WindowId)>,
+    pub(crate) trigger_keys: HashMap<WindowId, HashSet<Vec<u8>>>,
+    pub(crate) sessions: Vec<(Vec<u8>, SessionRows)>,
+    pub(crate) session_timers: BTreeSet<(Timestamp, Vec<u8>)>,
+    pub(crate) counts: Vec<(Vec<u8>, u64, u64)>,
+}
+
 /// A window operator bound to one state-backend partition.
 pub struct WindowOperator {
     spec: WindowSpec,
@@ -288,6 +307,85 @@ impl WindowOperator {
     /// The operator's state backend (for flushing and metrics).
     pub fn backend_mut(&mut self) -> &mut dyn StateBackend {
         self.backend.as_mut()
+    }
+
+    /// Splits the engine-side state (timers, sessions, count progress,
+    /// trigger sets) into `n` migration shards, routing every per-key
+    /// structure through `route`.
+    ///
+    /// Aligned timers are window-level, not key-level, so each shard
+    /// gets the full set: firing a window a shard holds no state for
+    /// emits nothing, while a missing timer would silently drop a
+    /// window. `dropped_late` is a job-level counter and goes to shard 0
+    /// alone so a later merge does not multiply it.
+    pub(crate) fn export_engine_shards(
+        &self,
+        n: usize,
+        route: &dyn Fn(&[u8]) -> usize,
+    ) -> Vec<EngineShard> {
+        let mut shards: Vec<EngineShard> = (0..n)
+            .map(|i| EngineShard {
+                watermark: self.watermark,
+                dropped_late: if i == 0 { self.dropped_late } else { 0 },
+                aligned_timers: self.aligned_timers.clone(),
+                trigger_keys: HashMap::new(),
+                sessions: Vec::new(),
+                session_timers: BTreeSet::new(),
+                counts: Vec::new(),
+            })
+            .collect();
+        for (window, keys) in &self.trigger_keys {
+            for key in keys {
+                shards[route(key)]
+                    .trigger_keys
+                    .entry(*window)
+                    .or_default()
+                    .insert(key.clone());
+            }
+        }
+        for (key, sessions) in &self.sessions {
+            shards[route(key)].sessions.push((
+                key.clone(),
+                sessions
+                    .iter()
+                    .map(|s| (s.cover, s.initials.clone()))
+                    .collect(),
+            ));
+        }
+        for (ts, key) in &self.session_timers {
+            shards[route(key)].session_timers.insert((*ts, key.clone()));
+        }
+        for (key, c) in &self.counts {
+            shards[route(key)]
+                .counts
+                .push((key.clone(), c.seq, c.in_window));
+        }
+        shards
+    }
+
+    /// Folds one migration shard into this operator; the inverse of
+    /// [`WindowOperator::export_engine_shards`]. Sources checkpointed at
+    /// the same aligned barrier agree on the watermark; per-key state is
+    /// disjoint across sources (each key lived on exactly one old
+    /// worker), so absorption is a plain union.
+    pub(crate) fn absorb_engine_shard(&mut self, shard: EngineShard) {
+        self.watermark = self.watermark.max(shard.watermark);
+        self.dropped_late += shard.dropped_late;
+        self.aligned_timers.extend(shard.aligned_timers);
+        for (window, keys) in shard.trigger_keys {
+            self.trigger_keys.entry(window).or_default().extend(keys);
+        }
+        for (key, sessions) in shard.sessions {
+            self.sessions.entry(key).or_default().extend(
+                sessions
+                    .into_iter()
+                    .map(|(cover, initials)| Session { cover, initials }),
+            );
+        }
+        self.session_timers.extend(shard.session_timers);
+        for (key, seq, in_window) in shard.counts {
+            self.counts.insert(key, CountState { seq, in_window });
+        }
     }
 
     fn on_aligned_element(&mut self, tuple: &Tuple) -> Result<()> {

@@ -96,6 +96,7 @@ pub fn run_supervised(
         )
     });
 
+    let backoff_seed = crate::backoff::fault_seed();
     let mut committed: Vec<Tuple> = Vec::new();
     let mut committed_count = 0u64;
     let mut checkpoint_committed = false;
@@ -125,7 +126,12 @@ pub fn run_supervised(
         }
 
         let source = LogSource::open_at(source_path, resume_offset).map_err(JobError::Store)?;
-        let (result, salvage) = run_job_inner(job, source, Arc::clone(&factory), &attempt_opts);
+        let (result, salvage) = run_job_inner(
+            job,
+            source.map(crate::executor::SourceItem::Tuple),
+            Arc::clone(&factory),
+            &attempt_opts,
+        );
 
         match result {
             Ok(mut result) => {
@@ -165,10 +171,13 @@ pub fn run_supervised(
                     restarted.inc();
                     restore_nanos.record(restore_started.elapsed().as_nanos() as u64);
                 }
-                let backoff = options
-                    .restart_backoff
-                    .saturating_mul(1u32 << (restarts - 1).min(16));
-                std::thread::sleep(backoff);
+                // Deterministic jitter: the schedule replays exactly
+                // under the same FLOWKV_FAULT_SEED (see crate::backoff).
+                std::thread::sleep(crate::backoff::jittered_backoff(
+                    options.restart_backoff,
+                    restarts,
+                    backoff_seed,
+                ));
             }
         }
     }
