@@ -1,0 +1,99 @@
+//! Criterion micro-benchmark of the prefetch-buffer membership probe.
+//!
+//! `predictive_batch_read` probes [`PrefetchBuffer::contains`] for every
+//! candidate window when selecting what to load, so misses dominate the
+//! probe traffic. The buffer's nested `key → window` map answers a
+//! borrowed `&[u8]` directly; this bench pits it against the previous
+//! layout — one map keyed by the `(Vec<u8>, WindowId)` tuple, which
+//! forced a `key.to_vec()` allocation on every probe, hit or miss.
+//!
+//! Hits and misses are measured separately: the tuple layout pays the
+//! allocation in both, while the nested layout's miss probe stops at the
+//! outer map without ever hashing the window.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use flowkv::aur::prefetch::PrefetchBuffer;
+use flowkv_common::types::WindowId;
+
+const KEYS: usize = 512;
+const WINDOWS: usize = 4;
+
+fn key(i: usize) -> Vec<u8> {
+    format!("person-{i:06}-session").into_bytes()
+}
+
+fn window(j: usize) -> WindowId {
+    WindowId::new(j as i64 * 1_000, (j as i64 + 1) * 1_000)
+}
+
+/// The pre-optimization layout: tuple-keyed, allocating per probe.
+#[derive(Default)]
+struct TupleKeyed {
+    map: HashMap<(Vec<u8>, WindowId), Vec<Vec<u8>>>,
+}
+
+impl TupleKeyed {
+    fn insert(&mut self, key: Vec<u8>, window: WindowId, values: Vec<Vec<u8>>) {
+        self.map.insert((key, window), values);
+    }
+
+    fn contains(&self, key: &[u8], window: WindowId) -> bool {
+        // The tuple key cannot borrow its `Vec<u8>` component, so every
+        // membership probe pays an allocation + copy.
+        self.map.contains_key(&(key.to_vec(), window))
+    }
+}
+
+fn populated() -> (PrefetchBuffer, TupleKeyed) {
+    let mut buf = PrefetchBuffer::new();
+    let mut old = TupleKeyed::default();
+    for i in 0..KEYS {
+        for j in 0..WINDOWS {
+            buf.extend((key(i), window(j)), vec![vec![0u8; 48]]);
+            old.insert(key(i), window(j), vec![vec![0u8; 48]]);
+        }
+    }
+    (buf, old)
+}
+
+fn probe_all(probe: impl Fn(&[u8], WindowId) -> bool, keys: &[Vec<u8>]) -> usize {
+    let mut hits = 0usize;
+    for k in keys {
+        for j in 0..WINDOWS {
+            hits += usize::from(probe(std::hint::black_box(k), window(j)));
+        }
+    }
+    std::hint::black_box(hits)
+}
+
+fn bench_contains(c: &mut Criterion) {
+    let (buf, old) = populated();
+    let hit_keys: Vec<Vec<u8>> = (0..KEYS).map(key).collect();
+    let miss_keys: Vec<Vec<u8>> = (KEYS..KEYS * 2).map(key).collect();
+
+    for (mix, keys) in [("hit", &hit_keys), ("miss", &miss_keys)] {
+        // Untimed warm pass: the harness has no warmup phase, and the
+        // first timed routine would otherwise absorb the cold caches.
+        probe_all(|k, w| buf.contains(k, w), keys);
+        probe_all(|k, w| old.contains(k, w), keys);
+
+        let name = format!("prefetch_contains_{mix}");
+        let mut group = c.benchmark_group(&name);
+        group.measurement_time(Duration::from_secs(5));
+        group.sample_size(60);
+        group.bench_function(BenchmarkId::from_parameter("borrowed_key"), |b| {
+            b.iter(|| probe_all(|k, w| buf.contains(k, w), keys))
+        });
+        group.bench_function(BenchmarkId::from_parameter("tuple_key_alloc"), |b| {
+            b.iter(|| probe_all(|k, w| old.contains(k, w), keys))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_contains);
+criterion_main!(benches);

@@ -37,6 +37,7 @@ fn make(
         semantics,
         data_dir: dir.path().to_path_buf(),
         telemetry: None,
+        io: None,
     };
     (choice.factory().create(&ctx).unwrap(), dir)
 }

@@ -191,6 +191,21 @@ pub fn run_cell(
     timeout: Duration,
     tune: impl FnOnce(&mut RunOptions),
 ) -> CellOutcome {
+    run_cell_with_vfs(query, backend, None, gen_cfg, params, timeout, tune)
+}
+
+/// [`run_cell`] with the stores mounted on a caller-provided [`Vfs`] —
+/// how the prefetch harness injects emulated device read latency.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell_with_vfs(
+    query: QueryId,
+    backend: &BackendChoice,
+    vfs: Option<std::sync::Arc<dyn flowkv_common::vfs::Vfs>>,
+    gen_cfg: GeneratorConfig,
+    params: QueryParams,
+    timeout: Duration,
+    tune: impl FnOnce(&mut RunOptions),
+) -> CellOutcome {
     let dir = match ScratchDir::new(&format!("bench-{}-{}", query.name(), backend.name())) {
         Ok(d) => d,
         Err(e) => return CellOutcome::Failed(e.to_string()),
@@ -206,10 +221,14 @@ pub fn run_cell(
     if opts.telemetry.is_none() && opts.telemetry_out.is_some() {
         opts.telemetry = Some(flowkv_common::telemetry::Telemetry::new_shared());
     }
+    let factory = match vfs {
+        Some(vfs) => backend.factory_with_vfs(vfs),
+        None => backend.factory(),
+    };
     let outcome = run_job(
         &job,
         EventGenerator::new(gen_cfg).tuples_with_telemetry(opts.telemetry.clone()),
-        backend.factory(),
+        factory,
         &opts,
     );
     match outcome {

@@ -263,6 +263,31 @@ pub trait StateBackend: Send {
         Ok(())
     }
 
+    /// Drives asynchronous prefetching: drains finished background reads
+    /// into the store's buffers and schedules new ones for state whose
+    /// ETT-predicted trigger falls within the prefetch horizon of
+    /// `stream_time`. Called by the executor at batch and watermark
+    /// boundaries when an I/O ring is configured. The default is a no-op
+    /// — stores without anticipatable reads stay synchronous.
+    fn advance_prefetch(&mut self, stream_time: Timestamp) -> Result<()> {
+        let _ = stream_time;
+        Ok(())
+    }
+
+    /// Hints that the given `(key, window)` pairs are about to be read or
+    /// modified, letting block-oriented stores warm caches in the
+    /// background. Purely advisory; the default is a no-op.
+    fn warm(&mut self, pairs: &[(&[u8], WindowId)]) -> Result<()> {
+        let _ = pairs;
+        Ok(())
+    }
+
+    /// Whether [`StateBackend::warm`] would do anything, so callers can
+    /// skip assembling hint batches for stores that ignore them.
+    fn wants_warm(&self) -> bool {
+        false
+    }
+
     /// The metrics block charged by this store.
     fn metrics(&self) -> Arc<StoreMetrics>;
 
@@ -294,6 +319,10 @@ pub struct OperatorContext {
     pub data_dir: PathBuf,
     /// Job-wide telemetry handle; `None` disables store instrumentation.
     pub telemetry: Option<Arc<crate::telemetry::Telemetry>>,
+    /// Background I/O policy; `None` (or `threads == 0`) keeps every
+    /// store read synchronous. Factories that support the ring build one
+    /// over their own VFS so fault injection covers background I/O.
+    pub io: Option<crate::ioring::IoPolicy>,
 }
 
 impl OperatorContext {
@@ -344,6 +373,7 @@ mod tests {
             ),
             data_dir: PathBuf::from("/tmp/job"),
             telemetry: None,
+            io: None,
         };
         assert_eq!(
             ctx.partition_dir(),

@@ -23,6 +23,10 @@
 //! - [`telemetry`] — the pipeline-wide metric registry (counters, gauges,
 //!   log-linear histograms), bounded-ring flight recorder, and the JSONL
 //!   and Prometheus exposition formats.
+//! - [`ioring`] — the per-worker background I/O ring: a completion-queue
+//!   submission API over a small thread pool bound to the [`vfs`] seam,
+//!   used to move predictable reads (prefetch, warm-up, snapshots) off
+//!   the hot path without changing observable semantics.
 //! - [`vfs`] — the virtual filesystem seam every store persists through:
 //!   a passthrough [`vfs::StdVfs`] and a deterministic, seeded
 //!   [`vfs::FaultVfs`] for torn-write / dropped-fsync / ENOSPC /
@@ -32,6 +36,7 @@ pub mod backend;
 pub mod codec;
 pub mod error;
 pub mod hash;
+pub mod ioring;
 pub mod logfile;
 pub mod metrics;
 pub mod registry;
@@ -42,6 +47,7 @@ pub mod vfs;
 
 pub use backend::StateBackend;
 pub use error::{Result, StoreError};
+pub use ioring::{Completion, IoJob, IoOutcome, IoPolicy, IoRing};
 pub use registry::{StateKey, StatePattern, StateRegistry, StateView, ViewValue};
 pub use telemetry::{
     Counter, FlightRecorder, Gauge, Histogram, HistogramSnapshot, MetricRegistry, MetricSample,

@@ -215,6 +215,153 @@ impl Vfs for StdVfs {
 }
 
 // ---------------------------------------------------------------------------
+// Read-latency injection
+// ---------------------------------------------------------------------------
+
+/// A [`Vfs`] wrapper that sleeps on every read operation, emulating a
+/// cold storage device.
+///
+/// The prefetch experiments need reads that *block*: on a page-cache-warm
+/// filesystem a "cold" read returns in microseconds and overlapping it
+/// with computation saves nothing, while on the paper's disks a trigger
+/// read stalls the operator for a device round trip. `SlowVfs` restores
+/// that stall — synchronous reads pay it inline on the worker thread,
+/// background reads pay it parked on an I/O ring pool thread — without
+/// touching the write or metadata path.
+pub struct SlowVfs {
+    inner: Arc<dyn Vfs>,
+    read_delay: std::time::Duration,
+}
+
+impl SlowVfs {
+    /// Wraps `inner`, delaying every read operation by `read_delay`.
+    pub fn wrap(inner: Arc<dyn Vfs>, read_delay: std::time::Duration) -> Arc<dyn Vfs> {
+        Arc::new(SlowVfs { inner, read_delay })
+    }
+}
+
+/// File handle issued by [`SlowVfs`]: read calls sleep, writes pass
+/// through.
+struct SlowFile {
+    inner: Box<dyn VfsFile>,
+    read_delay: std::time::Duration,
+}
+
+impl Read for SlowFile {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        std::thread::sleep(self.read_delay);
+        self.inner.read(buf)
+    }
+}
+
+impl Write for SlowFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl Seek for SlowFile {
+    fn seek(&mut self, pos: io::SeekFrom) -> io::Result<u64> {
+        self.inner.seek(pos)
+    }
+}
+
+impl VfsFile for SlowFile {
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.inner.sync_data()
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        std::thread::sleep(self.read_delay);
+        self.inner.read_exact_at(buf, offset)
+    }
+
+    fn write_all_at(&self, buf: &[u8], offset: u64) -> io::Result<()> {
+        self.inner.write_all_at(buf, offset)
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.inner.set_len(len)
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        self.inner.len()
+    }
+}
+
+impl SlowVfs {
+    fn slow(&self, file: io::Result<Box<dyn VfsFile>>) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(SlowFile {
+            inner: file?,
+            read_delay: self.read_delay,
+        }))
+    }
+}
+
+impl Vfs for SlowVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.slow(self.inner.create(path))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.slow(self.inner.open_append(path))
+    }
+
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.slow(self.inner.open_read(path))
+    }
+
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.slow(self.inner.open_rw(path))
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn copy(&self, from: &Path, to: &Path) -> io::Result<u64> {
+        self.inner.copy(from, to)
+    }
+
+    fn link_or_copy(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.inner.link_or_copy(from, to)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::thread::sleep(self.read_delay);
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.inner.write(path, data)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.inner.file_len(path)
+    }
+
+    fn read_dir_names(&self, path: &Path) -> io::Result<Vec<String>> {
+        self.inner.read_dir_names(path)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Fault injection
 // ---------------------------------------------------------------------------
 
@@ -580,6 +727,39 @@ impl VfsFile for FaultFile {
 mod tests {
     use super::*;
     use crate::scratch::ScratchDir;
+
+    #[test]
+    fn slow_vfs_delays_reads_not_writes() {
+        let dir = ScratchDir::new("vfs-slow").unwrap();
+        let delay = std::time::Duration::from_millis(5);
+        let vfs = SlowVfs::wrap(StdVfs::shared(), delay);
+        let path = dir.path().join("f");
+        vfs.write(&path, b"payload").unwrap();
+
+        let started = std::time::Instant::now();
+        let f = vfs.open_read(&path).unwrap();
+        let mut buf = [0u8; 7];
+        f.read_exact_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf, b"payload");
+        assert!(
+            started.elapsed() >= delay,
+            "positional read returned before the injected delay"
+        );
+        assert_eq!(vfs.read(&path).unwrap(), b"payload");
+
+        // The write path is untouched: appending 200 records must not
+        // accumulate 200 delays.
+        let started = std::time::Instant::now();
+        let mut w = vfs.create(&dir.path().join("w")).unwrap();
+        for _ in 0..200 {
+            w.write_all(b"x").unwrap();
+        }
+        w.flush().unwrap();
+        assert!(
+            started.elapsed() < delay * 100,
+            "writes appear to pay the read delay"
+        );
+    }
 
     #[test]
     fn std_vfs_roundtrip() {

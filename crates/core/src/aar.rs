@@ -13,6 +13,7 @@
 //! - once drained, the file is deleted — no compaction ever runs, the
 //!   headline CPU saving of this store over an LSM baseline.
 
+use std::any::Any;
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
@@ -21,11 +22,15 @@ use std::sync::Arc;
 use flowkv_common::backend::WindowChunk;
 use flowkv_common::codec::{put_len_prefixed, put_varint_u64, Decoder};
 use flowkv_common::error::{Result, StoreError};
+use flowkv_common::ioring::{Completion, IoOutcome, IoPolicy, IoRing};
 use flowkv_common::logfile::{LogReader, LogWriter};
 use flowkv_common::metrics::{OpCategory, StoreMetrics};
 use flowkv_common::registry::ViewValue;
-use flowkv_common::types::WindowId;
+use flowkv_common::telemetry::Telemetry;
+use flowkv_common::types::{Timestamp, WindowId};
 use flowkv_common::vfs::{StdVfs, Vfs};
+
+use crate::probe::{ring_err, PrefetchProbe};
 
 /// File name of the log holding one window's state.
 fn window_file_name(window: WindowId) -> String {
@@ -48,9 +53,37 @@ type Pair = (Vec<u8>, Vec<u8>);
 
 /// In-flight drain of one triggered window.
 struct Drain {
+    /// Pairs prefetched from the file's snapshot prefix, served first
+    /// (they are the oldest data, exactly what a fresh reader would
+    /// yield before `reader`'s continuation offset).
+    pre: std::vec::IntoIter<Pair>,
     reader: Option<LogReader>,
     /// Buffered pairs that never reached disk, served after the file.
     mem: std::vec::IntoIter<Pair>,
+}
+
+/// A window's file prefix loaded by the background ring, awaiting its
+/// aligned trigger.
+struct PrefetchedWindow {
+    pairs: Vec<Pair>,
+    /// File offset the background scan stopped at; the drain's
+    /// continuation reader starts here to pick up post-snapshot flushes.
+    end_offset: u64,
+    /// True when the scan ended at a torn record before `end_offset`: the
+    /// synchronous path would stop serving the file there too, so the
+    /// drain must not open a continuation reader.
+    terminal: bool,
+    bytes: u64,
+}
+
+/// Payload a background window read returns through the ring.
+struct AarAsyncRead {
+    window: WindowId,
+    epoch: u64,
+    end_offset: u64,
+    terminal: bool,
+    pairs: Vec<Pair>,
+    bytes: u64,
 }
 
 /// The append-and-aligned-read store for one partition.
@@ -71,6 +104,22 @@ pub struct AarStore {
     encode_buf: Vec<u8>,
     metrics: Arc<StoreMetrics>,
     vfs: Arc<dyn Vfs>,
+    /// Background I/O ring shared by this worker's store instances.
+    ring: Option<Arc<IoRing>>,
+    ring_tag: u64,
+    /// How far past current stream time (ms of event time) window ends
+    /// may lie for their file to be prefetched.
+    horizon: i64,
+    /// Soft cap on prefetched + in-flight bytes for this instance.
+    budget_bytes: u64,
+    /// Bumped by close/restore so stale completions can't install.
+    epoch: u64,
+    prefetched: HashMap<WindowId, PrefetchedWindow>,
+    /// Submission id → (window, estimated bytes).
+    inflight: HashMap<u64, (WindowId, u64)>,
+    inflight_windows: HashSet<WindowId>,
+    inflight_bytes: u64,
+    prefetch_probe: Option<PrefetchProbe>,
 }
 
 impl AarStore {
@@ -114,9 +163,35 @@ impl AarStore {
             encode_buf: Vec::new(),
             metrics,
             vfs,
+            ring: None,
+            ring_tag: 0,
+            horizon: 500,
+            budget_bytes: 8 << 20,
+            epoch: 0,
+            prefetched: HashMap::new(),
+            inflight: HashMap::new(),
+            inflight_windows: HashSet::new(),
+            inflight_bytes: 0,
+            prefetch_probe: None,
         };
         store.scan_existing_files()?;
         Ok(store)
+    }
+
+    /// Attaches the worker's background I/O ring; `tag` routes this
+    /// instance's completions, `policy` sets horizon and budget.
+    pub fn with_ring(mut self, ring: Arc<IoRing>, tag: u64, policy: &IoPolicy) -> Self {
+        self.ring = Some(ring);
+        self.ring_tag = tag;
+        self.horizon = policy.prefetch_horizon;
+        self.budget_bytes = policy.prefetch_budget_bytes;
+        self
+    }
+
+    /// Wires prefetch-accuracy telemetry, labelled `{store=tag}`.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>, tag: &str) -> Self {
+        self.prefetch_probe = Some(PrefetchProbe::new(&telemetry, tag));
+        self
     }
 
     /// Appends `(key, value)` to `window`'s bucket (paper Listing 1,
@@ -139,36 +214,76 @@ impl AarStore {
     /// `GetWindow(W)`), deleting the window once fully drained.
     pub fn get_window_chunk(&mut self, window: WindowId) -> Result<Option<WindowChunk>> {
         let _t = self.metrics.timer(OpCategory::Read);
-        if let Entry::Vacant(slot) = self.drains.entry(window) {
+        if !self.drains.contains_key(&window) {
             let mem = self.buffer.remove(&window).unwrap_or_default();
             // Unflushed buffered bytes of this window leave the buffer.
             self.buffer_bytes = self
                 .buffer_bytes
                 .saturating_sub(mem.iter().map(|(k, v)| k.len() + v.len() + 48).sum());
+            let mut pre: Vec<Pair> = Vec::new();
             let reader = if self.on_disk.contains(&window) {
                 // Make sure buffered flushes for this window are visible.
                 if let Some(w) = self.writers.get_mut(&window) {
                     w.flush()?;
                 }
-                Some(LogReader::open_in(
-                    &self.vfs,
-                    self.dir.join(window_file_name(window)),
-                )?)
+                match self.prefetched.remove(&window) {
+                    Some(pw) => {
+                        // The snapshot prefix was loaded in the background;
+                        // a continuation reader covers post-snapshot
+                        // flushes (unless the prefix ended at a torn
+                        // record, where the sync path would stop too).
+                        if let Some(p) = &self.prefetch_probe {
+                            p.hits.inc();
+                        }
+                        pre = pw.pairs;
+                        if pw.terminal {
+                            None
+                        } else {
+                            Some(LogReader::open_at_in(
+                                &self.vfs,
+                                self.dir.join(window_file_name(window)),
+                                pw.end_offset,
+                            )?)
+                        }
+                    }
+                    None => {
+                        if self.inflight_windows.contains(&window) {
+                            // The window fired before its background read
+                            // landed; fall back to a synchronous read.
+                            if let Some(p) = &self.prefetch_probe {
+                                p.late.inc();
+                            }
+                        }
+                        Some(LogReader::open_in(
+                            &self.vfs,
+                            self.dir.join(window_file_name(window)),
+                        )?)
+                    }
+                }
             } else {
                 None
             };
-            if mem.is_empty() && reader.is_none() {
+            if mem.is_empty() && reader.is_none() && pre.is_empty() {
                 return Ok(None);
             }
-            slot.insert(Drain {
-                reader,
-                mem: mem.into_iter(),
-            });
+            self.drains.insert(
+                window,
+                Drain {
+                    pre: pre.into_iter(),
+                    reader,
+                    mem: mem.into_iter(),
+                },
+            );
         }
         let drain = self.drains.get_mut(&window).expect("inserted above");
         let mut pairs: Vec<Pair> = Vec::new();
-        // Drain the file first (older data), then the memory remainder.
+        // Serve the prefetched file prefix, then the file (older data
+        // first), then the memory remainder.
         while pairs.len() < self.chunk_entries {
+            if let Some(pair) = drain.pre.next() {
+                pairs.push(pair);
+                continue;
+            }
             if let Some(reader) = drain.reader.as_mut() {
                 match reader.next_record() {
                     Ok(Some((loc, payload))) => {
@@ -243,6 +358,195 @@ impl AarStore {
         Ok(())
     }
 
+    /// Drives the background prefetcher: drains finished ring reads,
+    /// then schedules file reads for every on-disk window whose aligned
+    /// trigger (its end boundary) falls within the horizon of
+    /// `stream_time`.
+    pub fn advance_prefetch(&mut self, stream_time: Timestamp) -> Result<()> {
+        if self.ring.is_none() {
+            return Ok(());
+        }
+        self.drain_ring()?;
+        self.submit_prefetch(stream_time)
+    }
+
+    /// Drains finished completions for this instance, re-raising panics
+    /// captured on pool threads (injected crash faults) here on the
+    /// worker thread.
+    fn drain_ring(&mut self) -> Result<()> {
+        let Some(ring) = self.ring.clone() else {
+            return Ok(());
+        };
+        for completion in ring.drain_tag(self.ring_tag) {
+            self.settle(completion)?;
+        }
+        Ok(())
+    }
+
+    /// Retires one completion: validates the window is still exactly as
+    /// anticipated (same epoch, still on disk, not mid-drain, not
+    /// already prefetched) and installs its file prefix.
+    fn settle(&mut self, completion: Completion) -> Result<()> {
+        if let Some((window, est)) = self.inflight.remove(&completion.id) {
+            self.inflight_windows.remove(&window);
+            self.inflight_bytes = self.inflight_bytes.saturating_sub(est);
+        }
+        match completion.into_result() {
+            Ok(payload) => {
+                let read = payload
+                    .downcast::<AarAsyncRead>()
+                    .map_err(|_| StoreError::invalid_state("aar ring returned foreign payload"))?;
+                if read.epoch == self.epoch
+                    && self.on_disk.contains(&read.window)
+                    && !self.drains.contains_key(&read.window)
+                    && !self.prefetched.contains_key(&read.window)
+                {
+                    self.metrics.add_bytes_read(read.bytes);
+                    self.prefetched.insert(
+                        read.window,
+                        PrefetchedWindow {
+                            pairs: read.pairs,
+                            end_offset: read.end_offset,
+                            terminal: read.terminal,
+                            bytes: read.bytes,
+                        },
+                    );
+                } else {
+                    self.waste(read.bytes);
+                }
+                Ok(())
+            }
+            // A failed background read just means the window drains
+            // synchronously; reads racing a drain's file deletion lose
+            // their file mid-scan routinely.
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn waste(&mut self, bytes: u64) {
+        if let Some(p) = &self.prefetch_probe {
+            p.wasted_bytes.add(bytes);
+        }
+    }
+
+    /// Submits one background file read per due window, bounded by the
+    /// byte budget. Each job scans a consistent snapshot — the file up
+    /// to its length at submission — and never touches store state.
+    fn submit_prefetch(&mut self, stream_time: Timestamp) -> Result<()> {
+        let Some(ring) = self.ring.clone() else {
+            return Ok(());
+        };
+        let due = stream_time.saturating_add(self.horizon);
+        let mut candidates: Vec<WindowId> = self
+            .on_disk
+            .iter()
+            .copied()
+            .filter(|w| {
+                w.end <= due
+                    && !self.prefetched.contains_key(w)
+                    && !self.inflight_windows.contains(w)
+                    && !self.drains.contains_key(w)
+            })
+            .collect();
+        // Soonest-triggering windows claim the budget first.
+        candidates.sort();
+        let mut resident =
+            self.prefetched.values().map(|p| p.bytes).sum::<u64>() + self.inflight_bytes;
+        for window in candidates {
+            // Push buffered log bytes out so the snapshot is complete,
+            // and bound the scan at the current end of the file.
+            if let Some(w) = self.writers.get_mut(&window) {
+                w.flush()?;
+            }
+            let path = self.dir.join(window_file_name(window));
+            let Ok(end_offset) = self.vfs.file_len(&path) else {
+                continue;
+            };
+            if end_offset == 0 {
+                continue;
+            }
+            if resident + end_offset > self.budget_bytes {
+                break;
+            }
+            resident += end_offset;
+            let epoch = self.epoch;
+            let job = move |vfs: &Arc<dyn Vfs>| -> std::io::Result<Box<dyn Any + Send>> {
+                let mut pairs: Vec<Pair> = Vec::new();
+                let mut bytes = 0u64;
+                let mut terminal = false;
+                let mut reader = LogReader::open_in(vfs, &path).map_err(ring_err)?;
+                loop {
+                    // Stop *before* crossing the snapshot boundary: bytes
+                    // past `end_offset` may belong to a flush the
+                    // foreground is writing concurrently, and reading
+                    // into a half-written record would look like a torn
+                    // file and wrongly mark the prefix terminal.
+                    if reader.offset() >= end_offset {
+                        break;
+                    }
+                    match reader.next_record() {
+                        Ok(Some((loc, payload))) => {
+                            bytes += loc.disk_len();
+                            decode_batch(&payload, &mut pairs).map_err(ring_err)?;
+                        }
+                        Ok(None) => break,
+                        // A torn record below the snapshot boundary ends
+                        // the file for the sync path too; mark the prefix
+                        // terminal so the drain does not serve anything
+                        // past it.
+                        Err(e) if e.is_corruption() => {
+                            terminal = true;
+                            break;
+                        }
+                        Err(e) => return Err(ring_err(e)),
+                    }
+                }
+                Ok(Box::new(AarAsyncRead {
+                    window,
+                    epoch,
+                    end_offset,
+                    terminal,
+                    pairs,
+                    bytes,
+                }) as Box<dyn Any + Send>)
+            };
+            let id = ring.submit(self.ring_tag, Box::new(job));
+            if let Some(p) = &self.prefetch_probe {
+                p.issued.inc();
+            }
+            self.inflight.insert(id, (window, end_offset));
+            self.inflight_windows.insert(window);
+            self.inflight_bytes += end_offset;
+        }
+        Ok(())
+    }
+
+    /// Waits out every outstanding submission, re-raising captured
+    /// panics and discarding payloads — callers are invalidating the
+    /// store wholesale (close/restore).
+    fn abandon_inflight(&mut self) {
+        let Some(ring) = self.ring.clone() else {
+            return;
+        };
+        let ids: Vec<u64> = self.inflight.keys().copied().collect();
+        for id in ids {
+            let completion = ring.wait(id);
+            match completion.outcome {
+                IoOutcome::Panicked(payload) => std::panic::resume_unwind(payload),
+                IoOutcome::Ok(payload) => {
+                    if let Ok(read) = payload.downcast::<AarAsyncRead>() {
+                        let bytes = read.bytes;
+                        self.waste(bytes);
+                    }
+                }
+                IoOutcome::Err(_) => {}
+            }
+        }
+        self.inflight.clear();
+        self.inflight_windows.clear();
+        self.inflight_bytes = 0;
+    }
+
     /// Copies every live `(key, window)` value list into `out` for the
     /// queryable-state registry (`flowkv_common::registry`).
     ///
@@ -263,24 +567,52 @@ impl AarStore {
             .filter(|w| !self.drains.contains_key(w))
             .collect();
         windows.sort();
-        for window in windows {
+        for &window in &windows {
             if let Some(w) = self.writers.get_mut(&window) {
                 w.flush()?;
             }
-            let mut reader =
-                LogReader::open_in(&self.vfs, self.dir.join(window_file_name(window)))?;
-            let mut pairs: Vec<Pair> = Vec::new();
-            loop {
-                match reader.next_record() {
-                    Ok(Some((_, payload))) => decode_batch(&payload, &mut pairs)?,
-                    Ok(None) => break,
-                    // A torn tail ends the file, as in get_window_chunk.
-                    Err(e) if e.is_corruption() => break,
-                    Err(e) => return Err(e),
+        }
+        match self.ring.clone() {
+            Some(ring) => {
+                // Route the snapshot reads through the ring: one job per
+                // window file, submitted together so the pool overlaps
+                // them, then collected in window order.
+                let ids: Vec<(WindowId, u64)> = windows
+                    .iter()
+                    .map(|&window| {
+                        let path = self.dir.join(window_file_name(window));
+                        let job =
+                            move |vfs: &Arc<dyn Vfs>| -> std::io::Result<Box<dyn Any + Send>> {
+                                Ok(Box::new(read_window_file(vfs, &path).map_err(ring_err)?)
+                                    as Box<dyn Any + Send>)
+                            };
+                        (window, ring.submit(self.ring_tag, Box::new(job)))
+                    })
+                    .collect();
+                for (window, id) in ids {
+                    let payload = ring.wait(id).into_result().map_err(|e| {
+                        StoreError::io_at(
+                            "aar view read",
+                            self.dir.join(window_file_name(window)),
+                            e,
+                        )
+                    })?;
+                    let pairs = *payload.downcast::<Vec<Pair>>().map_err(|_| {
+                        StoreError::invalid_state("aar ring returned foreign payload")
+                    })?;
+                    for (key, value) in pairs {
+                        push_view_value(out, key, window, value)?;
+                    }
                 }
             }
-            for (key, value) in pairs {
-                push_view_value(out, key, window, value)?;
+            None => {
+                for window in windows {
+                    let pairs =
+                        read_window_file(&self.vfs, &self.dir.join(window_file_name(window)))?;
+                    for (key, value) in pairs {
+                        push_view_value(out, key, window, value)?;
+                    }
+                }
             }
         }
         for (&window, pairs) in &self.buffer {
@@ -370,6 +702,13 @@ impl AarStore {
 
     /// Deletes every file of the store and clears its memory.
     pub fn close(&mut self) -> Result<()> {
+        // Wait out background reads before deleting the files from under
+        // them, and invalidate any completion drained later.
+        self.abandon_inflight();
+        self.epoch += 1;
+        let stale: u64 = self.prefetched.values().map(|p| p.bytes).sum();
+        self.waste(stale);
+        self.prefetched.clear();
         self.buffer.clear();
         self.buffer_bytes = 0;
         self.writers.clear();
@@ -418,6 +757,23 @@ fn encode_batch_into(buf: &mut Vec<u8>, pairs: &[Pair]) {
         put_len_prefixed(buf, k);
         put_len_prefixed(buf, v);
     }
+}
+
+/// Reads a whole per-window log file into pairs, a torn tail ending the
+/// file as in `get_window_chunk`. Shared by the synchronous and
+/// ring-offloaded snapshot paths.
+fn read_window_file(vfs: &Arc<dyn Vfs>, path: &Path) -> Result<Vec<Pair>> {
+    let mut reader = LogReader::open_in(vfs, path)?;
+    let mut pairs: Vec<Pair> = Vec::new();
+    loop {
+        match reader.next_record() {
+            Ok(Some((_, payload))) => decode_batch(&payload, &mut pairs)?,
+            Ok(None) => break,
+            Err(e) if e.is_corruption() => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(pairs)
 }
 
 /// Decodes a flush batch, appending its pairs to `out`.
@@ -663,6 +1019,98 @@ mod tests {
         let mut view2 = BTreeMap::new();
         s.collect_view(&mut view2).unwrap();
         assert!(view2.is_empty());
+    }
+
+    fn ring_store(dir: &Path) -> (AarStore, Arc<IoRing>) {
+        let s = store(dir);
+        let ring = Arc::new(IoRing::new(s.vfs.clone(), 2));
+        let s = s.with_ring(ring.clone(), 3, &IoPolicy::with_threads(2));
+        (s, ring)
+    }
+
+    #[test]
+    fn async_prefetch_serves_drains() {
+        let dir = ScratchDir::new("aar-ring").unwrap();
+        let (mut s, ring) = ring_store(dir.path());
+        let win = w(0, 100);
+        s.append(b"a", win, b"1").unwrap();
+        s.append(b"b", win, b"2").unwrap();
+        s.flush().unwrap();
+        // The window's end (100) is within the 500 ms default horizon.
+        s.advance_prefetch(0).unwrap();
+        assert_eq!(s.inflight.len(), 1);
+        ring.wait_idle();
+        s.advance_prefetch(0).unwrap();
+        assert!(s.prefetched.contains_key(&win));
+        // Post-snapshot flushes and unflushed buffered pairs must still
+        // serve after the prefetched prefix, in arrival order.
+        s.append(b"a", win, b"3").unwrap();
+        s.flush().unwrap();
+        s.append(b"b", win, b"4").unwrap();
+        let state = drain_all(&mut s, win);
+        let map: HashMap<Vec<u8>, Vec<Vec<u8>>> = state.into_iter().collect();
+        assert_eq!(map[&b"a".to_vec()], vec![b"1".to_vec(), b"3".to_vec()]);
+        assert_eq!(map[&b"b".to_vec()], vec![b"2".to_vec(), b"4".to_vec()]);
+        assert!(s.prefetched.is_empty());
+        assert!(!dir.path().join(window_file_name(win)).exists());
+    }
+
+    #[test]
+    fn drain_racing_prefetch_stays_exact() {
+        let dir = ScratchDir::new("aar-ring-race").unwrap();
+        let (mut s, ring) = ring_store(dir.path());
+        let win = w(0, 100);
+        for i in 0..20u32 {
+            s.append(b"k", win, &i.to_le_bytes()).unwrap();
+        }
+        s.flush().unwrap();
+        s.advance_prefetch(0).unwrap();
+        // Drain immediately — whether the background read has landed or
+        // not, the drained state must be complete and exact.
+        let total: usize = drain_all(&mut s, win).iter().map(|(_, vs)| vs.len()).sum();
+        assert_eq!(total, 20);
+        // Settle the (possibly stale) completion: it must be discarded,
+        // never re-served.
+        ring.wait_idle();
+        s.advance_prefetch(0).unwrap();
+        assert!(s.prefetched.is_empty());
+        assert!(s.get_window_chunk(win).unwrap().is_none());
+    }
+
+    #[test]
+    fn close_waits_out_inflight_reads() {
+        let dir = ScratchDir::new("aar-ring-close").unwrap();
+        let (mut s, ring) = ring_store(dir.path());
+        let win = w(0, 100);
+        s.append(b"k", win, b"v").unwrap();
+        s.flush().unwrap();
+        s.advance_prefetch(0).unwrap();
+        s.close().unwrap();
+        assert_eq!(ring.pending(), 0);
+        assert!(s.inflight.is_empty());
+        // A fresh write cycle works against the bumped epoch.
+        s.append(b"k", win, b"v2").unwrap();
+        s.flush().unwrap();
+        assert_eq!(
+            drain_all(&mut s, win),
+            vec![(b"k".to_vec(), vec![b"v2".to_vec()])]
+        );
+    }
+
+    #[test]
+    fn view_routes_through_ring() {
+        let dir = ScratchDir::new("aar-ring-view").unwrap();
+        let (mut s, _ring) = ring_store(dir.path());
+        let win = w(0, 100);
+        s.append(b"a", win, b"1").unwrap();
+        s.flush().unwrap();
+        s.append(b"a", win, b"2").unwrap();
+        let mut view = BTreeMap::new();
+        s.collect_view(&mut view).unwrap();
+        assert_eq!(
+            view.get(&(b"a".to_vec(), win)),
+            Some(&ViewValue::Values(vec![b"1".to_vec(), b"2".to_vec()]))
+        );
     }
 
     #[test]

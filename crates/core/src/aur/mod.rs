@@ -23,11 +23,13 @@ pub mod index_log;
 pub mod prefetch;
 pub mod stat;
 
+use std::any::Any;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use flowkv_common::error::{Result, StoreError};
+use flowkv_common::ioring::{Completion, IoOutcome, IoPolicy, IoRing};
 use flowkv_common::logfile::{copy_range, LogReader, LogWriter, RandomAccessLog};
 use flowkv_common::metrics::{OpCategory, StoreMetrics};
 use flowkv_common::registry::ViewValue;
@@ -37,6 +39,7 @@ use flowkv_common::vfs::{StdVfs, Vfs};
 
 use crate::aar::push_view_value;
 use crate::ett::{EttObservation, EttPredictor};
+use crate::probe::{ring_err, PrefetchProbe};
 use index_log::{decode_values, encode_values_into, IndexEntry, IndexEntryRef};
 use prefetch::PrefetchBuffer;
 use stat::{StatTable, StateKey};
@@ -64,6 +67,42 @@ impl Default for AurConfig {
 
 fn data_file_name(generation: u64) -> String {
     format!("data_{generation}.aurd")
+}
+
+/// Walks an index log from `scan_start`, skipping each state key's dead
+/// prefix of consumed records, and returns the surviving entries in log
+/// order. Shared by the synchronous and ring-offloaded scans of
+/// `collect_view` and `compact`; callers apply Stat-liveness filtering
+/// (the ring job can't touch the store's `Stat`).
+fn scan_live_index(
+    vfs: &Arc<dyn Vfs>,
+    path: &Path,
+    scan_start: u64,
+    consumed: &HashMap<Vec<u8>, HashMap<WindowId, u64>>,
+) -> Result<Vec<IndexEntry>> {
+    let mut live: Vec<IndexEntry> = Vec::new();
+    let mut seen: HashMap<StateKey, u64> = HashMap::new();
+    let mut reader = LogReader::open_at_in(vfs, path, scan_start)?;
+    while let Some((_, payload)) = reader.next_record()? {
+        let entry = IndexEntryRef::decode(&payload)?;
+        let dead_prefix = consumed
+            .get(entry.key)
+            .and_then(|ws| ws.get(&entry.window))
+            .copied()
+            .unwrap_or(0);
+        let is_dead = if dead_prefix == 0 {
+            false
+        } else {
+            let position = seen.entry((entry.key.to_vec(), entry.window)).or_insert(0);
+            let dead = *position < dead_prefix;
+            *position += 1;
+            dead
+        };
+        if !is_dead {
+            live.push(entry.to_owned());
+        }
+    }
+    Ok(live)
 }
 
 fn index_file_name(generation: u64) -> String {
@@ -109,6 +148,56 @@ pub struct AurStore {
     /// Prefetch-accuracy telemetry; `None` keeps the hot path untouched.
     ett_probe: Option<EttProbe>,
     vfs: Arc<dyn Vfs>,
+    /// Background I/O ring of the owning backend; `None` keeps every
+    /// read synchronous (the default, and the reference semantics).
+    ring: Option<Arc<IoRing>>,
+    /// Completion routing tag of this instance on the shared ring.
+    ring_tag: u64,
+    /// Event-time lookahead for prefetch submissions (milliseconds).
+    horizon: i64,
+    /// Soft cap on resident plus in-flight prefetched bytes.
+    budget_bytes: u64,
+    /// Bumped by close/restore so completions submitted against a
+    /// previous incarnation of the store are discarded on arrival.
+    epoch: u64,
+    /// Outstanding ring submissions by id.
+    inflight: HashMap<u64, Inflight>,
+    /// Windows covered by an outstanding submission, nested by key so
+    /// hot-path probes use borrowed slices.
+    inflight_windows: HashMap<Vec<u8>, HashSet<WindowId>>,
+    /// Estimated on-disk bytes of outstanding submissions.
+    inflight_bytes: u64,
+    /// Prefetch issued/hit/late/wasted counters; `None` without telemetry.
+    prefetch_probe: Option<PrefetchProbe>,
+}
+
+/// Foreground bookkeeping for one outstanding ring submission.
+struct Inflight {
+    windows: Vec<StateKey>,
+    est_bytes: u64,
+}
+
+/// Payload of one background predictive-read submission.
+///
+/// Everything needed to decide at drain time whether the read is still
+/// valid travels with the data: the generation and epoch it was read
+/// from, and per window the number of index entries it covered.
+struct AsyncBatch {
+    generation: u64,
+    epoch: u64,
+    windows: Vec<AsyncWindow>,
+}
+
+struct AsyncWindow {
+    key: Vec<u8>,
+    window: WindowId,
+    /// Index entries the window had when the read was submitted.
+    disk_records: u64,
+    /// Index entries the background scan actually found; must equal
+    /// `disk_records` for the payload to be a complete snapshot.
+    found_records: u64,
+    values: Vec<Vec<u8>>,
+    bytes: u64,
 }
 
 /// Telemetry handles for predicted-vs-actual trigger-time accounting,
@@ -203,6 +292,15 @@ impl AurStore {
             metrics,
             ett_probe: None,
             vfs,
+            ring: None,
+            ring_tag: 0,
+            horizon: 500,
+            budget_bytes: 8 << 20,
+            epoch: 0,
+            inflight: HashMap::new(),
+            inflight_windows: HashMap::new(),
+            inflight_bytes: 0,
+            prefetch_probe: None,
         };
         if let Some(generation) = store.find_generation()? {
             store.generation = generation;
@@ -214,7 +312,21 @@ impl AurStore {
     /// Enables predicted-vs-actual trigger-time telemetry, tagging
     /// metrics and flight events with `tag` (typically `operator/p<N>`).
     pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>, tag: &str) -> Self {
+        self.prefetch_probe = Some(PrefetchProbe::new(&telemetry, tag));
         self.ett_probe = Some(EttProbe::new(telemetry, tag));
+        self
+    }
+
+    /// Attaches the owning backend's background I/O ring: predictive
+    /// batch reads become asynchronous submissions driven by
+    /// [`AurStore::advance_prefetch`], and snapshot/compaction index
+    /// scans run on the ring's pool. `tag` routes this instance's
+    /// completions on the shared ring.
+    pub fn with_ring(mut self, ring: Arc<IoRing>, tag: u64, policy: &IoPolicy) -> Self {
+        self.ring = Some(ring);
+        self.ring_tag = tag;
+        self.horizon = policy.prefetch_horizon;
+        self.budget_bytes = policy.prefetch_budget_bytes;
         self
     }
 
@@ -251,6 +363,10 @@ impl AurStore {
     /// Fetches and removes the values of `(key, window)` (paper Listing 1,
     /// `Get(K, W)`).
     pub fn take(&mut self, key: &[u8], window: WindowId) -> Result<Vec<Vec<u8>>> {
+        // Land any finished background reads first: a completion parked
+        // in the ring's done queue since the last tick can serve this
+        // very trigger.
+        self.drain_ring()?;
         let mut disk_values = Vec::new();
         let mut from_prefetch = false;
         {
@@ -262,22 +378,37 @@ impl AurStore {
             if has_disk {
                 if let Some(values) = self.prefetch.take(key, window) {
                     self.metrics.add_prefetch_hit();
+                    if let Some(p) = &self.prefetch_probe {
+                        p.hits.inc();
+                    }
                     from_prefetch = true;
                     disk_values = values;
                 } else {
+                    // The window fired while its background read was
+                    // still in flight: the synchronous path wins the
+                    // race, and the completion is discarded at the next
+                    // drain (its disk_records check fails or the window
+                    // is gone from the Stat table).
+                    if self.inflight_contains(key, window) {
+                        if let Some(p) = &self.prefetch_probe {
+                            p.late.inc();
+                        }
+                    }
                     disk_values = self.predictive_batch_read(key, window)?;
                 }
             }
             if let Some(stat) = self.stat.consume(key, window) {
                 if let (Some(probe), Some(predicted)) = (&self.ett_probe, stat.ett) {
-                    probe.observe(
-                        window,
-                        EttObservation {
-                            predicted,
-                            actual: self.latest_ts,
-                        },
-                        from_prefetch,
-                    );
+                    let obs = EttObservation {
+                        predicted,
+                        actual: self.latest_ts,
+                    };
+                    if from_prefetch {
+                        if let Some(p) = &self.prefetch_probe {
+                            p.timeliness_ms.record(obs.abs_error() as u64);
+                        }
+                    }
+                    probe.observe(window, obs, from_prefetch);
                 }
                 self.data_dead += stat.disk_bytes;
                 if stat.disk_records > 0 {
@@ -315,6 +446,9 @@ impl AurStore {
             if has_disk {
                 if let Some(values) = self.prefetch.peek(key, window) {
                     self.metrics.add_prefetch_hit();
+                    if let Some(p) = &self.prefetch_probe {
+                        p.hits.inc();
+                    }
                     out = values;
                 } else {
                     let values = self.predictive_batch_read(key, window)?;
@@ -405,40 +539,17 @@ impl AurStore {
             }
             let index_path = self.dir.join(index_file_name(self.generation));
             if self.vfs.exists(&index_path) {
-                let mut wanted: Vec<(StateKey, u64)> = Vec::new();
-                let mut seen: HashMap<StateKey, u64> = HashMap::new();
-                let mut reader =
-                    LogReader::open_at_in(&self.vfs, &index_path, self.index_scan_start)?;
-                while let Some((_, payload)) = reader.next_record()? {
-                    let entry = IndexEntryRef::decode(&payload)?;
-                    let dead_prefix = self
-                        .consumed_records
-                        .get(entry.key)
-                        .and_then(|ws| ws.get(&entry.window))
-                        .copied()
-                        .unwrap_or(0);
-                    let is_dead = if dead_prefix == 0 {
-                        false
-                    } else {
-                        let position = seen.entry((entry.key.to_vec(), entry.window)).or_insert(0);
-                        let dead = *position < dead_prefix;
-                        *position += 1;
-                        dead
-                    };
-                    if is_dead || self.stat.get(entry.key, entry.window).is_none() {
-                        continue;
-                    }
-                    wanted.push(((entry.key.to_vec(), entry.window), entry.offset));
-                }
+                let mut wanted: Vec<(StateKey, u64)> = self
+                    .scan_live_index_routed("aur view scan", &index_path)?
+                    .into_iter()
+                    .filter(|e| self.stat.get(&e.key, e.window).is_some())
+                    .map(|e| ((e.key, e.window), e.offset))
+                    .collect();
                 wanted.sort_by_key(|(_, offset)| *offset);
-                if !wanted.is_empty() && self.data_reader.is_none() {
-                    let data_path = self.dir.join(data_file_name(self.generation));
-                    self.data_reader = Some(RandomAccessLog::open_in(&self.vfs, &data_path)?);
-                }
-                if let Some(data) = self.data_reader.as_mut() {
-                    for ((key, window), offset) in wanted {
-                        let payload = data.read_record_at(offset)?;
-                        let values = decode_values(&payload)?;
+                if !wanted.is_empty() {
+                    for ((key, window), values) in
+                        self.read_records_routed("aur view read", wanted)?
+                    {
                         for value in values {
                             push_view_value(out, key.clone(), window, value)?;
                         }
@@ -531,6 +642,10 @@ impl AurStore {
 
     /// Deletes every file of the store and clears its memory.
     pub fn close(&mut self) -> Result<()> {
+        // Wait out background reads before yanking the files from under
+        // them, and invalidate any completion drained later.
+        self.abandon_inflight();
+        self.epoch += 1;
         self.buffer.clear();
         self.buffer_bytes = 0;
         self.stat.clear();
@@ -596,6 +711,13 @@ impl AurStore {
             None
         };
         // Nested selection set so the scan can probe with borrowed keys.
+        // Windows already prefetched are skipped — their data is
+        // resident. Windows with an in-flight background read are NOT
+        // skipped: this scan is already paying the sequential pass, and
+        // deferring to a ring read that may land after the trigger (or
+        // be invalidated by a flush or compaction) trades a certain hit
+        // for a maybe — the slower completion is simply discarded as
+        // wasted at drain time.
         let mut selected: HashMap<Vec<u8>, HashSet<WindowId>> = HashMap::new();
         for (k, w) in self.stat.select_soonest(n, due_ett, |k, w| {
             self.prefetch.contains(k, w) || (k == key && w == window)
@@ -691,6 +813,386 @@ impl AurStore {
         Ok(self.prefetch.take(key, window).unwrap_or_default())
     }
 
+    /// Runs [`scan_live_index`] for a generation's index log, offloading
+    /// to the I/O ring when one is attached. Serving-snapshot and
+    /// compaction scans both block on the result, but routing them
+    /// through the ring keeps every disk read on the pool threads.
+    fn scan_live_index_routed(
+        &self,
+        context: &'static str,
+        path: &Path,
+    ) -> Result<Vec<IndexEntry>> {
+        let scan_start = self.index_scan_start;
+        match self.ring.clone() {
+            Some(ring) => {
+                let consumed = self.consumed_records.clone();
+                let job_path = path.to_path_buf();
+                let job = move |vfs: &Arc<dyn Vfs>| -> std::io::Result<Box<dyn Any + Send>> {
+                    let live =
+                        scan_live_index(vfs, &job_path, scan_start, &consumed).map_err(ring_err)?;
+                    Ok(Box::new(live) as Box<dyn Any + Send>)
+                };
+                let id = ring.submit(self.ring_tag, Box::new(job));
+                let payload = ring
+                    .wait(id)
+                    .into_result()
+                    .map_err(|e| StoreError::io_at(context, path, e))?;
+                Ok(*payload
+                    .downcast::<Vec<IndexEntry>>()
+                    .map_err(|_| StoreError::invalid_state("aur ring returned foreign payload"))?)
+            }
+            None => scan_live_index(&self.vfs, path, scan_start, &self.consumed_records),
+        }
+    }
+
+    /// Reads data-log records at the given (offset-sorted) locations,
+    /// through the ring when attached; the synchronous path reuses the
+    /// store's cached random-access reader.
+    fn read_records_routed(
+        &mut self,
+        context: &'static str,
+        wanted: Vec<(StateKey, u64)>,
+    ) -> Result<Vec<(StateKey, Vec<Vec<u8>>)>> {
+        let data_path = self.dir.join(data_file_name(self.generation));
+        match self.ring.clone() {
+            Some(ring) => {
+                let job_path = data_path.clone();
+                let job = move |vfs: &Arc<dyn Vfs>| -> std::io::Result<Box<dyn Any + Send>> {
+                    let mut data = RandomAccessLog::open_in(vfs, &job_path).map_err(ring_err)?;
+                    let mut loaded: Vec<(StateKey, Vec<Vec<u8>>)> =
+                        Vec::with_capacity(wanted.len());
+                    for (state_key, offset) in wanted {
+                        let payload = data.read_record_at(offset).map_err(ring_err)?;
+                        loaded.push((state_key, decode_values(&payload).map_err(ring_err)?));
+                    }
+                    Ok(Box::new(loaded) as Box<dyn Any + Send>)
+                };
+                let id = ring.submit(self.ring_tag, Box::new(job));
+                let payload = ring
+                    .wait(id)
+                    .into_result()
+                    .map_err(|e| StoreError::io_at(context, &data_path, e))?;
+                Ok(*payload
+                    .downcast::<Vec<(StateKey, Vec<Vec<u8>>)>>()
+                    .map_err(|_| StoreError::invalid_state("aur ring returned foreign payload"))?)
+            }
+            None => {
+                if self.data_reader.is_none() {
+                    self.data_reader = Some(RandomAccessLog::open_in(&self.vfs, &data_path)?);
+                }
+                let mut loaded = Vec::with_capacity(wanted.len());
+                if let Some(data) = self.data_reader.as_mut() {
+                    for (state_key, offset) in wanted {
+                        let payload = data.read_record_at(offset)?;
+                        loaded.push((state_key, decode_values(&payload)?));
+                    }
+                }
+                Ok(loaded)
+            }
+        }
+    }
+
+    /// True when `(key, window)` is covered by an outstanding submission.
+    fn inflight_contains(&self, key: &[u8], window: WindowId) -> bool {
+        self.inflight_windows
+            .get(key)
+            .is_some_and(|ws| ws.contains(&window))
+    }
+
+    /// Drives the background prefetcher (called by the engine at batch
+    /// and watermark boundaries): drains finished ring reads into the
+    /// prefetch buffer, then schedules reads for every window whose
+    /// ETT-predicted trigger falls within the horizon of `stream_time`.
+    pub fn advance_prefetch(&mut self, stream_time: Timestamp) -> Result<()> {
+        if self.ring.is_none() {
+            return Ok(());
+        }
+        self.drain_ring()?;
+        self.submit_prefetch(stream_time)
+    }
+
+    /// Drains finished completions for this instance. Panics captured on
+    /// a pool thread (injected crash faults) re-raise here, on the
+    /// worker thread, exactly as if the read had been synchronous.
+    fn drain_ring(&mut self) -> Result<()> {
+        let Some(ring) = self.ring.clone() else {
+            return Ok(());
+        };
+        for completion in ring.drain_tag(self.ring_tag) {
+            self.settle(completion)?;
+        }
+        Ok(())
+    }
+
+    /// Retires one completion: unwinds the in-flight bookkeeping, then
+    /// validates and installs the payload.
+    fn settle(&mut self, completion: Completion) -> Result<()> {
+        if let Some(meta) = self.inflight.remove(&completion.id) {
+            for (key, window) in &meta.windows {
+                let emptied = match self.inflight_windows.get_mut(key) {
+                    Some(ws) => {
+                        ws.remove(window);
+                        ws.is_empty()
+                    }
+                    None => false,
+                };
+                if emptied {
+                    self.inflight_windows.remove(key);
+                }
+            }
+            self.inflight_bytes = self.inflight_bytes.saturating_sub(meta.est_bytes);
+        }
+        match completion.into_result() {
+            Ok(payload) => {
+                let batch = payload
+                    .downcast::<AsyncBatch>()
+                    .map_err(|_| StoreError::invalid_state("aur ring returned foreign payload"))?;
+                self.install(*batch);
+                Ok(())
+            }
+            // A failed background read is not a store failure: the
+            // window is simply served by the synchronous path instead.
+            // Reads racing a compaction or restore routinely lose their
+            // files mid-scan.
+            Err(_) => Ok(()),
+        }
+    }
+
+    /// Installs a background read's windows into the prefetch buffer,
+    /// discarding any whose state moved underneath the read. The checks
+    /// mirror exactly what can change between submit and drain: a
+    /// compaction or restore (generation/epoch), a consume (Stat entry
+    /// gone), or a flush adding records (disk_records advanced).
+    fn install(&mut self, batch: AsyncBatch) {
+        let stale = batch.generation != self.generation || batch.epoch != self.epoch;
+        for w in batch.windows {
+            if stale {
+                self.waste(w.bytes);
+                continue;
+            }
+            match self.stat.get(&w.key, w.window) {
+                Some(s)
+                    if s.disk_records == w.disk_records
+                        && w.found_records == w.disk_records
+                        && !self.prefetch.contains(&w.key, w.window) =>
+                {
+                    self.metrics.add_bytes_read(w.bytes);
+                    self.prefetch.extend((w.key, w.window), w.values);
+                }
+                Some(_) => self.waste(w.bytes),
+                // Consumed before the read completed: the prefetch was
+                // issued but lost the race.
+                None => {
+                    if let Some(p) = &self.prefetch_probe {
+                        p.late.inc();
+                    }
+                    self.waste(w.bytes);
+                }
+            }
+        }
+    }
+
+    fn waste(&mut self, bytes: u64) {
+        if let Some(p) = &self.prefetch_probe {
+            p.wasted_bytes.add(bytes);
+        }
+    }
+
+    /// Submits one background read covering every window due within the
+    /// prefetch horizon, bounded by the byte budget. The job replays the
+    /// synchronous predictive batch read's index scan against a
+    /// consistent snapshot (scan start, dead-prefix counters, index
+    /// length) and never mutates store state — all bookkeeping commits
+    /// happen at drain time on the worker thread.
+    fn submit_prefetch(&mut self, stream_time: Timestamp) -> Result<()> {
+        let Some(ring) = self.ring.clone() else {
+            return Ok(());
+        };
+        if self.cfg.read_batch_ratio <= 0.0 || self.stat.is_empty() {
+            return Ok(());
+        }
+        // One scan in flight per store: each job replays the index scan,
+        // so stacking a fresh submission on every tick while earlier
+        // ones are still running multiplies that scan instead of
+        // advancing it. The next tick after the drain tops up coverage.
+        if !self.inflight.is_empty() {
+            return Ok(());
+        }
+        let due = stream_time.max(self.latest_ts).saturating_add(self.horizon);
+        let candidates = self.stat.select_soonest(0, Some(due), |k, w| {
+            self.prefetch.contains(k, w) || self.inflight_contains(k, w)
+        });
+        if candidates.is_empty() {
+            return Ok(());
+        }
+        let resident = self.prefetch.memory_bytes() as u64 + self.inflight_bytes;
+        let mut est_bytes = 0u64;
+        let mut cands: Vec<(Vec<u8>, WindowId, u64)> = Vec::new();
+        for (k, w) in candidates {
+            // A window with unflushed buffered values is a guaranteed
+            // waste: the flush that carries them advances disk_records,
+            // failing the install check. Prefetch it once it is fully
+            // on disk.
+            let sk = (k, w);
+            if self.buffer.contains_key(&sk) {
+                continue;
+            }
+            let (k, w) = sk;
+            let Some(s) = self.stat.get(&k, w) else {
+                continue;
+            };
+            if resident + est_bytes + s.disk_bytes > self.budget_bytes {
+                break;
+            }
+            est_bytes += s.disk_bytes;
+            cands.push((k, w, s.disk_records));
+        }
+        if cands.is_empty() {
+            return Ok(());
+        }
+        // Push buffered log bytes to the files and bound the scan at the
+        // current end of the index log, so the background read never
+        // races a concurrent foreground flush into a torn tail.
+        if let Some(w) = self.data_writer.as_mut() {
+            w.flush()?;
+        }
+        if let Some(w) = self.index_writer.as_mut() {
+            w.flush()?;
+        }
+        let index_path = self.dir.join(index_file_name(self.generation));
+        if !self.vfs.exists(&index_path) {
+            return Ok(());
+        }
+        let index_limit = match self.index_writer.as_ref() {
+            Some(w) => w.offset(),
+            None => self
+                .vfs
+                .file_len(&index_path)
+                .map_err(|e| StoreError::io_at("aur index len", &index_path, e))?,
+        };
+        let data_path = self.dir.join(data_file_name(self.generation));
+        let scan_start = self.index_scan_start;
+        let consumed = self.consumed_records.clone();
+        let generation = self.generation;
+        let epoch = self.epoch;
+        let mut selected: HashMap<Vec<u8>, HashMap<WindowId, usize>> = HashMap::new();
+        for (i, (k, w, _)) in cands.iter().enumerate() {
+            selected.entry(k.clone()).or_default().insert(*w, i);
+        }
+        let templates = cands.clone();
+        let job = move |vfs: &Arc<dyn Vfs>| -> std::io::Result<Box<dyn Any + Send>> {
+            let mut out: Vec<AsyncWindow> = templates
+                .into_iter()
+                .map(|(key, window, disk_records)| AsyncWindow {
+                    key,
+                    window,
+                    disk_records,
+                    found_records: 0,
+                    values: Vec::new(),
+                    bytes: 0,
+                })
+                .collect();
+            let mut wanted: Vec<(usize, u64)> = Vec::new();
+            let mut seen: HashMap<StateKey, u64> = HashMap::new();
+            let mut reader =
+                LogReader::open_at_in(vfs, &index_path, scan_start).map_err(ring_err)?;
+            // Stop *before* crossing the snapshot boundary: bytes past
+            // `index_limit` may belong to a flush the foreground is
+            // writing concurrently, and reading into a half-written
+            // record would fail the whole batch as a torn file.
+            while reader.offset() < index_limit {
+                let Some((_, payload)) = reader.next_record().map_err(ring_err)? else {
+                    break;
+                };
+                let entry = IndexEntryRef::decode(&payload).map_err(ring_err)?;
+                let dead_prefix = consumed
+                    .get(entry.key)
+                    .and_then(|ws| ws.get(&entry.window))
+                    .copied()
+                    .unwrap_or(0);
+                let is_dead = if dead_prefix == 0 {
+                    false
+                } else {
+                    let position = seen.entry((entry.key.to_vec(), entry.window)).or_insert(0);
+                    let dead = *position < dead_prefix;
+                    *position += 1;
+                    dead
+                };
+                if is_dead {
+                    continue;
+                }
+                if let Some(&idx) = selected.get(entry.key).and_then(|ws| ws.get(&entry.window)) {
+                    wanted.push((idx, entry.offset));
+                }
+            }
+            // Offset order: sequential I/O, and a window's records stay
+            // in append order — identical to the synchronous read.
+            wanted.sort_by_key(|&(_, offset)| offset);
+            if !wanted.is_empty() {
+                let mut data = RandomAccessLog::open_in(vfs, &data_path).map_err(ring_err)?;
+                for (idx, offset) in wanted {
+                    let payload = data.read_record_at(offset).map_err(ring_err)?;
+                    let values = decode_values(&payload).map_err(ring_err)?;
+                    let slot = &mut out[idx];
+                    slot.bytes += payload.len() as u64;
+                    slot.found_records += 1;
+                    slot.values.extend(values);
+                }
+            }
+            Ok(Box::new(AsyncBatch {
+                generation,
+                epoch,
+                windows: out,
+            }) as Box<dyn Any + Send>)
+        };
+        let id = ring.submit(self.ring_tag, Box::new(job));
+        if let Some(p) = &self.prefetch_probe {
+            p.issued.add(cands.len() as u64);
+        }
+        for (k, w, _) in &cands {
+            self.inflight_windows
+                .entry(k.clone())
+                .or_default()
+                .insert(*w);
+        }
+        self.inflight.insert(
+            id,
+            Inflight {
+                windows: cands.into_iter().map(|(k, w, _)| (k, w)).collect(),
+                est_bytes,
+            },
+        );
+        self.inflight_bytes += est_bytes;
+        Ok(())
+    }
+
+    /// Waits out every outstanding submission, re-raising captured
+    /// panics (a crash fault on a pool thread must never vanish) and
+    /// discarding the payloads — callers are invalidating the store
+    /// wholesale (close/restore).
+    fn abandon_inflight(&mut self) {
+        let Some(ring) = self.ring.clone() else {
+            return;
+        };
+        let ids: Vec<u64> = self.inflight.keys().copied().collect();
+        for id in ids {
+            let completion = ring.wait(id);
+            match completion.outcome {
+                IoOutcome::Panicked(payload) => std::panic::resume_unwind(payload),
+                IoOutcome::Ok(payload) => {
+                    if let Ok(batch) = payload.downcast::<AsyncBatch>() {
+                        let bytes = batch.windows.iter().map(|w| w.bytes).sum();
+                        self.waste(bytes);
+                    }
+                }
+                IoOutcome::Err(_) => {}
+            }
+        }
+        self.inflight.clear();
+        self.inflight_windows.clear();
+        self.inflight_bytes = 0;
+    }
+
     /// Compacts when space amplification exceeds the configured MSA
     /// (paper §4.2, "Integrated Compaction"; MSA definition in §6.4).
     fn maybe_compact(&mut self) -> Result<()> {
@@ -738,29 +1240,11 @@ impl AurStore {
             // Collect live entries in append order, skipping each state
             // key's dead prefix of consumed records (everything before
             // `index_scan_start` is known dead).
-            let mut live: Vec<IndexEntry> = Vec::new();
-            let mut seen: HashMap<StateKey, u64> = HashMap::new();
-            let mut reader = LogReader::open_at_in(&self.vfs, &old_index, self.index_scan_start)?;
-            while let Some((_, payload)) = reader.next_record()? {
-                let entry = IndexEntryRef::decode(&payload)?;
-                let dead_prefix = self
-                    .consumed_records
-                    .get(entry.key)
-                    .and_then(|ws| ws.get(&entry.window))
-                    .copied()
-                    .unwrap_or(0);
-                let is_dead = if dead_prefix == 0 {
-                    false
-                } else {
-                    let position = seen.entry((entry.key.to_vec(), entry.window)).or_insert(0);
-                    let dead = *position < dead_prefix;
-                    *position += 1;
-                    dead
-                };
-                if !is_dead && self.stat.get(entry.key, entry.window).is_some() {
-                    live.push(entry.to_owned());
-                }
-            }
+            let live: Vec<IndexEntry> = self
+                .scan_live_index_routed("aur compact scan", &old_index)?
+                .into_iter()
+                .filter(|e| self.stat.get(&e.key, e.window).is_some())
+                .collect();
             // Relocate the live byte ranges of the data log.
             let mut src = self
                 .vfs
@@ -1252,5 +1736,68 @@ mod tests {
         // ETT rebuilt from the persisted max_ts: 42 + gap 100.
         assert_eq!(s.stat.get(b"k", w(0, 100)).unwrap().ett, Some(142));
         assert_eq!(s.take(b"k", w(0, 100)).unwrap(), vec![b"v".to_vec()]);
+    }
+
+    fn ring_store(dir: &Path) -> (AurStore, Arc<IoRing>) {
+        let s = session_store(dir, cfg_small());
+        let ring = Arc::new(IoRing::new(s.vfs.clone(), 2));
+        let s = s.with_ring(ring.clone(), 7, &IoPolicy::with_threads(2));
+        (s, ring)
+    }
+
+    #[test]
+    fn async_prefetch_serves_takes_from_buffer() {
+        let dir = ScratchDir::new("aur-ring-hit").unwrap();
+        let (mut s, ring) = ring_store(dir.path());
+        s.append(b"a", w(0, 100), b"v1", 10).unwrap();
+        s.append(b"b", w(0, 100), b"v2", 20).unwrap();
+        s.flush().unwrap();
+        // Both predicted triggers (last ts + gap 100) fall within the
+        // default 500 ms horizon of stream time 50: one submission
+        // covers both windows.
+        s.advance_prefetch(50).unwrap();
+        assert_eq!(s.inflight.len(), 1);
+        ring.wait_idle();
+        s.advance_prefetch(50).unwrap();
+        assert_eq!(s.prefetched_windows(), 2);
+        assert_eq!(s.take(b"a", w(0, 100)).unwrap(), vec![b"v1".to_vec()]);
+        assert_eq!(s.take(b"b", w(0, 100)).unwrap(), vec![b"v2".to_vec()]);
+    }
+
+    #[test]
+    fn async_prefetch_rejects_stale_reads() {
+        let dir = ScratchDir::new("aur-ring-stale").unwrap();
+        let (mut s, ring) = ring_store(dir.path());
+        s.append(b"a", w(0, 100), b"v1", 10).unwrap();
+        s.flush().unwrap();
+        s.advance_prefetch(50).unwrap();
+        // The window grows under the in-flight read: whether the job ran
+        // before or after this flush, its snapshot's record count no
+        // longer matches the Stat entry and validation must discard it.
+        s.append(b"a", w(0, 100), b"v2", 20).unwrap();
+        s.flush().unwrap();
+        ring.wait_idle();
+        s.advance_prefetch(50).unwrap();
+        assert_eq!(s.prefetched_windows(), 0);
+        assert_eq!(
+            s.take(b"a", w(0, 100)).unwrap(),
+            vec![b"v1".to_vec(), b"v2".to_vec()]
+        );
+    }
+
+    #[test]
+    fn close_waits_out_inflight_reads() {
+        let dir = ScratchDir::new("aur-ring-close").unwrap();
+        let (mut s, ring) = ring_store(dir.path());
+        s.append(b"a", w(0, 100), b"v1", 10).unwrap();
+        s.flush().unwrap();
+        s.advance_prefetch(50).unwrap();
+        s.close().unwrap();
+        assert_eq!(ring.pending(), 0);
+        assert!(s.inflight.is_empty());
+        // A fresh write cycle works against the bumped epoch.
+        s.append(b"a", w(200, 300), b"v2", 210).unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.take(b"a", w(200, 300)).unwrap(), vec![b"v2".to_vec()]);
     }
 }

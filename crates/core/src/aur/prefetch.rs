@@ -4,6 +4,14 @@
 //! serves a window trigger from memory; a wrong trigger-time estimate
 //! (a new tuple arriving for a prefetched session window) evicts the
 //! window so the next read fetches the authoritative on-disk state again.
+//!
+//! The map is nested `key → window → values` rather than keyed by the
+//! `(Vec<u8>, WindowId)` pair so the hot-path membership probes
+//! ([`PrefetchBuffer::contains`], [`PrefetchBuffer::peek`],
+//! [`PrefetchBuffer::take`]) can look up a borrowed `&[u8]` directly —
+//! `HashMap<Vec<u8>, _>` is `Borrow<[u8]>`-queryable, while the tuple key
+//! forced a `key.to_vec()` allocation on *every* probe, including the
+//! misses that dominate batch-read window selection.
 
 use std::collections::HashMap;
 
@@ -13,7 +21,9 @@ use flowkv_common::types::WindowId;
 /// In-memory buffer of prefetched window states.
 #[derive(Debug, Default)]
 pub struct PrefetchBuffer {
-    map: HashMap<StateKey, Vec<Vec<u8>>>,
+    map: HashMap<Vec<u8>, HashMap<WindowId, Vec<Vec<u8>>>>,
+    /// Buffered windows across all keys (not `map.len()`).
+    windows: usize,
     bytes: usize,
 }
 
@@ -23,27 +33,39 @@ impl PrefetchBuffer {
         PrefetchBuffer::default()
     }
 
-    /// Returns `true` when the window's state is buffered.
+    /// Returns `true` when the window's state is buffered. Allocation-free.
     pub fn contains(&self, key: &[u8], window: WindowId) -> bool {
-        self.map.contains_key(&(key.to_vec(), window))
+        self.map.get(key).is_some_and(|ws| ws.contains_key(&window))
     }
 
     /// Appends loaded values for a window (batch reads may load a window
     /// from several data-log records).
     pub fn extend(&mut self, state_key: StateKey, values: Vec<Vec<u8>>) {
+        let (key, window) = state_key;
         self.bytes += values.iter().map(|v| v.len() + 24).sum::<usize>();
-        self.map.entry(state_key).or_default().extend(values);
+        let slot = self.map.entry(key).or_default().entry(window);
+        if matches!(slot, std::collections::hash_map::Entry::Vacant(_)) {
+            self.windows += 1;
+        }
+        slot.or_default().extend(values);
     }
 
     /// Returns a clone of a window's buffered values without removing
-    /// them (a non-destructive hit for `peek` reads).
+    /// them (a non-destructive hit for `peek` reads). Allocation-free on
+    /// miss.
     pub fn peek(&self, key: &[u8], window: WindowId) -> Option<Vec<Vec<u8>>> {
-        self.map.get(&(key.to_vec(), window)).cloned()
+        self.map.get(key)?.get(&window).cloned()
     }
 
     /// Removes and returns a window's buffered values (a prefetch hit).
+    /// Allocation-free, hit or miss.
     pub fn take(&mut self, key: &[u8], window: WindowId) -> Option<Vec<Vec<u8>>> {
-        let values = self.map.remove(&(key.to_vec(), window))?;
+        let windows = self.map.get_mut(key)?;
+        let values = windows.remove(&window)?;
+        if windows.is_empty() {
+            self.map.remove(key);
+        }
+        self.windows -= 1;
         self.bytes = self
             .bytes
             .saturating_sub(values.iter().map(|v| v.len() + 24).sum());
@@ -59,12 +81,12 @@ impl PrefetchBuffer {
 
     /// Number of buffered windows.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.windows
     }
 
     /// Returns `true` when nothing is buffered.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.windows == 0
     }
 
     /// Approximate memory footprint in bytes.
@@ -75,6 +97,7 @@ impl PrefetchBuffer {
     /// Drops everything (used on restore).
     pub fn clear(&mut self) {
         self.map.clear();
+        self.windows = 0;
         self.bytes = 0;
     }
 }
@@ -118,5 +141,21 @@ mod tests {
         p.clear();
         assert_eq!(p.memory_bytes(), 0);
         assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn len_counts_windows_across_keys() {
+        let mut p = PrefetchBuffer::new();
+        p.extend((b"a".to_vec(), w(0, 10)), vec![b"x".to_vec()]);
+        p.extend((b"a".to_vec(), w(10, 20)), vec![b"y".to_vec()]);
+        p.extend((b"b".to_vec(), w(0, 10)), vec![b"z".to_vec()]);
+        assert_eq!(p.len(), 3);
+        assert!(p.take(b"a", w(0, 10)).is_some());
+        assert_eq!(p.len(), 2);
+        // Sibling window under the same key survives its neighbour's take.
+        assert!(p.contains(b"a", w(10, 20)));
+        assert!(p.take(b"b", w(0, 10)).is_some());
+        assert!(p.take(b"a", w(10, 20)).is_some());
+        assert!(p.is_empty());
     }
 }

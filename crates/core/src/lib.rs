@@ -57,6 +57,7 @@ pub mod ett;
 pub mod partition;
 pub mod partitioner;
 pub mod pattern;
+pub mod probe;
 pub mod rmw;
 pub mod store;
 

@@ -18,6 +18,7 @@ use flowkv_common::backend::{
     StateBackendFactory, StateEntry, WindowChunk,
 };
 use flowkv_common::error::{Result, StoreError};
+use flowkv_common::ioring::{IoPolicy, IoRing};
 use flowkv_common::metrics::StoreMetrics;
 use flowkv_common::registry::{StatePattern, StateView, ViewValue};
 use flowkv_common::types::{Timestamp, WindowId};
@@ -66,11 +67,21 @@ impl FlowKvStore {
         telemetry: Option<Arc<flowkv_common::telemetry::Telemetry>>,
         tag: &str,
     ) -> Result<Self> {
-        Self::open_with_vfs(dir, semantics, config, telemetry, tag, StdVfs::shared())
+        Self::open_with_vfs(
+            dir,
+            semantics,
+            config,
+            telemetry,
+            tag,
+            StdVfs::shared(),
+            None,
+        )
     }
 
     /// Like [`FlowKvStore::open_with_telemetry`], additionally routing
-    /// every file operation of every inner store instance through `vfs`.
+    /// every file operation of every inner store instance through `vfs`,
+    /// and — when `io` is set — building one background [`IoRing`] over
+    /// that VFS, shared by every instance (each under its own tag).
     pub fn open_with_vfs(
         dir: &Path,
         semantics: OperatorSemantics,
@@ -78,11 +89,18 @@ impl FlowKvStore {
         telemetry: Option<Arc<flowkv_common::telemetry::Telemetry>>,
         tag: &str,
         vfs: Arc<dyn Vfs>,
+        io: Option<IoPolicy>,
     ) -> Result<Self> {
         config.validate()?;
         let pattern = classify(&semantics);
         let metrics = StoreMetrics::new_shared();
         let m = config.store_instances;
+        let ring = io.as_ref().filter(|p| p.threads > 0).map(|p| {
+            Arc::new(match p.shuffle_seed {
+                Some(seed) => IoRing::with_shuffle_seed(Arc::clone(&vfs), p.threads, seed),
+                None => IoRing::new(Arc::clone(&vfs), p.threads),
+            })
+        });
         // Each instance gets an even share of the write buffer, matching
         // the paper's per-operator budget split across `m` instances.
         let per_instance_buffer = (config.write_buffer_bytes / m).max(1024);
@@ -90,13 +108,20 @@ impl FlowKvStore {
             AccessPattern::Aar => {
                 let mut instances = Vec::with_capacity(m);
                 for j in 0..m {
-                    instances.push(AarStore::open_with_vfs(
+                    let mut store = AarStore::open_with_vfs(
                         &dir.join(format!("inst{j}")),
                         per_instance_buffer,
                         config.chunk_entries,
                         Arc::clone(&metrics),
                         Arc::clone(&vfs),
-                    )?);
+                    )?;
+                    if let (Some(r), Some(p)) = (&ring, &io) {
+                        store = store.with_ring(Arc::clone(r), j as u64, p);
+                    }
+                    if let Some(t) = &telemetry {
+                        store = store.with_telemetry(Arc::clone(t), &format!("{tag}/inst{j}"));
+                    }
+                    instances.push(store);
                 }
                 Inner::Aar(Partitioned::new(instances))
             }
@@ -117,6 +142,9 @@ impl FlowKvStore {
                         Arc::clone(&metrics),
                         Arc::clone(&vfs),
                     )?;
+                    if let (Some(r), Some(p)) = (&ring, &io) {
+                        store = store.with_ring(Arc::clone(r), j as u64, p);
+                    }
                     if let Some(t) = &telemetry {
                         store = store.with_telemetry(Arc::clone(t), &format!("{tag}/inst{j}"));
                     }
@@ -238,6 +266,20 @@ impl StateBackend for FlowKvStore {
             Inner::Aar(p) => p.iter_mut().try_for_each(AarStore::flush),
             Inner::Aur(p) => p.iter_mut().try_for_each(AurStore::flush),
             Inner::Rmw(p) => p.iter_mut().try_for_each(RmwStore::flush),
+        }
+    }
+
+    fn advance_prefetch(&mut self, stream_time: Timestamp) -> Result<()> {
+        match &mut self.inner {
+            Inner::Aar(p) => p
+                .iter_mut()
+                .try_for_each(|s| s.advance_prefetch(stream_time)),
+            Inner::Aur(p) => p
+                .iter_mut()
+                .try_for_each(|s| s.advance_prefetch(stream_time)),
+            // RMW state is written, not anticipatably read; its LSM
+            // sibling handles warming instead.
+            Inner::Rmw(_) => Ok(()),
         }
     }
 
@@ -387,6 +429,7 @@ impl StateBackendFactory for FlowKvFactory {
             ctx.telemetry.clone(),
             &ctx.telemetry_tag(),
             Arc::clone(&self.vfs),
+            ctx.io.clone(),
         )?))
     }
 
@@ -538,6 +581,7 @@ mod tests {
             semantics: OperatorSemantics::new(AggregateKind::Incremental, WindowKind::Global),
             data_dir: dir.path().to_path_buf(),
             telemetry: None,
+            io: None,
         };
         let mut b = factory.create(&ctx).unwrap();
         b.put_aggregate(b"k", WindowId::global(), b"1").unwrap();

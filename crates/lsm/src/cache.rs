@@ -61,6 +61,12 @@ impl BlockCache {
         }
     }
 
+    /// Whether `key` is resident, without touching recency or the
+    /// hit/miss counters — the background warm-up planner's probe.
+    pub fn contains(&self, key: BlockKey) -> bool {
+        self.inner.lock().map.contains_key(&key)
+    }
+
     /// Inserts a block, evicting least-recently-used blocks as needed.
     pub fn insert(&self, key: BlockKey, block: Arc<Vec<u8>>) {
         let mut inner = self.inner.lock();

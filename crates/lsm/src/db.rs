@@ -6,11 +6,13 @@
 //! happens inline. The time those take is charged to the metrics block so
 //! the paper's CPU-breakdown figures can be regenerated.
 
-use std::collections::HashMap;
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use flowkv_common::error::{Result, StoreError};
+use flowkv_common::ioring::{IoOutcome, IoRing};
 use flowkv_common::metrics::{OpCategory, StoreMetrics};
 use flowkv_common::vfs::{StdVfs, Vfs};
 
@@ -19,7 +21,7 @@ use crate::compaction::{compact_in, CompactionParams};
 use crate::entry::{Entry, Resolved};
 use crate::iter::{EntrySource, MergingIter, VecSource};
 use crate::memtable::MemTable;
-use crate::sstable::{SstMeta, SstReader};
+use crate::sstable::{read_region_in, SstMeta, SstReader};
 use crate::version::{Version, MAX_LEVELS};
 
 /// Tuning knobs of the LSM tree.
@@ -106,6 +108,13 @@ pub struct Db {
     metrics: Arc<StoreMetrics>,
     /// Round-robin pointers choosing the next file to push down per level.
     compaction_cursor: Vec<usize>,
+    /// Background ring for block warm-up reads, when configured.
+    ring: Option<Arc<IoRing>>,
+    ring_tag: u64,
+    /// In-flight warm reads: job id → `(file_no, offset, length)`.
+    warm_inflight: HashMap<u64, (u64, u64, u64)>,
+    /// Blocks with a warm read outstanding, to suppress resubmission.
+    warm_pending: HashSet<(u64, u64)>,
 }
 
 impl Db {
@@ -145,6 +154,10 @@ impl Db {
             cache,
             metrics,
             compaction_cursor: vec![0; MAX_LEVELS],
+            ring: None,
+            ring_tag: 0,
+            warm_inflight: HashMap::new(),
+            warm_pending: HashSet::new(),
         };
         for meta in db
             .version
@@ -179,6 +192,9 @@ impl Db {
 
     /// Resolves the current state of `key`.
     pub fn get(&mut self, key: &[u8]) -> Result<Resolved> {
+        // Install any warm blocks that completed since the last probe so
+        // reads inside the same batch as their hint can already hit.
+        self.drain_warm()?;
         let mut acc: Option<Entry> = self.mem.get(key).cloned();
         if !acc.as_ref().is_some_and(Entry::is_terminal) {
             'levels: for level in 0..self.version.levels.len() {
@@ -335,6 +351,121 @@ impl Db {
         &self.version
     }
 
+    /// Attaches a background I/O ring; subsequent [`Db::warm_batch`]
+    /// calls schedule block reads on it under `tag`.
+    pub fn set_ring(&mut self, ring: Arc<IoRing>, tag: u64) {
+        self.ring = Some(ring);
+        self.ring_tag = tag;
+    }
+
+    /// Whether a background ring is attached.
+    pub fn has_ring(&self) -> bool {
+        self.ring.is_some()
+    }
+
+    /// Schedules background reads of the uncached blocks a `get` of each
+    /// key would touch, walking the same level order as [`Db::get`].
+    /// Purely advisory: a warm that fails, arrives late, or races a
+    /// compaction is discarded and the foreground read proceeds as if it
+    /// never happened. No-op without a ring.
+    pub fn warm_batch(&mut self, keys: &[Vec<u8>]) -> Result<()> {
+        if self.ring.is_none() {
+            return Ok(());
+        }
+        self.drain_warm()?;
+        for key in keys {
+            if self.mem.get(key).is_some_and(Entry::is_terminal) {
+                continue;
+            }
+            let mut metas: Vec<SstMeta> = self.version.levels[0]
+                .iter()
+                .filter(|m| m.covers_key(key))
+                .cloned()
+                .collect();
+            for level in 1..self.version.levels.len() {
+                if let Some(m) = self.version.levels[level]
+                    .iter()
+                    .find(|m| m.covers_key(key))
+                {
+                    metas.push(m.clone());
+                }
+            }
+            for meta in metas {
+                let Some((off, len)) = self.ensure_reader(&meta)?.warm_plan(key) else {
+                    continue;
+                };
+                if !self.warm_pending.insert((meta.file_no, off)) {
+                    continue;
+                }
+                let path = self.dir.join(SstMeta::file_name(meta.file_no));
+                let ring = self.ring.as_ref().expect("checked above");
+                let id = ring.submit(
+                    self.ring_tag,
+                    Box::new(move |vfs: &Arc<dyn Vfs>| {
+                        read_region_in(vfs, &path, off, len)
+                            .map(|raw| Box::new(raw) as Box<dyn Any + Send>)
+                            .map_err(|e| std::io::Error::other(e.to_string()))
+                    }),
+                );
+                self.warm_inflight.insert(id, (meta.file_no, off, len));
+            }
+        }
+        Ok(())
+    }
+
+    /// Installs completed warm reads into the block cache. Re-raises a
+    /// panic captured by a background job (an injected crash fault) on
+    /// the calling thread.
+    pub fn drain_warm(&mut self) -> Result<()> {
+        let Some(ring) = &self.ring else {
+            return Ok(());
+        };
+        let done = ring.drain_tag(self.ring_tag);
+        if done.is_empty() {
+            return Ok(());
+        }
+        let live: HashSet<u64> = self.version.all_file_nos().into_iter().collect();
+        for completion in done {
+            let Some((file_no, off, len)) = self.warm_inflight.remove(&completion.id) else {
+                continue;
+            };
+            self.warm_pending.remove(&(file_no, off));
+            match completion.into_result() {
+                // A compaction may have retired the file while the read
+                // was in flight; file numbers are never reused, so the
+                // stale block could never be read again — drop it.
+                Ok(payload) if live.contains(&file_no) => {
+                    let raw = *payload
+                        .downcast::<Vec<u8>>()
+                        .expect("warm job yields bytes");
+                    self.metrics.add_bytes_read(len + 4);
+                    self.cache.insert((file_no, off), Arc::new(raw));
+                }
+                Ok(_) => {}
+                // A failed warm is only a missed warm: if the foreground
+                // actually needs the block, its own read surfaces the
+                // error with full context.
+                Err(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Waits out every in-flight warm read and discards the results,
+    /// re-raising captured crash-fault panics. Called before operations
+    /// that invalidate the file set the reads were planned against.
+    fn abandon_warm(&mut self) {
+        let Some(ring) = &self.ring else {
+            return;
+        };
+        for (id, _) in self.warm_inflight.drain() {
+            if let IoOutcome::Panicked(payload) = ring.wait(id).outcome {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        self.warm_pending.clear();
+    }
+
     /// Copies a consistent snapshot of the database into `dst`.
     pub fn checkpoint(&mut self, dst: &Path) -> Result<()> {
         self.flush()?;
@@ -357,6 +488,7 @@ impl Db {
 
     /// Replaces the database contents with the snapshot in `src`.
     pub fn restore(&mut self, src: &Path) -> Result<()> {
+        self.abandon_warm();
         self.mem.clear();
         for file_no in self.version.all_file_nos() {
             let _ = self
@@ -391,6 +523,7 @@ impl Db {
 
     /// Deletes every file of the database.
     pub fn destroy(&mut self) -> Result<()> {
+        self.abandon_warm();
         self.mem.clear();
         self.readers.clear();
         for file_no in self.version.all_file_nos() {
@@ -675,6 +808,77 @@ mod tests {
         db.restore(ckpt.path()).unwrap();
         assert_eq!(db.get(b"a").unwrap(), Resolved::Value(b"1".to_vec()));
         assert_eq!(db.get(b"b").unwrap(), Resolved::Absent);
+    }
+
+    #[test]
+    fn warm_batch_preloads_blocks() {
+        let dir = ScratchDir::new("db-warm").unwrap();
+        let mut db = open_small(dir.path());
+        for i in 0..500u32 {
+            db.put(format!("key-{i:05}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        db.flush().unwrap();
+        let ring = Arc::new(flowkv_common::ioring::IoRing::new(StdVfs::shared(), 2));
+        db.set_ring(Arc::clone(&ring), 0);
+
+        let before = db.metrics().snapshot().bytes_read;
+        db.warm_batch(&[b"key-00123".to_vec()]).unwrap();
+        ring.wait_idle();
+        db.drain_warm().unwrap();
+        let warmed = db.metrics().snapshot().bytes_read;
+        assert!(warmed > before, "warm read charged no bytes");
+
+        // The foreground read is served entirely from the warmed cache.
+        assert_eq!(
+            db.get(b"key-00123").unwrap(),
+            Resolved::Value(123u32.to_le_bytes().to_vec())
+        );
+        assert_eq!(db.metrics().snapshot().bytes_read, warmed);
+    }
+
+    #[test]
+    fn warm_batch_skips_filtered_keys() {
+        let dir = ScratchDir::new("db-warm-skip").unwrap();
+        let mut db = open_small(dir.path());
+        db.put(b"present", b"v").unwrap();
+        db.flush().unwrap();
+        let ring = Arc::new(flowkv_common::ioring::IoRing::new(StdVfs::shared(), 1));
+        db.set_ring(Arc::clone(&ring), 0);
+
+        // A key the bloom filter rejects schedules nothing.
+        db.warm_batch(&[b"zz-absent".to_vec()]).unwrap();
+        assert_eq!(ring.pending(), 0);
+
+        // A second warm of the same block is suppressed while the first
+        // is outstanding (or already resident once installed).
+        db.warm_batch(&[b"present".to_vec()]).unwrap();
+        ring.wait_idle();
+        db.drain_warm().unwrap();
+        let bytes = db.metrics().snapshot().bytes_read;
+        db.warm_batch(&[b"present".to_vec()]).unwrap();
+        ring.wait_idle();
+        db.drain_warm().unwrap();
+        assert_eq!(db.metrics().snapshot().bytes_read, bytes);
+    }
+
+    #[test]
+    fn restore_discards_inflight_warms() {
+        let dir = ScratchDir::new("db-warm-restore").unwrap();
+        let ckpt = ScratchDir::new("db-warm-restore-dst").unwrap();
+        let mut db = open_small(dir.path());
+        db.put(b"a", b"1").unwrap();
+        db.checkpoint(ckpt.path()).unwrap();
+        for i in 0..200u32 {
+            db.put(format!("k{i:04}").as_bytes(), &[7u8; 64]).unwrap();
+        }
+        db.flush().unwrap();
+        let ring = Arc::new(flowkv_common::ioring::IoRing::new(StdVfs::shared(), 2));
+        db.set_ring(Arc::clone(&ring), 0);
+        db.warm_batch(&[b"k0100".to_vec()]).unwrap();
+        db.restore(ckpt.path()).unwrap();
+        assert_eq!(db.get(b"a").unwrap(), Resolved::Value(b"1".to_vec()));
+        assert_eq!(db.get(b"k0100").unwrap(), Resolved::Absent);
     }
 
     #[test]

@@ -361,6 +361,19 @@ impl SstReader {
         }
     }
 
+    /// Locates the uncached block a `get(key)` would have to read:
+    /// `(offset, length)` of its CRC'd region, or `None` when the key
+    /// cannot be in this file or the block is already resident. The
+    /// cache probe leaves recency and hit/miss counters untouched, so
+    /// planning a warm-up never perturbs the foreground statistics.
+    pub(crate) fn warm_plan(&self, key: &[u8]) -> Option<(u64, u64)> {
+        if !self.meta.covers_key(key) || !self.bloom.may_contain(key) {
+            return None;
+        }
+        let (_, off, len) = self.index[self.find_block(key)?];
+        (!self.cache.contains((self.meta.file_no, off))).then_some((off, len))
+    }
+
     /// Index of the first block whose last key is ≥ `key`.
     fn find_block(&self, key: &[u8]) -> Option<usize> {
         let idx = self
@@ -402,6 +415,21 @@ fn read_block_key(dec: &mut Decoder<'_>, current: &mut Vec<u8>, path: &Path) -> 
     current.truncate(shared);
     current.extend_from_slice(dec.take(unshared, "key suffix")?);
     Ok(())
+}
+
+/// Reads and CRC-checks a block region by reopening `path` through
+/// `vfs` — the background warm-up path, which cannot share the
+/// foreground reader's single-owner file handle across threads.
+pub(crate) fn read_region_in(
+    vfs: &Arc<dyn Vfs>,
+    path: &Path,
+    off: u64,
+    len: u64,
+) -> Result<Vec<u8>> {
+    let file = vfs
+        .open_read(path)
+        .map_err(|e| StoreError::io_at("sst warm open", path, e))?;
+    read_region(file.as_ref(), path, off, len)
 }
 
 /// Reads a CRC-protected region and verifies its checksum.

@@ -103,6 +103,7 @@ mod tests {
                 ),
                 data_dir: dir.path().to_path_buf(),
                 telemetry: None,
+                io: None,
             };
             let mut backend = factory.create(&ctx).unwrap();
             let w = WindowId::new(0, 100);

@@ -130,6 +130,7 @@ fn open_operator(
         semantics: spec.semantics(),
         data_dir: data_dir.to_path_buf(),
         telemetry: None,
+        io: None,
     };
     Ok(WindowOperator::new(spec.clone(), factory.create(&ctx)?))
 }

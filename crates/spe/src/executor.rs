@@ -33,6 +33,7 @@ use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendErr
 use flowkv_common::backend::{OperatorContext, StateBackendFactory};
 use flowkv_common::error::StoreError;
 use flowkv_common::hash::partition_of;
+use flowkv_common::ioring::IoPolicy;
 use flowkv_common::metrics::MetricsSnapshot;
 use flowkv_common::registry::{StateKey, StateRegistry};
 use flowkv_common::telemetry::{self, Counter, Gauge, Histogram, HistogramSnapshot, Telemetry};
@@ -198,6 +199,24 @@ pub struct RunOptions {
     /// parallelism, and resumes — live rescaling as recovery at a
     /// different worker count. Plain [`run_job`] ignores this knob.
     pub rescale_to: Option<usize>,
+    /// Background I/O ring threads per state backend. `0` (the default)
+    /// keeps every store read synchronous on the worker thread; any
+    /// positive value lets stores route anticipatable reads (ETT-driven
+    /// prefetch, AAR window scans, LSM block warm-ups, serving snapshots,
+    /// compaction scans) through a per-backend
+    /// [`flowkv_common::ioring::IoRing`]. Outputs are byte-identical
+    /// either way.
+    pub io_threads: usize,
+    /// How far ahead of current stream time (milliseconds of event time)
+    /// prefetch submissions may look when selecting windows whose
+    /// ETT-predicted trigger is approaching.
+    pub prefetch_horizon: i64,
+    /// Soft cap on resident prefetched bytes per store instance; new
+    /// submissions are deferred while the cap is exceeded.
+    pub prefetch_budget_bytes: u64,
+    /// Test-only knob: reorder ring completions pseudo-randomly from this
+    /// seed to prove ordering independence. `None` in production.
+    pub io_shuffle_seed: Option<u64>,
 }
 
 impl RunOptions {
@@ -226,7 +245,25 @@ impl RunOptions {
             restart_backoff: Duration::from_millis(50),
             workers: 1,
             rescale_to: None,
+            io_threads: 0,
+            prefetch_horizon: 500,
+            prefetch_budget_bytes: 8 << 20,
+            io_shuffle_seed: None,
         }
+    }
+
+    /// The per-backend I/O policy implied by these options, or `None`
+    /// when `io_threads` is zero (fully synchronous I/O).
+    pub fn io_policy(&self) -> Option<IoPolicy> {
+        if self.io_threads == 0 {
+            return None;
+        }
+        Some(IoPolicy {
+            threads: self.io_threads,
+            prefetch_horizon: self.prefetch_horizon,
+            prefetch_budget_bytes: self.prefetch_budget_bytes,
+            shuffle_seed: self.io_shuffle_seed,
+        })
     }
 
     /// Starts a builder rooted at `data_dir` — the preferred way to
@@ -381,6 +418,30 @@ impl RunOptionsBuilder {
     /// [`crate::cluster::run_cluster`]).
     pub fn rescale_to(mut self, n: usize) -> Self {
         self.opts.rescale_to = Some(n);
+        self
+    }
+
+    /// Background I/O ring threads per state backend (`0` = synchronous).
+    pub fn io_threads(mut self, n: usize) -> Self {
+        self.opts.io_threads = n;
+        self
+    }
+
+    /// Event-time lookahead for prefetch submissions, in milliseconds.
+    pub fn prefetch_horizon(mut self, horizon: i64) -> Self {
+        self.opts.prefetch_horizon = horizon;
+        self
+    }
+
+    /// Soft cap on resident prefetched bytes per store instance.
+    pub fn prefetch_budget_bytes(mut self, bytes: u64) -> Self {
+        self.opts.prefetch_budget_bytes = bytes;
+        self
+    }
+
+    /// Test knob: reorder ring completions pseudo-randomly from `seed`.
+    pub fn io_shuffle_seed(mut self, seed: u64) -> Self {
+        self.opts.io_shuffle_seed = Some(seed);
         self
     }
 
@@ -867,6 +928,7 @@ pub(crate) fn run_job_inner(
                 job_name: job.name.clone(),
                 batch_size,
                 telemetry: run_telemetry.clone(),
+                io: options.io_policy(),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("spe-{}-{}", stage.name(), worker))
@@ -1197,6 +1259,7 @@ struct WorkerPaths {
     job_name: String,
     batch_size: usize,
     telemetry: Option<Arc<Telemetry>>,
+    io: Option<IoPolicy>,
 }
 
 /// Per-worker directory inside a checkpoint.
@@ -1266,6 +1329,7 @@ fn run_worker(
             semantics,
             data_dir,
             telemetry: paths.telemetry.clone(),
+            io: paths.io.clone(),
         };
         let backend = factory.create(&ctx)?;
         let mut op = match &stage {
@@ -1298,10 +1362,12 @@ fn run_worker(
         }
     });
 
+    let io_on = paths.io.is_some() && operator.is_some();
     let mut wms = vec![MIN_TIMESTAMP; upstreams];
     let mut origins = vec![0u64; upstreams];
     let mut current_wm = MIN_TIMESTAMP;
-    // Largest tuple timestamp this worker has seen (probe-only).
+    // Largest tuple timestamp this worker has seen (tracked when either
+    // the telemetry probe or the prefetcher needs stream time).
     let mut max_event_ts = MIN_TIMESTAMP;
     // First-barrier arrival instant of the in-flight alignment.
     let mut barrier_started: Option<Instant> = None;
@@ -1400,6 +1466,10 @@ fn run_worker(
                     Msg::Batch(mut batch) => {
                         if let Some(p) = &probe {
                             p.tuples.add(batch.len() as u64);
+                        }
+                        // Stream time feeds both the watermark-lag probe
+                        // and the prefetch horizon.
+                        if probe.is_some() || io_on {
                             for stamped in &batch {
                                 max_event_ts = max_event_ts.max(stamped.tuple.timestamp);
                             }
@@ -1426,6 +1496,13 @@ fn run_worker(
                         for stamped in stamped_out.drain(..) {
                             if !exchange.send(stamped.tuple, stamped.origin) {
                                 return Ok(WorkerReport::default());
+                            }
+                        }
+                        // Batch boundary: drain finished background reads
+                        // and schedule the next horizon of prefetches.
+                        if io_on {
+                            if let Some(op) = operator.as_mut() {
+                                op.backend_mut().advance_prefetch(max_event_ts)?;
                             }
                         }
                     }
@@ -1466,6 +1543,13 @@ fn run_worker(
                         // order downstream.
                         exchange.broadcast(|| Msg::Watermark { ts: min_wm, origin });
                         publish_view(&mut operator, &mut publish_epoch, min_wm)?;
+                        // Watermark boundary: window fires just consumed
+                        // prefetched state — top the buffers back up.
+                        if io_on {
+                            if let Some(op) = operator.as_mut() {
+                                op.backend_mut().advance_prefetch(max_event_ts)?;
+                            }
+                        }
                     }
                     Msg::Barrier => {
                         if probe.is_some() && barrier_started.is_none() {

@@ -49,6 +49,9 @@ pub struct LatencySummary {
     pub p95: u64,
     /// 99th-percentile latency.
     pub p99: u64,
+    /// 99.9th-percentile latency — the prefetch experiments' metric:
+    /// synchronous cold reads land exactly in this tail.
+    pub p999: u64,
     /// Maximum latency.
     pub max: u64,
     /// Arithmetic mean.
@@ -70,6 +73,7 @@ impl LatencySummary {
             p50: h.quantile(0.50),
             p95: h.quantile(0.95),
             p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
             max: h.max,
             mean: h.mean(),
         }
@@ -93,6 +97,7 @@ impl LatencySummary {
             p50: samples[idx(0.50)],
             p95: samples[idx(0.95)],
             p99: samples[idx(0.99)],
+            p999: samples[idx(0.999)],
             max: *samples.last().expect("non-empty"),
             mean: samples.iter().map(|&v| v as u128).sum::<u128>() as f64 / samples.len() as f64,
         }

@@ -156,6 +156,7 @@ impl WindowOperator {
         if batch.len() > 1 {
             batch.sort_by(|a, b| a.tuple.key.cmp(&b.tuple.key));
         }
+        self.warm_hint(batch)?;
         let mut scratch = std::mem::take(&mut self.batch_scratch);
         for stamped in batch.iter() {
             scratch.clear();
@@ -165,6 +166,41 @@ impl WindowOperator {
         }
         self.batch_scratch = scratch;
         Ok(())
+    }
+
+    /// Tells the backend which `(key, window)` aggregates this batch is
+    /// about to read-modify-write, so block-oriented stores can warm
+    /// their caches while the batch's earlier elements are processed.
+    /// Only aligned assigners have a pure assignment the hint can
+    /// anticipate; the hint is advisory and never changes results.
+    fn warm_hint(&mut self, batch: &[Stamped]) -> Result<()> {
+        if !self.backend.wants_warm()
+            || !matches!(self.spec.aggregate, AggregateSpec::Incremental(_))
+            || !matches!(
+                self.spec.assigner,
+                WindowAssigner::Fixed { .. } | WindowAssigner::Sliding { .. }
+            )
+        {
+            return Ok(());
+        }
+        let mut pairs: Vec<(&[u8], WindowId)> = Vec::new();
+        for stamped in batch {
+            let tuple = &stamped.tuple;
+            if tuple.timestamp < self.watermark {
+                continue; // Dropped as late; never read.
+            }
+            for window in self.spec.assigner.assign(tuple.timestamp) {
+                let pair = (tuple.key.as_slice(), window);
+                // The batch is key-sorted, so duplicates are adjacent.
+                if pairs.last() != Some(&pair) {
+                    pairs.push(pair);
+                }
+            }
+        }
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        self.backend.warm(&pairs)
     }
 
     /// Advances event time, firing every eligible window into `out`.

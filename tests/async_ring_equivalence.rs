@@ -1,0 +1,258 @@
+//! Semantic equivalence of the background I/O ring: for every backend ×
+//! query pair, a run with asynchronous prefetch enabled must produce
+//! byte-identical output to the fully synchronous run — under randomized
+//! completion reordering, and under an injected crash with supervised
+//! recovery.
+//!
+//! Reorder seeds and the crash point derive from the SplitMix64 stream
+//! seeded by `FLOWKV_FAULT_SEED` (default below); the seed is printed so
+//! any failure reproduces with `FLOWKV_FAULT_SEED=<seed> cargo test`.
+
+use flowkv_common::scratch::ScratchDir;
+use flowkv_common::types::Tuple;
+use flowkv_common::vfs::{FaultPlan, FaultVfs, StdVfs};
+use flowkv_nexmark::{EventGenerator, GeneratorConfig, QueryId, QueryParams};
+use flowkv_spe::source::{LogSource, TupleLog};
+use flowkv_spe::{run_job, run_supervised, BackendChoice, RunOptions};
+
+const NUM_EVENTS: u64 = 5_000;
+const DEFAULT_SEED: u64 = 0xA5F0;
+const IO_THREADS: usize = 2;
+
+fn fault_seed() -> u64 {
+    std::env::var("FLOWKV_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+fn generator() -> EventGenerator {
+    EventGenerator::new(GeneratorConfig {
+        num_events: NUM_EVENTS,
+        seed: 23,
+        events_per_second: 5_000,
+        active_people: 50,
+        active_auctions: 80,
+        ..GeneratorConfig::default()
+    })
+}
+
+fn sorted_triples(tuples: &[Tuple]) -> Vec<(Vec<u8>, Vec<u8>, i64)> {
+    let mut v: Vec<(Vec<u8>, Vec<u8>, i64)> = tuples
+        .iter()
+        .map(|t| (t.key.clone(), t.value.clone(), t.timestamp))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Distinct per-cell randomness, all reproducible from the one seed.
+fn cell_seed(seed: u64, query: QueryId, backend: &BackendChoice, round: u64) -> u64 {
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15 ^ round.wrapping_mul(0xD134_2543_DE82_EF95);
+    for b in query.name().bytes().chain(backend.name().bytes()) {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `query` synchronously once, then with the ring enabled under
+/// several completion-shuffle seeds, and requires identical output.
+fn reorder_row(query: QueryId) {
+    let seed = fault_seed();
+    println!(
+        "async reorder {}: FLOWKV_FAULT_SEED={seed} (set the env var to replay)",
+        query.name()
+    );
+    let dir = ScratchDir::new(&format!("async-reorder-{}", query.name())).unwrap();
+    let log = dir.path().join("events.log");
+    TupleLog::record(&log, generator().tuples()).unwrap();
+    let job = query.build(QueryParams::new(1_000).with_parallelism(2));
+
+    for backend in &BackendChoice::all_small_for_tests() {
+        let ref_opts = RunOptions::builder(dir.path().join(format!("{}-ref", backend.name())))
+            .collect_outputs(true)
+            .watermark_interval(100)
+            .build();
+        let reference = run_job(
+            &job,
+            LogSource::open(&log).unwrap(),
+            backend.factory(),
+            &ref_opts,
+        )
+        .unwrap_or_else(|e| {
+            panic!(
+                "{} on {}: sync reference failed: {e}",
+                query.name(),
+                backend.name()
+            )
+        });
+        assert!(
+            !reference.outputs.is_empty(),
+            "{} on {}: reference produced no output",
+            query.name(),
+            backend.name()
+        );
+        let expected = sorted_triples(&reference.outputs);
+
+        for round in 0..2u64 {
+            let shuffle = cell_seed(seed, query, backend, round);
+            let opts =
+                RunOptions::builder(dir.path().join(format!("{}-ring{round}", backend.name())))
+                    .collect_outputs(true)
+                    .watermark_interval(100)
+                    .io_threads(IO_THREADS)
+                    .io_shuffle_seed(shuffle)
+                    .build();
+            let ring_run = run_job(
+                &job,
+                LogSource::open(&log).unwrap(),
+                backend.factory(),
+                &opts,
+            )
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{} on {}: ring run failed (seed {seed}, shuffle {shuffle}): {e}",
+                    query.name(),
+                    backend.name()
+                )
+            });
+            assert_eq!(
+                sorted_triples(&ring_run.outputs),
+                expected,
+                "{} on {}: async output diverged (seed {seed}, shuffle {shuffle})",
+                query.name(),
+                backend.name()
+            );
+        }
+    }
+}
+
+/// Crashes a ring-enabled run at a random store operation, recovers
+/// under supervision, and requires byte-identical output versus the
+/// synchronous reference — the async path must not weaken exactly-once.
+fn crash_cell(query: QueryId, backend: &BackendChoice, seed: u64) {
+    let dir = ScratchDir::new(&format!("async-crash-{}-{}", query.name(), backend.name())).unwrap();
+    let log = dir.path().join("events.log");
+    TupleLog::record(&log, generator().tuples()).unwrap();
+    let job = query.build(QueryParams::new(1_000).with_parallelism(2));
+
+    let ref_opts = RunOptions::builder(dir.path().join("ref"))
+        .collect_outputs(true)
+        .watermark_interval(100)
+        .build();
+    let reference = run_job(
+        &job,
+        LogSource::open(&log).unwrap(),
+        backend.factory(),
+        &ref_opts,
+    )
+    .unwrap();
+
+    // Count the ring run's store-op footprint, then crash inside the
+    // first half of it: background reads make the tail of the op range
+    // noisier than in the synchronous matrix, and the early half is
+    // where in-flight prefetches are most likely to be live.
+    let counter = FaultVfs::counting(StdVfs::shared());
+    let counted_opts = RunOptions::builder(dir.path().join("count"))
+        .watermark_interval(100)
+        .checkpoint(NUM_EVENTS / 2, dir.path().join("count-ckpt"))
+        .io_threads(IO_THREADS)
+        .build();
+    run_job(
+        &job,
+        LogSource::open(&log).unwrap(),
+        backend.factory_with_vfs(counter.clone()),
+        &counted_opts,
+    )
+    .unwrap();
+    let total_ops = counter.ops();
+    assert!(total_ops > 0, "store never touched the vfs");
+
+    let combo_seed = cell_seed(seed, query, backend, 7);
+    let plan = FaultPlan::random_crash(combo_seed, total_ops / 2);
+    let faulty = FaultVfs::new(StdVfs::shared(), plan);
+    let opts = RunOptions::builder(dir.path().join("data"))
+        .collect_outputs(true)
+        .watermark_interval(100)
+        .checkpoint(NUM_EVENTS / 2, dir.path().join("ckpt"))
+        .max_restarts(2)
+        .restart_backoff(std::time::Duration::from_millis(1))
+        .io_threads(IO_THREADS)
+        .io_shuffle_seed(combo_seed)
+        .build();
+    let sup = run_supervised(&job, &log, backend.factory_with_vfs(faulty.clone()), &opts)
+        .unwrap_or_else(|e| {
+            panic!(
+                "{} on {}: supervised ring run failed (seed {seed}): {e}",
+                query.name(),
+                backend.name()
+            )
+        });
+
+    let fired = faulty.fired();
+    assert_eq!(
+        fired.len(),
+        1,
+        "{} on {}: expected exactly one injected crash (seed {seed}), fired {fired:?}",
+        query.name(),
+        backend.name()
+    );
+    assert_eq!(
+        sup.restarts,
+        1,
+        "{} on {}: one crash must cost exactly one restart (seed {seed})",
+        query.name(),
+        backend.name()
+    );
+    assert_eq!(
+        sorted_triples(&sup.all_outputs()),
+        sorted_triples(&reference.outputs),
+        "{} on {}: recovered async output diverged (seed {seed}, crash at op {})",
+        query.name(),
+        backend.name(),
+        fired[0].0
+    );
+}
+
+/// Crash cells cover the two backends that actually route reads through
+/// the ring (FlowKV's AAR/AUR prefetch and the LSM block warm-up); the
+/// other backends ignore the I/O policy and are already exercised by the
+/// synchronous crash matrix.
+fn crash_row(query: QueryId) {
+    let seed = fault_seed();
+    println!(
+        "async crash {}: FLOWKV_FAULT_SEED={seed} (set the env var to replay)",
+        query.name()
+    );
+    for backend in BackendChoice::all_small_for_tests()
+        .into_iter()
+        .filter(|b| matches!(b, BackendChoice::FlowKv(_) | BackendChoice::Lsm(_)))
+    {
+        crash_cell(query, &backend, seed);
+    }
+}
+
+#[test]
+fn async_reorder_q7() {
+    reorder_row(QueryId::Q7);
+}
+
+#[test]
+fn async_reorder_q11_median() {
+    reorder_row(QueryId::Q11Median);
+}
+
+#[test]
+fn async_reorder_q11() {
+    reorder_row(QueryId::Q11);
+}
+
+#[test]
+fn async_crash_q7() {
+    crash_row(QueryId::Q7);
+}
+
+#[test]
+fn async_crash_q11_median() {
+    crash_row(QueryId::Q11Median);
+}

@@ -19,6 +19,7 @@ fn ctx(dir: &ScratchDir, semantics: OperatorSemantics, name: &str) -> OperatorCo
         semantics,
         data_dir: dir.path().to_path_buf(),
         telemetry: None,
+        io: None,
     }
 }
 

@@ -60,6 +60,7 @@ fn make_store(choice: &BackendChoice, kind: AggregateKind, tag: &str) -> Box<dyn
         semantics: OperatorSemantics::new(kind, WindowKind::Fixed { size: WINDOW_SIZE }),
         data_dir: dir.into_kept(),
         telemetry: None,
+        io: None,
     };
     choice.factory().create(&ctx).unwrap()
 }

@@ -80,6 +80,7 @@ fn make_store(choice: &BackendChoice, semantics: OperatorSemantics) -> Box<dyn S
         semantics,
         data_dir: dir.into_kept(),
         telemetry: None,
+        io: None,
     };
     choice.factory().create(&ctx).unwrap()
 }

@@ -30,8 +30,9 @@ fn generator(events: u64) -> GeneratorConfig {
 }
 
 /// Runs `query` with the JSONL writer attached and returns the parsed,
-/// schema-validated lines.
-fn run_with_jsonl(query: QueryId, events: u64, scratch: &str) -> Vec<Json> {
+/// schema-validated lines. `io_threads > 0` turns on the background I/O
+/// ring (asynchronous prefetch).
+fn run_with_jsonl(query: QueryId, events: u64, scratch: &str, io_threads: usize) -> Vec<Json> {
     let dir = ScratchDir::new(scratch).unwrap();
     let out_path = dir.path().join("telemetry.jsonl");
     let job = query.build(QueryParams::new(1_000).with_parallelism(2));
@@ -40,6 +41,7 @@ fn run_with_jsonl(query: QueryId, events: u64, scratch: &str) -> Vec<Json> {
     opts.record_latency = true;
     opts.telemetry_out = Some(out_path.clone());
     opts.telemetry_interval = Duration::from_millis(25);
+    opts.io_threads = io_threads;
     let factory = Arc::new(FlowKvFactory::new(FlowKvConfig::small_for_tests()));
     run_job(
         &job,
@@ -82,7 +84,7 @@ fn metric_values<'a>(snapshot: &'a Json, prefix: &str, kind: &str) -> Vec<(&'a s
 
 #[test]
 fn q7_jsonl_stream_is_well_formed_and_monotone() {
-    let lines = run_with_jsonl(QueryId::Q7, 60_000, "telemetry-q7");
+    let lines = run_with_jsonl(QueryId::Q7, 60_000, "telemetry-q7", 0);
     let snapshots: Vec<&Json> = lines
         .iter()
         .filter(|l| l.get("type").and_then(Json::as_str) == Some("snapshot"))
@@ -165,8 +167,68 @@ fn q7_jsonl_stream_is_well_formed_and_monotone() {
 }
 
 #[test]
+fn prefetch_families_report_ring_accuracy() {
+    let lines = run_with_jsonl(QueryId::Q11Median, 60_000, "telemetry-prefetch", 2);
+    let terminal = lines
+        .iter()
+        .rfind(|l| l.get("type").and_then(Json::as_str) == Some("snapshot"))
+        .expect("run produced no snapshots");
+
+    // Every counter of the prefetch-accuracy family is present with the
+    // right kind, and all values are sane.
+    let mut totals: std::collections::HashMap<&str, i64> = Default::default();
+    for prefix in [
+        "prefetch_issued_total",
+        "prefetch_hits_total",
+        "prefetch_late_total",
+        "prefetch_wasted_bytes",
+    ] {
+        let values = metric_values(terminal, prefix, "counter");
+        assert!(!values.is_empty(), "terminal snapshot missing {prefix}");
+        for (name, value) in values {
+            assert!(value >= 0, "negative prefetch counter {name}: {value}");
+            *totals.entry(prefix).or_default() += value;
+        }
+    }
+
+    // The ring had work to do on this AUR query, and a prefetch can only
+    // be served after it was issued.
+    assert!(totals["prefetch_issued_total"] > 0, "ring issued nothing");
+    assert!(
+        totals["prefetch_issued_total"] >= totals["prefetch_hits_total"],
+        "more hits than issues: {totals:?}"
+    );
+
+    // Timeliness is a histogram: no scalar value, but count/sum fields.
+    let metrics = terminal.get("metrics").and_then(Json::as_obj).unwrap();
+    let timeliness: Vec<_> = metrics
+        .iter()
+        .filter(|(name, _)| name.starts_with("prefetch_timeliness_ms"))
+        .collect();
+    assert!(
+        !timeliness.is_empty(),
+        "terminal snapshot missing prefetch_timeliness_ms"
+    );
+    let mut observations = 0i64;
+    for (name, v) in timeliness {
+        assert_eq!(
+            v.get("kind").and_then(Json::as_str),
+            Some("histogram"),
+            "{name} has wrong kind"
+        );
+        observations += v.get("count").and_then(Json::as_i64).expect("no count");
+    }
+    // Timeliness is recorded only on prefetch-served reads that carried
+    // an ETT prediction, so observations never exceed hits.
+    assert!(
+        observations <= totals["prefetch_hits_total"],
+        "more timeliness observations ({observations}) than hits ({totals:?})"
+    );
+}
+
+#[test]
 fn q11_median_flight_record_yields_ett_error() {
-    let lines = run_with_jsonl(QueryId::Q11Median, 60_000, "telemetry-q11m");
+    let lines = run_with_jsonl(QueryId::Q11Median, 60_000, "telemetry-q11m", 0);
     let mut observations = 0u64;
     let mut abs_error_sum = 0i64;
     for line in &lines {
