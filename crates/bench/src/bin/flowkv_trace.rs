@@ -1,0 +1,61 @@
+//! Trace analyzer: validates a Chrome trace-event JSON file (as written
+//! by `nexmark_run --trace-out=` or `RunOptions::trace_out`) and prints
+//! the critical-path latency-attribution table.
+//!
+//! Usage:
+//! `cargo run --release -p flowkv-bench --bin flowkv-trace -- \
+//!   <trace.json> [--validate-only]`
+//!
+//! Exit codes: 0 on a valid trace, 1 when the file fails schema
+//! validation, 2 on usage errors.
+
+use flowkv_common::trace;
+
+fn main() {
+    let mut validate_only = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--validate-only" => validate_only = true,
+            _ if arg.starts_with("--") => {
+                eprintln!("unknown flag {arg}");
+                std::process::exit(2);
+            }
+            _ => path = Some(arg),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: flowkv-trace <trace.json> [--validate-only]");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let stats = match trace::validate_chrome_trace(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid trace: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "{path}: {} events, {} spans, {} pids, {} lanes",
+        stats.events, stats.spans, stats.pids, stats.lanes
+    );
+    if validate_only {
+        return;
+    }
+    let events = match trace::parse_chrome_trace(&text) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("invalid trace: {e}");
+            std::process::exit(1);
+        }
+    };
+    let attribution = trace::attribution(&events);
+    print!("{}", trace::render_attribution(&attribution));
+}

@@ -10,11 +10,17 @@
 //!   [--events=120000] [--window-ms=1500] [--parallelism=2] \
 //!   [--rate=0] [--timeout=300] [--ratio=0.02] [--msa=1.5] \
 //!   [--buffer-kb=1280] [--seed=1] \
-//!   [--telemetry-out=run.jsonl] [--telemetry-interval-ms=250]`
+//!   [--telemetry-out=run.jsonl] [--telemetry-interval-ms=250] \
+//!   [--trace-out=run.trace.json] [--trace-sample=1]`
 //!
 //! `--telemetry-out=` attaches the telemetry subsystem and streams
 //! periodic metric snapshots plus flight-recorder events (watermarks,
 //! checkpoint barriers, ETT predictions) to the given JSONL file.
+//!
+//! `--trace-out=` enables causal span tracing and writes a Chrome
+//! trace-event JSON file (load it at <https://ui.perfetto.dev> or feed
+//! it to the `flowkv-trace` analyzer). `--trace-sample=N` traces every
+//! Nth sealed source batch (default 1 = every batch when tracing is on).
 
 use std::time::Duration;
 
@@ -79,6 +85,11 @@ fn main() {
         (!path.is_empty()).then(|| std::path::PathBuf::from(path))
     };
     let telemetry_interval = Duration::from_millis(args.u64("telemetry-interval-ms", 250));
+    let trace_out = {
+        let path = args.str("trace-out", "");
+        (!path.is_empty()).then(|| std::path::PathBuf::from(path))
+    };
+    let trace_sample = args.u64("trace-sample", 0);
     let gen_cfg = GeneratorConfig {
         seed: args.u64("seed", 1),
         ..workload(events, args.u64("seed", 1))
@@ -109,6 +120,13 @@ fn main() {
                 eprintln!("telemetry -> {}", path.display());
                 opts.telemetry_out = Some(path);
                 opts.telemetry_interval = telemetry_interval;
+            }
+            if let Some(path) = trace_out {
+                eprintln!("trace -> {}", path.display());
+                opts.trace_out = Some(path);
+            }
+            if trace_sample > 0 {
+                opts.trace_sample = trace_sample;
             }
         },
     );

@@ -12,6 +12,11 @@
 //!
 //! Usage: `cargo run --release -p flowkv-bench --bin pipeline_bench --
 //! [--scale=1.0] [--timeout=300] [--out=BENCH_pipeline.json]`
+//!
+//! `--trace-overhead` instead measures the cost of span tracing on
+//! Q11-Median at batch 256: untraced and fully-sampled traced runs
+//! interleave, and the harness asserts the traced median is within 2%
+//! of the untraced median plus the untraced runs' own relative spread.
 
 use std::time::Duration;
 
@@ -41,6 +46,11 @@ fn main() {
     let span_ms = (events * 1_000 / EVENTS_PER_SECOND) as i64;
     let window_ms = span_ms / 8;
     let params = QueryParams::new(window_ms).with_parallelism(2);
+
+    if std::env::args().any(|a| a == "--trace-overhead") {
+        trace_overhead(events, params, timeout);
+        return;
+    }
 
     eprintln!(
         "pipeline_bench: {events} events, window {window_ms} ms, batch sizes {BATCH_SIZES:?}"
@@ -170,4 +180,84 @@ fn main() {
     json.push_str("  }\n}\n");
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     eprintln!("pipeline_bench: wrote {out_path}");
+}
+
+/// Measures span-tracing overhead on Q11-Median at batch 256 and
+/// asserts the acceptance bound: median traced elapsed ≤ median
+/// untraced elapsed × (1.02 + the untraced runs' own relative spread).
+///
+/// Untraced and traced runs interleave (U T U T U T — plus a discarded
+/// warm-up) and the comparison uses medians, not minima: a single lucky
+/// fast run would otherwise set a floor the other mode can't meet on a
+/// noisy machine, reporting scheduler jitter as tracing cost.
+fn trace_overhead(events: u64, params: QueryParams, timeout: Duration) {
+    const REPEATS: usize = 5;
+    eprintln!("trace_overhead: Q11-Median, {events} events, batch 256, sample 1");
+    let run = |traced: bool| -> f64 {
+        // The in-memory backend keeps the measurement CPU-bound: disk
+        // stores make wall time bimodal (page cache, journaling), and
+        // that jitter is store noise, not tracing cost — the traced
+        // store path is exercised identically either way.
+        let backend = BackendChoice::InMemory {
+            budget_per_partition: 64 << 20,
+        };
+        let outcome = run_cell(
+            QueryId::Q11Median,
+            &backend,
+            workload(events, 11),
+            params,
+            timeout,
+            |o| {
+                o.batch_size = 256;
+                if traced {
+                    o.trace_sample = 1;
+                }
+            },
+        );
+        match outcome.result() {
+            Some(r) => r.elapsed.as_secs_f64(),
+            None => panic!("trace-overhead run failed: {}", outcome.throughput_cell()),
+        }
+    };
+    let median = |xs: &[f64]| -> f64 {
+        let mut v = xs.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    run(false); // warm-up: page cache, allocator, first-run compilation of the dirs
+    let mut off = Vec::new();
+    let mut on = Vec::new();
+    for _ in 0..REPEATS {
+        off.push(run(false));
+        on.push(run(true));
+    }
+    let off_med = median(&off);
+    let on_med = median(&on);
+    let spread = (off.iter().cloned().fold(f64::MIN, f64::max)
+        - off.iter().cloned().fold(f64::MAX, f64::min))
+        / off_med;
+    let overhead = on_med / off_med - 1.0;
+    println!(
+        "untraced_s     {} (median {off_med:.3})",
+        off.iter()
+            .map(|s| format!("{s:.3}"))
+            .collect::<Vec<_>>()
+            .join(" / ")
+    );
+    println!(
+        "traced_s       {} (median {on_med:.3})",
+        on.iter()
+            .map(|s| format!("{s:.3}"))
+            .collect::<Vec<_>>()
+            .join(" / ")
+    );
+    println!("noise          {:.2}%", spread * 100.0);
+    println!("overhead       {:.2}%", overhead * 100.0);
+    assert!(
+        overhead <= 0.02 + spread,
+        "tracing overhead {:.2}% exceeds 2% + noise {:.2}%",
+        overhead * 100.0,
+        spread * 100.0
+    );
+    println!("outcome        ok");
 }

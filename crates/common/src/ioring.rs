@@ -62,6 +62,13 @@ impl std::fmt::Debug for IoOutcome {
 }
 
 /// A finished submission.
+///
+/// The three timestamps (nanoseconds from the ring's creation) record
+/// the job's full lifecycle — `submit` when it was queued, `start`
+/// when a pool thread picked it up, `done` when it finished — so
+/// consumers can distinguish queueing delay from execution time. The
+/// `start − submit` gap also feeds the `prefetch_queue_delay_nanos`
+/// histogram when the ring carries a telemetry handle.
 #[derive(Debug)]
 pub struct Completion {
     /// The id `submit` returned for this job.
@@ -70,6 +77,19 @@ pub struct Completion {
     pub tag: u64,
     /// The job's result.
     pub outcome: IoOutcome,
+    /// Nanoseconds (ring epoch) when the job was submitted.
+    pub submit_nanos: u64,
+    /// Nanoseconds (ring epoch) when a pool thread started the job.
+    pub start_nanos: u64,
+    /// Nanoseconds (ring epoch) when the job finished.
+    pub done_nanos: u64,
+}
+
+impl Completion {
+    /// Time the job sat queued before a pool thread picked it up.
+    pub fn queue_delay_nanos(&self) -> u64 {
+        self.start_nanos.saturating_sub(self.submit_nanos)
+    }
 }
 
 impl Completion {
@@ -117,8 +137,19 @@ impl IoPolicy {
     }
 }
 
+struct QueuedJob {
+    id: u64,
+    tag: u64,
+    job: IoJob,
+    submit_nanos: u64,
+    /// Trace context captured from the submitting thread, so the pool
+    /// thread's span parents to the exact store call that issued the
+    /// read ([`crate::trace`]).
+    ctx: Option<crate::trace::TraceCtx>,
+}
+
 struct RingState {
-    queue: VecDeque<(u64, u64, IoJob)>,
+    queue: VecDeque<QueuedJob>,
     completions: Vec<Completion>,
     in_flight: usize,
     next_id: u64,
@@ -132,6 +163,11 @@ struct Shared {
     work: Condvar,
     /// Signalled when a completion lands.
     done: Condvar,
+    /// Clock origin for the completion timestamps.
+    epoch: std::time::Instant,
+    /// When present: queue-delay histogram plus span recording for
+    /// traced jobs.
+    telemetry: Option<Arc<crate::telemetry::Telemetry>>,
 }
 
 /// The ring itself. Clone the `Arc<IoRing>` freely; submissions from any
@@ -145,17 +181,36 @@ pub struct IoRing {
 impl IoRing {
     /// Builds a ring with `threads` pool threads (min 1) over `vfs`.
     pub fn new(vfs: Arc<dyn Vfs>, threads: usize) -> Self {
-        Self::build(vfs, threads, None)
+        Self::build(vfs, threads, None, None)
     }
 
     /// Like [`IoRing::new`] but completions are inserted at seeded
     /// pseudo-random positions among the already-pending completions, so
     /// drain order is adversarial yet reproducible.
     pub fn with_shuffle_seed(vfs: Arc<dyn Vfs>, threads: usize, seed: u64) -> Self {
-        Self::build(vfs, threads, Some(seed))
+        Self::build(vfs, threads, Some(seed), None)
     }
 
-    fn build(vfs: Arc<dyn Vfs>, threads: usize, shuffle: Option<u64>) -> Self {
+    /// The constructor backend factories use: optional seeded shuffle
+    /// plus a telemetry handle. With telemetry the ring records the
+    /// `prefetch_queue_delay_nanos` histogram on every completion and,
+    /// when a tracer is installed, an `io`-category span for every job
+    /// submitted under an active trace context.
+    pub fn with_telemetry(
+        vfs: Arc<dyn Vfs>,
+        threads: usize,
+        shuffle: Option<u64>,
+        telemetry: Option<Arc<crate::telemetry::Telemetry>>,
+    ) -> Self {
+        Self::build(vfs, threads, shuffle, telemetry)
+    }
+
+    fn build(
+        vfs: Arc<dyn Vfs>,
+        threads: usize,
+        shuffle: Option<u64>,
+        telemetry: Option<Arc<crate::telemetry::Telemetry>>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(RingState {
                 queue: VecDeque::new(),
@@ -167,6 +222,8 @@ impl IoRing {
             }),
             work: Condvar::new(),
             done: Condvar::new(),
+            epoch: std::time::Instant::now(),
+            telemetry,
         });
         let workers = (0..threads.max(1))
             .map(|i| {
@@ -190,12 +247,22 @@ impl IoRing {
         &self.vfs
     }
 
-    /// Queues `job` under `tag` and returns its submission id.
+    /// Queues `job` under `tag` and returns its submission id. The
+    /// submitting thread's active trace context (if any) rides along so
+    /// the job's span links back to the store call that issued it.
     pub fn submit(&self, tag: u64, job: IoJob) -> u64 {
+        let submit_nanos = self.shared.epoch.elapsed().as_nanos() as u64;
+        let ctx = crate::trace::current();
         let mut st = self.shared.state.lock().expect("ioring lock");
         let id = st.next_id;
         st.next_id += 1;
-        st.queue.push_back((id, tag, job));
+        st.queue.push_back(QueuedJob {
+            id,
+            tag,
+            job,
+            submit_nanos,
+            ctx,
+        });
         drop(st);
         self.shared.work.notify_one();
         id
@@ -270,8 +337,15 @@ impl Drop for IoRing {
 }
 
 fn worker_loop(shared: Arc<Shared>, vfs: Arc<dyn Vfs>) {
+    // Resolved lazily because the tracer is typically installed on the
+    // telemetry handle after the backend (and its ring) was built.
+    let mut recorder: Option<Arc<crate::trace::SpanRecorder>> = None;
+    let queue_delay = shared
+        .telemetry
+        .as_ref()
+        .map(|t| t.registry().histogram("prefetch_queue_delay_nanos"));
     loop {
-        let (id, tag, job) = {
+        let queued = {
             let mut st = shared.state.lock().expect("ioring lock");
             loop {
                 if let Some(job) = st.queue.pop_front() {
@@ -284,14 +358,67 @@ fn worker_loop(shared: Arc<Shared>, vfs: Arc<dyn Vfs>) {
                 st = shared.work.wait(st).expect("ioring worker wait");
             }
         };
+        let QueuedJob {
+            id,
+            tag,
+            job,
+            submit_nanos,
+            ctx,
+        } = queued;
+        let start_nanos = shared.epoch.elapsed().as_nanos() as u64;
+        let span = ctx.and_then(|ctx| {
+            if recorder.is_none() {
+                recorder = shared.telemetry.as_ref().and_then(|t| t.trace()).map(|h| {
+                    let name = std::thread::current()
+                        .name()
+                        .unwrap_or("ioring")
+                        .to_string();
+                    h.thread(&name)
+                });
+            }
+            recorder.as_ref().map(|rec| {
+                rec.begin_with(
+                    "io_job",
+                    "io",
+                    Some(ctx),
+                    vec![
+                        ("job", id as i64),
+                        ("tag", tag as i64),
+                        (
+                            "queue_delay",
+                            start_nanos.saturating_sub(submit_nanos) as i64,
+                        ),
+                    ],
+                )
+            })
+        });
         let outcome = match catch_unwind(AssertUnwindSafe(|| job(&vfs))) {
             Ok(Ok(payload)) => IoOutcome::Ok(payload),
             Ok(Err(e)) => IoOutcome::Err(e),
             Err(payload) => IoOutcome::Panicked(payload),
         };
+        let done_nanos = shared.epoch.elapsed().as_nanos() as u64;
+        if let (Some(span), Some(rec)) = (span, recorder.as_ref()) {
+            rec.end_with(
+                span,
+                "io_job",
+                "io",
+                vec![("ok", matches!(outcome, IoOutcome::Ok(_)) as i64)],
+            );
+        }
+        if let Some(h) = &queue_delay {
+            h.record(start_nanos.saturating_sub(submit_nanos));
+        }
         let mut st = shared.state.lock().expect("ioring lock");
         st.in_flight -= 1;
-        let completion = Completion { id, tag, outcome };
+        let completion = Completion {
+            id,
+            tag,
+            outcome,
+            submit_nanos,
+            start_nanos,
+            done_nanos,
+        };
         match st.shuffle {
             Some(ref mut seed) => {
                 // SplitMix64 step, mirroring vfs::FaultPlan's generator, so
@@ -406,6 +533,69 @@ mod tests {
         // deviation below comes from the seeded insert position.
         assert_eq!(order(42), order(42));
         assert_ne!(order(42), order(43));
+    }
+
+    #[test]
+    fn completions_carry_lifecycle_timestamps() {
+        let telemetry = crate::telemetry::Telemetry::new_shared();
+        let r = IoRing::with_telemetry(StdVfs::shared(), 1, None, Some(Arc::clone(&telemetry)));
+        // One slow job holds the single pool thread so the second job
+        // accrues measurable queue delay.
+        r.submit(
+            0,
+            Box::new(|_vfs| {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                Ok(Box::new(()) as _)
+            }),
+        );
+        let id = r.submit(0, Box::new(|_vfs| Ok(Box::new(()) as _)));
+        let c = r.wait(id);
+        assert!(c.submit_nanos <= c.start_nanos);
+        assert!(c.start_nanos <= c.done_nanos);
+        assert!(c.queue_delay_nanos() >= 5_000_000, "second job waited");
+        let snap = telemetry
+            .registry()
+            .histogram("prefetch_queue_delay_nanos")
+            .snapshot();
+        assert!(snap.count >= 2);
+    }
+
+    #[test]
+    fn traced_submission_records_io_span() {
+        let telemetry = crate::telemetry::Telemetry::new_shared();
+        let tracer = crate::trace::Tracer::new();
+        telemetry.set_trace(crate::trace::TraceHandle {
+            tracer: Arc::clone(&tracer),
+            pid: 0,
+        });
+        let r = IoRing::with_telemetry(StdVfs::shared(), 1, None, Some(Arc::clone(&telemetry)));
+        let rec = tracer.thread(0, "submitter");
+        let id = {
+            let _scope = crate::trace::enter(
+                &rec,
+                crate::trace::TraceCtx {
+                    trace: 9,
+                    span: 4,
+                    born: 0,
+                },
+            );
+            r.submit(1, Box::new(|_vfs| Ok(Box::new(()) as _)))
+        };
+        let _ = r.wait(id);
+        let threads = tracer.snapshot();
+        let io = threads
+            .iter()
+            .flat_map(|t| &t.events)
+            .find(|e| e.name == "io_job")
+            .expect("io span recorded");
+        assert_eq!(io.trace, 9);
+        assert_eq!(io.parent, 4);
+        // Untraced submissions stay silent.
+        let before: usize = tracer.snapshot().iter().map(|t| t.events.len()).sum();
+        let id = r.submit(1, Box::new(|_vfs| Ok(Box::new(()) as _)));
+        let _ = r.wait(id);
+        let after: usize = tracer.snapshot().iter().map(|t| t.events.len()).sum();
+        assert_eq!(before, after);
     }
 
     #[test]

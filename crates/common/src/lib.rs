@@ -27,6 +27,10 @@
 //!   submission API over a small thread pool bound to the [`vfs`] seam,
 //!   used to move predictable reads (prefetch, warm-up, snapshots) off
 //!   the hot path without changing observable semantics.
+//! - [`trace`] — causal span tracing: per-thread bounded span rings, a
+//!   sampled per-batch trace context that propagates through stores and
+//!   the I/O ring, Chrome trace-event export (Perfetto-loadable), and
+//!   critical-path latency attribution.
 //! - [`vfs`] — the virtual filesystem seam every store persists through:
 //!   a passthrough [`vfs::StdVfs`] and a deterministic, seeded
 //!   [`vfs::FaultVfs`] for torn-write / dropped-fsync / ENOSPC /
@@ -42,6 +46,7 @@ pub mod metrics;
 pub mod registry;
 pub mod scratch;
 pub mod telemetry;
+pub mod trace;
 pub mod types;
 pub mod vfs;
 
@@ -53,5 +58,6 @@ pub use telemetry::{
     Counter, FlightRecorder, Gauge, Histogram, HistogramSnapshot, MetricRegistry, MetricSample,
     SampleValue, Telemetry, TraceEvent,
 };
+pub use trace::{SpanRecorder, TraceCtx, TraceHandle, Tracer};
 pub use types::{Timestamp, Tuple, WindowId};
 pub use vfs::{FaultKind, FaultPlan, FaultVfs, StdVfs, Vfs, VfsFile};

@@ -520,6 +520,7 @@ pub struct Telemetry {
     registry: MetricRegistry,
     recorder: FlightRecorder,
     epoch: Instant,
+    trace: Mutex<Option<crate::trace::TraceHandle>>,
 }
 
 impl Default for Telemetry {
@@ -540,6 +541,7 @@ impl Telemetry {
             registry: MetricRegistry::new(),
             recorder: FlightRecorder::new(capacity),
             epoch: Instant::now(),
+            trace: Mutex::new(None),
         }
     }
 
@@ -571,6 +573,18 @@ impl Telemetry {
             tag: tag.to_string(),
             fields,
         });
+    }
+
+    /// Installs the span tracer this job's threads, stores, and I/O
+    /// rings record into (see [`crate::trace`]). Installing is what
+    /// turns tracing on for everything reached through this handle.
+    pub fn set_trace(&self, handle: crate::trace::TraceHandle) {
+        *self.trace.lock().expect("trace handle lock") = Some(handle);
+    }
+
+    /// The installed span tracer, if any.
+    pub fn trace(&self) -> Option<crate::trace::TraceHandle> {
+        self.trace.lock().expect("trace handle lock").clone()
     }
 }
 
@@ -826,12 +840,35 @@ impl<'a> JsonParser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Copy the full UTF-8 sequence starting here.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|e| format!("invalid UTF-8: {e}"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Bulk-copy the plain-ASCII run up to the next
+                    // quote, escape, or multi-byte sequence; validating
+                    // from here to EOF per character would be quadratic
+                    // in the document size.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b >= 0x80 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.pos > start {
+                        out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                    } else {
+                        // Multi-byte lead: decode one scalar from a
+                        // bounded window (UTF-8 is at most 4 bytes).
+                        let end = (self.pos + 4).min(self.bytes.len());
+                        let window = &self.bytes[self.pos..end];
+                        let valid = match std::str::from_utf8(window) {
+                            Ok(s) => s,
+                            Err(e) if e.valid_up_to() > 0 => {
+                                std::str::from_utf8(&window[..e.valid_up_to()]).unwrap()
+                            }
+                            Err(e) => return Err(format!("invalid UTF-8: {e}")),
+                        };
+                        let c = valid.chars().next().unwrap();
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
                 }
             }
         }

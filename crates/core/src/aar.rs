@@ -247,17 +247,26 @@ impl AarStore {
                         }
                     }
                     None => {
-                        if self.inflight_windows.contains(&window) {
+                        let late = self.inflight_windows.contains(&window);
+                        if late {
                             // The window fired before its background read
                             // landed; fall back to a synchronous read.
                             if let Some(p) = &self.prefetch_probe {
                                 p.late.inc();
                             }
                         }
-                        Some(LogReader::open_in(
-                            &self.vfs,
-                            self.dir.join(window_file_name(window)),
-                        )?)
+                        let stall_t0 = (late && flowkv_common::trace::current().is_some())
+                            .then(std::time::Instant::now);
+                        let reader =
+                            LogReader::open_in(&self.vfs, self.dir.join(window_file_name(window)))?;
+                        if let Some(t0) = stall_t0 {
+                            flowkv_common::trace::instant_here(
+                                "prefetch_stall",
+                                "prefetch",
+                                &[("stall", t0.elapsed().as_nanos() as i64)],
+                            );
+                        }
+                        Some(reader)
                     }
                 }
             } else {
@@ -411,6 +420,11 @@ impl AarStore {
                             bytes: read.bytes,
                         },
                     );
+                    flowkv_common::trace::instant_here(
+                        "prefetch_install",
+                        "prefetch",
+                        &[("windows", 1)],
+                    );
                 } else {
                     self.waste(read.bytes);
                 }
@@ -427,6 +441,11 @@ impl AarStore {
         if let Some(p) = &self.prefetch_probe {
             p.wasted_bytes.add(bytes);
         }
+        flowkv_common::trace::instant_here(
+            "prefetch_waste",
+            "prefetch",
+            &[("bytes", bytes as i64)],
+        );
     }
 
     /// Submits one background file read per due window, bounded by the

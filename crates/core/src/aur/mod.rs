@@ -389,12 +389,25 @@ impl AurStore {
                     // race, and the completion is discarded at the next
                     // drain (its disk_records check fails or the window
                     // is gone from the Stat table).
-                    if self.inflight_contains(key, window) {
+                    let late = self.inflight_contains(key, window);
+                    if late {
                         if let Some(p) = &self.prefetch_probe {
                             p.late.inc();
                         }
                     }
+                    // When a sampled batch is active, the synchronous
+                    // read a timely prefetch would have hidden is the
+                    // batch's prefetch-stall share.
+                    let stall_t0 = (late && flowkv_common::trace::current().is_some())
+                        .then(std::time::Instant::now);
                     disk_values = self.predictive_batch_read(key, window)?;
+                    if let Some(t0) = stall_t0 {
+                        flowkv_common::trace::instant_here(
+                            "prefetch_stall",
+                            "prefetch",
+                            &[("stall", t0.elapsed().as_nanos() as i64)],
+                        );
+                    }
                 }
             }
             if let Some(stat) = self.stat.consume(key, window) {
@@ -965,6 +978,7 @@ impl AurStore {
     /// gone), or a flush adding records (disk_records advanced).
     fn install(&mut self, batch: AsyncBatch) {
         let stale = batch.generation != self.generation || batch.epoch != self.epoch;
+        let mut installed = 0i64;
         for w in batch.windows {
             if stale {
                 self.waste(w.bytes);
@@ -978,6 +992,7 @@ impl AurStore {
                 {
                     self.metrics.add_bytes_read(w.bytes);
                     self.prefetch.extend((w.key, w.window), w.values);
+                    installed += 1;
                 }
                 Some(_) => self.waste(w.bytes),
                 // Consumed before the read completed: the prefetch was
@@ -990,12 +1005,24 @@ impl AurStore {
                 }
             }
         }
+        if installed > 0 {
+            flowkv_common::trace::instant_here(
+                "prefetch_install",
+                "prefetch",
+                &[("windows", installed)],
+            );
+        }
     }
 
     fn waste(&mut self, bytes: u64) {
         if let Some(p) = &self.prefetch_probe {
             p.wasted_bytes.add(bytes);
         }
+        flowkv_common::trace::instant_here(
+            "prefetch_waste",
+            "prefetch",
+            &[("bytes", bytes as i64)],
+        );
     }
 
     /// Submits one background read covering every window due within the

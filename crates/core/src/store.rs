@@ -96,10 +96,12 @@ impl FlowKvStore {
         let metrics = StoreMetrics::new_shared();
         let m = config.store_instances;
         let ring = io.as_ref().filter(|p| p.threads > 0).map(|p| {
-            Arc::new(match p.shuffle_seed {
-                Some(seed) => IoRing::with_shuffle_seed(Arc::clone(&vfs), p.threads, seed),
-                None => IoRing::new(Arc::clone(&vfs), p.threads),
-            })
+            Arc::new(IoRing::with_telemetry(
+                Arc::clone(&vfs),
+                p.threads,
+                p.shuffle_seed,
+                telemetry.clone(),
+            ))
         });
         // Each instance gets an even share of the write buffer, matching
         // the paper's per-operator budget split across `m` instances.

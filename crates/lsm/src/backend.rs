@@ -319,12 +319,12 @@ impl StateBackendFactory for LsmBackendFactory {
             Arc::clone(&self.vfs),
         )?;
         if let Some(policy) = ctx.io.as_ref().filter(|p| p.threads > 0) {
-            let ring = match policy.shuffle_seed {
-                Some(seed) => {
-                    IoRing::with_shuffle_seed(Arc::clone(&self.vfs), policy.threads, seed)
-                }
-                None => IoRing::new(Arc::clone(&self.vfs), policy.threads),
-            };
+            let ring = IoRing::with_telemetry(
+                Arc::clone(&self.vfs),
+                policy.threads,
+                policy.shuffle_seed,
+                ctx.telemetry.clone(),
+            );
             backend.set_ring(Arc::new(ring), 0);
         }
         Ok(Box::new(backend))

@@ -425,6 +425,8 @@ impl Db {
             return Ok(());
         }
         let live: HashSet<u64> = self.version.all_file_nos().into_iter().collect();
+        let mut installed = 0i64;
+        let mut wasted = 0i64;
         for completion in done {
             let Some((file_no, off, len)) = self.warm_inflight.remove(&completion.id) else {
                 continue;
@@ -440,13 +442,24 @@ impl Db {
                         .expect("warm job yields bytes");
                     self.metrics.add_bytes_read(len + 4);
                     self.cache.insert((file_no, off), Arc::new(raw));
+                    installed += 1;
                 }
-                Ok(_) => {}
+                Ok(_) => wasted += len as i64,
                 // A failed warm is only a missed warm: if the foreground
                 // actually needs the block, its own read surfaces the
                 // error with full context.
                 Err(_) => {}
             }
+        }
+        if installed > 0 {
+            flowkv_common::trace::instant_here(
+                "prefetch_install",
+                "prefetch",
+                &[("blocks", installed)],
+            );
+        }
+        if wasted > 0 {
+            flowkv_common::trace::instant_here("prefetch_waste", "prefetch", &[("bytes", wasted)]);
         }
         Ok(())
     }

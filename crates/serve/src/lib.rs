@@ -28,6 +28,6 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{LookupResult, MetricsResult, ScanResult, StateClient};
+pub use client::{LookupResult, MetricsResult, ScanResult, StateClient, TraceSummary};
 pub use protocol::{ErrorCode, Request, Response, ScanEntry, StateInfo, MAX_FRAME};
 pub use server::{route_key, StateServer};

@@ -28,6 +28,7 @@ use flowkv_common::error::{Result, StoreError};
 use flowkv_common::metrics::MetricsSnapshot;
 use flowkv_common::registry::{StateDescriptor, StateKey, StatePattern, ViewValue};
 use flowkv_common::telemetry::{HistogramSnapshot, MetricSample, SampleValue};
+use flowkv_common::trace::AttributionRow;
 use flowkv_common::types::{Timestamp, WindowId};
 
 /// Upper bound on one frame's payload (opcode + body), in bytes.
@@ -304,6 +305,16 @@ pub enum Request {
     /// The server's full telemetry registry rendered as Prometheus text
     /// exposition format 0.0.4.
     Prometheus,
+    /// The latency-attribution table computed from the job's span tracer
+    /// ([`flowkv_common::trace`]).
+    TraceSummary {
+        /// Also drain the tracer's span rings, so the next summary
+        /// covers only batches traced after this one. Encoded as an
+        /// *optional trailing flag byte* (the `Metrics` pattern):
+        /// `false` is a bare opcode frame, so future fields stay
+        /// backward compatible.
+        drain: bool,
+    },
 }
 
 const OP_PING: u8 = 0x01;
@@ -312,6 +323,7 @@ const OP_LOOKUP: u8 = 0x03;
 const OP_SCAN: u8 = 0x04;
 const OP_METRICS: u8 = 0x05;
 const OP_PROMETHEUS: u8 = 0x06;
+const OP_TRACE_SUMMARY: u8 = 0x07;
 
 impl Request {
     /// Encodes this request as one frame payload (opcode + body).
@@ -367,6 +379,13 @@ impl Request {
                 }
             }
             Request::Prometheus => buf.push(OP_PROMETHEUS),
+            Request::TraceSummary { drain } => {
+                buf.push(OP_TRACE_SUMMARY);
+                // Only emitted when set, mirroring `Metrics`.
+                if *drain {
+                    buf.push(1);
+                }
+            }
         }
         buf
     }
@@ -421,6 +440,19 @@ impl Request {
                 }
             }
             OP_PROMETHEUS => Request::Prometheus,
+            OP_TRACE_SUMMARY => {
+                // Absent flag byte = legacy frame = keep the rings.
+                let drain = if dec.is_empty() {
+                    false
+                } else {
+                    match dec.take(1, "drain flag")?[0] {
+                        0 => false,
+                        1 => true,
+                        flag => return Err(proto_err(format!("bad drain flag {flag}"))),
+                    }
+                };
+                Request::TraceSummary { drain }
+            }
             other => return Err(proto_err(format!("unknown request opcode {other:#x}"))),
         };
         if !dec.is_empty() {
@@ -547,6 +579,16 @@ pub enum Response {
     /// Answer to [`Request::Prometheus`]: the registry in Prometheus
     /// text exposition format 0.0.4.
     PrometheusText(String),
+    /// Answer to [`Request::TraceSummary`]: the per-stage
+    /// latency-attribution table. All-zero when the job runs untraced.
+    TraceSummaryReport {
+        /// Sampled batches the table aggregates.
+        traces: u64,
+        /// One row per stage, in [`flowkv_common::trace::STAGES`] order.
+        rows: Vec<AttributionRow>,
+        /// End-to-end totals across stages.
+        total: AttributionRow,
+    },
     /// The request failed.
     Error {
         /// Machine-readable reason.
@@ -562,7 +604,33 @@ const OP_VALUE: u8 = 0x83;
 const OP_SCAN_RESULT: u8 = 0x84;
 const OP_METRICS_REPORT: u8 = 0x85;
 const OP_PROM_TEXT: u8 = 0x86;
+const OP_TRACE_SUMMARY_REPORT: u8 = 0x87;
 const OP_ERROR: u8 = 0xee;
+
+fn put_attr_row(buf: &mut Vec<u8>, row: &AttributionRow) {
+    put_str(buf, &row.stage);
+    for v in [row.count, row.p50, row.p99, row.p999, row.total_nanos] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn get_attr_row(dec: &mut Decoder<'_>) -> Result<AttributionRow> {
+    let stage = get_str(dec)?;
+    let mut row = AttributionRow {
+        stage,
+        ..AttributionRow::default()
+    };
+    for field in [
+        &mut row.count,
+        &mut row.p50,
+        &mut row.p99,
+        &mut row.p999,
+        &mut row.total_nanos,
+    ] {
+        *field = dec.get_u64()?;
+    }
+    Ok(row)
+}
 
 impl Response {
     /// Encodes this response as one frame payload (opcode + body).
@@ -638,6 +706,19 @@ impl Response {
             Response::PrometheusText(text) => {
                 buf.push(OP_PROM_TEXT);
                 put_str(&mut buf, text);
+            }
+            Response::TraceSummaryReport {
+                traces,
+                rows,
+                total,
+            } => {
+                buf.push(OP_TRACE_SUMMARY_REPORT);
+                buf.extend_from_slice(&traces.to_le_bytes());
+                flowkv_common::codec::put_varint_u64(&mut buf, rows.len() as u64);
+                for row in rows {
+                    put_attr_row(&mut buf, row);
+                }
+                put_attr_row(&mut buf, total);
             }
             Response::Error { code, message } => {
                 buf.push(OP_ERROR);
@@ -735,6 +816,22 @@ impl Response {
                 }
             }
             OP_PROM_TEXT => Response::PrometheusText(get_str(&mut dec)?),
+            OP_TRACE_SUMMARY_REPORT => {
+                let traces = dec.get_u64()?;
+                let n = dec.get_varint_u64()? as usize;
+                if n > MAX_FRAME {
+                    return Err(proto_err("trace row count exceeds frame bound"));
+                }
+                let mut rows = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    rows.push(get_attr_row(&mut dec)?);
+                }
+                Response::TraceSummaryReport {
+                    traces,
+                    rows,
+                    total: get_attr_row(&mut dec)?,
+                }
+            }
             OP_ERROR => Response::Error {
                 code: ErrorCode::from_u8(dec.take(1, "error code")?[0])?,
                 message: get_str(&mut dec)?,

@@ -20,6 +20,7 @@ use flowkv_common::hash::partition_of;
 use flowkv_common::metrics::MetricsSnapshot;
 use flowkv_common::registry::{StateKey, StatePattern, StateRegistry};
 use flowkv_common::telemetry::{self, MetricSample, SampleValue, Telemetry};
+use flowkv_common::trace;
 use flowkv_common::types::{Timestamp, MAX_TIMESTAMP};
 
 use crate::protocol::{
@@ -320,6 +321,26 @@ pub(crate) fn answer(
             let samples = prometheus_samples(registry, telemetry);
             Response::PrometheusText(telemetry::render_prometheus(&samples))
         }
+        Request::TraceSummary { drain } => {
+            // An untraced job answers with an empty (all-zero) table
+            // rather than an error: clients can poll unconditionally.
+            let threads = telemetry
+                .and_then(|t| t.trace())
+                .map(|h| {
+                    if drain {
+                        h.tracer.drain()
+                    } else {
+                        h.tracer.snapshot()
+                    }
+                })
+                .unwrap_or_default();
+            let a = trace::attribution(&trace::flatten(&threads));
+            Response::TraceSummaryReport {
+                traces: a.traces,
+                rows: a.rows,
+                total: a.total,
+            }
+        }
     }
 }
 
@@ -455,6 +476,46 @@ mod tests {
             }
             other => panic!("unexpected response {other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_summary_of_an_untraced_server_is_all_zero() {
+        let registry = StateRegistry::new_shared();
+        let resp = answer(&registry, None, Request::TraceSummary { drain: false });
+        match resp {
+            Response::TraceSummaryReport {
+                traces,
+                rows,
+                total,
+            } => {
+                assert_eq!(traces, 0);
+                assert_eq!(rows.len(), trace::STAGES.len());
+                assert!(rows.iter().all(|r| r.count == 0 && r.total_nanos == 0));
+                assert_eq!(total.total_nanos, 0);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_summary_drain_empties_the_tracer() {
+        let registry = StateRegistry::new_shared();
+        let telemetry = Telemetry::new_shared();
+        let tracer = trace::Tracer::new();
+        telemetry.set_trace(trace::TraceHandle {
+            tracer: Arc::clone(&tracer),
+            pid: 0,
+        });
+        let rec = tracer.thread(0, "worker");
+        let span = rec.begin("on_batch", "compute", None);
+        rec.end(span, "on_batch", "compute");
+        assert_eq!(tracer.snapshot()[0].events.len(), 2);
+        let _ = answer(
+            &registry,
+            Some(&telemetry),
+            Request::TraceSummary { drain: true },
+        );
+        assert!(tracer.snapshot().iter().all(|t| t.events.is_empty()));
     }
 
     #[test]

@@ -80,7 +80,21 @@ fn request_strategy() -> Union<Request> {
             }
         ),
         Just(Request::Prometheus),
+        any::<bool>().prop_map(|drain| Request::TraceSummary { drain }),
     ]
+}
+
+fn attr_row_strategy() -> impl Strategy<Value = flowkv_common::trace::AttributionRow> {
+    (name_strategy(), prop::collection::vec(any::<u64>(), 5..6)).prop_map(|(stage, v)| {
+        flowkv_common::trace::AttributionRow {
+            stage,
+            count: v[0],
+            p50: v[1],
+            p99: v[2],
+            p999: v[3],
+            total_nanos: v[4],
+        }
+    })
 }
 
 fn sample_strategy() -> impl Strategy<Value = MetricSample> {
@@ -202,6 +216,16 @@ fn response_strategy() -> Union<Response> {
                 }
             ),
         name_strategy().prop_map(Response::PrometheusText),
+        (
+            any::<u64>(),
+            prop::collection::vec(attr_row_strategy(), 0..8),
+            attr_row_strategy(),
+        )
+            .prop_map(|(traces, rows, total)| Response::TraceSummaryReport {
+                traces,
+                rows,
+                total,
+            }),
         (0u64..3, name_strategy()).prop_map(|(code, message)| Response::Error {
             code: match code {
                 0 => flowkv_serve::ErrorCode::BadRequest,
@@ -284,8 +308,33 @@ proptest! {
                     }
                 );
             }
+            // Same pattern for TraceSummary: a flag-less frame plus the
+            // byte `1` is the drain request.
+            (Request::TraceSummary { drain: false }, 1) => {
+                prop_assert_eq!(
+                    Request::decode(&payload).unwrap(),
+                    Request::TraceSummary { drain: true }
+                );
+            }
             _ => prop_assert!(Request::decode(&payload).is_err()),
         }
+    }
+
+    /// A bare TraceSummary opcode (what a minimal client sends) decodes
+    /// as `drain: false`, the new encoder emits exactly that one-byte
+    /// frame when the flag is off, and the drain frame is the same frame
+    /// plus a single `1` byte.
+    #[test]
+    fn legacy_trace_summary_frames_interoperate(_seed in any::<u8>()) {
+        let legacy = vec![0x07u8];
+        let off = Request::TraceSummary { drain: false };
+        prop_assert_eq!(&off.encode(), &legacy);
+        prop_assert_eq!(Request::decode(&legacy).unwrap(), off);
+        let on = Request::TraceSummary { drain: true };
+        let mut extended = legacy;
+        extended.push(1);
+        prop_assert_eq!(&on.encode(), &extended);
+        prop_assert_eq!(Request::decode(&extended).unwrap(), on);
     }
 
     /// A pre-telemetry client's Metrics frame (opcode + the two names,

@@ -22,6 +22,7 @@ use flowkv::KeyRangePartitioner;
 use flowkv_common::backend::{OperatorContext, StateBackendFactory, StateEntry};
 use flowkv_common::error::{Result, StoreError};
 use flowkv_common::hash::partition_of;
+use flowkv_common::trace::SpanRecorder;
 
 use crate::job::{Job, Stage, WindowSpec};
 use crate::operator::WindowOperator;
@@ -48,6 +49,10 @@ fn partition_ckpt_dir(
 /// `old_n` workers) into a new coordinated checkpoint under `new_root`
 /// for `new_n` workers. `scratch` receives the transient store
 /// directories of the migration operators; the caller owns its cleanup.
+/// When `rec` is set, each old `(worker, partition)` contributes
+/// `migrate_extract` / `migrate_inject` spans and the final checkpoint
+/// of the new shard set records as one `migrate_commit` span.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn repartition(
     worker_job: &Job,
     factory: &Arc<dyn StateBackendFactory>,
@@ -56,6 +61,7 @@ pub(crate) fn repartition(
     new_root: &Path,
     new_n: usize,
     scratch: &Path,
+    rec: Option<&SpanRecorder>,
 ) -> Result<()> {
     let Some(Stage::Window(spec)) = worker_job.stages.first() else {
         return Err(StoreError::invalid_state(
@@ -85,6 +91,14 @@ pub(crate) fn repartition(
 
     for i in 0..old_n {
         for k in 0..p {
+            let extract = rec.map(|r| {
+                r.begin_with(
+                    "migrate_extract",
+                    "migrate",
+                    None,
+                    vec![("worker", i as i64), ("partition", k as i64)],
+                )
+            });
             let mut op = open_operator(spec, factory, k, &scratch.join(format!("old-w{i}-p{k}")))?;
             op.restore(&partition_ckpt_dir(old_root, i, &spec.name, k))?;
             let entries = op.backend_mut().extract_range(&|_| true, kind)?;
@@ -93,6 +107,23 @@ pub(crate) fn repartition(
             for entry in entries {
                 per_target[route(entry.key())].push(entry);
             }
+            if let (Some(r), Some(span)) = (rec, extract) {
+                let routed: i64 = per_target.iter().map(|b| b.len() as i64).sum();
+                r.end_with(
+                    span,
+                    "migrate_extract",
+                    "migrate",
+                    vec![("entries", routed)],
+                );
+            }
+            let inject = rec.map(|r| {
+                r.begin_with(
+                    "migrate_inject",
+                    "migrate",
+                    None,
+                    vec![("worker", i as i64), ("partition", k as i64)],
+                )
+            });
             for (target, batch) in targets.iter_mut().zip(per_target) {
                 if !batch.is_empty() {
                     target.backend_mut().inject_entries(batch)?;
@@ -104,14 +135,28 @@ pub(crate) fn repartition(
             {
                 target.absorb_engine_shard(shard);
             }
+            if let (Some(r), Some(span)) = (rec, inject) {
+                r.end(span, "migrate_inject", "migrate");
+            }
             op.backend_mut().close()?;
         }
     }
 
+    let commit = rec.map(|r| {
+        r.begin_with(
+            "migrate_commit",
+            "migrate",
+            None,
+            vec![("targets", targets_len as i64)],
+        )
+    });
     for (idx, mut target) in targets.into_iter().enumerate() {
         let (j, k) = (idx / p, idx % p);
         target.checkpoint(&partition_ckpt_dir(new_root, j, &spec.name, k))?;
         target.backend_mut().close()?;
+    }
+    if let (Some(r), Some(span)) = (rec, commit) {
+        r.end(span, "migrate_commit", "migrate");
     }
     Ok(())
 }

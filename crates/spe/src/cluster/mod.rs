@@ -28,6 +28,7 @@ use flowkv_common::backend::StateBackendFactory;
 use flowkv_common::error::StoreError;
 use flowkv_common::metrics::MetricsSnapshot;
 use flowkv_common::telemetry::Telemetry;
+use flowkv_common::trace::{self as ftrace, Tracer};
 use flowkv_common::types::Tuple;
 
 use crate::executor::{run_job_items, JobError, JobResult, RunOptions, SourceItem};
@@ -100,6 +101,22 @@ pub fn run_cluster(
 ) -> Result<ClusterResult, JobError> {
     let started = Instant::now();
     let n = options.workers.max(1);
+
+    // One tracer shared by every shard of every phase: phase-1 shard `i`
+    // traces as pid `i`, rescaled shard `i` as pid `n + i`, and the
+    // coordinator's own lane (migration spans) as `pid::MAX`. Shards
+    // never write trace files themselves — the coordinator drains the
+    // shared tracer once, after both phases.
+    let trace_sample = if options.trace_sample > 0 {
+        options.trace_sample
+    } else if options.trace.is_some() || options.trace_out.is_some() {
+        1
+    } else {
+        0
+    };
+    let tracer: Option<Arc<Tracer>> =
+        (trace_sample > 0).then(|| options.trace.clone().unwrap_or_else(Tracer::new));
+    let coord_rec = tracer.as_ref().map(|t| t.thread(u32::MAX, "coordinator"));
 
     let stateful: Vec<usize> = job
         .stages
@@ -174,6 +191,9 @@ pub fn run_cluster(
             data_root: options.data_dir.clone(),
             checkpoint_root: old_ckpt.clone(),
             restore_root: None,
+            tracer: tracer.clone(),
+            trace_sample,
+            pid_base: 0,
         },
     )?;
 
@@ -194,6 +214,14 @@ pub fn run_cluster(
         let ckpt_root = ckpt_root.expect("validated above");
         let new_ckpt = ckpt_root.join("new");
         let pause_start = Instant::now();
+        let mig_span = coord_rec.as_ref().map(|rec| {
+            rec.begin_with(
+                "rescale_migrate",
+                "migrate",
+                None,
+                vec![("from", n as i64), ("to", m as i64)],
+            )
+        });
         migrate::repartition(
             &worker_job,
             &factory,
@@ -202,8 +230,12 @@ pub fn run_cluster(
             &new_ckpt,
             m,
             &options.data_dir.join("migrate"),
+            coord_rec.as_deref(),
         )
         .map_err(JobError::Store)?;
+        if let (Some(rec), Some(span)) = (&coord_rec, mig_span) {
+            rec.end(span, "rescale_migrate", "migrate");
+        }
         rescale_pause = Some(pause_start.elapsed());
         let phase2 = run_phase(
             &worker_job,
@@ -215,6 +247,9 @@ pub fn run_cluster(
                 data_root: options.data_dir.clone(),
                 checkpoint_root: None,
                 restore_root: Some(new_ckpt),
+                tracer: tracer.clone(),
+                trace_sample,
+                pid_base: n as u32,
             },
         )?;
         for r in &phase2 {
@@ -226,6 +261,13 @@ pub fn run_cluster(
         // the full count.
         dropped_late = phase2.iter().map(|r| r.dropped_late).sum();
         workers = m;
+    }
+
+    if let (Some(tracer), Some(path)) = (&tracer, &options.trace_out) {
+        let json = ftrace::chrome_trace_json(&tracer.drain());
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("trace export failed ({}): {e}", path.display());
+        }
     }
 
     canonical_sort(&mut outputs);
@@ -249,6 +291,11 @@ struct PhaseConfig {
     data_root: PathBuf,
     checkpoint_root: Option<PathBuf>,
     restore_root: Option<PathBuf>,
+    /// Shared cluster tracer (when tracing): every shard of the phase
+    /// records into it under pid `pid_base + shard`.
+    tracer: Option<Arc<Tracer>>,
+    trace_sample: u64,
+    pid_base: u32,
 }
 
 /// Runs one shard set to completion: every shard a full executor
@@ -290,6 +337,11 @@ fn run_phase(
             .as_ref()
             .map(|d| migrate::cluster_ckpt_dir(d, i));
         wopts.telemetry = hub;
+        if let Some(tracer) = &phase.tracer {
+            wopts.trace = Some(Arc::clone(tracer));
+            wopts.trace_sample = phase.trace_sample;
+            wopts.trace_pid = phase.pid_base + i as u32;
+        }
         let max_restarts = options.max_restarts;
         let backoff = options.restart_backoff;
         let handle = std::thread::Builder::new()

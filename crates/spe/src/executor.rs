@@ -37,6 +37,7 @@ use flowkv_common::ioring::IoPolicy;
 use flowkv_common::metrics::MetricsSnapshot;
 use flowkv_common::registry::{StateKey, StateRegistry};
 use flowkv_common::telemetry::{self, Counter, Gauge, Histogram, HistogramSnapshot, Telemetry};
+use flowkv_common::trace::{self as ftrace, SpanRecorder, TraceCtx, TraceHandle, Tracer};
 use flowkv_common::types::{Timestamp, Tuple, MAX_TIMESTAMP, MIN_TIMESTAMP};
 
 use crate::job::{Job, Stage};
@@ -217,6 +218,26 @@ pub struct RunOptions {
     /// Test-only knob: reorder ring completions pseudo-randomly from this
     /// seed to prove ordering independence. `None` in production.
     pub io_shuffle_seed: Option<u64>,
+    /// Shared span tracer (see `flowkv_common::trace`). Set by callers
+    /// that want to observe the trace while the job runs (the cluster
+    /// coordinator shares one tracer across shards; the serving layer
+    /// snapshots it live). When unset but `trace_sample` or `trace_out`
+    /// is set, the run creates a private tracer.
+    pub trace: Option<Arc<flowkv_common::trace::Tracer>>,
+    /// Causal-trace sampling: every `trace_sample`-th sealed source
+    /// batch carries a trace context through exchange, operators,
+    /// stores, and I/O ring jobs. `0` (the default) disables tracing
+    /// entirely; `1` traces every batch. Ignored unless a tracer is
+    /// resolved (explicitly via `trace`, or implicitly by `trace_out`).
+    pub trace_sample: u64,
+    /// Write the run's spans as Chrome trace-event JSON (Perfetto-
+    /// loadable) to this file when the run ends. Implies `trace_sample
+    /// = 1` when no sample rate was chosen.
+    pub trace_out: Option<PathBuf>,
+    /// Chrome `pid` tagged on this executor's threads in trace exports.
+    /// The cluster coordinator assigns each key-range shard its index
+    /// so Perfetto shows one process lane per worker.
+    pub trace_pid: u32,
 }
 
 impl RunOptions {
@@ -249,6 +270,10 @@ impl RunOptions {
             prefetch_horizon: 500,
             prefetch_budget_bytes: 8 << 20,
             io_shuffle_seed: None,
+            trace: None,
+            trace_sample: 0,
+            trace_out: None,
+            trace_pid: 0,
         }
     }
 
@@ -445,6 +470,30 @@ impl RunOptionsBuilder {
         self
     }
 
+    /// Record spans into this shared tracer.
+    pub fn trace(mut self, tracer: Arc<flowkv_common::trace::Tracer>) -> Self {
+        self.opts.trace = Some(tracer);
+        self
+    }
+
+    /// Trace every `n`-th sealed source batch (`0` = tracing off).
+    pub fn trace_sample(mut self, n: u64) -> Self {
+        self.opts.trace_sample = n;
+        self
+    }
+
+    /// Write Chrome trace-event JSON to `path` when the run ends.
+    pub fn trace_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.opts.trace_out = Some(path.into());
+        self
+    }
+
+    /// Chrome `pid` for this executor's threads in trace exports.
+    pub fn trace_pid(mut self, pid: u32) -> Self {
+        self.opts.trace_pid = pid;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> RunOptions {
         self.opts
@@ -558,8 +607,9 @@ pub enum SourceItem {
 /// split both rely on this; the sink debug-asserts its observable
 /// consequence (per-sender watermarks never regress).
 enum Msg {
-    /// A micro-batch of tuples, each carrying its own origin stamp.
-    Batch(Vec<Stamped>),
+    /// A micro-batch of tuples, each carrying its own origin stamp and,
+    /// when the batch was sampled for tracing, its causal context.
+    Batch(Vec<Stamped>, Option<BatchTrace>),
     Watermark {
         ts: Timestamp,
         origin: u64,
@@ -573,6 +623,39 @@ enum Msg {
 struct Envelope {
     sender: usize,
     msg: Msg,
+}
+
+/// Trace context riding on a sampled [`Msg::Batch`], plus the tracer
+/// nanos at which the sender sealed it — the receiver's `queue_wait`
+/// instant is `now − sent_nanos` (one shared clock, so the difference
+/// is a duration even though the stamps cross threads).
+#[derive(Clone, Copy)]
+struct BatchTrace {
+    ctx: TraceCtx,
+    sent_nanos: u64,
+}
+
+/// How an [`Exchange`] participates in tracing.
+enum ExchangeTrace {
+    /// The source exchange *originates* traces: every `sample`-th sealed
+    /// batch gets a fresh trace id and a `source_batch` root instant.
+    Source {
+        tracer: Arc<Tracer>,
+        recorder: Arc<SpanRecorder>,
+        sample: u64,
+        sealed: u64,
+    },
+    /// Worker exchanges *propagate* the thread's active context (set
+    /// while the worker processes a sampled batch) onto the batches they
+    /// seal, stamping a fresh `sent_nanos`.
+    Inherit { tracer: Arc<Tracer> },
+}
+
+/// An in-flight `exchange_send` span: source threads record on their
+/// own recorder; worker threads go through the active-context helpers.
+enum SendSpan {
+    Direct(Arc<SpanRecorder>, ftrace::OpenSpan),
+    Here(Option<ftrace::HereSpan>),
 }
 
 /// Registry handles for one exchange's backpressure accounting.
@@ -600,6 +683,7 @@ struct Exchange {
     batch_size: usize,
     sender: usize,
     probe: Option<ExchangeProbe>,
+    trace: Option<ExchangeTrace>,
 }
 
 impl Exchange {
@@ -608,6 +692,7 @@ impl Exchange {
         batch_size: usize,
         sender: usize,
         probe: Option<ExchangeProbe>,
+        trace: Option<ExchangeTrace>,
     ) -> Self {
         let batch_size = batch_size.max(1);
         let pending = txs.iter().map(|_| Vec::with_capacity(batch_size)).collect();
@@ -617,6 +702,39 @@ impl Exchange {
             batch_size,
             sender,
             probe,
+            trace,
+        }
+    }
+
+    /// Decides the trace context for a batch being sealed now.
+    fn seal_trace(&mut self) -> Option<BatchTrace> {
+        match self.trace.as_mut()? {
+            ExchangeTrace::Source {
+                tracer,
+                recorder,
+                sample,
+                sealed,
+            } => {
+                *sealed += 1;
+                if *sample == 0 || !(*sealed).is_multiple_of(*sample) {
+                    return None;
+                }
+                let born = tracer.now_nanos();
+                let ctx = TraceCtx {
+                    trace: tracer.next_trace_id(),
+                    span: 0,
+                    born,
+                };
+                recorder.instant("source_batch", "source", Some(ctx), Vec::new());
+                Some(BatchTrace {
+                    ctx,
+                    sent_nanos: born,
+                })
+            }
+            ExchangeTrace::Inherit { tracer } => ftrace::current().map(|ctx| BatchTrace {
+                ctx,
+                sent_nanos: tracer.now_nanos(),
+            }),
         }
     }
 
@@ -640,14 +758,27 @@ impl Exchange {
             return true;
         }
         let batch = std::mem::replace(&mut self.pending[dest], Vec::with_capacity(self.batch_size));
+        let bt = self.seal_trace();
+        // An `exchange_send` span brackets the channel operation for
+        // sampled batches; its duration is the send-side backpressure
+        // share of the batch's latency.
+        let send_span = bt.map(|bt| match self.trace.as_ref().expect("traced seal") {
+            ExchangeTrace::Source { recorder, .. } => SendSpan::Direct(
+                Arc::clone(recorder),
+                recorder.begin("exchange_send", "exchange", Some(bt.ctx)),
+            ),
+            ExchangeTrace::Inherit { .. } => {
+                SendSpan::Here(ftrace::begin_here("exchange_send", "exchange"))
+            }
+        });
         let env = Envelope {
             sender: self.sender,
-            msg: Msg::Batch(batch),
+            msg: Msg::Batch(batch, bt),
         };
-        match &self.probe {
+        let ok = match &self.probe {
             None => self.txs[dest].send(env).is_ok(),
             Some(probe) => {
-                if let Msg::Batch(batch) = &env.msg {
+                if let Msg::Batch(batch, _) = &env.msg {
                     probe.batch_fill.record(batch.len() as u64);
                 }
                 // Clock the send only when the channel is actually full:
@@ -664,7 +795,13 @@ impl Exchange {
                     }
                 }
             }
+        };
+        match send_span {
+            None => {}
+            Some(SendSpan::Direct(rec, open)) => rec.end(open, "exchange_send", "exchange"),
+            Some(SendSpan::Here(span)) => ftrace::end_here(span, &[]),
         }
+        ok
     }
 
     /// Flushes every pending batch.
@@ -778,6 +915,32 @@ pub(crate) fn run_job_inner(
         (None, Some(_)) => Some(Telemetry::new_shared()),
         (None, None) => None,
     };
+    // Resolve the span tracer: an explicit tracer wins; `trace_out`
+    // alone gets a private one and implies a sample rate of 1. Tracing
+    // forces a telemetry hub into existence — stores and I/O rings reach
+    // the tracer only through their telemetry handle.
+    let trace_sample = if options.trace_sample > 0 {
+        options.trace_sample
+    } else if options.trace.is_some() || options.trace_out.is_some() {
+        1
+    } else {
+        0
+    };
+    let run_tracer: Option<Arc<Tracer>> = if trace_sample > 0 {
+        Some(options.trace.clone().unwrap_or_else(Tracer::new))
+    } else {
+        None
+    };
+    let run_telemetry = match (run_telemetry, &run_tracer) {
+        (None, Some(_)) => Some(Telemetry::new_shared()),
+        (t, _) => t,
+    };
+    if let (Some(t), Some(tracer)) = (&run_telemetry, &run_tracer) {
+        t.set_trace(TraceHandle {
+            tracer: Arc::clone(tracer),
+            pid: options.trace_pid,
+        });
+    }
 
     // Channels: stage boundaries plus the sink boundary.
     let num_boundaries = job.stages.len() + 1;
@@ -821,6 +984,9 @@ pub(crate) fn run_job_inner(
             t.registry().gauge("source_watermark"),
         )
     });
+    let source_trace = run_tracer
+        .as_ref()
+        .map(|tracer| (Arc::clone(tracer), options.trace_pid, trace_sample));
     let source_handle = std::thread::Builder::new()
         .name("spe-source".into())
         .spawn(move || -> Result<u64, StoreError> {
@@ -828,7 +994,22 @@ pub(crate) fn run_job_inner(
             let pace_start = Instant::now();
             let mut count: u64 = 0;
             let mut max_ts = MIN_TIMESTAMP;
-            let mut exchange = Exchange::new(source_tx, batch_size, 0, source_probe);
+            let source_trace = source_trace
+                .map(|(tracer, pid, sample)| (tracer.thread(pid, "source"), tracer, sample));
+            let src_rec = source_trace.as_ref().map(|(rec, _, _)| Arc::clone(rec));
+            let mut barrier_seq: u64 = 0;
+            let mut exchange = Exchange::new(
+                source_tx,
+                batch_size,
+                0,
+                source_probe,
+                source_trace.map(|(recorder, tracer, sample)| ExchangeTrace::Source {
+                    tracer,
+                    recorder,
+                    sample,
+                    sealed: 0,
+                }),
+            );
             let mut last_flush: u64 = 0;
             let mut halted = false;
             for item in source {
@@ -847,6 +1028,15 @@ pub(crate) fn run_job_inner(
                         continue;
                     }
                     SourceItem::Barrier => {
+                        if let Some(rec) = &src_rec {
+                            barrier_seq += 1;
+                            rec.instant(
+                                "barrier_inject",
+                                "barrier",
+                                None,
+                                vec![("barrier", barrier_seq as i64)],
+                            );
+                        }
                         exchange.broadcast(|| Msg::Barrier);
                         continue;
                     }
@@ -879,6 +1069,15 @@ pub(crate) fn run_job_inner(
                     tuples.inc();
                 }
                 if checkpoint_after == Some(count) {
+                    if let Some(rec) = &src_rec {
+                        barrier_seq += 1;
+                        rec.instant(
+                            "barrier_inject",
+                            "barrier",
+                            None,
+                            vec![("barrier", barrier_seq as i64)],
+                        );
+                    }
                     exchange.broadcast(|| Msg::Barrier);
                 }
                 if count.is_multiple_of(wm_interval as u64) {
@@ -929,6 +1128,7 @@ pub(crate) fn run_job_inner(
                 batch_size,
                 telemetry: run_telemetry.clone(),
                 io: options.io_policy(),
+                epoch,
             };
             let handle = std::thread::Builder::new()
                 .name(format!("spe-{}-{}", stage.name(), worker))
@@ -961,10 +1161,13 @@ pub(crate) fn run_job_inner(
     let sink_tuples = run_telemetry
         .as_ref()
         .map(|t| t.registry().counter("sink_tuples_total"));
+    let sink_trace = run_telemetry.as_ref().and_then(|t| t.trace());
     let sink_handle = std::thread::Builder::new()
         .name("spe-sink".into())
         .spawn(move || -> SinkReport {
             let t0 = epoch;
+            let sink_rec = sink_trace.map(|h| h.thread("sink"));
+            let mut sink_barrier_seq: u64 = 0;
             let mut report = SinkReport {
                 outputs: Vec::new(),
                 outputs_pre: Vec::new(),
@@ -983,7 +1186,7 @@ pub(crate) fn run_job_inner(
             loop {
                 match sink_rx.recv_timeout(Duration::from_millis(100)) {
                     Ok(env) => match env.msg {
-                        Msg::Batch(batch) => {
+                        Msg::Batch(batch, bt) => {
                             // One arrival instant for the whole batch,
                             // but one origin per tuple: latency samples
                             // reflect each tuple's true departure.
@@ -992,6 +1195,41 @@ pub(crate) fn run_job_inner(
                             } else {
                                 0
                             };
+                            if let (Some(rec), Some(bt)) = (&sink_rec, bt) {
+                                // The batch's trace ends here: one
+                                // queue_wait for the final hop, one
+                                // batch_done carrying the end-to-end
+                                // total (tracer clock) and the worst
+                                // per-tuple latency (run clock) so the
+                                // analyzer can reconcile against the
+                                // sink's LatencySummary.
+                                let tnow = rec.now_nanos();
+                                rec.instant(
+                                    "queue_wait",
+                                    "queue",
+                                    Some(bt.ctx),
+                                    vec![
+                                        ("wait", tnow.saturating_sub(bt.sent_nanos) as i64),
+                                        ("tuples", batch.len() as i64),
+                                    ],
+                                );
+                                let arrive = t0.elapsed().as_nanos() as u64;
+                                let e2e_max = batch
+                                    .iter()
+                                    .map(|s| arrive.saturating_sub(s.origin))
+                                    .max()
+                                    .unwrap_or(0);
+                                rec.instant(
+                                    "batch_done",
+                                    "sink",
+                                    Some(bt.ctx),
+                                    vec![
+                                        ("total", tnow.saturating_sub(bt.ctx.born) as i64),
+                                        ("e2e_max", e2e_max as i64),
+                                        ("tuples", batch.len() as i64),
+                                    ],
+                                );
+                            }
                             if let Some(tuples) = &sink_tuples {
                                 tuples.add(batch.len() as u64);
                             }
@@ -1028,6 +1266,15 @@ pub(crate) fn run_job_inner(
                             barrier_from[env.sender] = true;
                             if barrier_from.iter().all(|&b| b) {
                                 report.checkpoint_complete = true;
+                                if let Some(rec) = &sink_rec {
+                                    sink_barrier_seq += 1;
+                                    rec.instant(
+                                        "barrier_commit",
+                                        "barrier",
+                                        None,
+                                        vec![("barrier", sink_barrier_seq as i64)],
+                                    );
+                                }
                             }
                         }
                         Msg::End => {
@@ -1160,6 +1407,16 @@ pub(crate) fn run_job_inner(
         }
     }
 
+    // Export the run's spans as Chrome trace-event JSON. Written before
+    // the error returns below — the trace of a failed run is the one
+    // you want most. Best-effort, like the telemetry writer.
+    if let (Some(tracer), Some(path)) = (&run_tracer, &options.trace_out) {
+        let json = ftrace::chrome_trace_json(&tracer.drain());
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write trace export to {}: {e}", path.display());
+        }
+    }
+
     // Persist the barrier's source offset next to the snapshot so the
     // supervisor can rewind the log source on recovery. Written via
     // temporary file + rename, like the stores' own manifests, so a
@@ -1260,6 +1517,10 @@ struct WorkerPaths {
     batch_size: usize,
     telemetry: Option<Arc<Telemetry>>,
     io: Option<IoPolicy>,
+    /// The run's clock epoch — lets the worker convert run-clock stamps
+    /// (tuple/watermark origins) into tracer-clock instants when it
+    /// originates a fire trace.
+    epoch: Instant,
 }
 
 /// Per-worker directory inside a checkpoint.
@@ -1317,6 +1578,14 @@ fn run_worker(
     paths: WorkerPaths,
 ) -> Result<WorkerReport, StoreError> {
     let mut operator: Option<WorkerOp> = None;
+    // Span recorder for this worker thread, registered when the run's
+    // telemetry hub carries a tracer. Store calls record through the
+    // thread-local context (see `TracedBackend`), so the backend wrap
+    // below is the only store-side hookup needed.
+    let trace_handle = paths.telemetry.as_ref().and_then(|t| t.trace());
+    let trace_rec = trace_handle
+        .as_ref()
+        .map(|h| h.thread(&format!("{}/p{}", stage.name(), worker)));
     let stateful = match &stage {
         Stage::Window(spec) => Some((spec.name.clone(), spec.semantics())),
         Stage::IntervalJoin(spec) => Some((spec.name.clone(), spec.semantics())),
@@ -1331,7 +1600,10 @@ fn run_worker(
             telemetry: paths.telemetry.clone(),
             io: paths.io.clone(),
         };
-        let backend = factory.create(&ctx)?;
+        let mut backend = factory.create(&ctx)?;
+        if trace_rec.is_some() {
+            backend = ftrace::TracedBackend::wrap(backend);
+        }
         let mut op = match &stage {
             Stage::Window(spec) => WorkerOp::Window(WindowOperator::new(spec.clone(), backend)),
             Stage::IntervalJoin(spec) => {
@@ -1371,10 +1643,24 @@ fn run_worker(
     let mut max_event_ts = MIN_TIMESTAMP;
     // First-barrier arrival instant of the in-flight alignment.
     let mut barrier_started: Option<Instant> = None;
+    // Open `barrier_align` span of the in-flight alignment, plus this
+    // worker's barrier sequence number — barriers are totally ordered
+    // per run, so the sequence stitches one checkpoint's spans together
+    // across workers (and shards) without a protocol change.
+    let mut barrier_span: Option<ftrace::OpenSpan> = None;
+    let mut worker_barrier_seq: u64 = 0;
     let mut ends = 0;
     let mut outputs: Vec<Tuple> = Vec::new();
     let mut stamped_out: Vec<Stamped> = Vec::new();
-    let mut exchange = Exchange::new(next, paths.batch_size, worker, exchange_probe);
+    let mut exchange = Exchange::new(
+        next,
+        paths.batch_size,
+        worker,
+        exchange_probe,
+        trace_handle.as_ref().map(|h| ExchangeTrace::Inherit {
+            tracer: Arc::clone(&h.tracer),
+        }),
+    );
     // Monotone snapshot counter for the queryable-state registry.
     let mut publish_epoch = 0u64;
     let state_key = paths
@@ -1463,7 +1749,7 @@ fn run_worker(
             // bypassing the accounting below it.
             'handle: {
                 match env.msg {
-                    Msg::Batch(mut batch) => {
+                    Msg::Batch(mut batch, bt) => {
                         if let Some(p) = &probe {
                             p.tuples.add(batch.len() as u64);
                         }
@@ -1474,6 +1760,34 @@ fn run_worker(
                                 max_event_ts = max_event_ts.max(stamped.tuple.timestamp);
                             }
                         }
+                        // Sampled batch: record the channel residency,
+                        // then make its context active for the duration
+                        // of the batch — store calls, prefetch advances,
+                        // ring submissions, and downstream sends all
+                        // attach to it through the thread-local.
+                        let trace_scope = match (&trace_rec, bt) {
+                            (Some(rec), Some(bt)) => {
+                                rec.instant(
+                                    "queue_wait",
+                                    "queue",
+                                    Some(bt.ctx),
+                                    vec![
+                                        (
+                                            "wait",
+                                            rec.now_nanos().saturating_sub(bt.sent_nanos) as i64,
+                                        ),
+                                        ("tuples", batch.len() as i64),
+                                    ],
+                                );
+                                Some(ftrace::enter(rec, bt.ctx))
+                            }
+                            _ => None,
+                        };
+                        let batch_span = if trace_scope.is_some() {
+                            ftrace::begin_here("on_batch", "compute")
+                        } else {
+                            None
+                        };
                         stamped_out.clear();
                         match &stage {
                             Stage::Stateless { f, .. } => {
@@ -1493,18 +1807,38 @@ fn run_worker(
                                     .on_batch(&mut batch, &mut stamped_out)?;
                             }
                         }
-                        for stamped in stamped_out.drain(..) {
-                            if !exchange.send(stamped.tuple, stamped.origin) {
-                                return Ok(WorkerReport::default());
-                            }
-                        }
                         // Batch boundary: drain finished background reads
                         // and schedule the next horizon of prefetches.
+                        // Runs inside the compute span so the nested
+                        // store/prefetch subtraction in the attribution
+                        // sees every child it subtracts.
                         if io_on {
                             if let Some(op) = operator.as_mut() {
                                 op.backend_mut().advance_prefetch(max_event_ts)?;
                             }
                         }
+                        ftrace::end_here(batch_span, &[("out", stamped_out.len() as i64)]);
+                        for stamped in stamped_out.drain(..) {
+                            if !exchange.send(stamped.tuple, stamped.origin) {
+                                return Ok(WorkerReport::default());
+                            }
+                        }
+                        // Windowed stages often emit nothing per batch —
+                        // the outputs surface later, on a watermark fire
+                        // — so the ingest trace completes here rather
+                        // than at the sink. A later sink-side
+                        // `batch_done` (pass-through stages) simply
+                        // extends the same trace; attribution takes the
+                        // latest completion.
+                        if let (Some(rec), Some(ctx)) = (&trace_rec, ftrace::current()) {
+                            rec.instant(
+                                "batch_done",
+                                "compute",
+                                Some(ctx),
+                                vec![("total", rec.now_nanos().saturating_sub(ctx.born) as i64)],
+                            );
+                        }
+                        drop(trace_scope);
                     }
                     Msg::Watermark { ts, origin } => {
                         wms[env.sender] = ts;
@@ -1529,9 +1863,52 @@ fn run_worker(
                             }
                         }
                         let origin = origins[min_idx];
+                        // A stateful fire originates its own trace:
+                        // window outputs inherit the watermark's origin
+                        // for latency accounting, so the trace is born
+                        // at the watermark's source departure (the run
+                        // stamp converted onto the tracer clock) — the
+                        // sink's `batch_done` total then measures the
+                        // same interval the `LatencySummary` samples.
+                        // Stateless hops never originate here: their
+                        // batches already carry the ingest trace.
+                        let fire_scope = match (&trace_rec, &trace_handle) {
+                            (Some(rec), Some(h)) if operator.is_some() => {
+                                let run_now = paths.epoch.elapsed().as_nanos() as u64;
+                                let born = rec
+                                    .now_nanos()
+                                    .saturating_sub(run_now.saturating_sub(origin));
+                                Some(ftrace::enter(
+                                    rec,
+                                    TraceCtx {
+                                        trace: h.tracer.next_trace_id(),
+                                        span: 0,
+                                        born,
+                                    },
+                                ))
+                            }
+                            _ => None,
+                        };
+                        let wm_span = if fire_scope.is_some() {
+                            ftrace::begin_here("on_watermark", "compute")
+                        } else {
+                            None
+                        };
+                        // Stateless hops still get a lifecycle span
+                        // (trace 0) so Perfetto shows the forwarding
+                        // work even though no trace is originated.
+                        let wm_plain = if fire_scope.is_none() {
+                            trace_rec
+                                .as_ref()
+                                .map(|rec| rec.begin("on_watermark", "compute", None))
+                        } else {
+                            None
+                        };
+                        let mut fired = 0usize;
                         if let Some(op) = operator.as_mut() {
                             outputs.clear();
                             op.on_watermark(min_wm, &mut outputs)?;
+                            fired = outputs.len();
                             for out in outputs.drain(..) {
                                 if !exchange.send(out, origin) {
                                     return Ok(WorkerReport::default());
@@ -1550,16 +1927,38 @@ fn run_worker(
                                 op.backend_mut().advance_prefetch(max_event_ts)?;
                             }
                         }
+                        ftrace::end_here(wm_span, &[("fired", fired as i64)]);
+                        if let (Some(rec), Some(span)) = (&trace_rec, wm_plain) {
+                            rec.end(span, "on_watermark", "compute");
+                        }
+                        drop(fire_scope);
                     }
                     Msg::Barrier => {
                         if probe.is_some() && barrier_started.is_none() {
                             barrier_started = Some(Instant::now());
+                        }
+                        if barrier_span.is_none() {
+                            if let Some(rec) = &trace_rec {
+                                worker_barrier_seq += 1;
+                                barrier_span = Some(rec.begin_with(
+                                    "barrier_align",
+                                    "barrier",
+                                    None,
+                                    vec![("barrier", worker_barrier_seq as i64)],
+                                ));
+                            }
                         }
                         barrier_from[env.sender] = true;
                         aligning = true;
                         if barrier_from.iter().all(|&b| b) {
                             if let (Some(p), Some(t0)) = (&probe, barrier_started.take()) {
                                 p.barrier_align.record(t0.elapsed().as_nanos() as u64);
+                            }
+                            // Alignment done; the snapshot gets its own
+                            // span so align wait and store snapshot time
+                            // stay separable in the export.
+                            if let (Some(rec), Some(span)) = (&trace_rec, barrier_span.take()) {
+                                rec.end(span, "barrier_align", "barrier");
                             }
                             // Barrier aligned: snapshot, forward, release.
                             // The broadcast flushes pending batches before
@@ -1568,7 +1967,18 @@ fn run_worker(
                             if let (Some(dir), Some(op)) =
                                 (&paths.checkpoint_dir, operator.as_mut())
                             {
+                                let ckpt_span = trace_rec.as_ref().map(|rec| {
+                                    rec.begin_with(
+                                        "store_snapshot",
+                                        "barrier",
+                                        None,
+                                        vec![("barrier", worker_barrier_seq as i64)],
+                                    )
+                                });
                                 op.checkpoint(&worker_ckpt_dir(dir, stage.name(), worker))?;
+                                if let (Some(rec), Some(span)) = (&trace_rec, ckpt_span) {
+                                    rec.end(span, "store_snapshot", "barrier");
+                                }
                             }
                             exchange.broadcast(|| Msg::Barrier);
                             aligning = false;

@@ -95,6 +95,12 @@ pub fn run_supervised(
             t.registry().histogram("recovery_restore_nanos"),
         )
     });
+    // Recovery lifecycle spans land on a dedicated supervisor lane when
+    // the caller passed a tracer in.
+    let sup_rec = options
+        .trace
+        .as_ref()
+        .map(|t| t.thread(options.trace_pid, "supervisor"));
 
     let backoff_seed = crate::backoff::fault_seed();
     let mut committed: Vec<Tuple> = Vec::new();
@@ -125,6 +131,19 @@ pub fn run_supervised(
             attempt_opts.checkpoint_after_tuples = None;
         }
 
+        if restarts > 0 {
+            if let Some(rec) = &sup_rec {
+                rec.instant(
+                    "recovery_replay",
+                    "recovery",
+                    None,
+                    vec![
+                        ("restart", restarts as i64),
+                        ("resume_offset", resume_offset as i64),
+                    ],
+                );
+            }
+        }
         let source = LogSource::open_at(source_path, resume_offset).map_err(JobError::Store)?;
         let (result, salvage) = run_job_inner(
             job,
@@ -150,6 +169,14 @@ pub fn run_supervised(
                 });
             }
             Err(err) => {
+                // Post-mortem before anything is torn down: the flight
+                // recorder's last events and every span still open at
+                // the moment of death go to stderr as JSONL.
+                if matches!(err, JobError::Panic(_)) {
+                    if let Some(t) = &options.telemetry {
+                        flowkv_common::trace::dump_crash_context(t);
+                    }
+                }
                 if restarts >= options.max_restarts {
                     return Err(err);
                 }
@@ -163,6 +190,18 @@ pub fn run_supervised(
                 }
                 restarts += 1;
                 let restore_started = Instant::now();
+                let restore_span = sup_rec.as_ref().map(|rec| {
+                    rec.begin_with(
+                        "recovery_restore",
+                        "recovery",
+                        None,
+                        vec![
+                            ("restart", restarts as i64),
+                            ("rewind_offset", resume_offset as i64),
+                            ("from_checkpoint", checkpoint_committed as i64),
+                        ],
+                    )
+                });
                 // Tear the failed attempt's stores down completely; the
                 // recovery attempt re-creates them from the checkpoint
                 // (or from scratch). Registry snapshots are left alone.
@@ -170,6 +209,9 @@ pub fn run_supervised(
                 if let Some((restarted, _, restore_nanos)) = &recovery {
                     restarted.inc();
                     restore_nanos.record(restore_started.elapsed().as_nanos() as u64);
+                }
+                if let (Some(rec), Some(span)) = (&sup_rec, restore_span) {
+                    rec.end(span, "recovery_restore", "recovery");
                 }
                 // Deterministic jitter: the schedule replays exactly
                 // under the same FLOWKV_FAULT_SEED (see crate::backoff).
