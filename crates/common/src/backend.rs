@@ -274,6 +274,16 @@ pub trait StateBackend: Send {
         Ok(())
     }
 
+    /// Notifies the store that `window`'s entries were just demoted to an
+    /// external cold tier: every row the tier consumed left a tombstone
+    /// (fetch-and-remove) behind, so block-oriented stores can schedule a
+    /// compaction now and reclaim the dead space while the range is still
+    /// warm in cache. Purely advisory; the default is a no-op.
+    fn demoted_hint(&mut self, window: WindowId) -> Result<()> {
+        let _ = window;
+        Ok(())
+    }
+
     /// Hints that the given `(key, window)` pairs are about to be read or
     /// modified, letting block-oriented stores warm caches in the
     /// background. Purely advisory; the default is a no-op.

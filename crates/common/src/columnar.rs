@@ -1,0 +1,410 @@
+//! Columnar cold-block codec for the tiered state layout.
+//!
+//! Sealed cold windows are demoted out of the hot store into immutable
+//! *cold blocks*: one self-describing byte blob per demotion wave and
+//! window, laid out column-wise so the schema the store already knows
+//! (pattern + window + key) pays off as compression:
+//!
+//! - **Keys** are dictionary-encoded: NEXMark person/auction identifiers
+//!   repeat heavily within a window, so each row stores a varint index
+//!   into a per-block key dictionary instead of the full key bytes.
+//! - **Timestamps** are delta-encoded against the window start and the
+//!   previous row (zigzag varints): tuples arrive in roughly ascending
+//!   event-time order, so deltas are tiny.
+//! - **Values** are optionally dictionary-encoded too (`compress`);
+//!   uncompressed blocks inline them length-prefixed, which keeps the
+//!   codec a strict superset of a plain row log.
+//!
+//! A block carries its own window, kind, row count, and a trailing CRC32
+//! over everything after the magic. [`decode_block`] never panics on
+//! malformed input: truncation surfaces as
+//! [`StoreError::UnexpectedEof`](crate::error::StoreError) and any
+//! mismatch (magic, version, CRC, dictionary index) as
+//! [`StoreError::Corruption`](crate::error::StoreError) — the
+//! contract the codec proptests pin down.
+
+use std::collections::HashMap;
+
+use crate::codec::{self, Decoder};
+use crate::error::{Result, StoreError};
+use crate::types::{Timestamp, WindowId};
+
+/// Magic prefix of every cold block.
+pub const BLOCK_MAGIC: [u8; 4] = *b"FKCB";
+
+/// Current block-format version.
+pub const BLOCK_VERSION: u8 = 1;
+
+/// Flag bit: value column is dictionary-encoded.
+const FLAG_VALUE_DICT: u8 = 0b0000_0001;
+
+/// What one block's rows are (mirrors the two shapes of
+/// [`StateEntry`](crate::backend::StateEntry)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Appended value-list rows of AAR/AUR state.
+    Values,
+    /// Intermediate aggregates of RMW state (within a block, a later row
+    /// for the same key supersedes an earlier one).
+    Aggregates,
+}
+
+impl BlockKind {
+    fn as_u8(self) -> u8 {
+        match self {
+            BlockKind::Values => 0,
+            BlockKind::Aggregates => 1,
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(BlockKind::Values),
+            1 => Some(BlockKind::Aggregates),
+            _ => None,
+        }
+    }
+}
+
+/// One demoted row: the tuple key, its append timestamp, and the value
+/// (an appended element or an encoded aggregate).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColdRow {
+    /// The tuple key.
+    pub key: Vec<u8>,
+    /// Append timestamp (aggregates carry their window start).
+    pub ts: Timestamp,
+    /// The stored bytes.
+    pub value: Vec<u8>,
+}
+
+/// A decoded cold block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColdBlock {
+    /// The window every row belongs to.
+    pub window: WindowId,
+    /// Row shape.
+    pub kind: BlockKind,
+    /// Rows in original append order.
+    pub rows: Vec<ColdRow>,
+}
+
+/// The size the rows would occupy as plain rows (key + value + 8-byte
+/// timestamp each) — the numerator of the compression-ratio telemetry.
+pub fn uncompressed_size(rows: &[ColdRow]) -> usize {
+    rows.iter().map(|r| r.key.len() + r.value.len() + 8).sum()
+}
+
+/// Encodes `rows` of `window` into one self-describing cold block.
+///
+/// With `compress` the value column is dictionary-encoded in addition to
+/// the always-on key dictionary and timestamp deltas; without it values
+/// are inlined length-prefixed per row.
+pub fn encode_block(
+    window: WindowId,
+    kind: BlockKind,
+    rows: &[ColdRow],
+    compress: bool,
+) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + rows.len() * 8);
+    buf.extend_from_slice(&BLOCK_MAGIC);
+    buf.push(BLOCK_VERSION);
+    buf.push(kind.as_u8());
+    buf.push(if compress { FLAG_VALUE_DICT } else { 0 });
+    codec::put_varint_i64(&mut buf, window.start);
+    codec::put_varint_i64(&mut buf, window.end);
+    codec::put_varint_u64(&mut buf, rows.len() as u64);
+
+    // Key dictionary, in order of first occurrence.
+    let mut key_dict: Vec<&[u8]> = Vec::new();
+    let mut key_idx: HashMap<&[u8], u64> = HashMap::new();
+    for row in rows {
+        key_idx.entry(&row.key).or_insert_with(|| {
+            key_dict.push(&row.key);
+            (key_dict.len() - 1) as u64
+        });
+    }
+    codec::put_varint_u64(&mut buf, key_dict.len() as u64);
+    for key in &key_dict {
+        codec::put_len_prefixed(&mut buf, key);
+    }
+
+    // Optional value dictionary, same scheme.
+    let mut val_dict: Vec<&[u8]> = Vec::new();
+    let mut val_idx: HashMap<&[u8], u64> = HashMap::new();
+    if compress {
+        for row in rows {
+            val_idx.entry(&row.value).or_insert_with(|| {
+                val_dict.push(&row.value);
+                (val_dict.len() - 1) as u64
+            });
+        }
+        codec::put_varint_u64(&mut buf, val_dict.len() as u64);
+        for value in &val_dict {
+            codec::put_len_prefixed(&mut buf, value);
+        }
+    }
+
+    // Row columns: key index, timestamp delta, value index or bytes.
+    let mut prev_ts = window.start;
+    for row in rows {
+        codec::put_varint_u64(&mut buf, key_idx[row.key.as_slice()]);
+        codec::put_varint_i64(&mut buf, row.ts.wrapping_sub(prev_ts));
+        prev_ts = row.ts;
+        if compress {
+            codec::put_varint_u64(&mut buf, val_idx[row.value.as_slice()]);
+        } else {
+            codec::put_len_prefixed(&mut buf, &row.value);
+        }
+    }
+
+    let crc = codec::crc32(&buf[BLOCK_MAGIC.len()..]);
+    codec::put_u32(&mut buf, crc);
+    buf
+}
+
+fn corrupt(offset: usize, detail: impl Into<String>) -> StoreError {
+    StoreError::corruption("cold-block", offset as u64, detail)
+}
+
+/// Decodes one cold block previously written by [`encode_block`].
+///
+/// Returns a structured [`StoreError`] (never panics) on truncated or
+/// corrupted input; the trailing CRC is verified before any row is
+/// materialized.
+pub fn decode_block(bytes: &[u8]) -> Result<ColdBlock> {
+    if bytes.len() < BLOCK_MAGIC.len() + 3 + 4 {
+        return Err(StoreError::UnexpectedEof {
+            what: "cold-block header",
+        });
+    }
+    if bytes[..BLOCK_MAGIC.len()] != BLOCK_MAGIC {
+        return Err(corrupt(0, "bad cold-block magic"));
+    }
+    let body = &bytes[BLOCK_MAGIC.len()..bytes.len() - 4];
+    let stored_crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    let actual_crc = codec::crc32(body);
+    if stored_crc != actual_crc {
+        return Err(corrupt(
+            bytes.len() - 4,
+            format!("cold-block CRC mismatch: stored {stored_crc:#x}, computed {actual_crc:#x}"),
+        ));
+    }
+
+    let mut dec = Decoder::new(body);
+    let version = dec.take(1, "cold-block version")?[0];
+    if version != BLOCK_VERSION {
+        return Err(corrupt(
+            4,
+            format!("unsupported cold-block version {version}"),
+        ));
+    }
+    let kind_byte = dec.take(1, "cold-block kind")?[0];
+    let kind = BlockKind::from_u8(kind_byte)
+        .ok_or_else(|| corrupt(5, format!("unknown cold-block kind {kind_byte}")))?;
+    let flags = dec.take(1, "cold-block flags")?[0];
+    if flags & !FLAG_VALUE_DICT != 0 {
+        return Err(corrupt(6, format!("unknown cold-block flags {flags:#x}")));
+    }
+    let compress = flags & FLAG_VALUE_DICT != 0;
+    let start = dec.get_varint_i64()?;
+    let end = dec.get_varint_i64()?;
+    if start > end {
+        return Err(corrupt(
+            7,
+            format!("inverted cold-block window [{start}, {end})"),
+        ));
+    }
+    let window = WindowId::new(start, end);
+    let row_count = dec.get_varint_u64()? as usize;
+    // A row costs at least three varint bytes; reject counts the buffer
+    // cannot possibly hold so corrupt counts cannot trigger huge
+    // allocations.
+    if row_count > body.len() {
+        return Err(corrupt(
+            8,
+            format!("cold-block row count {row_count} exceeds block size"),
+        ));
+    }
+
+    let key_count = dec.get_varint_u64()? as usize;
+    if key_count > body.len() {
+        return Err(corrupt(
+            9,
+            format!("cold-block key count {key_count} exceeds block size"),
+        ));
+    }
+    let mut key_dict: Vec<&[u8]> = Vec::with_capacity(key_count);
+    for _ in 0..key_count {
+        key_dict.push(dec.get_len_prefixed()?);
+    }
+
+    let mut val_dict: Vec<&[u8]> = Vec::new();
+    if compress {
+        let val_count = dec.get_varint_u64()? as usize;
+        if val_count > body.len() {
+            return Err(corrupt(
+                10,
+                format!("cold-block value count {val_count} exceeds block size"),
+            ));
+        }
+        val_dict.reserve(val_count);
+        for _ in 0..val_count {
+            val_dict.push(dec.get_len_prefixed()?);
+        }
+    }
+
+    let mut rows = Vec::with_capacity(row_count);
+    let mut prev_ts = window.start;
+    for _ in 0..row_count {
+        let ki = dec.get_varint_u64()? as usize;
+        let key = *key_dict
+            .get(ki)
+            .ok_or_else(|| corrupt(dec.position(), format!("key index {ki} out of range")))?;
+        let delta = dec.get_varint_i64()?;
+        let ts = prev_ts.wrapping_add(delta);
+        prev_ts = ts;
+        let value = if compress {
+            let vi = dec.get_varint_u64()? as usize;
+            *val_dict
+                .get(vi)
+                .ok_or_else(|| corrupt(dec.position(), format!("value index {vi} out of range")))?
+        } else {
+            dec.get_len_prefixed()?
+        };
+        rows.push(ColdRow {
+            key: key.to_vec(),
+            ts,
+            value: value.to_vec(),
+        });
+    }
+    if !dec.is_empty() {
+        return Err(corrupt(
+            dec.position(),
+            format!("{} trailing bytes after cold-block rows", dec.remaining()),
+        ));
+    }
+    Ok(ColdBlock { window, kind, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<ColdRow> {
+        vec![
+            ColdRow {
+                key: b"auction-17".to_vec(),
+                ts: 1_005,
+                value: b"bid:900".to_vec(),
+            },
+            ColdRow {
+                key: b"auction-17".to_vec(),
+                ts: 1_009,
+                value: b"bid:901".to_vec(),
+            },
+            ColdRow {
+                key: b"auction-3".to_vec(),
+                ts: 1_012,
+                value: b"bid:900".to_vec(),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_both_modes() {
+        let w = WindowId::new(1_000, 2_000);
+        for compress in [false, true] {
+            let blob = encode_block(w, BlockKind::Values, &rows(), compress);
+            let block = decode_block(&blob).unwrap();
+            assert_eq!(block.window, w);
+            assert_eq!(block.kind, BlockKind::Values);
+            assert_eq!(block.rows, rows());
+        }
+    }
+
+    #[test]
+    fn dictionary_beats_plain_rows_on_repetitive_data() {
+        let w = WindowId::new(0, 1_000);
+        let many: Vec<ColdRow> = (0..200)
+            .map(|i| ColdRow {
+                key: format!("person-{}", i % 8).into_bytes(),
+                ts: i,
+                value: b"some-repeated-payload".to_vec(),
+            })
+            .collect();
+        let blob = encode_block(w, BlockKind::Values, &many, true);
+        assert!(
+            blob.len() * 3 < uncompressed_size(&many),
+            "expected >3x compression, got {} vs {}",
+            blob.len(),
+            uncompressed_size(&many)
+        );
+    }
+
+    #[test]
+    fn empty_block_round_trips() {
+        let w = WindowId::new(5, 5);
+        let blob = encode_block(w, BlockKind::Aggregates, &[], true);
+        let block = decode_block(&blob).unwrap();
+        assert!(block.rows.is_empty());
+        assert_eq!(block.kind, BlockKind::Aggregates);
+    }
+
+    #[test]
+    fn negative_and_unordered_timestamps_round_trip() {
+        let w = WindowId::new(-500, 500);
+        let rows = vec![
+            ColdRow {
+                key: b"k".to_vec(),
+                ts: 400,
+                value: b"a".to_vec(),
+            },
+            ColdRow {
+                key: b"k".to_vec(),
+                ts: -499,
+                value: b"b".to_vec(),
+            },
+        ];
+        let blob = encode_block(w, BlockKind::Values, &rows, false);
+        assert_eq!(decode_block(&blob).unwrap().rows, rows);
+    }
+
+    #[test]
+    fn truncation_is_a_structured_error() {
+        let blob = encode_block(WindowId::new(0, 10), BlockKind::Values, &rows(), true);
+        for cut in 0..blob.len() {
+            let err = decode_block(&blob[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    StoreError::UnexpectedEof { .. }
+                        | StoreError::Corruption { .. }
+                        | StoreError::VarintOverflow
+                ),
+                "cut at {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bitflip_fails_crc() {
+        let mut blob = encode_block(WindowId::new(0, 10), BlockKind::Values, &rows(), true);
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0x40;
+        assert!(matches!(
+            decode_block(&blob).unwrap_err(),
+            StoreError::Corruption { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut blob = encode_block(WindowId::new(0, 10), BlockKind::Values, &rows(), false);
+        blob[0] = b'X';
+        assert!(matches!(
+            decode_block(&blob).unwrap_err(),
+            StoreError::Corruption { .. }
+        ));
+    }
+}

@@ -38,6 +38,7 @@
 
 pub mod backend;
 pub mod codec;
+pub mod columnar;
 pub mod error;
 pub mod hash;
 pub mod ioring;

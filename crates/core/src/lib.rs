@@ -60,9 +60,11 @@ pub mod pattern;
 pub mod probe;
 pub mod rmw;
 pub mod store;
+pub mod tier;
 
 pub use config::FlowKvConfig;
 pub use ett::EttObservation;
 pub use partitioner::KeyRangePartitioner;
 pub use pattern::AccessPattern;
 pub use store::{FlowKvFactory, FlowKvStore};
+pub use tier::{TierConfig, TieredFactory, TieredStore};

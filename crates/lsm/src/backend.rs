@@ -254,6 +254,15 @@ impl StateBackend for LsmBackend {
         Ok(entries)
     }
 
+    fn demoted_hint(&mut self, window: WindowId) -> Result<()> {
+        // A demotion wave just tombstoned every row of `window`; run the
+        // size-triggered compaction check now so the dead range is
+        // reclaimed while the touched blocks are still cache-warm,
+        // instead of waiting for the next write to trip it.
+        self.window_cursors.remove(&window);
+        self.db.maybe_compact()
+    }
+
     fn metrics(&self) -> Arc<StoreMetrics> {
         self.db.metrics()
     }

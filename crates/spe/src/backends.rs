@@ -69,6 +69,24 @@ impl BackendChoice {
         }
     }
 
+    /// Wraps this backend's factory in the two-tier hot/cold layout.
+    pub fn factory_tiered(&self, cfg: flowkv::tier::TierConfig) -> Arc<dyn StateBackendFactory> {
+        Arc::new(flowkv::tier::TieredFactory::new(self.factory(), cfg))
+    }
+
+    /// Tiered factory whose inner store *and* cold log both run through
+    /// `vfs`, so fault injection covers the whole two-tier stack.
+    pub fn factory_tiered_with_vfs(
+        &self,
+        cfg: flowkv::tier::TierConfig,
+        vfs: Arc<dyn Vfs>,
+    ) -> Arc<dyn StateBackendFactory> {
+        Arc::new(
+            flowkv::tier::TieredFactory::new(self.factory_with_vfs(Arc::clone(&vfs)), cfg)
+                .with_vfs(vfs),
+        )
+    }
+
     /// Scaled-down variants for tests: small buffers everywhere.
     pub fn all_small_for_tests() -> Vec<BackendChoice> {
         vec![

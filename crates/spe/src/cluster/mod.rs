@@ -99,6 +99,11 @@ pub fn run_cluster(
     factory: Arc<dyn StateBackendFactory>,
     options: &RunOptions,
 ) -> Result<ClusterResult, JobError> {
+    // Tier here, once: `migrate::repartition` drives the factory
+    // directly (outside any executor), and an unwrapped migration store
+    // could not read a tiered shard's checkpoint. The name guard inside
+    // keeps the per-shard executors from wrapping a second time.
+    let factory = crate::executor::maybe_tier_factory(factory, options);
     let started = Instant::now();
     let n = options.workers.max(1);
 

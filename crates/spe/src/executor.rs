@@ -238,6 +238,18 @@ pub struct RunOptions {
     /// The cluster coordinator assigns each key-range shard its index
     /// so Perfetto shows one process lane per worker.
     pub trace_pid: u32,
+    /// Two-tier state layout: when set, every state backend is wrapped
+    /// in a [`flowkv::tier::TieredStore`] whose hot tier is capped at
+    /// this many bytes per partition; sealed cold windows demote to
+    /// compressed columnar blocks and promote back on access. `Some(0)`
+    /// is the pathological forced-demotion mode (every write seals to a
+    /// cold block immediately). `None` (the default) keeps the store
+    /// hot-only. Outputs are byte-identical either way.
+    pub tier_hot_bytes: Option<u64>,
+    /// Dictionary-encode the value column of cold blocks (in addition
+    /// to the always-on key dictionary and timestamp delta encoding).
+    /// Only consulted when `tier_hot_bytes` is set.
+    pub tier_compress: bool,
 }
 
 impl RunOptions {
@@ -274,6 +286,8 @@ impl RunOptions {
             trace_sample: 0,
             trace_out: None,
             trace_pid: 0,
+            tier_hot_bytes: None,
+            tier_compress: true,
         }
     }
 
@@ -491,6 +505,21 @@ impl RunOptionsBuilder {
     /// Chrome `pid` for this executor's threads in trace exports.
     pub fn trace_pid(mut self, pid: u32) -> Self {
         self.opts.trace_pid = pid;
+        self
+    }
+
+    /// Wrap every state backend in the two-tier hot/cold layout with
+    /// this hot-tier byte budget per partition (`0` forces demotion on
+    /// every write).
+    pub fn tier_hot_bytes(mut self, bytes: u64) -> Self {
+        self.opts.tier_hot_bytes = Some(bytes);
+        self
+    }
+
+    /// Dictionary-encode cold-block values (`true` by default; only
+    /// consulted when `tier_hot_bytes` is set).
+    pub fn tier_compress(mut self, on: bool) -> Self {
+        self.opts.tier_compress = on;
         self
     }
 
@@ -895,6 +924,29 @@ pub(crate) struct AttemptSalvage {
 /// offset (in tuples) at which the aligned barrier was injected.
 pub(crate) const SOURCE_OFFSET_FILE: &str = "SOURCE_OFFSET";
 
+/// Applies the `tier_hot_bytes` knob: wraps `factory` in a
+/// [`flowkv::tier::TieredFactory`] when tiering was requested and the
+/// factory is not already tiered (the cluster coordinator wraps before
+/// fanning out to per-shard executors, which would otherwise wrap
+/// again).
+pub(crate) fn maybe_tier_factory(
+    factory: Arc<dyn StateBackendFactory>,
+    options: &RunOptions,
+) -> Arc<dyn StateBackendFactory> {
+    let Some(hot_bytes) = options.tier_hot_bytes else {
+        return factory;
+    };
+    if factory.name() == "tiered" {
+        return factory;
+    }
+    let cfg = flowkv::tier::TierConfig {
+        hot_bytes: hot_bytes as usize,
+        compress: options.tier_compress,
+        ..flowkv::tier::TierConfig::default()
+    };
+    Arc::new(flowkv::tier::TieredFactory::new(factory, cfg))
+}
+
 /// [`run_job`], additionally returning the sink-side salvage the
 /// supervisor needs even when the run fails.
 pub(crate) fn run_job_inner(
@@ -903,6 +955,7 @@ pub(crate) fn run_job_inner(
     factory: Arc<dyn StateBackendFactory>,
     options: &RunOptions,
 ) -> (Result<JobResult, JobError>, AttemptSalvage) {
+    let factory = maybe_tier_factory(factory, options);
     let n = job.parallelism;
     let started = Instant::now();
     let epoch = started;

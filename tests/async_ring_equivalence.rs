@@ -8,10 +8,12 @@
 //! seeded by `FLOWKV_FAULT_SEED` (default below); the seed is printed so
 //! any failure reproduces with `FLOWKV_FAULT_SEED=<seed> cargo test`.
 
+mod common;
+
+use common::{cell_seed, fault_seed, nexmark_generator, sorted_triples};
 use flowkv_common::scratch::ScratchDir;
-use flowkv_common::types::Tuple;
 use flowkv_common::vfs::{FaultPlan, FaultVfs, StdVfs};
-use flowkv_nexmark::{EventGenerator, GeneratorConfig, QueryId, QueryParams};
+use flowkv_nexmark::{EventGenerator, QueryId, QueryParams};
 use flowkv_spe::source::{LogSource, TupleLog};
 use flowkv_spe::{run_job, run_supervised, BackendChoice, RunOptions};
 
@@ -19,46 +21,14 @@ const NUM_EVENTS: u64 = 5_000;
 const DEFAULT_SEED: u64 = 0xA5F0;
 const IO_THREADS: usize = 2;
 
-fn fault_seed() -> u64 {
-    std::env::var("FLOWKV_FAULT_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SEED)
-}
-
 fn generator() -> EventGenerator {
-    EventGenerator::new(GeneratorConfig {
-        num_events: NUM_EVENTS,
-        seed: 23,
-        events_per_second: 5_000,
-        active_people: 50,
-        active_auctions: 80,
-        ..GeneratorConfig::default()
-    })
-}
-
-fn sorted_triples(tuples: &[Tuple]) -> Vec<(Vec<u8>, Vec<u8>, i64)> {
-    let mut v: Vec<(Vec<u8>, Vec<u8>, i64)> = tuples
-        .iter()
-        .map(|t| (t.key.clone(), t.value.clone(), t.timestamp))
-        .collect();
-    v.sort();
-    v
-}
-
-/// Distinct per-cell randomness, all reproducible from the one seed.
-fn cell_seed(seed: u64, query: QueryId, backend: &BackendChoice, round: u64) -> u64 {
-    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15 ^ round.wrapping_mul(0xD134_2543_DE82_EF95);
-    for b in query.name().bytes().chain(backend.name().bytes()) {
-        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
-    }
-    h
+    nexmark_generator(NUM_EVENTS, 23)
 }
 
 /// Runs `query` synchronously once, then with the ring enabled under
 /// several completion-shuffle seeds, and requires identical output.
 fn reorder_row(query: QueryId) {
-    let seed = fault_seed();
+    let seed = fault_seed(DEFAULT_SEED);
     println!(
         "async reorder {}: FLOWKV_FAULT_SEED={seed} (set the env var to replay)",
         query.name()
@@ -219,7 +189,7 @@ fn crash_cell(query: QueryId, backend: &BackendChoice, seed: u64) {
 /// other backends ignore the I/O policy and are already exercised by the
 /// synchronous crash matrix.
 fn crash_row(query: QueryId) {
-    let seed = fault_seed();
+    let seed = fault_seed(DEFAULT_SEED);
     println!(
         "async crash {}: FLOWKV_FAULT_SEED={seed} (set the env var to replay)",
         query.name()

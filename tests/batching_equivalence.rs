@@ -6,28 +6,13 @@
 //! to stay exact — batches are flushed before every barrier, so batching
 //! must never smear tuples across the alignment boundary.
 
+mod common;
+
+use common::{nexmark_generator, sorted_owned as sorted, SortedOutputs};
 use flowkv::FlowKvConfig;
 use flowkv_common::scratch::ScratchDir;
-use flowkv_common::types::Tuple;
-use flowkv_nexmark::{EventGenerator, GeneratorConfig, QueryId, QueryParams};
+use flowkv_nexmark::{QueryId, QueryParams};
 use flowkv_spe::{run_job, BackendChoice, RunOptions};
-
-type SortedOutputs = Vec<(Vec<u8>, Vec<u8>, i64)>;
-
-fn sorted(tuples: Vec<Tuple>) -> SortedOutputs {
-    let mut out: SortedOutputs = tuples
-        .into_iter()
-        .map(
-            |Tuple {
-                 key,
-                 value,
-                 timestamp,
-             }| (key, value, timestamp),
-        )
-        .collect();
-    out.sort();
-    out
-}
 
 /// Runs `query` on FlowKV with the given exchange batch size, optionally
 /// with a checkpoint barrier after 12 000 source tuples (late enough
@@ -49,14 +34,6 @@ fn run_batched(
         query.name()
     ))
     .unwrap();
-    let cfg = GeneratorConfig {
-        num_events: 20_000,
-        seed: 11,
-        events_per_second: 5_000,
-        active_people: 50,
-        active_auctions: 80,
-        ..GeneratorConfig::default()
-    };
     let backend = BackendChoice::FlowKv(FlowKvConfig::small_for_tests());
     let params = QueryParams::new(1_000).with_parallelism(2);
     let job = query.build(params);
@@ -71,7 +48,7 @@ fn run_batched(
     }
     let result = run_job(
         &job,
-        EventGenerator::new(cfg).tuples(),
+        nexmark_generator(20_000, 11).tuples(),
         backend.factory(),
         &opts,
     )

@@ -1,0 +1,79 @@
+//! Shared run-compare-checksum harness for the equivalence matrices
+//! (`batching_equivalence`, `async_ring_equivalence`,
+//! `rescale_equivalence`, `crash_matrix`, `tiered_equivalence`).
+//!
+//! Every matrix follows the same recipe: generate a deterministic
+//! NEXMark stream, run a reference configuration and a configuration
+//! under test, and require byte-identical sorted output triples — with
+//! any per-cell randomness derived from the one `FLOWKV_FAULT_SEED`
+//! stream so a CI failure replays from a single number.
+#![allow(dead_code)]
+
+use flowkv_common::types::Tuple;
+use flowkv_nexmark::{EventGenerator, GeneratorConfig, QueryId};
+use flowkv_spe::BackendChoice;
+
+/// The replayable fault/randomness seed: `FLOWKV_FAULT_SEED` when set,
+/// else the matrix's own default (each suite uses a distinct default so
+/// their unseeded runs exercise different crash points).
+pub fn fault_seed(default: u64) -> u64 {
+    std::env::var("FLOWKV_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The matrices' common NEXMark stream shape: only the event count and
+/// generator seed vary between suites.
+pub fn nexmark_generator(num_events: u64, seed: u64) -> EventGenerator {
+    EventGenerator::new(GeneratorConfig {
+        num_events,
+        seed,
+        events_per_second: 5_000,
+        active_people: 50,
+        active_auctions: 80,
+        ..GeneratorConfig::default()
+    })
+}
+
+/// Sorted `(key, value, timestamp)` triples — the canonical
+/// order-insensitive output checksum every equivalence assert compares.
+pub type SortedOutputs = Vec<(Vec<u8>, Vec<u8>, i64)>;
+
+/// Borrowing variant: checksum a result's outputs without consuming it.
+pub fn sorted_triples(tuples: &[Tuple]) -> SortedOutputs {
+    let mut v: SortedOutputs = tuples
+        .iter()
+        .map(|t| (t.key.clone(), t.value.clone(), t.timestamp))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Owning variant for call sites that are done with the tuples.
+pub fn sorted_owned(tuples: Vec<Tuple>) -> SortedOutputs {
+    let mut v: SortedOutputs = tuples
+        .into_iter()
+        .map(
+            |Tuple {
+                 key,
+                 value,
+                 timestamp,
+             }| (key, value, timestamp),
+        )
+        .collect();
+    v.sort();
+    v
+}
+
+/// Distinct per-cell randomness (crash points, shuffle seeds), all
+/// reproducible from the one suite seed. `round` distinguishes repeated
+/// runs of the same cell; `round = 0` matches the historical
+/// single-round derivation, keeping old seeds' crash points replayable.
+pub fn cell_seed(seed: u64, query: QueryId, backend: &BackendChoice, round: u64) -> u64 {
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15 ^ round.wrapping_mul(0xD134_2543_DE82_EF95);
+    for b in query.name().bytes().chain(backend.name().bytes()) {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}

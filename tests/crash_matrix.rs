@@ -3,67 +3,59 @@
 //! require byte-identical output versus an undisturbed run.
 //!
 //! The crash point is drawn from the SplitMix64 stream seeded by
-//! `FLOWKV_FAULT_SEED` (default below); the seed is printed so any
+//! `FLOWKV_FAULT_SEED` (default below); the seed appears in every
+//! failure message (not just the success-path banner), so any CI
 //! failure reproduces with `FLOWKV_FAULT_SEED=<seed> cargo test`.
+//!
+//! The tiered cells re-run the matrix with the two-tier hot/cold layout
+//! forced into pathological demotion (`tier_hot_bytes = 0`), once with
+//! an early crash cap (most likely to land mid-demotion, while cold
+//! blocks are being sealed) and once with a late cap (most likely to
+//! land mid-promotion, while cold blocks are being read back).
+
+mod common;
 
 use std::sync::Arc;
 
+use common::{cell_seed, fault_seed, nexmark_generator, sorted_triples};
 use flowkv_common::scratch::ScratchDir;
 use flowkv_common::telemetry::{SampleValue, Telemetry};
-use flowkv_common::types::Tuple;
 use flowkv_common::vfs::{FaultPlan, FaultVfs, StdVfs};
-use flowkv_nexmark::{EventGenerator, GeneratorConfig, QueryId, QueryParams};
+use flowkv_nexmark::{QueryId, QueryParams};
 use flowkv_spe::source::{LogSource, TupleLog};
 use flowkv_spe::{run_job, run_supervised, BackendChoice, RunOptions};
 
 const NUM_EVENTS: u64 = 8_000;
 const DEFAULT_SEED: u64 = 0xF10C;
 
-fn fault_seed() -> u64 {
-    std::env::var("FLOWKV_FAULT_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SEED)
-}
-
-fn generator() -> EventGenerator {
-    EventGenerator::new(GeneratorConfig {
-        num_events: NUM_EVENTS,
-        seed: 7,
-        events_per_second: 5_000,
-        active_people: 50,
-        active_auctions: 80,
-        ..GeneratorConfig::default()
-    })
-}
-
-fn sorted_triples(tuples: &[Tuple]) -> Vec<(Vec<u8>, Vec<u8>, i64)> {
-    let mut v: Vec<(Vec<u8>, Vec<u8>, i64)> = tuples
-        .iter()
-        .map(|t| (t.key.clone(), t.value.clone(), t.timestamp))
-        .collect();
-    v.sort();
-    v
-}
-
-/// Distinct crash points per cell, all reproducible from the one seed.
-fn cell_seed(seed: u64, query: QueryId, backend: &BackendChoice) -> u64 {
-    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
-    for b in query.name().bytes().chain(backend.name().bytes()) {
-        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
-    }
-    h
-}
-
-fn crash_matrix_cell(query: QueryId, backend: &BackendChoice, seed: u64) {
-    let dir =
-        ScratchDir::new(&format!("crash-matrix-{}-{}", query.name(), backend.name())).unwrap();
+/// One matrix cell: crash at a random store op under the given cap
+/// fraction (numerator/denominator of the counted op range), recover,
+/// compare. `tiered` additionally wraps the backend in the forced-
+/// demotion two-tier layout on both sides of the comparison's fault
+/// path (the reference stays hot-only — that asymmetry *is* the test).
+fn crash_matrix_cell(
+    query: QueryId,
+    backend: &BackendChoice,
+    seed: u64,
+    tiered: bool,
+    cap_num: u64,
+    cap_den: u64,
+) {
+    let label = if tiered { "tiered" } else { "hot-only" };
+    let dir = ScratchDir::new(&format!(
+        "crash-matrix-{label}-{}-{}",
+        query.name(),
+        backend.name()
+    ))
+    .unwrap();
     let log = dir.path().join("events.log");
-    TupleLog::record(&log, generator().tuples()).unwrap();
+    TupleLog::record(&log, nexmark_generator(NUM_EVENTS, 7).tuples()).unwrap();
     let params = QueryParams::new(1_000).with_parallelism(2);
     let job = query.build(params);
 
-    // Undisturbed reference run.
+    let tier_cfg = flowkv::tier::TierConfig::new(0);
+
+    // Undisturbed hot-only reference run.
     let ref_opts = RunOptions::builder(dir.path().join("ref"))
         .collect_outputs(true)
         .watermark_interval(100)
@@ -76,14 +68,14 @@ fn crash_matrix_cell(query: QueryId, backend: &BackendChoice, seed: u64) {
     )
     .unwrap_or_else(|e| {
         panic!(
-            "{} on {}: reference run failed: {e}",
+            "{} on {} [{label}]: reference run failed (seed {seed}): {e}",
             query.name(),
             backend.name()
         )
     });
     assert!(
         !reference.outputs.is_empty(),
-        "{} on {}: reference run produced no output",
+        "{} on {} [{label}]: reference run produced no output (seed {seed})",
         query.name(),
         backend.name()
     );
@@ -95,27 +87,37 @@ fn crash_matrix_cell(query: QueryId, backend: &BackendChoice, seed: u64) {
         .watermark_interval(100)
         .checkpoint(NUM_EVENTS / 2, dir.path().join("count-ckpt"))
         .build();
+    let counted_factory = if tiered {
+        backend.factory_tiered_with_vfs(tier_cfg.clone(), counter.clone())
+    } else {
+        backend.factory_with_vfs(counter.clone())
+    };
     run_job(
         &job,
         LogSource::open(&log).unwrap(),
-        backend.factory_with_vfs(counter.clone()),
+        counted_factory,
         &counted_opts,
     )
     .unwrap_or_else(|e| {
         panic!(
-            "{} on {}: counting run failed: {e}",
+            "{} on {} [{label}]: counting run failed (seed {seed}): {e}",
             query.name(),
             backend.name()
         )
     });
     let total_ops = counter.ops();
-    assert!(total_ops > 0, "store never touched the vfs");
+    assert!(
+        total_ops > 0,
+        "{} on {} [{label}]: store never touched the vfs (seed {seed})",
+        query.name(),
+        backend.name()
+    );
 
-    // Crash somewhere in the first nine tenths of the op range (the cap
+    // Crash somewhere inside the capped slice of the op range (the cap
     // absorbs run-to-run scheduling variance in the op count), then
     // recover under supervision and compare byte-for-byte.
-    let combo_seed = cell_seed(seed, query, backend);
-    let plan = FaultPlan::random_crash(combo_seed, total_ops * 9 / 10);
+    let combo_seed = cell_seed(seed, query, backend, if tiered { 13 } else { 0 });
+    let plan = FaultPlan::random_crash(combo_seed, total_ops * cap_num / cap_den);
     let faulty = FaultVfs::new(StdVfs::shared(), plan);
     let telemetry = Telemetry::new_shared();
     let opts = RunOptions::builder(dir.path().join("data"))
@@ -126,34 +128,38 @@ fn crash_matrix_cell(query: QueryId, backend: &BackendChoice, seed: u64) {
         .restart_backoff(std::time::Duration::from_millis(1))
         .telemetry(Arc::clone(&telemetry))
         .build();
-    let sup = run_supervised(&job, &log, backend.factory_with_vfs(faulty.clone()), &opts)
-        .unwrap_or_else(|e| {
-            panic!(
-                "{} on {}: supervised run failed (seed {seed}): {e}",
-                query.name(),
-                backend.name()
-            )
-        });
+    let faulty_factory = if tiered {
+        backend.factory_tiered_with_vfs(tier_cfg, faulty.clone())
+    } else {
+        backend.factory_with_vfs(faulty.clone())
+    };
+    let sup = run_supervised(&job, &log, faulty_factory, &opts).unwrap_or_else(|e| {
+        panic!(
+            "{} on {} [{label}]: supervised run failed (seed {seed}): {e}",
+            query.name(),
+            backend.name()
+        )
+    });
 
     let fired = faulty.fired();
     assert_eq!(
         fired.len(),
         1,
-        "{} on {}: expected exactly one injected crash (seed {seed}), fired {fired:?}",
+        "{} on {} [{label}]: expected exactly one injected crash (seed {seed}), fired {fired:?}",
         query.name(),
         backend.name()
     );
     assert_eq!(
         sup.restarts,
         1,
-        "{} on {}: one crash must cost exactly one restart (seed {seed})",
+        "{} on {} [{label}]: one crash must cost exactly one restart (seed {seed})",
         query.name(),
         backend.name()
     );
     assert_eq!(
         sorted_triples(&sup.all_outputs()),
         sorted_triples(&reference.outputs),
-        "{} on {}: recovered output diverged (seed {seed}, crash at op {})",
+        "{} on {} [{label}]: recovered output diverged (seed {seed}, crash at op {})",
         query.name(),
         backend.name(),
         fired[0].0
@@ -168,23 +174,41 @@ fn crash_matrix_cell(query: QueryId, backend: &BackendChoice, seed: u64) {
         SampleValue::Counter(v) => assert_eq!(
             v,
             1,
-            "{} on {}: recovery_restarts_total must equal the injected crash count",
+            "{} on {} [{label}]: recovery_restarts_total must equal the injected crash count \
+             (seed {seed})",
             query.name(),
             backend.name()
         ),
-        _ => panic!("recovery_restarts_total is not a counter"),
+        _ => panic!("recovery_restarts_total is not a counter (seed {seed})"),
     }
 }
 
 fn crash_matrix_row(query: QueryId) {
-    let seed = fault_seed();
+    let seed = fault_seed(DEFAULT_SEED);
     println!(
         "crash matrix {}: FLOWKV_FAULT_SEED={seed} (set the env var to replay)",
         query.name()
     );
     for backend in &BackendChoice::all_small_for_tests() {
-        crash_matrix_cell(query, backend, seed);
+        crash_matrix_cell(query, backend, seed, false, 9, 10);
     }
+}
+
+/// Tiered crash cells: FlowKV under forced demotion, crashed early
+/// (mid-demotion: the run front-loads cold-block writes) and late
+/// (mid-promotion: the tail of the op range is dominated by cold-block
+/// reads as windows fire). Recovery restores both tiers from the last
+/// checkpoint; output must stay byte-identical to the hot-only
+/// reference either way.
+fn tiered_crash_row(query: QueryId) {
+    let seed = fault_seed(DEFAULT_SEED);
+    println!(
+        "tiered crash matrix {}: FLOWKV_FAULT_SEED={seed} (set the env var to replay)",
+        query.name()
+    );
+    let backend = &BackendChoice::all_small_for_tests()[1];
+    crash_matrix_cell(query, backend, seed, true, 1, 3); // mid-demotion
+    crash_matrix_cell(query, backend, seed, true, 9, 10); // mid-promotion
 }
 
 #[test]
@@ -200,4 +224,19 @@ fn crash_matrix_q11_median() {
 #[test]
 fn crash_matrix_q11() {
     crash_matrix_row(QueryId::Q11);
+}
+
+#[test]
+fn tiered_crash_q7() {
+    tiered_crash_row(QueryId::Q7);
+}
+
+#[test]
+fn tiered_crash_q11_median() {
+    tiered_crash_row(QueryId::Q11Median);
+}
+
+#[test]
+fn tiered_crash_q11() {
+    tiered_crash_row(QueryId::Q11);
 }

@@ -10,41 +10,20 @@
 //! seed is printed so any failure replays with
 //! `FLOWKV_FAULT_SEED=<seed> cargo test`.
 
+mod common;
+
+use common::{fault_seed, nexmark_generator, sorted_triples};
 use flowkv_common::scratch::ScratchDir;
-use flowkv_common::types::Tuple;
 use flowkv_common::vfs::{FaultPlan, FaultVfs, StdVfs};
-use flowkv_nexmark::{EventGenerator, GeneratorConfig, QueryId, QueryParams};
+use flowkv_nexmark::{EventGenerator, QueryId, QueryParams};
 use flowkv_spe::{run_cluster, run_job, BackendChoice, RunOptions};
 
 const NUM_EVENTS: u64 = 8_000;
 const DEFAULT_SEED: u64 = 0xF10C;
 const WM_INTERVAL: usize = 100;
 
-fn fault_seed() -> u64 {
-    std::env::var("FLOWKV_FAULT_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SEED)
-}
-
 fn generator() -> EventGenerator {
-    EventGenerator::new(GeneratorConfig {
-        num_events: NUM_EVENTS,
-        seed: 7,
-        events_per_second: 5_000,
-        active_people: 50,
-        active_auctions: 80,
-        ..GeneratorConfig::default()
-    })
-}
-
-fn sorted_triples(tuples: &[Tuple]) -> Vec<(Vec<u8>, Vec<u8>, i64)> {
-    let mut v: Vec<(Vec<u8>, Vec<u8>, i64)> = tuples
-        .iter()
-        .map(|t| (t.key.clone(), t.value.clone(), t.timestamp))
-        .collect();
-    v.sort();
-    v
+    nexmark_generator(NUM_EVENTS, 7)
 }
 
 fn rescale_cell(query: QueryId, backend: &BackendChoice) {
@@ -132,7 +111,7 @@ fn rescale_equivalence_q11() {
 /// the merged output must still match the undisturbed run.
 #[test]
 fn sharded_crash_recovers_with_identical_output() {
-    let seed = fault_seed();
+    let seed = fault_seed(DEFAULT_SEED);
     println!("rescale matrix crash cell: FLOWKV_FAULT_SEED={seed} (set the env var to replay)");
     let query = QueryId::Q11;
     let backend = &BackendChoice::all_small_for_tests()[1];
