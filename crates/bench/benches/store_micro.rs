@@ -15,7 +15,7 @@ use flowkv_common::backend::{
 };
 use flowkv_common::scratch::ScratchDir;
 use flowkv_common::types::WindowId;
-use flowkv_spe::BackendChoice;
+use flowkv_spe::{BackendChoice, FactoryOptions};
 
 /// Backends under comparison (the in-memory store is not a persistent
 /// competitor and is omitted, as in the paper's Figure 10).
@@ -39,7 +39,10 @@ fn make(
         telemetry: None,
         io: None,
     };
-    (choice.factory().create(&ctx).unwrap(), dir)
+    (
+        choice.build(FactoryOptions::new()).create(&ctx).unwrap(),
+        dir,
+    )
 }
 
 /// AAR: append a window's worth of tuples across many keys, then drain

@@ -28,7 +28,7 @@ use flowkv_common::codec::crc32;
 use flowkv_common::scratch::ScratchDir;
 use flowkv_common::types::Tuple;
 use flowkv_nexmark::{EventGenerator, QueryId, QueryParams};
-use flowkv_spe::{run_cluster, BackendChoice, ClusterResult, JobError, RunOptions};
+use flowkv_spe::{run_cluster, BackendChoice, ClusterResult, FactoryOptions, JobError, RunOptions};
 
 const QUERIES: [QueryId; 3] = [QueryId::Q7, QueryId::Q11Median, QueryId::Q11];
 
@@ -90,7 +90,7 @@ fn cluster_cell(
     run_cluster(
         &job,
         EventGenerator::new(workload(events, 11)).tuples(),
-        BackendChoice::FlowKv(flowkv_cfg()).factory(),
+        BackendChoice::FlowKv(flowkv_cfg()).build(FactoryOptions::new()),
         &opts,
     )
 }

@@ -22,7 +22,7 @@ use flowkv_hashkv::HashDbConfig;
 use flowkv_lsm::DbConfig;
 use flowkv_nexmark::{EventGenerator, GeneratorConfig, QueryId, QueryParams};
 use flowkv_spe::executor::JobError;
-use flowkv_spe::{run_job, BackendChoice, JobResult, RunOptions};
+use flowkv_spe::{run_job, BackendChoice, FactoryOptions, JobResult, RunOptions};
 
 /// Parsed `--key=value` command-line arguments.
 pub struct HarnessArgs {
@@ -222,8 +222,8 @@ pub fn run_cell_with_vfs(
         opts.telemetry = Some(flowkv_common::telemetry::Telemetry::new_shared());
     }
     let factory = match vfs {
-        Some(vfs) => backend.factory_with_vfs(vfs),
-        None => backend.factory(),
+        Some(vfs) => backend.build(FactoryOptions::new().vfs(vfs)),
+        None => backend.build(FactoryOptions::new()),
     };
     let outcome = run_job(
         &job,

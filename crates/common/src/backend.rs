@@ -74,6 +74,22 @@ impl WindowKind {
     pub fn is_aligned(&self) -> bool {
         matches!(self, WindowKind::Fixed { .. } | WindowKind::Sliding { .. })
     }
+
+    /// Advisory lifetime of one entry's state in event-time
+    /// milliseconds, for queryable-state metadata: how long past its
+    /// arrival an entry can stay live before the engine drains it.
+    ///
+    /// Fixed/sliding windows retain state for the window length,
+    /// sessions for the gap; global, count, and custom windows carry no
+    /// event-time bound, so they report `None`.
+    pub fn retention_hint_ms(&self) -> Option<u64> {
+        match self {
+            WindowKind::Fixed { size } => u64::try_from(*size).ok(),
+            WindowKind::Sliding { size, .. } => u64::try_from(*size).ok(),
+            WindowKind::Session { gap } => u64::try_from(*gap).ok(),
+            WindowKind::Global | WindowKind::Count { .. } | WindowKind::Custom => None,
+        }
+    }
 }
 
 /// The launch-time description of a window operation used for store

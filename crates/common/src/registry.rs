@@ -144,6 +144,13 @@ pub struct StateView {
     pub entries: BTreeMap<(Vec<u8>, WindowId), ViewValue>,
     /// Store metrics at snapshot time.
     pub metrics: MetricsSnapshot,
+    /// Advisory retention of an entry in event-time milliseconds: how
+    /// long after its window closes the entry stays queryable before
+    /// the engine drains it. Publishers derive it from the operator's
+    /// window semantics (size for fixed/sliding windows, gap for
+    /// sessions); `None` means state never expires on its own (global
+    /// windows) or the publisher offered no hint.
+    pub ttl_ms: Option<u64>,
 }
 
 impl StateView {
@@ -156,6 +163,7 @@ impl StateView {
             watermark: MIN_TIMESTAMP,
             entries: BTreeMap::new(),
             metrics: MetricsSnapshot::default(),
+            ttl_ms: None,
         }
     }
 
@@ -189,6 +197,30 @@ impl StateView {
     ) -> Vec<(&[u8], WindowId, &ViewValue)> {
         self.entries
             .iter()
+            .filter(|((_, w), _)| w.start <= range_end && w.end >= range_start)
+            .take(limit)
+            .map(|((k, w), v)| (k.as_slice(), *w, v))
+            .collect()
+    }
+
+    /// Returns up to `limit` entries whose key starts with `prefix` and
+    /// whose window overlaps `[range_start, range_end]`, in key order.
+    ///
+    /// Keys sort lexicographically, so all keys sharing `prefix` form
+    /// one contiguous run: the scan seeks to the first candidate and
+    /// stops at the first key past the prefix instead of walking the
+    /// whole view.
+    pub fn scan_filtered(
+        &self,
+        prefix: &[u8],
+        range_start: Timestamp,
+        range_end: Timestamp,
+        limit: usize,
+    ) -> Vec<(&[u8], WindowId, &ViewValue)> {
+        let lo = (prefix.to_vec(), WindowId::ordered_min());
+        self.entries
+            .range((Bound::Included(lo), Bound::Unbounded))
+            .take_while(|((k, _), _)| k.starts_with(prefix))
             .filter(|((_, w), _)| w.start <= range_end && w.end >= range_start)
             .take(limit)
             .map(|((k, w), v)| (k.as_slice(), *w, v))
@@ -247,6 +279,9 @@ pub struct StateDescriptor {
     pub watermark: Timestamp,
     /// Number of live entries in the view.
     pub entries: u64,
+    /// Advisory entry retention in milliseconds (see
+    /// [`StateView::ttl_ms`]).
+    pub ttl_ms: Option<u64>,
 }
 
 /// Process-wide directory of published state views.
@@ -322,6 +357,7 @@ impl StateRegistry {
                 epoch: view.epoch,
                 watermark: view.watermark,
                 entries: view.len() as u64,
+                ttl_ms: view.ttl_ms,
             })
             .collect();
         out.sort_by(|a, b| a.key.cmp(&b.key));

@@ -1,16 +1,26 @@
 //! Load generator for the queryable-state server.
 //!
 //! Runs a rate-limited NEXMark Q12 job (RMW pattern: per-bidder counts
-//! over a global window) with snapshot publication enabled, serves the
-//! registry over TCP, and hammers the server with point lookups from a
-//! pool of client threads while the job is still ingesting. Reports
-//! sustained lookup throughput and p50/p99/p999 latency, and writes the
-//! same numbers to `BENCH_serve.json`.
+//! over a global window) with snapshot publication enabled, then
+//! measures the serving path in three phases over the same live
+//! registry:
+//!
+//! 1. **baseline** — the legacy thread-per-connection core, one point
+//!    lookup per round trip (what every pre-v2 deployment ran);
+//! 2. **pipelined** — the event-loop core with protocol v2 and
+//!    `--depth` point lookups in flight per connection;
+//! 3. **mixed** — the event-loop core under a realistic blend of
+//!    pipelined point batches, multi-key `LookupMany` frames, and
+//!    prefix-filtered scans.
+//!
+//! Reports sustained lookup throughput and p50/p99/p999 latency per
+//! phase, the pipelining speedup over the baseline, and writes the same
+//! numbers to `--out` (default `BENCH_serve.json`).
 //!
 //! Usage:
 //! `cargo run --release -p flowkv-serve --bin serve_bench -- \
-//!   [--events=1000000] [--rate=100000] [--threads=4] \
-//!   [--measure-secs=5] [--parallelism=2] [--seed=1]`
+//!   [--events=1000000] [--rate=100000] [--threads=4] [--depth=16] \
+//!   [--measure-secs=5] [--parallelism=2] [--seed=1] [--out=BENCH_serve.json]`
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -20,7 +30,7 @@ use flowkv_bench::{flowkv_cfg, run_cell, workload, CellOutcome, HarnessArgs};
 use flowkv_common::registry::StateRegistry;
 use flowkv_common::types::{MAX_TIMESTAMP, MIN_TIMESTAMP};
 use flowkv_nexmark::{QueryId, QueryParams};
-use flowkv_serve::{StateClient, StateServer};
+use flowkv_serve::{Request, Response, ScanFilter, ServerBuilder, StateClient};
 use flowkv_spe::BackendChoice;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -37,19 +47,137 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
+/// One measured phase: lookups answered, wall time, and the latency of
+/// each wire round trip (a pipelined batch counts once — that is the
+/// latency a batched caller experiences).
+struct PhaseResult {
+    name: &'static str,
+    lookups: u64,
+    elapsed: f64,
+    p50: u64,
+    p99: u64,
+    p999: u64,
+}
+
+impl PhaseResult {
+    fn throughput(&self) -> f64 {
+        self.lookups as f64 / self.elapsed
+    }
+
+    fn print(&self) {
+        println!(
+            "{}: {} lookups in {:.2}s = {:.0}/s  latency p50 {:.1}us p99 {:.1}us p999 {:.1}us",
+            self.name,
+            self.lookups,
+            self.elapsed,
+            self.throughput(),
+            self.p50 as f64 / 1_000.0,
+            self.p99 as f64 / 1_000.0,
+            self.p999 as f64 / 1_000.0,
+        );
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{ \"name\": \"{}\", \"lookups\": {}, \"measure_secs\": {:.3}, \
+             \"throughput_per_sec\": {:.1}, \"p50_nanos\": {}, \"p99_nanos\": {}, \
+             \"p999_nanos\": {} }}",
+            self.name,
+            self.lookups,
+            self.elapsed,
+            self.throughput(),
+            self.p50,
+            self.p99,
+            self.p999
+        )
+    }
+}
+
+/// Runs `threads` workers against `addr` for `measure_secs`, each
+/// executing `work` in a loop. `work` returns (lookups answered, round
+/// trips) per iteration; every iteration's latency is recorded once.
+fn measure_phase(
+    name: &'static str,
+    addr: std::net::SocketAddr,
+    threads: usize,
+    measure_secs: f64,
+    work: impl Fn(&mut StateClient, &mut StdRng, usize) -> u64 + Send + Sync + 'static,
+) -> PhaseResult {
+    let stop = Arc::new(AtomicBool::new(false));
+    let work = Arc::new(work);
+    let mut workers = Vec::new();
+    let start = Instant::now();
+    for t in 0..threads {
+        let stop = Arc::clone(&stop);
+        let work = Arc::clone(&work);
+        workers.push(std::thread::spawn(move || {
+            let mut client = StateClient::connect(addr).expect("client connect");
+            let mut rng = StdRng::seed_from_u64(0xbeef ^ t as u64);
+            let mut latencies = Vec::with_capacity(1 << 18);
+            let mut lookups = 0u64;
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let begin = Instant::now();
+                lookups += work(&mut client, &mut rng, i);
+                latencies.push(begin.elapsed().as_nanos() as u64);
+                i += 1;
+            }
+            (latencies, lookups)
+        }));
+    }
+    std::thread::sleep(Duration::from_secs_f64(measure_secs));
+    stop.store(true, Ordering::SeqCst);
+    let mut latencies = Vec::new();
+    let mut lookups = 0u64;
+    for w in workers {
+        let (l, n) = w.join().expect("worker panicked");
+        latencies.extend(l);
+        lookups += n;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    PhaseResult {
+        name,
+        lookups,
+        elapsed,
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+        p999: percentile(&latencies, 0.999),
+    }
+}
+
+fn point_batch(keys: &Arc<Vec<Vec<u8>>>, rng: &mut StdRng, depth: usize) -> Vec<Request> {
+    (0..depth)
+        .map(|_| Request::Lookup {
+            job: JOB.into(),
+            operator: OPERATOR.into(),
+            key: keys[rng.gen_range(0..keys.len())].clone(),
+            window: None,
+        })
+        .collect()
+}
+
+fn count_values(responses: &[Response]) -> u64 {
+    responses
+        .iter()
+        .filter(|r| matches!(r, Response::Value { .. } | Response::ValueBatch { .. }))
+        .count() as u64
+}
+
 fn main() {
     let args = HarnessArgs::parse();
     let events = args.u64("events", 1_000_000);
     let rate = args.u64("rate", 100_000);
     let threads = args.u64("threads", 4) as usize;
+    let depth = (args.u64("depth", 16) as usize).max(1);
     let measure_secs = args.f64("measure-secs", 5.0);
     let parallelism = args.u64("parallelism", 2) as usize;
     let seed = args.u64("seed", 1);
+    let out = args.str("out", "BENCH_serve.json");
 
     eprintln!(
-        "serve_bench: Q12 ({} events at {rate}/s, p={parallelism}) + {threads} lookup threads \
-         for {measure_secs:.1}s",
-        events
+        "serve_bench: Q12 ({events} events at {rate}/s, p={parallelism}) + {threads} lookup \
+         threads, pipeline depth {depth}, {measure_secs:.1}s per phase"
     );
 
     let registry = StateRegistry::new_shared();
@@ -73,10 +201,22 @@ fn main() {
         )
     });
 
-    let mut server =
-        StateServer::spawn("127.0.0.1:0", Arc::clone(&registry)).expect("server spawn");
+    // Two servers over the same registry: the legacy threaded core as
+    // the baseline, the event loop as the measured core.
+    let mut baseline_server = ServerBuilder::new("127.0.0.1:0", Arc::clone(&registry))
+        .threaded(true)
+        .spawn()
+        .expect("baseline server spawn");
+    let mut server = ServerBuilder::new("127.0.0.1:0", Arc::clone(&registry))
+        .spawn()
+        .expect("server spawn");
     let addr = server.local_addr();
-    eprintln!("serve_bench: state server on {addr}");
+    eprintln!(
+        "serve_bench: {} core on {addr}, {} baseline on {}",
+        server.core(),
+        baseline_server.core(),
+        baseline_server.local_addr()
+    );
 
     // Wait for the first snapshots, then sample real keys off a scan so
     // the lookup mix queries state that actually exists.
@@ -93,90 +233,110 @@ fn main() {
         }
     };
     eprintln!("serve_bench: sampled {} live keys", keys.len());
-
-    let stop = Arc::new(AtomicBool::new(false));
     let keys = Arc::new(keys);
-    let mut workers = Vec::new();
-    let measure_start = Instant::now();
-    for t in 0..threads {
-        let stop = Arc::clone(&stop);
-        let keys = Arc::clone(&keys);
-        workers.push(std::thread::spawn(move || {
-            let mut client = StateClient::connect(addr).expect("client connect");
-            let mut rng = StdRng::seed_from_u64(0xbeef ^ t as u64);
-            let mut latencies = Vec::with_capacity(1 << 20);
-            let mut found = 0u64;
-            while !stop.load(Ordering::Relaxed) {
-                let key = &keys[rng.gen_range(0..keys.len())];
-                let begin = Instant::now();
-                let result = client
-                    .lookup_latest(JOB, OPERATOR, key)
-                    .expect("lookup failed");
-                latencies.push(begin.elapsed().as_nanos() as u64);
-                if result.found.is_some() {
-                    found += 1;
+
+    // Phase 1 — thread-per-connection baseline, one lookup per round
+    // trip (protocol v1 semantics regardless of the negotiated version).
+    let phase_keys = Arc::clone(&keys);
+    let baseline = measure_phase(
+        "threaded_depth1",
+        baseline_server.local_addr(),
+        threads,
+        measure_secs,
+        move |client, rng, _| {
+            let key = &phase_keys[rng.gen_range(0..phase_keys.len())];
+            client
+                .lookup_latest(JOB, OPERATOR, key)
+                .expect("lookup failed");
+            1
+        },
+    );
+    baseline.print();
+
+    // Phase 2 — the event loop with `depth` point lookups pipelined per
+    // round trip.
+    let phase_keys = Arc::clone(&keys);
+    let pipelined = measure_phase(
+        "event_loop_pipelined",
+        addr,
+        threads,
+        measure_secs,
+        move |client, rng, _| {
+            let batch = point_batch(&phase_keys, rng, depth);
+            let responses = client.call_batch(&batch).expect("batch failed");
+            count_values(&responses)
+        },
+    );
+    pipelined.print();
+
+    // Phase 3 — mixed workload on the event loop: pipelined point
+    // batches, a LookupMany frame, and a prefix-filtered scan.
+    let phase_keys = Arc::clone(&keys);
+    let mixed = measure_phase("event_loop_mixed", addr, threads, measure_secs, {
+        move |client, rng, i| {
+            match i % 4 {
+                // A multi-key lookup: `depth` keys in one frame.
+                0 => {
+                    let many: Vec<Vec<u8>> = (0..depth)
+                        .map(|_| phase_keys[rng.gen_range(0..phase_keys.len())].clone())
+                        .collect();
+                    let batch = client
+                        .lookup_many(JOB, OPERATOR, &many, None)
+                        .expect("lookup_many failed");
+                    batch.found.len() as u64
+                }
+                // A prefix-filtered scan over a sampled key's prefix.
+                1 => {
+                    let key = &phase_keys[rng.gen_range(0..phase_keys.len())];
+                    let prefix = key[..key.len().min(2)].to_vec();
+                    let scan = client
+                        .scan_filtered(
+                            JOB,
+                            OPERATOR,
+                            ScanFilter::range(MIN_TIMESTAMP, MAX_TIMESTAMP, 64).with_prefix(prefix),
+                        )
+                        .expect("scan_filtered failed");
+                    scan.entries.len().max(1) as u64
+                }
+                // Pipelined point batches.
+                _ => {
+                    let batch = point_batch(&phase_keys, rng, depth);
+                    let responses = client.call_batch(&batch).expect("batch failed");
+                    count_values(&responses)
                 }
             }
-            (latencies, found)
-        }));
-    }
+        }
+    });
+    mixed.print();
 
-    std::thread::sleep(Duration::from_secs_f64(measure_secs));
-    stop.store(true, Ordering::SeqCst);
-    let mut latencies = Vec::new();
-    let mut found = 0u64;
-    for w in workers {
-        let (l, f) = w.join().expect("worker panicked");
-        latencies.extend(l);
-        found += f;
-    }
-    let elapsed = measure_start.elapsed().as_secs_f64();
-    let job_live_after_measurement = !job_thread.is_finished();
+    let speedup = pipelined.throughput() / baseline.throughput().max(1.0);
+    println!("pipelining speedup: {speedup:.2}x over thread-per-connection at depth {depth}");
 
-    latencies.sort_unstable();
-    let total = latencies.len() as u64;
-    let throughput = total as f64 / elapsed;
-    let p50 = percentile(&latencies, 0.50);
-    let p99 = percentile(&latencies, 0.99);
-    let p999 = percentile(&latencies, 0.999);
-
-    // Let the job drain, then shut the server down.
+    // Let the job drain, then shut the servers down.
     let outcome = job_thread.join().expect("job thread panicked");
     let job_ok = matches!(outcome, CellOutcome::Ok(_));
     let (job_inputs, job_outputs) = match &outcome {
         CellOutcome::Ok(r) => (r.input_count, r.output_count),
         _ => (0, 0),
     };
-    let requests = server.requests_served();
+    let requests = server.requests_served() + baseline_server.requests_served();
     server.shutdown();
-
-    println!(
-        "lookups: {total} in {elapsed:.2}s = {throughput:.0}/s  \
-         (hit {found}, server answered {requests} total)"
-    );
-    println!(
-        "latency: p50 {:.1}us  p99 {:.1}us  p999 {:.1}us",
-        p50 as f64 / 1_000.0,
-        p99 as f64 / 1_000.0,
-        p999 as f64 / 1_000.0,
-    );
-    println!(
-        "job: ok={job_ok} inputs={job_inputs} outputs={job_outputs} \
-         live_during_measurement={job_live_after_measurement}"
-    );
+    baseline_server.shutdown();
+    println!("job: ok={job_ok} inputs={job_inputs} outputs={job_outputs} (server answered {requests} frames)");
 
     let json = format!(
         "{{\n  \"benchmark\": \"serve_point_lookups\",\n  \"query\": \"Q12\",\n  \
          \"pattern\": \"RMW\",\n  \"events\": {events},\n  \"ingest_rate\": {rate},\n  \
-         \"threads\": {threads},\n  \"measure_secs\": {elapsed:.3},\n  \
-         \"lookups\": {total},\n  \"lookups_found\": {found},\n  \
-         \"throughput_per_sec\": {throughput:.1},\n  \
-         \"p50_nanos\": {p50},\n  \"p99_nanos\": {p99},\n  \"p999_nanos\": {p999},\n  \
-         \"job_live_during_measurement\": {job_live_after_measurement},\n  \
-         \"job_completed_ok\": {job_ok}\n}}\n"
+         \"threads\": {threads},\n  \"pipeline_depth\": {depth},\n  \
+         \"phases\": [\n    {},\n    {},\n    {}\n  ],\n  \
+         \"pipelining_speedup\": {speedup:.2},\n  \
+         \"job_completed_ok\": {job_ok}\n}}\n",
+        baseline.json(),
+        pipelined.json(),
+        mixed.json(),
     );
-    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
-    eprintln!("serve_bench: wrote BENCH_serve.json");
+    std::fs::write(&out, &json).expect("write benchmark json");
+    eprintln!("serve_bench: wrote {out}");
 
     if !job_ok {
         let reason = match &outcome {

@@ -10,12 +10,18 @@
 //!    shared [`StateRegistry`](flowkv_common::registry::StateRegistry)
 //!    each time their watermark advances (see
 //!    `RunOptions::registry` in `flowkv-spe`).
-//! 2. [`StateServer`](server::StateServer) answers point lookups,
-//!    window-range scans, and metrics queries over those snapshots via a
-//!    length-prefixed binary TCP protocol ([`protocol`]).
+//! 2. [`StateServer`](server::StateServer) — built via
+//!    [`ServerBuilder`] — answers point lookups, batched multi-key
+//!    lookups, filtered range scans, and metrics queries over those
+//!    snapshots via a length-prefixed binary TCP protocol
+//!    ([`protocol`]). The default core is a non-blocking **event loop**
+//!    multiplexing every connection onto one readiness-polled thread;
+//!    protocol v2 adds per-frame request ids so clients can pipeline
+//!    many requests per connection.
 //! 3. [`StateClient`](client::StateClient) is the matching blocking
-//!    client; the `serve_bench` binary is a multi-threaded load
-//!    generator reporting lookup throughput and latency percentiles.
+//!    client with a pipelined batch façade; the `serve_bench` binary is
+//!    a multi-threaded load generator reporting lookup throughput and
+//!    latency percentiles.
 //!
 //! Because snapshots are immutable and reads never touch worker-owned
 //! stores, serving is invisible to the job: outputs are byte-identical
@@ -25,9 +31,17 @@
 #![warn(missing_docs)]
 
 pub mod client;
+#[cfg(unix)]
+mod event_loop;
+mod poll;
 pub mod protocol;
 pub mod server;
 
-pub use client::{LookupResult, MetricsResult, ScanResult, StateClient, TraceSummary};
-pub use protocol::{ErrorCode, Request, Response, ScanEntry, StateInfo, MAX_FRAME};
-pub use server::{route_key, StateServer};
+pub use client::{
+    LookupBatchResult, LookupResult, MetricsResult, ScanResult, StateClient, TraceSummary,
+};
+pub use protocol::{
+    ErrorCode, Request, Response, ScanEntry, ScanFilter, StateInfo, MAX_FRAME, MAX_PROTOCOL,
+    PROTOCOL_V1, PROTOCOL_V2,
+};
+pub use server::{route_key, ServerBuilder, StateServer};

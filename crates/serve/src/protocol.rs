@@ -17,9 +17,32 @@
 //! deterministic and self-delimiting.
 //!
 //! Requests and responses are separate opcode spaces (`0x0_` vs `0x8_`).
-//! Every request yields exactly one response on the same connection, in
-//! order — the protocol is strictly request/response, which keeps the
-//! blocking client trivial.
+//! Every request yields exactly one response on the same connection.
+//!
+//! # Protocol versions
+//!
+//! Two framings share this module:
+//!
+//! * **v1** (the original): `len` is followed directly by the payload.
+//!   Requests are answered strictly in order, one round trip each.
+//! * **v2** (negotiated): the payload is prefixed by a `u64` **request
+//!   id** chosen by the client; the response frame echoes it. Ids let a
+//!   client keep many frames in flight on one connection (pipelining)
+//!   and correlate answers without trusting arrival order.
+//!
+//! Every connection starts in v1. A client that wants v2 sends a
+//! [`Request::Hello`] as its first frame; the server answers
+//! [`Response::HelloAck`] with the highest version both sides speak
+//! (both frames travel in v1 framing), and *subsequent* frames use the
+//! negotiated framing. A v1 client never sends `Hello`, so its
+//! connection never switches — every pre-v2 frame is handled byte-for-
+//! byte as before. A v2 client talking to an old server receives an
+//! `Error { BadRequest }` for the unknown opcode and simply stays on v1.
+//!
+//! The request/response *body* encoding is identical in both versions:
+//! v2 only wraps it with the id. New v2-era opcodes (batched lookups,
+//! filtered scans, TTL-carrying listings) are ordinary opcodes — old
+//! servers reject them as unknown, old clients never send them.
 
 use std::io::{Read, Write};
 
@@ -39,6 +62,19 @@ pub const MAX_FRAME: usize = 16 << 20;
 
 /// Byte length of the frame header (the `u32` length prefix).
 pub const FRAME_HEADER: usize = 4;
+
+/// The original, id-less framing.
+pub const PROTOCOL_V1: u8 = 1;
+
+/// The pipelined framing with per-frame request ids.
+pub const PROTOCOL_V2: u8 = 2;
+
+/// Highest protocol version this build speaks.
+pub const MAX_PROTOCOL: u8 = PROTOCOL_V2;
+
+/// Magic bytes opening a [`Request::Hello`] body, so a handshake frame
+/// can never be confused with a corrupt legacy request.
+pub const HELLO_MAGIC: [u8; 4] = *b"FKWP";
 
 fn proto_err(detail: impl Into<String>) -> StoreError {
     StoreError::invalid_state(detail.into())
@@ -87,6 +123,60 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
     r.read_exact(&mut payload)
         .map_err(|e| StoreError::io("frame body read", e))?;
     Ok(Some(payload))
+}
+
+/// Writes one v2 frame: length prefix, request id, payload.
+pub fn write_frame_v2(w: &mut impl Write, request_id: u64, payload: &[u8]) -> Result<()> {
+    if payload.is_empty() || payload.len() + 8 > MAX_FRAME {
+        return Err(proto_err(format!(
+            "outgoing v2 frame of {} bytes outside 1..={}",
+            payload.len(),
+            MAX_FRAME - 8
+        )));
+    }
+    let mut framed = Vec::with_capacity(FRAME_HEADER + 8 + payload.len());
+    put_u32(&mut framed, (payload.len() + 8) as u32);
+    framed.extend_from_slice(&request_id.to_le_bytes());
+    framed.extend_from_slice(payload);
+    w.write_all(&framed)
+        .map_err(|e| StoreError::io("frame write", e))?;
+    Ok(())
+}
+
+/// Splits the request id off a v2 frame payload, returning the id and
+/// the request/response body.
+pub fn split_request_id(payload: &[u8]) -> Result<(u64, &[u8])> {
+    if payload.len() < 9 {
+        return Err(proto_err(format!(
+            "v2 frame of {} bytes too short for a request id and opcode",
+            payload.len()
+        )));
+    }
+    let id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+    Ok((id, &payload[8..]))
+}
+
+/// Tries to split one complete frame off the front of an in-memory
+/// buffer (the event loop's per-connection read buffer).
+///
+/// Returns `(bytes_consumed, payload_range)` when a whole frame is
+/// buffered, `None` when more bytes are needed, and an error for a
+/// length outside `1..=MAX_FRAME` — the same bound [`read_frame`]
+/// enforces on a blocking stream.
+pub fn peek_frame(buf: &[u8]) -> Result<Option<(usize, std::ops::Range<usize>)>> {
+    if buf.len() < FRAME_HEADER {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..FRAME_HEADER].try_into().expect("4 bytes")) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(proto_err(format!(
+            "incoming frame length {len} outside 1..={MAX_FRAME}"
+        )));
+    }
+    if buf.len() < FRAME_HEADER + len {
+        return Ok(None);
+    }
+    Ok(Some((FRAME_HEADER + len, FRAME_HEADER..FRAME_HEADER + len)))
 }
 
 fn put_str(buf: &mut Vec<u8>, s: &str) {
@@ -255,13 +345,59 @@ fn get_samples(dec: &mut Decoder<'_>) -> Result<Vec<MetricSample>> {
     Ok(samples)
 }
 
+/// Server-side filters applied to a [`Request::ScanFiltered`].
+///
+/// All conditions are conjunctive. An empty `key_prefix` matches every
+/// key; the timestamp bounds select entries whose window overlaps
+/// `[range_start, range_end]`, exactly as the v1 scan does.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScanFilter {
+    /// Keep only entries whose key starts with these bytes.
+    pub key_prefix: Vec<u8>,
+    /// Inclusive event-time range start (window overlap test).
+    pub range_start: Timestamp,
+    /// Inclusive event-time range end (window overlap test).
+    pub range_end: Timestamp,
+    /// Maximum entries returned, applied after the filters.
+    pub limit: u64,
+}
+
+impl ScanFilter {
+    /// A filter selecting everything in `[range_start, range_end]`, up
+    /// to `limit` entries — the v1 scan's semantics.
+    pub fn range(range_start: Timestamp, range_end: Timestamp, limit: u64) -> Self {
+        ScanFilter {
+            key_prefix: Vec::new(),
+            range_start,
+            range_end,
+            limit,
+        }
+    }
+
+    /// Restricts the filter to keys starting with `prefix`.
+    pub fn with_prefix(mut self, prefix: impl Into<Vec<u8>>) -> Self {
+        self.key_prefix = prefix.into();
+        self
+    }
+}
+
 /// A query sent by a client.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
+    /// Version negotiation: the first frame a v2-capable client sends.
+    /// Carries the highest protocol version the client speaks; the
+    /// server answers [`Response::HelloAck`] with the agreed version,
+    /// and both sides switch framing *after* that exchange.
+    Hello {
+        /// Highest protocol version the client supports.
+        max_version: u8,
+    },
     /// Liveness probe.
     Ping,
     /// Enumerate every published state.
     ListStates,
+    /// Enumerate every published state with v2 metadata (per-state TTL).
+    ListStatesV2,
     /// Point lookup of `key` in one operator's state. With `window`
     /// unset, the key's latest live window answers (the natural query
     /// for RMW aggregates).
@@ -274,6 +410,31 @@ pub enum Request {
         key: Vec<u8>,
         /// Exact window, or `None` for the latest.
         window: Option<WindowId>,
+    },
+    /// Batched point lookup: many keys of one operator answered in a
+    /// single frame, in key order. Each key routes to its owning
+    /// partition independently, exactly as a sequence of [`Lookup`]s
+    /// would (`Lookup`: [`Request::Lookup`]).
+    LookupMany {
+        /// Job name.
+        job: String,
+        /// Operator name.
+        operator: String,
+        /// State keys queried, answered positionally.
+        keys: Vec<Vec<u8>>,
+        /// Exact window for every key, or `None` for each key's latest.
+        window: Option<WindowId>,
+    },
+    /// Scan with server-side filters: key prefix, window-overlap
+    /// timestamp bounds, and a limit, applied before anything is
+    /// serialized.
+    ScanFiltered {
+        /// Job name.
+        job: String,
+        /// Operator name.
+        operator: String,
+        /// The conjunctive filter set.
+        filter: ScanFilter,
     },
     /// Range scan over every entry whose window overlaps
     /// `[range_start, range_end]`, across all partitions of the operator.
@@ -324,14 +485,58 @@ const OP_SCAN: u8 = 0x04;
 const OP_METRICS: u8 = 0x05;
 const OP_PROMETHEUS: u8 = 0x06;
 const OP_TRACE_SUMMARY: u8 = 0x07;
+const OP_LOOKUP_MANY: u8 = 0x08;
+const OP_SCAN_FILTERED: u8 = 0x09;
+const OP_LIST_V2: u8 = 0x0a;
+const OP_HELLO: u8 = 0x70;
 
 impl Request {
     /// Encodes this request as one frame payload (opcode + body).
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         match self {
+            Request::Hello { max_version } => {
+                buf.push(OP_HELLO);
+                buf.extend_from_slice(&HELLO_MAGIC);
+                buf.push(*max_version);
+            }
             Request::Ping => buf.push(OP_PING),
             Request::ListStates => buf.push(OP_LIST),
+            Request::ListStatesV2 => buf.push(OP_LIST_V2),
+            Request::LookupMany {
+                job,
+                operator,
+                keys,
+                window,
+            } => {
+                buf.push(OP_LOOKUP_MANY);
+                put_str(&mut buf, job);
+                put_str(&mut buf, operator);
+                flowkv_common::codec::put_varint_u64(&mut buf, keys.len() as u64);
+                for key in keys {
+                    put_len_prefixed(&mut buf, key);
+                }
+                match window {
+                    Some(w) => {
+                        buf.push(1);
+                        put_window(&mut buf, *w);
+                    }
+                    None => buf.push(0),
+                }
+            }
+            Request::ScanFiltered {
+                job,
+                operator,
+                filter,
+            } => {
+                buf.push(OP_SCAN_FILTERED);
+                put_str(&mut buf, job);
+                put_str(&mut buf, operator);
+                put_len_prefixed(&mut buf, &filter.key_prefix);
+                buf.extend_from_slice(&filter.range_start.to_le_bytes());
+                buf.extend_from_slice(&filter.range_end.to_le_bytes());
+                buf.extend_from_slice(&filter.limit.to_le_bytes());
+            }
             Request::Lookup {
                 job,
                 operator,
@@ -395,8 +600,51 @@ impl Request {
         let mut dec = Decoder::new(payload);
         let opcode = dec.take(1, "request opcode")?[0];
         let req = match opcode {
+            OP_HELLO => {
+                let magic = dec.take(4, "hello magic")?;
+                if magic != HELLO_MAGIC {
+                    return Err(proto_err("bad hello magic"));
+                }
+                Request::Hello {
+                    max_version: dec.take(1, "hello max version")?[0],
+                }
+            }
             OP_PING => Request::Ping,
             OP_LIST => Request::ListStates,
+            OP_LIST_V2 => Request::ListStatesV2,
+            OP_LOOKUP_MANY => {
+                let job = get_str(&mut dec)?;
+                let operator = get_str(&mut dec)?;
+                let n = dec.get_varint_u64()? as usize;
+                if n > MAX_FRAME {
+                    return Err(proto_err("lookup key count exceeds frame bound"));
+                }
+                let mut keys = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    keys.push(dec.get_len_prefixed()?.to_vec());
+                }
+                let window = match dec.take(1, "window flag")?[0] {
+                    0 => None,
+                    1 => Some(get_window(&mut dec)?),
+                    flag => return Err(proto_err(format!("bad window flag {flag}"))),
+                };
+                Request::LookupMany {
+                    job,
+                    operator,
+                    keys,
+                    window,
+                }
+            }
+            OP_SCAN_FILTERED => Request::ScanFiltered {
+                job: get_str(&mut dec)?,
+                operator: get_str(&mut dec)?,
+                filter: ScanFilter {
+                    key_prefix: dec.get_len_prefixed()?.to_vec(),
+                    range_start: dec.get_i64()?,
+                    range_end: dec.get_i64()?,
+                    limit: dec.get_u64()?,
+                },
+            },
             OP_LOOKUP => {
                 let job = get_str(&mut dec)?;
                 let operator = get_str(&mut dec)?;
@@ -476,6 +724,14 @@ pub struct StateInfo {
     pub watermark: Timestamp,
     /// Number of live entries.
     pub entries: u64,
+    /// Advisory retention of an entry, in event-time milliseconds,
+    /// derived from the operator's window semantics (window size for
+    /// fixed/sliding windows, gap for sessions). `None` when state never
+    /// expires (global windows) or the publisher predates TTL metadata.
+    ///
+    /// Carried only by the v2 listing ([`Request::ListStatesV2`]); the
+    /// v1 frame encodes rows without it and decodes it as `None`.
+    pub ttl_ms: Option<u64>,
 }
 
 impl From<StateDescriptor> for StateInfo {
@@ -486,6 +742,7 @@ impl From<StateDescriptor> for StateInfo {
             epoch: d.epoch,
             watermark: d.watermark,
             entries: d.entries,
+            ttl_ms: d.ttl_ms,
         }
     }
 }
@@ -534,10 +791,30 @@ impl ErrorCode {
 /// The server's answer to one [`Request`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
+    /// Answer to [`Request::Hello`]: the protocol version both sides
+    /// will speak from the next frame on.
+    HelloAck {
+        /// The negotiated protocol version.
+        version: u8,
+    },
     /// Answer to [`Request::Ping`].
     Pong,
-    /// Answer to [`Request::ListStates`].
+    /// Answer to [`Request::ListStates`]. Rows are encoded without
+    /// their TTL metadata, byte-identical to the pre-v2 frame.
     States(Vec<StateInfo>),
+    /// Answer to [`Request::ListStatesV2`]: the same rows with TTL
+    /// metadata.
+    StatesV2(Vec<StateInfo>),
+    /// Answer to [`Request::LookupMany`]: one slot per requested key, in
+    /// request order.
+    ValueBatch {
+        /// Minimum epoch across the partitions that answered.
+        epoch: u64,
+        /// Minimum watermark across the answering partitions.
+        watermark: Timestamp,
+        /// Per-key results, positionally matching the request's keys.
+        found: Vec<Option<(WindowId, ViewValue)>>,
+    },
     /// Answer to [`Request::Lookup`]: the value, if the key is live, plus
     /// the snapshot's consistency coordinates.
     Value {
@@ -605,7 +882,56 @@ const OP_SCAN_RESULT: u8 = 0x84;
 const OP_METRICS_REPORT: u8 = 0x85;
 const OP_PROM_TEXT: u8 = 0x86;
 const OP_TRACE_SUMMARY_REPORT: u8 = 0x87;
+const OP_VALUE_BATCH: u8 = 0x88;
+const OP_STATES_V2: u8 = 0x8a;
+const OP_HELLO_ACK: u8 = 0xf0;
 const OP_ERROR: u8 = 0xee;
+
+fn put_state_info(buf: &mut Vec<u8>, s: &StateInfo, with_ttl: bool) {
+    put_str(buf, &s.key.job);
+    put_str(buf, &s.key.operator);
+    buf.extend_from_slice(&(s.key.partition as u64).to_le_bytes());
+    buf.push(s.pattern.as_u8());
+    buf.extend_from_slice(&s.epoch.to_le_bytes());
+    buf.extend_from_slice(&s.watermark.to_le_bytes());
+    buf.extend_from_slice(&s.entries.to_le_bytes());
+    if with_ttl {
+        match s.ttl_ms {
+            Some(ttl) => {
+                buf.push(1);
+                buf.extend_from_slice(&ttl.to_le_bytes());
+            }
+            None => buf.push(0),
+        }
+    }
+}
+
+fn get_state_info(dec: &mut Decoder<'_>, with_ttl: bool) -> Result<StateInfo> {
+    let job = get_str(dec)?;
+    let operator = get_str(dec)?;
+    let partition = dec.get_u64()? as usize;
+    let pattern = StatePattern::from_u8(dec.take(1, "pattern")?[0]);
+    let epoch = dec.get_u64()?;
+    let watermark = dec.get_i64()?;
+    let entries = dec.get_u64()?;
+    let ttl_ms = if with_ttl {
+        match dec.take(1, "ttl flag")?[0] {
+            0 => None,
+            1 => Some(dec.get_u64()?),
+            flag => return Err(proto_err(format!("bad ttl flag {flag}"))),
+        }
+    } else {
+        None
+    };
+    Ok(StateInfo {
+        key: StateKey::new(job, operator, partition),
+        pattern,
+        epoch,
+        watermark,
+        entries,
+        ttl_ms,
+    })
+}
 
 fn put_attr_row(buf: &mut Vec<u8>, row: &AttributionRow) {
     put_str(buf, &row.stage);
@@ -637,18 +963,44 @@ impl Response {
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         match self {
+            Response::HelloAck { version } => {
+                buf.push(OP_HELLO_ACK);
+                buf.extend_from_slice(&HELLO_MAGIC);
+                buf.push(*version);
+            }
             Response::Pong => buf.push(OP_PONG),
             Response::States(states) => {
                 buf.push(OP_STATES);
                 flowkv_common::codec::put_varint_u64(&mut buf, states.len() as u64);
                 for s in states {
-                    put_str(&mut buf, &s.key.job);
-                    put_str(&mut buf, &s.key.operator);
-                    buf.extend_from_slice(&(s.key.partition as u64).to_le_bytes());
-                    buf.push(s.pattern.as_u8());
-                    buf.extend_from_slice(&s.epoch.to_le_bytes());
-                    buf.extend_from_slice(&s.watermark.to_le_bytes());
-                    buf.extend_from_slice(&s.entries.to_le_bytes());
+                    put_state_info(&mut buf, s, false);
+                }
+            }
+            Response::StatesV2(states) => {
+                buf.push(OP_STATES_V2);
+                flowkv_common::codec::put_varint_u64(&mut buf, states.len() as u64);
+                for s in states {
+                    put_state_info(&mut buf, s, true);
+                }
+            }
+            Response::ValueBatch {
+                epoch,
+                watermark,
+                found,
+            } => {
+                buf.push(OP_VALUE_BATCH);
+                buf.extend_from_slice(&epoch.to_le_bytes());
+                buf.extend_from_slice(&watermark.to_le_bytes());
+                flowkv_common::codec::put_varint_u64(&mut buf, found.len() as u64);
+                for slot in found {
+                    match slot {
+                        Some((window, value)) => {
+                            buf.push(1);
+                            put_window(&mut buf, *window);
+                            put_view_value(&mut buf, value);
+                        }
+                        None => buf.push(0),
+                    }
                 }
             }
             Response::Value {
@@ -734,27 +1086,55 @@ impl Response {
         let mut dec = Decoder::new(payload);
         let opcode = dec.take(1, "response opcode")?[0];
         let resp = match opcode {
+            OP_HELLO_ACK => {
+                let magic = dec.take(4, "hello-ack magic")?;
+                if magic != HELLO_MAGIC {
+                    return Err(proto_err("bad hello-ack magic"));
+                }
+                Response::HelloAck {
+                    version: dec.take(1, "hello-ack version")?[0],
+                }
+            }
             OP_PONG => Response::Pong,
-            OP_STATES => {
+            OP_STATES | OP_STATES_V2 => {
+                let with_ttl = opcode == OP_STATES_V2;
                 let n = dec.get_varint_u64()? as usize;
                 if n > MAX_FRAME {
                     return Err(proto_err("state count exceeds frame bound"));
                 }
                 let mut states = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
-                    let job = get_str(&mut dec)?;
-                    let operator = get_str(&mut dec)?;
-                    let partition = dec.get_u64()? as usize;
-                    let pattern = StatePattern::from_u8(dec.take(1, "pattern")?[0]);
-                    states.push(StateInfo {
-                        key: StateKey::new(job, operator, partition),
-                        pattern,
-                        epoch: dec.get_u64()?,
-                        watermark: dec.get_i64()?,
-                        entries: dec.get_u64()?,
+                    states.push(get_state_info(&mut dec, with_ttl)?);
+                }
+                if with_ttl {
+                    Response::StatesV2(states)
+                } else {
+                    Response::States(states)
+                }
+            }
+            OP_VALUE_BATCH => {
+                let epoch = dec.get_u64()?;
+                let watermark = dec.get_i64()?;
+                let n = dec.get_varint_u64()? as usize;
+                if n > MAX_FRAME {
+                    return Err(proto_err("value-batch count exceeds frame bound"));
+                }
+                let mut found = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    found.push(match dec.take(1, "found flag")?[0] {
+                        0 => None,
+                        1 => {
+                            let window = get_window(&mut dec)?;
+                            Some((window, get_view_value(&mut dec)?))
+                        }
+                        flag => return Err(proto_err(format!("bad found flag {flag}"))),
                     });
                 }
-                Response::States(states)
+                Response::ValueBatch {
+                    epoch,
+                    watermark,
+                    found,
+                }
             }
             OP_VALUE => {
                 let epoch = dec.get_u64()?;
@@ -899,5 +1279,56 @@ mod tests {
         let mut payload = Request::Ping.encode();
         payload.push(0);
         assert!(Request::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn hello_handshake_roundtrips() {
+        let hello = Request::Hello {
+            max_version: MAX_PROTOCOL,
+        };
+        assert_eq!(Request::decode(&hello.encode()).unwrap(), hello);
+        let ack = Response::HelloAck {
+            version: PROTOCOL_V2,
+        };
+        assert_eq!(Response::decode(&ack.encode()).unwrap(), ack);
+        // Corrupt magic is rejected, not misparsed.
+        let mut bad = hello.encode();
+        bad[1] ^= 0xff;
+        assert!(Request::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn v2_frames_carry_and_return_the_request_id() {
+        let mut wire = Vec::new();
+        write_frame_v2(&mut wire, 42, &Request::Ping.encode()).unwrap();
+        let (consumed, range) = peek_frame(&wire).unwrap().unwrap();
+        assert_eq!(consumed, wire.len());
+        let (id, body) = split_request_id(&wire[range]).unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(Request::decode(body).unwrap(), Request::Ping);
+    }
+
+    #[test]
+    fn peek_frame_matches_read_frame_semantics() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Ping.encode()).unwrap();
+        // Every strict prefix is incomplete, the full buffer parses.
+        for cut in 0..wire.len() {
+            assert!(peek_frame(&wire[..cut]).unwrap().is_none(), "cut {cut}");
+        }
+        let (consumed, range) = peek_frame(&wire).unwrap().unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(
+            Request::decode(&wire[range]).unwrap(),
+            Request::Ping,
+            "peek_frame payload differs from read_frame's"
+        );
+        // Oversized and zero lengths error exactly like read_frame.
+        let mut oversized = Vec::new();
+        put_u32(&mut oversized, (MAX_FRAME + 1) as u32);
+        assert!(peek_frame(&oversized).is_err());
+        let mut zero = Vec::new();
+        put_u32(&mut zero, 0);
+        assert!(peek_frame(&zero).is_err());
     }
 }

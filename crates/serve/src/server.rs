@@ -1,85 +1,373 @@
-//! Threaded TCP server answering read-only queries over a
-//! [`StateRegistry`].
+//! TCP server answering read-only queries over a [`StateRegistry`].
 //!
 //! The server never touches a live store: it only reads the immutable
 //! [`StateView`](flowkv_common::registry::StateView) snapshots workers
-//! publish at watermark boundaries. Each accepted connection gets its own
-//! thread running a request/response loop; snapshots are shared via
-//! `Arc`, so concurrent queries cost no copies and no coordination with
-//! the job's workers.
+//! publish at watermark boundaries. Snapshots are shared via `Arc`, so
+//! concurrent queries cost no copies and no coordination with the job's
+//! workers.
+//!
+//! Two serving cores share one wire-protocol state machine
+//! ([`Session`]):
+//!
+//! * The default **event-loop core** ([`event_loop`](crate::event_loop))
+//!   multiplexes every connection onto one readiness-polled thread with
+//!   per-connection read/write buffers. Pipelined clients get every
+//!   buffered frame answered per wake-up.
+//! * The legacy **threaded core** dedicates a thread per connection,
+//!   blocking on each read. It remains available via
+//!   [`ServerBuilder::threaded`] as a baseline and as the fallback on
+//!   platforms without readiness polling.
+//!
+//! Both cores are configured through [`ServerBuilder`]; the old
+//! `StateServer::spawn*` constructors survive as deprecated wrappers.
 
 use std::io::BufWriter;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use flowkv_common::error::{Result, StoreError};
 use flowkv_common::hash::partition_of;
 use flowkv_common::metrics::MetricsSnapshot;
 use flowkv_common::registry::{StateKey, StatePattern, StateRegistry};
-use flowkv_common::telemetry::{self, MetricSample, SampleValue, Telemetry};
-use flowkv_common::trace;
+use flowkv_common::telemetry::{
+    self, Counter, Gauge, Histogram, MetricSample, SampleValue, Telemetry,
+};
+use flowkv_common::trace::{self, TraceHandle};
 use flowkv_common::types::{Timestamp, MAX_TIMESTAMP};
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, Request, Response, ScanEntry, StateInfo,
+    read_frame, split_request_id, write_frame, write_frame_v2, ErrorCode, Request, Response,
+    ScanEntry, StateInfo, MAX_PROTOCOL, PROTOCOL_V1, PROTOCOL_V2,
 };
 
-/// How often the accept loop re-checks the shutdown flag.
+/// How often the threaded accept loop re-checks the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
-/// A running state server.
-///
-/// Dropping the handle (or calling [`StateServer::shutdown`]) stops the
-/// accept loop and joins every connection thread.
-pub struct StateServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    served: Arc<AtomicU64>,
+/// Default cap on concurrently open client connections.
+const DEFAULT_MAX_CONNECTIONS: usize = 1024;
+
+/// Telemetry probes of the serving layer (the `serve_*` metric family).
+pub(crate) struct ServeProbes {
+    /// Frames answered, including errors (`serve_requests_total`).
+    pub requests: Arc<Counter>,
+    /// Error responses sent (`serve_errors_total`).
+    pub errors: Arc<Counter>,
+    /// Connections ever accepted (`serve_connections_total`).
+    pub connections_total: Arc<Counter>,
+    /// Currently open connections (`serve_connections_open`).
+    pub connections_open: Arc<Gauge>,
+    /// Completed v2 handshakes (`serve_handshakes_total`).
+    pub handshakes: Arc<Counter>,
+    /// Frames answered per read wake-up (`serve_pipeline_depth`): depth
+    /// 1 is a strict request/response client, higher means pipelining
+    /// is paying off.
+    pub pipeline_depth: Arc<Histogram>,
+    /// Bytes read off client sockets (`serve_bytes_read_total`).
+    pub bytes_read: Arc<Counter>,
+    /// Bytes written to client sockets (`serve_bytes_written_total`).
+    pub bytes_written: Arc<Counter>,
 }
 
-impl StateServer {
-    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts serving queries over `registry`.
-    pub fn spawn(addr: impl ToSocketAddrs, registry: Arc<StateRegistry>) -> Result<Self> {
-        Self::spawn_with_telemetry(addr, registry, None)
+impl ServeProbes {
+    fn new(t: &Telemetry) -> Self {
+        let r = t.registry();
+        ServeProbes {
+            requests: r.counter("serve_requests_total"),
+            errors: r.counter("serve_errors_total"),
+            connections_total: r.counter("serve_connections_total"),
+            connections_open: r.gauge("serve_connections_open"),
+            handshakes: r.counter("serve_handshakes_total"),
+            pipeline_depth: r.histogram("serve_pipeline_depth"),
+            bytes_read: r.counter("serve_bytes_read_total"),
+            bytes_written: r.counter("serve_bytes_written_total"),
+        }
+    }
+}
+
+/// Everything a serving core needs to answer requests, shared across
+/// connections and cores.
+pub(crate) struct ServeShared {
+    pub registry: Arc<StateRegistry>,
+    pub telemetry: Option<Arc<Telemetry>>,
+    pub served: Arc<AtomicU64>,
+    pub probes: Option<ServeProbes>,
+}
+
+/// Per-connection wire-protocol state machine, shared by both cores.
+///
+/// A session starts in protocol v1. A [`Request::Hello`] switches it to
+/// the negotiated version; from then on every frame carries (and every
+/// response echoes) a request id. Keeping this logic in one place is
+/// what guarantees the event-loop core and the threaded core speak
+/// byte-identical protocol.
+pub(crate) struct Session {
+    version: u8,
+}
+
+impl Session {
+    pub fn new() -> Self {
+        Session {
+            version: PROTOCOL_V1,
+        }
     }
 
-    /// Like [`spawn`](Self::spawn), additionally exposing `telemetry`
-    /// through the metrics opcode (registry samples) and the Prometheus
-    /// opcode (text exposition format 0.0.4).
-    pub fn spawn_with_telemetry(
-        addr: impl ToSocketAddrs,
-        registry: Arc<StateRegistry>,
-        telemetry: Option<Arc<Telemetry>>,
-    ) -> Result<Self> {
+    /// Answers one frame payload, appending the complete response frame
+    /// (length prefix included) to `out`.
+    ///
+    /// An `Err` is fatal to the connection: it means the peer broke
+    /// framing (e.g. a v2 frame too short for its request id), after
+    /// which no resynchronisation is possible.
+    pub fn handle(
+        &mut self,
+        shared: &ServeShared,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &shared.probes {
+            p.requests.inc();
+        }
+        let (request_id, response) = if self.version >= PROTOCOL_V2 {
+            let (id, body) = split_request_id(payload)?;
+            let response = match Request::decode(body) {
+                // Renegotiating mid-stream is not a thing: ids would be
+                // ambiguous across the switch.
+                Ok(Request::Hello { .. }) => Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: "handshake already completed".into(),
+                },
+                Ok(request) => answer(&shared.registry, shared.telemetry.as_deref(), request),
+                Err(e) => Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: e.to_string(),
+                },
+            };
+            (Some(id), response)
+        } else {
+            let response = match Request::decode(payload) {
+                Ok(Request::Hello { max_version }) => {
+                    let version = max_version.clamp(PROTOCOL_V1, MAX_PROTOCOL);
+                    // The ack still travels in v1 framing; the switch
+                    // applies from the next frame.
+                    self.version = version;
+                    if version >= PROTOCOL_V2 {
+                        if let Some(p) = &shared.probes {
+                            p.handshakes.inc();
+                        }
+                    }
+                    Response::HelloAck { version }
+                }
+                Ok(request) => answer(&shared.registry, shared.telemetry.as_deref(), request),
+                Err(e) => Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: e.to_string(),
+                },
+            };
+            (None, response)
+        };
+        if matches!(response, Response::Error { .. }) {
+            if let Some(p) = &shared.probes {
+                p.errors.inc();
+            }
+        }
+        match request_id {
+            Some(id) => write_frame_v2(out, id, &response.encode()),
+            None => write_frame(out, &response.encode()),
+        }
+    }
+}
+
+/// Configures and spawns a [`StateServer`].
+///
+/// This is the one construction path for the serving layer: address and
+/// registry are mandatory, everything else has defaults.
+///
+/// ```no_run
+/// # use std::sync::Arc;
+/// # use flowkv_common::registry::StateRegistry;
+/// # use flowkv_serve::ServerBuilder;
+/// let registry = StateRegistry::new_shared();
+/// let server = ServerBuilder::new("127.0.0.1:0", Arc::clone(&registry))
+///     .max_connections(256)
+///     .spawn()
+///     .unwrap();
+/// ```
+pub struct ServerBuilder {
+    addrs: std::io::Result<Vec<SocketAddr>>,
+    registry: Arc<StateRegistry>,
+    telemetry: Option<Arc<Telemetry>>,
+    trace: Option<TraceHandle>,
+    max_connections: usize,
+    read_timeout: Option<Duration>,
+    threaded: bool,
+}
+
+impl ServerBuilder {
+    /// Starts a builder binding `addr` (e.g. `"127.0.0.1:0"` for an
+    /// ephemeral port), serving the snapshots published in `registry`.
+    pub fn new(addr: impl ToSocketAddrs, registry: Arc<StateRegistry>) -> Self {
+        ServerBuilder {
+            addrs: addr.to_socket_addrs().map(|it| it.collect()),
+            registry,
+            telemetry: None,
+            trace: None,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            read_timeout: None,
+            threaded: false,
+        }
+    }
+
+    /// Exposes `telemetry` through the metrics and Prometheus opcodes,
+    /// and registers the server's own `serve_*` probes in it.
+    pub fn telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Attaches a span tracer, served by the trace-summary opcode. The
+    /// handle is installed into the server's telemetry (which is created
+    /// if none was given).
+    pub fn tracer(mut self, handle: TraceHandle) -> Self {
+        self.trace = Some(handle);
+        self
+    }
+
+    /// Caps concurrently open client connections (default 1024).
+    /// Accepts beyond the cap are closed immediately.
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.max_connections = n.max(1);
+        self
+    }
+
+    /// Closes connections that complete no frame for `timeout`
+    /// (default: never).
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Selects the legacy thread-per-connection core instead of the
+    /// event loop. Useful as a benchmark baseline; platforms without
+    /// readiness polling fall back to it automatically.
+    pub fn threaded(mut self, threaded: bool) -> Self {
+        self.threaded = threaded;
+        self
+    }
+
+    /// Binds the address and starts serving.
+    pub fn spawn(self) -> Result<StateServer> {
+        let addrs = self
+            .addrs
+            .map_err(|e| StoreError::io("state server resolve", e))?;
         let listener =
-            TcpListener::bind(addr).map_err(|e| StoreError::io("state server bind", e))?;
+            TcpListener::bind(&addrs[..]).map_err(|e| StoreError::io("state server bind", e))?;
         listener
             .set_nonblocking(true)
             .map_err(|e| StoreError::io("state server set_nonblocking", e))?;
         let local = listener
             .local_addr()
             .map_err(|e| StoreError::io("state server local_addr", e))?;
+        let telemetry = match (self.telemetry, self.trace) {
+            (telemetry, Some(handle)) => {
+                let t = telemetry.unwrap_or_else(Telemetry::new_shared);
+                t.set_trace(handle);
+                Some(t)
+            }
+            (telemetry, None) => telemetry,
+        };
+        let probes = telemetry.as_deref().map(ServeProbes::new);
         let stop = Arc::new(AtomicBool::new(false));
         let served = Arc::new(AtomicU64::new(0));
-        let accept_thread = {
+        let shared = Arc::new(ServeShared {
+            registry: self.registry,
+            telemetry,
+            served: Arc::clone(&served),
+            probes,
+        });
+
+        #[cfg(unix)]
+        let poller = if self.threaded {
+            None
+        } else {
+            // A poller that cannot be built (exotic platform, fd limit)
+            // downgrades to the threaded core instead of failing spawn.
+            crate::poll::Poller::new().ok()
+        };
+        #[cfg(not(unix))]
+        let poller: Option<crate::poll::Poller> = None;
+
+        let core = if poller.is_some() {
+            "event-loop"
+        } else {
+            "threaded"
+        };
+        let max_connections = self.max_connections;
+        let read_timeout = self.read_timeout;
+        let thread = {
             let stop = Arc::clone(&stop);
-            let served = Arc::clone(&served);
             std::thread::Builder::new()
-                .name("flowkv-serve-accept".into())
-                .spawn(move || accept_loop(listener, registry, telemetry, stop, served))
-                .map_err(|e| StoreError::io("state server accept thread", e))?
+                .name("flowkv-serve-core".into())
+                .spawn(move || match poller {
+                    #[cfg(unix)]
+                    Some(poller) => crate::event_loop::run(
+                        poller,
+                        listener,
+                        shared,
+                        stop,
+                        crate::event_loop::EventLoopConfig {
+                            max_connections,
+                            idle_timeout: read_timeout,
+                        },
+                    ),
+                    _ => accept_loop(listener, shared, stop, max_connections, read_timeout),
+                })
+                .map_err(|e| StoreError::io("state server core thread", e))?
         };
         Ok(StateServer {
             addr: local,
             stop,
-            accept_thread: Some(accept_thread),
+            core_thread: Some(thread),
             served,
+            core,
         })
+    }
+}
+
+/// A running state server.
+///
+/// Dropping the handle (or calling [`StateServer::shutdown`]) stops the
+/// serving core and joins its threads.
+pub struct StateServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    core_thread: Option<JoinHandle<()>>,
+    served: Arc<AtomicU64>,
+    core: &'static str,
+}
+
+impl StateServer {
+    /// Binds `addr` and starts serving queries over `registry`.
+    #[deprecated(note = "use `ServerBuilder::new(addr, registry).spawn()`")]
+    pub fn spawn(addr: impl ToSocketAddrs, registry: Arc<StateRegistry>) -> Result<Self> {
+        ServerBuilder::new(addr, registry).spawn()
+    }
+
+    /// Like `spawn`, additionally exposing `telemetry` through the
+    /// metrics and Prometheus opcodes.
+    #[deprecated(note = "use `ServerBuilder::new(addr, registry).telemetry(t).spawn()`")]
+    pub fn spawn_with_telemetry(
+        addr: impl ToSocketAddrs,
+        registry: Arc<StateRegistry>,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Result<Self> {
+        let mut builder = ServerBuilder::new(addr, registry);
+        if let Some(t) = telemetry {
+            builder = builder.telemetry(t);
+        }
+        builder.spawn()
     }
 
     /// The address the server is listening on.
@@ -92,13 +380,18 @@ impl StateServer {
         self.served.load(Ordering::Relaxed)
     }
 
-    /// Stops accepting connections and joins all serving threads.
+    /// Which serving core is running: `"event-loop"` or `"threaded"`.
+    pub fn core(&self) -> &'static str {
+        self.core
+    }
+
+    /// Stops accepting connections and joins the serving core.
     ///
-    /// In-flight requests complete; idle connections are closed the next
-    /// time their read times out.
+    /// Responses already computed are flushed; anything unread on a
+    /// socket afterwards is dropped.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(h) = self.accept_thread.take() {
+        if let Some(h) = self.core_thread.take() {
             let _ = h.join();
         }
     }
@@ -112,25 +405,43 @@ impl Drop for StateServer {
 
 fn accept_loop(
     listener: TcpListener,
-    registry: Arc<StateRegistry>,
-    telemetry: Option<Arc<Telemetry>>,
+    shared: Arc<ServeShared>,
     stop: Arc<AtomicBool>,
-    served: Arc<AtomicU64>,
+    max_connections: usize,
+    read_timeout: Option<Duration>,
 ) {
+    let open = Arc::new(AtomicI64::new(0));
     let mut conn_threads = Vec::new();
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let registry = Arc::clone(&registry);
-                let telemetry = telemetry.clone();
-                let stop = Arc::clone(&stop);
-                let served = Arc::clone(&served);
+                if open.load(Ordering::Relaxed) >= max_connections as i64 {
+                    drop(stream);
+                    continue;
+                }
+                open.fetch_add(1, Ordering::Relaxed);
+                if let Some(p) = &shared.probes {
+                    p.connections_total.inc();
+                    p.connections_open.set(open.load(Ordering::Relaxed));
+                }
+                let thread_shared = Arc::clone(&shared);
+                let thread_stop = Arc::clone(&stop);
+                let thread_open = Arc::clone(&open);
                 let handle = std::thread::Builder::new()
                     .name("flowkv-serve-conn".into())
-                    .spawn(move || serve_connection(stream, registry, telemetry, stop, served));
+                    .spawn(move || {
+                        serve_connection(stream, &thread_shared, &thread_stop, read_timeout);
+                        let n = thread_open.fetch_sub(1, Ordering::Relaxed) - 1;
+                        if let Some(p) = &thread_shared.probes {
+                            p.connections_open.set(n);
+                        }
+                    });
                 match handle {
                     Ok(h) => conn_threads.push(h),
-                    Err(_) => continue,
+                    Err(_) => {
+                        open.fetch_sub(1, Ordering::Relaxed);
+                        continue;
+                    }
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -149,12 +460,11 @@ fn accept_loop(
 
 fn serve_connection(
     stream: TcpStream,
-    registry: Arc<StateRegistry>,
-    telemetry: Option<Arc<Telemetry>>,
-    stop: Arc<AtomicBool>,
-    served: Arc<AtomicU64>,
+    shared: &ServeShared,
+    stop: &AtomicBool,
+    read_timeout: Option<Duration>,
 ) {
-    // A finite read timeout doubles as the shutdown poll interval: an
+    // A finite socket timeout doubles as the shutdown poll interval: an
     // idle connection wakes up, notices the flag, and exits.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_nodelay(true);
@@ -163,6 +473,9 @@ fn serve_connection(
         Err(_) => return,
     };
     let mut writer = BufWriter::new(stream);
+    let mut session = Session::new();
+    let mut out = Vec::new();
+    let mut last_active = Instant::now();
     while !stop.load(Ordering::SeqCst) {
         let payload = match read_frame(&mut reader) {
             Ok(Some(p)) => p,
@@ -173,20 +486,20 @@ fn serve_connection(
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
+                if read_timeout.is_some_and(|t| last_active.elapsed() > t) {
+                    return;
+                }
                 continue;
             }
             Err(_) => return,
         };
-        let response = match Request::decode(&payload) {
-            Ok(request) => answer(&registry, telemetry.as_deref(), request),
-            Err(e) => Response::Error {
-                code: ErrorCode::BadRequest,
-                message: e.to_string(),
-            },
-        };
-        served.fetch_add(1, Ordering::Relaxed);
+        last_active = Instant::now();
+        out.clear();
+        if session.handle(shared, &payload, &mut out).is_err() {
+            return;
+        }
         use std::io::Write as _;
-        if write_frame(&mut writer, &response.encode()).is_err() || writer.flush().is_err() {
+        if writer.write_all(&out).is_err() || writer.flush().is_err() {
             return;
         }
     }
@@ -202,16 +515,25 @@ fn unknown_state(job: &str, operator: &str) -> Response {
 /// Computes the response for one decoded request.
 ///
 /// Exposed to the crate so the integration tests can exercise query
-/// semantics without a socket.
+/// semantics without a socket. [`Request::Hello`] never reaches this
+/// function on a live connection ([`Session`] intercepts it); a stray
+/// one is answered with `BadRequest`.
 pub(crate) fn answer(
     registry: &StateRegistry,
     telemetry: Option<&Telemetry>,
     request: Request,
 ) -> Response {
     match request {
+        Request::Hello { .. } => Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "unexpected handshake frame".into(),
+        },
         Request::Ping => Response::Pong,
         Request::ListStates => {
             Response::States(registry.list().into_iter().map(StateInfo::from).collect())
+        }
+        Request::ListStatesV2 => {
+            Response::StatesV2(registry.list().into_iter().map(StateInfo::from).collect())
         }
         Request::Lookup {
             job,
@@ -246,6 +568,41 @@ pub(crate) fn answer(
                 found,
             }
         }
+        Request::LookupMany {
+            job,
+            operator,
+            keys,
+            window,
+        } => {
+            let views = registry.operator_views(&job, &operator);
+            if views.is_empty() {
+                return unknown_state(&job, &operator);
+            }
+            let n = views.last().map(|(p, _)| p + 1).unwrap_or(1);
+            let mut epoch = u64::MAX;
+            let mut watermark = MAX_TIMESTAMP;
+            for (_, view) in &views {
+                epoch = epoch.min(view.epoch);
+                watermark = watermark.min(view.watermark);
+            }
+            let found =
+                keys.iter()
+                    .map(|key| {
+                        let target = partition_of(key, n);
+                        views.iter().find(|(p, _)| *p == target).and_then(
+                            |(_, view)| match window {
+                                Some(w) => view.get(key, w).map(|v| (w, v.clone())),
+                                None => view.get_latest(key).map(|(w, v)| (w, v.clone())),
+                            },
+                        )
+                    })
+                    .collect();
+            Response::ValueBatch {
+                epoch,
+                watermark,
+                found,
+            }
+        }
         Request::Scan {
             job,
             operator,
@@ -269,6 +626,45 @@ pub(crate) fn answer(
                     break;
                 }
                 for (key, window, value) in view.scan_windows(range_start, range_end, remaining) {
+                    entries.push(ScanEntry {
+                        key: key.to_vec(),
+                        window,
+                        value: value.clone(),
+                    });
+                }
+            }
+            Response::ScanResult {
+                epoch,
+                watermark,
+                entries,
+            }
+        }
+        Request::ScanFiltered {
+            job,
+            operator,
+            filter,
+        } => {
+            let views = registry.operator_views(&job, &operator);
+            if views.is_empty() {
+                return unknown_state(&job, &operator);
+            }
+            let limit = usize::try_from(filter.limit).unwrap_or(usize::MAX);
+            let mut entries = Vec::new();
+            let mut epoch = u64::MAX;
+            let mut watermark = MAX_TIMESTAMP;
+            for (_, view) in &views {
+                epoch = epoch.min(view.epoch);
+                watermark = watermark.min(view.watermark);
+                let remaining = limit.saturating_sub(entries.len());
+                if remaining == 0 {
+                    continue;
+                }
+                for (key, window, value) in view.scan_filtered(
+                    &filter.key_prefix,
+                    filter.range_start,
+                    filter.range_end,
+                    remaining,
+                ) {
                     entries.push(ScanEntry {
                         key: key.to_vec(),
                         window,
@@ -387,6 +783,7 @@ pub fn route_key(job: &str, operator: &str, key: &[u8], partitions: usize) -> St
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::ScanFilter;
     use flowkv_common::registry::{StatePattern, StateView, ViewValue};
     use flowkv_common::types::WindowId;
 
@@ -398,6 +795,15 @@ mod tests {
             v.entries.insert((k.to_vec(), *w), val.clone());
         }
         v
+    }
+
+    fn shared(registry: Arc<StateRegistry>) -> ServeShared {
+        ServeShared {
+            registry,
+            telemetry: None,
+            served: Arc::new(AtomicU64::new(0)),
+            probes: None,
+        }
     }
 
     #[test]
@@ -436,6 +842,203 @@ mod tests {
             }
             other => panic!("unexpected response {other:?}"),
         }
+    }
+
+    #[test]
+    fn lookup_many_answers_positionally() {
+        let registry = StateRegistry::new_shared();
+        let n = 4;
+        let w = WindowId::global();
+        let keys: Vec<Vec<u8>> = (0..32u32)
+            .map(|i| format!("user-{i}").into_bytes())
+            .collect();
+        for p in 0..n {
+            let mut view = view_with(&[], 2);
+            for key in &keys {
+                if partition_of(key, n) == p {
+                    view.entries
+                        .insert((key.clone(), w), ViewValue::Aggregate(key.clone()));
+                }
+            }
+            registry.publish(StateKey::new("j", "op", p), view);
+        }
+        let mut queried = keys.clone();
+        queried.push(b"missing".to_vec());
+        let resp = answer(
+            &registry,
+            None,
+            Request::LookupMany {
+                job: "j".into(),
+                operator: "op".into(),
+                keys: queried.clone(),
+                window: None,
+            },
+        );
+        match resp {
+            Response::ValueBatch { epoch, found, .. } => {
+                assert_eq!(epoch, 2);
+                assert_eq!(found.len(), queried.len());
+                for (key, slot) in keys.iter().zip(&found) {
+                    match slot {
+                        Some((window, ViewValue::Aggregate(a))) => {
+                            assert_eq!(*window, w);
+                            assert_eq!(a, key);
+                        }
+                        other => panic!("missing slot for {key:?}: {other:?}"),
+                    }
+                }
+                assert!(found.last().unwrap().is_none());
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filtered_scan_applies_prefix_range_and_limit() {
+        let registry = StateRegistry::new_shared();
+        let w_in = WindowId::new(0, 100);
+        let w_out = WindowId::new(500, 600);
+        registry.publish(
+            StateKey::new("j", "op", 0),
+            view_with(
+                &[
+                    (b"a:1", w_in, ViewValue::Aggregate(vec![1])),
+                    (b"a:2", w_in, ViewValue::Aggregate(vec![2])),
+                    (b"a:3", w_out, ViewValue::Aggregate(vec![3])),
+                    (b"b:1", w_in, ViewValue::Aggregate(vec![4])),
+                ],
+                5,
+            ),
+        );
+        let resp = answer(
+            &registry,
+            None,
+            Request::ScanFiltered {
+                job: "j".into(),
+                operator: "op".into(),
+                filter: ScanFilter::range(0, 200, 10).with_prefix(&b"a:"[..]),
+            },
+        );
+        match resp {
+            Response::ScanResult { entries, .. } => {
+                let keys: Vec<&[u8]> = entries.iter().map(|e| e.key.as_slice()).collect();
+                assert_eq!(keys, vec![&b"a:1"[..], &b"a:2"[..]]);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // The limit applies after the filters.
+        let resp = answer(
+            &registry,
+            None,
+            Request::ScanFiltered {
+                job: "j".into(),
+                operator: "op".into(),
+                filter: ScanFilter::range(0, 200, 1).with_prefix(&b"a:"[..]),
+            },
+        );
+        match resp {
+            Response::ScanResult { entries, .. } => assert_eq!(entries.len(), 1),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn list_states_v2_carries_ttl() {
+        let registry = StateRegistry::new_shared();
+        let mut view = view_with(&[], 1);
+        view.ttl_ms = Some(60_000);
+        registry.publish(StateKey::new("j", "op", 0), view);
+        match answer(&registry, None, Request::ListStatesV2) {
+            Response::StatesV2(states) => {
+                assert_eq!(states.len(), 1);
+                assert_eq!(states[0].ttl_ms, Some(60_000));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // The v1 listing still answers (encoding drops the ttl).
+        assert!(matches!(
+            answer(&registry, None, Request::ListStates),
+            Response::States(_)
+        ));
+    }
+
+    #[test]
+    fn session_switches_framing_after_hello() {
+        let registry = StateRegistry::new_shared();
+        let shared = shared(registry);
+        let mut session = Session::new();
+        let mut out = Vec::new();
+
+        // Frame 1: hello in v1 framing, answered in v1 framing.
+        session
+            .handle(
+                &shared,
+                &Request::Hello { max_version: 7 }.encode(),
+                &mut out,
+            )
+            .unwrap();
+        let mut cursor = std::io::Cursor::new(std::mem::take(&mut out));
+        let ack = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(
+            Response::decode(&ack).unwrap(),
+            Response::HelloAck {
+                version: PROTOCOL_V2
+            }
+        );
+
+        // Frame 2: v2 framing with a request id, echoed back.
+        let mut framed = Vec::new();
+        write_frame_v2(&mut framed, 99, &Request::Ping.encode()).unwrap();
+        session
+            .handle(&shared, &framed[crate::protocol::FRAME_HEADER..], &mut out)
+            .unwrap();
+        let mut cursor = std::io::Cursor::new(std::mem::take(&mut out));
+        let payload = read_frame(&mut cursor).unwrap().unwrap();
+        let (id, body) = split_request_id(&payload).unwrap();
+        assert_eq!(id, 99);
+        assert_eq!(Response::decode(body).unwrap(), Response::Pong);
+
+        // A second hello is rejected but the connection stays usable.
+        let mut framed = Vec::new();
+        write_frame_v2(
+            &mut framed,
+            100,
+            &Request::Hello { max_version: 2 }.encode(),
+        )
+        .unwrap();
+        session
+            .handle(&shared, &framed[crate::protocol::FRAME_HEADER..], &mut out)
+            .unwrap();
+        let mut cursor = std::io::Cursor::new(std::mem::take(&mut out));
+        let payload = read_frame(&mut cursor).unwrap().unwrap();
+        let (id, body) = split_request_id(&payload).unwrap();
+        assert_eq!(id, 100);
+        assert!(matches!(
+            Response::decode(body).unwrap(),
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn v1_session_never_switches_without_hello() {
+        let registry = StateRegistry::new_shared();
+        let shared = shared(registry);
+        let mut session = Session::new();
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            session
+                .handle(&shared, &Request::Ping.encode(), &mut out)
+                .unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(out);
+        for _ in 0..3 {
+            let payload = read_frame(&mut cursor).unwrap().unwrap();
+            assert_eq!(Response::decode(&payload).unwrap(), Response::Pong);
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none());
     }
 
     #[test]

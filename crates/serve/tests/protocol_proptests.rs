@@ -1,14 +1,16 @@
 //! Property tests of the wire protocol: every request and response frame
-//! round-trips byte-exactly, and malformed frames (truncation, oversized
+//! round-trips byte-exactly, malformed frames (truncation, oversized
 //! or zero lengths, trailing garbage) are rejected rather than
-//! misparsed.
+//! misparsed, and the v2 framing provably wraps byte-identical v1
+//! bodies — the compatibility contract behind the version handshake.
 
 use flowkv_common::codec::put_u32;
 use flowkv_common::registry::{StateKey, StatePattern, ViewValue};
 use flowkv_common::telemetry::{HistogramSnapshot, MetricSample, SampleValue};
 use flowkv_common::types::WindowId;
 use flowkv_serve::protocol::{
-    read_frame, write_frame, Request, Response, ScanEntry, StateInfo, MAX_FRAME,
+    peek_frame, read_frame, split_request_id, write_frame, write_frame_v2, Request, Response,
+    ScanEntry, ScanFilter, StateInfo, MAX_FRAME, MAX_PROTOCOL, PROTOCOL_V2,
 };
 use proptest::prelude::*;
 use proptest::strategy::Union;
@@ -44,6 +46,40 @@ fn request_strategy() -> Union<Request> {
     prop_oneof![
         Just(Request::Ping),
         Just(Request::ListStates),
+        Just(Request::ListStatesV2),
+        any::<u8>().prop_map(|max_version| Request::Hello { max_version }),
+        (
+            name_strategy(),
+            name_strategy(),
+            prop::collection::vec(bytes_strategy(), 0..8),
+            prop_oneof![Just(None), window_strategy().prop_map(Some),],
+        )
+            .prop_map(|(job, operator, keys, window)| Request::LookupMany {
+                job,
+                operator,
+                keys,
+                window,
+            }),
+        (
+            name_strategy(),
+            name_strategy(),
+            bytes_strategy(),
+            any::<i64>(),
+            any::<i64>(),
+            any::<u64>(),
+        )
+            .prop_map(
+                |(job, operator, key_prefix, a, b, limit)| Request::ScanFiltered {
+                    job,
+                    operator,
+                    filter: ScanFilter {
+                        key_prefix,
+                        range_start: a.min(b),
+                        range_end: a.max(b),
+                        limit,
+                    },
+                }
+            ),
         (
             name_strategy(),
             name_strategy(),
@@ -126,20 +162,20 @@ fn sample_strategy() -> impl Strategy<Value = MetricSample> {
 
 fn state_info_strategy() -> impl Strategy<Value = StateInfo> {
     (
-        name_strategy(),
-        name_strategy(),
-        0usize..64,
+        (name_strategy(), name_strategy(), 0usize..64),
         0u64..4,
         any::<u64>(),
         any::<i64>(),
+        prop_oneof![Just(None), any::<u64>().prop_map(Some)],
     )
         .prop_map(
-            |(job, operator, partition, pattern, epoch, watermark)| StateInfo {
+            |((job, operator, partition), pattern, epoch, watermark, ttl_ms)| StateInfo {
                 key: StateKey::new(job, operator, partition),
                 pattern: StatePattern::from_u8(pattern as u8),
                 epoch,
                 watermark,
                 entries: epoch.wrapping_mul(31),
+                ttl_ms,
             },
         )
 }
@@ -171,7 +207,32 @@ fn metrics_strategy() -> impl Strategy<Value = flowkv_common::metrics::MetricsSn
 fn response_strategy() -> Union<Response> {
     prop_oneof![
         Just(Response::Pong),
-        prop::collection::vec(state_info_strategy(), 0..8).prop_map(Response::States),
+        any::<u8>().prop_map(|version| Response::HelloAck { version }),
+        // The v1 listing never carries TTLs: the frame has no slot for
+        // them, so a faithful roundtrip needs them cleared.
+        prop::collection::vec(state_info_strategy(), 0..8).prop_map(|mut states| {
+            for s in &mut states {
+                s.ttl_ms = None;
+            }
+            Response::States(states)
+        }),
+        prop::collection::vec(state_info_strategy(), 0..8).prop_map(Response::StatesV2),
+        (
+            any::<u64>(),
+            any::<i64>(),
+            prop::collection::vec(
+                prop_oneof![
+                    Just(None),
+                    (window_strategy(), view_value_strategy()).prop_map(Some),
+                ],
+                0..8,
+            ),
+        )
+            .prop_map(|(epoch, watermark, found)| Response::ValueBatch {
+                epoch,
+                watermark,
+                found,
+            }),
         (
             any::<u64>(),
             any::<i64>(),
@@ -421,5 +482,111 @@ proptest! {
         put_u32(&mut wire, (MAX_FRAME as u64 + extra) as u32);
         wire.extend_from_slice(&[0u8; 64]);
         prop_assert!(read_frame(&mut std::io::Cursor::new(wire)).is_err());
+    }
+
+    /// The v2 handshake changes framing, never bodies: any v1 request
+    /// wrapped in a v2 frame carries the byte-identical v1 payload after
+    /// the request id, and decodes to the same value. This is the
+    /// compatibility contract that lets one `Session` serve both
+    /// versions from the same decoder.
+    #[test]
+    fn v1_request_bodies_decode_identically_after_handshake(
+        req in request_strategy(),
+        id in any::<u64>(),
+    ) {
+        let v1_payload = req.encode();
+        let mut wire = Vec::new();
+        write_frame_v2(&mut wire, id, &v1_payload).unwrap();
+        let (consumed, range) = peek_frame(&wire).unwrap().expect("complete frame");
+        prop_assert_eq!(consumed, wire.len());
+        let (got_id, body) = split_request_id(&wire[range]).unwrap();
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(body, &v1_payload[..]);
+        prop_assert_eq!(&Request::decode(body).unwrap(), &req);
+    }
+
+    /// Same contract on the response path: the id-prefixed v2 frame
+    /// wraps the byte-identical v1 response payload.
+    #[test]
+    fn v1_response_bodies_decode_identically_after_handshake(
+        resp in response_strategy(),
+        id in any::<u64>(),
+    ) {
+        let v1_payload = resp.encode();
+        let mut wire = Vec::new();
+        write_frame_v2(&mut wire, id, &v1_payload).unwrap();
+        let (_, range) = peek_frame(&wire).unwrap().expect("complete frame");
+        let (got_id, body) = split_request_id(&wire[range]).unwrap();
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(body, &v1_payload[..]);
+        prop_assert_eq!(&Response::decode(body).unwrap(), &resp);
+    }
+
+    /// A pipelined burst of v2 frames splits back into the same
+    /// (id, request) sequence, in order — what the event loop's
+    /// buffer-draining loop relies on.
+    #[test]
+    fn pipelined_v2_frames_preserve_ids_and_order(
+        batch in prop::collection::vec((any::<u64>(), request_strategy()), 1..10),
+    ) {
+        let mut wire = Vec::new();
+        for (id, req) in &batch {
+            write_frame_v2(&mut wire, *id, &req.encode()).unwrap();
+        }
+        let mut offset = 0usize;
+        for (id, req) in &batch {
+            let (consumed, range) = peek_frame(&wire[offset..]).unwrap().expect("frame");
+            let (got_id, body) = split_request_id(&wire[offset..][range]).unwrap();
+            prop_assert_eq!(got_id, *id);
+            prop_assert_eq!(&Request::decode(body).unwrap(), req);
+            offset += consumed;
+        }
+        prop_assert_eq!(offset, wire.len());
+        prop_assert!(peek_frame(&wire[offset..]).unwrap().is_none());
+    }
+
+    /// Handshake frames always travel in v1 framing (they are what
+    /// *establishes* v2), so they must roundtrip through the v1
+    /// stream reader like any legacy frame.
+    #[test]
+    fn handshake_frames_travel_in_v1_framing(version in any::<u8>()) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Hello { max_version: MAX_PROTOCOL }.encode()).unwrap();
+        write_frame(&mut wire, &Response::HelloAck { version }.encode()).unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        let hello = read_frame(&mut cursor).unwrap().expect("hello frame");
+        prop_assert_eq!(
+            Request::decode(&hello).unwrap(),
+            Request::Hello { max_version: MAX_PROTOCOL }
+        );
+        let ack = read_frame(&mut cursor).unwrap().expect("ack frame");
+        prop_assert_eq!(Response::decode(&ack).unwrap(), Response::HelloAck { version });
+        let _ = PROTOCOL_V2;
+    }
+
+    /// The v1 listing silently drops TTL metadata: rows with TTLs encode
+    /// byte-identically to rows without, and decode with `ttl_ms: None` —
+    /// while the v2 listing roundtrips them faithfully. An old client
+    /// asking `ListStates` therefore sees exactly the pre-TTL frame.
+    #[test]
+    fn v1_listing_drops_ttl_v2_listing_keeps_it(
+        states in prop::collection::vec(state_info_strategy(), 0..8),
+    ) {
+        let mut cleared = states.clone();
+        for s in &mut cleared {
+            s.ttl_ms = None;
+        }
+        let with_ttl = Response::States(states.clone()).encode();
+        let without = Response::States(cleared.clone()).encode();
+        prop_assert_eq!(&with_ttl, &without);
+        match Response::decode(&with_ttl).unwrap() {
+            Response::States(got) => prop_assert_eq!(got, cleared),
+            other => prop_assert!(false, "unexpected: {:?}", other),
+        }
+        let v2 = Response::StatesV2(states.clone()).encode();
+        match Response::decode(&v2).unwrap() {
+            Response::StatesV2(got) => prop_assert_eq!(got, states),
+            other => prop_assert!(false, "unexpected: {:?}", other),
+        }
     }
 }

@@ -1,24 +1,29 @@
-//! End-to-end test: serving live state never changes what the job
-//! computes.
+//! End-to-end tests of the serving layer.
 //!
-//! Runs the same NEXMark Q12 job twice over identical inputs — once
-//! unobserved, once with snapshot publication, a TCP server, and client
-//! threads querying throughout the run — and asserts the outputs are
-//! byte-identical. Also checks that the concurrent queries actually did
-//! real work (hits on live keys, scans, metrics) so the equivalence is
-//! not vacuous.
+//! The centrepiece runs the same NEXMark Q12 job twice over identical
+//! inputs — once unobserved, once with snapshot publication, a TCP
+//! server, and client threads querying throughout the run (point
+//! lookups, pipelined batches, filtered scans) — and asserts the
+//! outputs are byte-identical. Around it: protocol-compatibility tests
+//! proving a v1 client round-trips unchanged against the v2 event-loop
+//! server, that pipelined v2 batches correlate by request id, and that
+//! both serving cores (event loop and legacy threaded) speak the same
+//! wire bytes.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use flowkv::{FlowKvConfig, FlowKvFactory};
-use flowkv_common::registry::StateRegistry;
+use flowkv_common::registry::{StateKey, StatePattern, StateRegistry, StateView, ViewValue};
 use flowkv_common::scratch::ScratchDir;
 use flowkv_common::telemetry::{validate_prometheus, Telemetry};
-use flowkv_common::types::{Tuple, MAX_TIMESTAMP, MIN_TIMESTAMP};
+use flowkv_common::types::{Tuple, WindowId, MAX_TIMESTAMP, MIN_TIMESTAMP};
 use flowkv_nexmark::{EventGenerator, GeneratorConfig, QueryId, QueryParams};
-use flowkv_serve::{StateClient, StateServer};
+use flowkv_serve::{
+    route_key, Request, Response, ScanFilter, ServerBuilder, StateClient, StateServer, PROTOCOL_V1,
+    PROTOCOL_V2,
+};
 use flowkv_spe::{run_job, RunOptions};
 
 const JOB: &str = "q12";
@@ -62,6 +67,35 @@ fn run_q12(
     outputs
 }
 
+/// Publishes a small two-partition registry by hand: each key lands in
+/// the partition [`route_key`] routes it to, so server-side lookups
+/// resolve. Returns the keys published.
+fn publish_fixture(registry: &StateRegistry, partitions: usize) -> Vec<Vec<u8>> {
+    let mut views: Vec<StateView> = (0..partitions)
+        .map(|_| {
+            let mut v = StateView::empty(StatePattern::Rmw);
+            v.epoch = 3;
+            v.watermark = 5_000;
+            v.ttl_ms = Some(1_000);
+            v
+        })
+        .collect();
+    let keys: Vec<Vec<u8>> = (0..16u8)
+        .map(|i| format!("user:{i:02}").into_bytes())
+        .collect();
+    for (i, key) in keys.iter().enumerate() {
+        let p = route_key(JOB, OPERATOR, key, partitions).partition;
+        views[p].entries.insert(
+            (key.clone(), WindowId::new(0, 1_000)),
+            ViewValue::Aggregate(vec![i as u8; 4]),
+        );
+    }
+    for (p, view) in views.into_iter().enumerate() {
+        registry.publish(StateKey::new(JOB, OPERATOR, p), view);
+    }
+    keys
+}
+
 #[test]
 fn concurrent_queries_never_change_job_output() {
     // Baseline: no registry, no server, full speed.
@@ -72,20 +106,27 @@ fn concurrent_queries_never_change_job_output() {
     // Served run: rate-limited so the job is alive for a while, with
     // query traffic hammering the server the whole time.
     let registry = StateRegistry::new_shared();
-    let mut server = StateServer::spawn("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+    let mut server = ServerBuilder::new("127.0.0.1:0", Arc::clone(&registry))
+        .spawn()
+        .unwrap();
     let addr = server.local_addr();
+    #[cfg(unix)]
+    assert_eq!(server.core(), "event-loop");
 
     let stop = Arc::new(AtomicBool::new(false));
     let hits = Arc::new(AtomicU64::new(0));
     let scanned = Arc::new(AtomicU64::new(0));
+    let batch_hits = Arc::new(AtomicU64::new(0));
     let mut clients = Vec::new();
     for t in 0..3u64 {
         let stop = Arc::clone(&stop);
         let hits = Arc::clone(&hits);
         let scanned = Arc::clone(&scanned);
+        let batch_hits = Arc::clone(&batch_hits);
         clients.push(std::thread::spawn(move || {
             let mut client = StateClient::connect(addr).expect("connect");
             client.ping().expect("ping");
+            assert_eq!(client.version(), PROTOCOL_V2);
             let mut sampled: Vec<Vec<u8>> = Vec::new();
             let mut i = 0usize;
             while !stop.load(Ordering::Relaxed) {
@@ -106,9 +147,29 @@ fn concurrent_queries_never_change_job_output() {
                         }
                     }
                 }
+                // Exercise the batched v2 surface against the live job:
+                // a multi-key lookup over the sample, and a filtered
+                // scan restricted to one sampled key's prefix.
+                if i % 32 == 0 && !sampled.is_empty() {
+                    let keys: Vec<Vec<u8>> = sampled.iter().take(8).cloned().collect();
+                    if let Ok(batch) = client.lookup_many(JOB, OPERATOR, &keys, None) {
+                        assert_eq!(batch.found.len(), keys.len());
+                        let live = batch.found.iter().filter(|f| f.is_some()).count();
+                        batch_hits.fetch_add(live as u64, Ordering::Relaxed);
+                    }
+                    let prefix = sampled[0].clone();
+                    if let Ok(scan) = client.scan_filtered(
+                        JOB,
+                        OPERATOR,
+                        ScanFilter::range(MIN_TIMESTAMP, MAX_TIMESTAMP, 64).with_prefix(prefix),
+                    ) {
+                        scanned.fetch_add(scan.entries.len() as u64, Ordering::Relaxed);
+                    }
+                }
                 if i % 128 == t as usize {
                     let _ = client.metrics(JOB, OPERATOR);
                     let _ = client.list_states();
+                    let _ = client.list_states_v2();
                 }
                 i += 1;
             }
@@ -141,6 +202,10 @@ fn concurrent_queries_never_change_job_output() {
         scanned.load(Ordering::Relaxed) > 0,
         "no scan ever returned entries"
     );
+    assert!(
+        batch_hits.load(Ordering::Relaxed) > 0,
+        "no batched lookup ever hit a live key"
+    );
     assert!(server.requests_served() > 0);
     server.shutdown();
 }
@@ -157,7 +222,9 @@ fn terminal_snapshot_reflects_the_drained_store() {
     let outputs = run_q12(dir.path(), Some(Arc::clone(&registry)), None);
     assert!(!outputs.is_empty());
 
-    let mut server = StateServer::spawn("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+    let mut server = ServerBuilder::new("127.0.0.1:0", Arc::clone(&registry))
+        .spawn()
+        .unwrap();
     let mut client = StateClient::connect(server.local_addr()).unwrap();
     client.ping().unwrap();
 
@@ -170,6 +237,12 @@ fn terminal_snapshot_reflects_the_drained_store() {
         states.iter().all(|s| s.entries == 0),
         "terminal snapshot still holds entries the window drain consumed"
     );
+    // The v1 listing never carries TTLs; Q12's global window never
+    // expires, so the v2 listing reports none either.
+    assert!(states.iter().all(|s| s.ttl_ms.is_none()));
+    let states_v2 = client.list_states_v2().unwrap();
+    assert_eq!(states_v2.len(), 2);
+    assert!(states_v2.iter().all(|s| s.ttl_ms.is_none()));
 
     // Emitted keys are gone from queryable state, but the answer still
     // carries the snapshot's coordinates.
@@ -178,6 +251,13 @@ fn terminal_snapshot_reflects_the_drained_store() {
         assert!(got.found.is_none(), "drained key {:?} still live", out.key);
         assert_eq!(got.watermark, MAX_TIMESTAMP);
     }
+
+    // The batched form agrees with the single-shot form, positionally.
+    let keys: Vec<Vec<u8>> = outputs.iter().take(10).map(|o| o.key.clone()).collect();
+    let batch = client.lookup_many(JOB, OPERATOR, &keys, None).unwrap();
+    assert_eq!(batch.found.len(), keys.len());
+    assert!(batch.found.iter().all(|f| f.is_none()));
+    assert_eq!(batch.watermark, MAX_TIMESTAMP);
 
     let metrics = client.metrics(JOB, OPERATOR).unwrap();
     assert_eq!(metrics.partitions, 2);
@@ -212,17 +292,15 @@ fn telemetry_server_exposes_prometheus_and_registry_samples() {
         .expect("job run failed");
     }
 
-    let mut server = StateServer::spawn_with_telemetry(
-        "127.0.0.1:0",
-        Arc::clone(&registry),
-        Some(Arc::clone(&telemetry)),
-    )
-    .unwrap();
+    let mut server = ServerBuilder::new("127.0.0.1:0", Arc::clone(&registry))
+        .telemetry(Arc::clone(&telemetry))
+        .spawn()
+        .unwrap();
     let mut client = StateClient::connect(server.local_addr()).unwrap();
 
     // The Prometheus opcode returns well-formed exposition text covering
-    // both the executor's telemetry metrics and the per-operator store
-    // counters.
+    // the executor's telemetry metrics, the per-operator store counters,
+    // and the server's own serving probes.
     let text = client.prometheus().unwrap();
     validate_prometheus(&text).expect("invalid Prometheus exposition text");
     assert!(
@@ -232,6 +310,10 @@ fn telemetry_server_exposes_prometheus_and_registry_samples() {
     assert!(
         text.contains("flowkv_store_records_written"),
         "missing store counters in:\n{text}"
+    );
+    assert!(
+        text.contains("flowkv_serve_requests_total"),
+        "missing serving probes in:\n{text}"
     );
     assert!(text.contains("# TYPE"), "missing TYPE comments");
 
@@ -246,5 +328,197 @@ fn telemetry_server_exposes_prometheus_and_registry_samples() {
         "registry ride-along missing executor metrics"
     );
     assert!(client.metrics(JOB, OPERATOR).is_ok());
+    server.shutdown();
+}
+
+/// A pre-v2 client build — no handshake, v1 framing only — round-trips
+/// unchanged against the v2 event-loop server: every legacy operation
+/// answers exactly as before, including naive pipelining (write N
+/// frames, read N in-order responses), which the strict in-order v1
+/// path guarantees.
+#[test]
+fn v1_client_round_trips_unchanged_against_the_v2_server() {
+    let registry = StateRegistry::new_shared();
+    let keys = publish_fixture(&registry, 2);
+    let mut server = ServerBuilder::new("127.0.0.1:0", Arc::clone(&registry))
+        .spawn()
+        .unwrap();
+
+    let mut client = StateClient::connect_v1(server.local_addr()).unwrap();
+    assert_eq!(client.version(), PROTOCOL_V1);
+    client.ping().unwrap();
+
+    let states = client.list_states().unwrap();
+    assert_eq!(states.len(), 2);
+    assert!(
+        states.iter().all(|s| s.ttl_ms.is_none()),
+        "a v1 listing must not carry TTL metadata"
+    );
+
+    for key in &keys {
+        let got = client.lookup_latest(JOB, OPERATOR, key).unwrap();
+        assert!(got.found.is_some(), "key {key:?} missing over v1");
+        assert_eq!(got.epoch, 3);
+        assert_eq!(got.watermark, 5_000);
+    }
+    let scan = client
+        .scan(JOB, OPERATOR, MIN_TIMESTAMP, MAX_TIMESTAMP, 1_024)
+        .unwrap();
+    assert_eq!(scan.entries.len(), keys.len());
+
+    // v1 pipelining: the batch façade falls back to in-order pairing.
+    let batch = client
+        .call_batch(&[Request::Ping, Request::ListStates, Request::Ping])
+        .unwrap();
+    assert_eq!(batch.len(), 3);
+    assert_eq!(batch[0], Response::Pong);
+    assert!(matches!(batch[1], Response::States(_)));
+    assert_eq!(batch[2], Response::Pong);
+
+    server.shutdown();
+}
+
+/// The v2 path: the handshake upgrades the connection, pipelined
+/// batches correlate answers by request id, per-request errors stay in
+/// their slot, and the batched query surface (multi-key lookups,
+/// filtered scans, TTL-carrying listings) answers correctly.
+#[test]
+fn pipelined_v2_batches_correlate_by_request_id() {
+    let registry = StateRegistry::new_shared();
+    let keys = publish_fixture(&registry, 2);
+    let mut server = ServerBuilder::new("127.0.0.1:0", Arc::clone(&registry))
+        .spawn()
+        .unwrap();
+
+    let mut client = StateClient::connect(server.local_addr()).unwrap();
+    assert_eq!(client.version(), PROTOCOL_V2);
+
+    // One pipelined batch mixing every shape, including a request that
+    // fails (unknown operator): the error must land in its own slot,
+    // not poison the batch.
+    let batch = client
+        .call_batch(&[
+            Request::Ping,
+            Request::LookupMany {
+                job: JOB.into(),
+                operator: OPERATOR.into(),
+                keys: keys.clone(),
+                window: None,
+            },
+            Request::Lookup {
+                job: JOB.into(),
+                operator: "no-such-operator".into(),
+                key: keys[0].clone(),
+                window: None,
+            },
+            Request::ListStatesV2,
+            Request::ScanFiltered {
+                job: JOB.into(),
+                operator: OPERATOR.into(),
+                filter: ScanFilter::range(MIN_TIMESTAMP, MAX_TIMESTAMP, 4),
+            },
+        ])
+        .unwrap();
+    assert_eq!(batch.len(), 5);
+    assert_eq!(batch[0], Response::Pong);
+    match &batch[1] {
+        Response::ValueBatch { found, .. } => {
+            assert_eq!(found.len(), keys.len());
+            assert!(found.iter().all(|f| f.is_some()), "all fixture keys live");
+        }
+        other => panic!("slot 1: unexpected {other:?}"),
+    }
+    assert!(
+        matches!(&batch[2], Response::Error { .. }),
+        "unknown operator must error in its slot, got {:?}",
+        batch[2]
+    );
+    match &batch[3] {
+        Response::StatesV2(states) => {
+            assert_eq!(states.len(), 2);
+            assert!(states.iter().all(|s| s.ttl_ms == Some(1_000)));
+        }
+        other => panic!("slot 3: unexpected {other:?}"),
+    }
+    match &batch[4] {
+        Response::ScanResult { entries, .. } => assert_eq!(entries.len(), 4),
+        other => panic!("slot 4: unexpected {other:?}"),
+    }
+
+    // The typed façade over the same surface.
+    let batch = client.lookup_many(JOB, OPERATOR, &keys, None).unwrap();
+    assert_eq!(batch.epoch, 3);
+    assert_eq!(batch.found.len(), keys.len());
+    let filtered = client
+        .scan_filtered(
+            JOB,
+            OPERATOR,
+            ScanFilter::range(MIN_TIMESTAMP, MAX_TIMESTAMP, 1_024).with_prefix(&b"user:0"[..]),
+        )
+        .unwrap();
+    assert!(!filtered.entries.is_empty());
+    assert!(filtered
+        .entries
+        .iter()
+        .all(|e| e.key.starts_with(b"user:0")));
+
+    server.shutdown();
+}
+
+/// Both serving cores speak identical wire bytes: the legacy threaded
+/// core (kept as the benchmark baseline behind
+/// [`ServerBuilder::threaded`]) serves the same v1 and v2 traffic.
+#[test]
+fn threaded_core_serves_both_protocol_versions() {
+    let registry = StateRegistry::new_shared();
+    let keys = publish_fixture(&registry, 2);
+    let mut server = ServerBuilder::new("127.0.0.1:0", Arc::clone(&registry))
+        .threaded(true)
+        .max_connections(8)
+        .read_timeout(Duration::from_secs(30))
+        .spawn()
+        .unwrap();
+    assert_eq!(server.core(), "threaded");
+
+    let mut v1 = StateClient::connect_v1(server.local_addr()).unwrap();
+    v1.ping().unwrap();
+    assert!(v1
+        .lookup_latest(JOB, OPERATOR, &keys[0])
+        .unwrap()
+        .found
+        .is_some());
+
+    let mut v2 = StateClient::connect(server.local_addr()).unwrap();
+    assert_eq!(v2.version(), PROTOCOL_V2);
+    let batch = v2.lookup_many(JOB, OPERATOR, &keys, None).unwrap();
+    assert!(batch.found.iter().all(|f| f.is_some()));
+
+    server.shutdown();
+}
+
+/// The deprecated one-shot constructors still work — they are thin
+/// wrappers over [`ServerBuilder`] kept for source compatibility.
+#[test]
+#[allow(deprecated)]
+fn deprecated_spawn_wrappers_still_serve() {
+    let registry = StateRegistry::new_shared();
+    publish_fixture(&registry, 2);
+    let mut server = StateServer::spawn("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+    let mut client = StateClient::connect(server.local_addr()).unwrap();
+    client.ping().unwrap();
+    assert_eq!(client.list_states().unwrap().len(), 2);
+    server.shutdown();
+
+    let mut server = StateServer::spawn_with_telemetry(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        Some(Telemetry::new_shared()),
+    )
+    .unwrap();
+    let mut client = StateClient::connect(server.local_addr()).unwrap();
+    assert!(client
+        .prometheus()
+        .unwrap()
+        .contains("flowkv_serve_requests_total"));
     server.shutdown();
 }

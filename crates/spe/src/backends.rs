@@ -14,6 +14,41 @@ use flowkv_lsm::DbConfig;
 
 use crate::memstore::InMemoryFactory;
 
+/// Options applied when materialising a [`BackendChoice`] into a
+/// [`StateBackendFactory`] — the one place every cross-cutting seam
+/// (fault-injecting VFS, two-tier layout, whatever comes next) plugs in,
+/// so the choice enum stops growing `factory_*` constructor variants.
+///
+/// ```ignore
+/// let factory = choice.build(FactoryOptions::new().vfs(vfs).tiered(tier_cfg));
+/// ```
+#[derive(Clone, Default)]
+pub struct FactoryOptions {
+    vfs: Option<Arc<dyn Vfs>>,
+    tier: Option<flowkv::tier::TierConfig>,
+}
+
+impl FactoryOptions {
+    /// No options: the plain factory for the chosen backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Routes every file operation of the backend — and of the cold
+    /// log, when [`tiered`](Self::tiered) is also set — through `vfs`,
+    /// the hook fault-injection tests use to reach all stores uniformly.
+    pub fn vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = Some(vfs);
+        self
+    }
+
+    /// Wraps the backend in the two-tier hot/cold layout.
+    pub fn tiered(mut self, cfg: flowkv::tier::TierConfig) -> Self {
+        self.tier = Some(cfg);
+        self
+    }
+}
+
 /// The four state backends of the paper's evaluation.
 #[derive(Clone)]
 pub enum BackendChoice {
@@ -41,50 +76,77 @@ impl BackendChoice {
         }
     }
 
-    /// Builds the factory the executor hands to window operators.
-    pub fn factory(&self) -> Arc<dyn StateBackendFactory> {
-        match self {
-            BackendChoice::InMemory {
-                budget_per_partition,
-            } => Arc::new(InMemoryFactory::new(*budget_per_partition)),
-            BackendChoice::FlowKv(cfg) => Arc::new(FlowKvFactory::new(cfg.clone())),
-            BackendChoice::Lsm(cfg) => Arc::new(LsmBackendFactory::new(cfg.clone())),
-            BackendChoice::HashKv(cfg) => Arc::new(HashBackendFactory::new(cfg.clone())),
-        }
-    }
-
-    /// Builds a factory whose backends perform every file operation
-    /// through `vfs` — the hook fault-injection tests use to reach all
-    /// four stores uniformly.
-    pub fn factory_with_vfs(&self, vfs: Arc<dyn Vfs>) -> Arc<dyn StateBackendFactory> {
-        match self {
-            BackendChoice::InMemory {
-                budget_per_partition,
-            } => Arc::new(InMemoryFactory::new(*budget_per_partition).with_vfs(vfs)),
-            BackendChoice::FlowKv(cfg) => Arc::new(FlowKvFactory::new(cfg.clone()).with_vfs(vfs)),
-            BackendChoice::Lsm(cfg) => Arc::new(LsmBackendFactory::new(cfg.clone()).with_vfs(vfs)),
-            BackendChoice::HashKv(cfg) => {
-                Arc::new(HashBackendFactory::new(cfg.clone()).with_vfs(vfs))
+    /// Builds the factory the executor hands to window operators,
+    /// applying every option in `opts`: the inner store is constructed
+    /// first (with the VFS threaded through, when given), then wrapped
+    /// in the two-tier layout (whose cold log shares the same VFS).
+    pub fn build(&self, opts: FactoryOptions) -> Arc<dyn StateBackendFactory> {
+        let inner: Arc<dyn StateBackendFactory> = match (self, &opts.vfs) {
+            (
+                BackendChoice::InMemory {
+                    budget_per_partition,
+                },
+                None,
+            ) => Arc::new(InMemoryFactory::new(*budget_per_partition)),
+            (
+                BackendChoice::InMemory {
+                    budget_per_partition,
+                },
+                Some(vfs),
+            ) => Arc::new(InMemoryFactory::new(*budget_per_partition).with_vfs(Arc::clone(vfs))),
+            (BackendChoice::FlowKv(cfg), None) => Arc::new(FlowKvFactory::new(cfg.clone())),
+            (BackendChoice::FlowKv(cfg), Some(vfs)) => {
+                Arc::new(FlowKvFactory::new(cfg.clone()).with_vfs(Arc::clone(vfs)))
+            }
+            (BackendChoice::Lsm(cfg), None) => Arc::new(LsmBackendFactory::new(cfg.clone())),
+            (BackendChoice::Lsm(cfg), Some(vfs)) => {
+                Arc::new(LsmBackendFactory::new(cfg.clone()).with_vfs(Arc::clone(vfs)))
+            }
+            (BackendChoice::HashKv(cfg), None) => Arc::new(HashBackendFactory::new(cfg.clone())),
+            (BackendChoice::HashKv(cfg), Some(vfs)) => {
+                Arc::new(HashBackendFactory::new(cfg.clone()).with_vfs(Arc::clone(vfs)))
+            }
+        };
+        match opts.tier {
+            None => inner,
+            Some(cfg) => {
+                let tiered = flowkv::tier::TieredFactory::new(inner, cfg);
+                match opts.vfs {
+                    None => Arc::new(tiered),
+                    Some(vfs) => Arc::new(tiered.with_vfs(vfs)),
+                }
             }
         }
     }
 
+    /// Builds the plain factory, with no options applied.
+    #[deprecated(note = "use `build(FactoryOptions::new())`")]
+    pub fn factory(&self) -> Arc<dyn StateBackendFactory> {
+        self.build(FactoryOptions::new())
+    }
+
+    /// Builds a factory whose backends perform every file operation
+    /// through `vfs`.
+    #[deprecated(note = "use `build(FactoryOptions::new().vfs(vfs))`")]
+    pub fn factory_with_vfs(&self, vfs: Arc<dyn Vfs>) -> Arc<dyn StateBackendFactory> {
+        self.build(FactoryOptions::new().vfs(vfs))
+    }
+
     /// Wraps this backend's factory in the two-tier hot/cold layout.
+    #[deprecated(note = "use `build(FactoryOptions::new().tiered(cfg))`")]
     pub fn factory_tiered(&self, cfg: flowkv::tier::TierConfig) -> Arc<dyn StateBackendFactory> {
-        Arc::new(flowkv::tier::TieredFactory::new(self.factory(), cfg))
+        self.build(FactoryOptions::new().tiered(cfg))
     }
 
     /// Tiered factory whose inner store *and* cold log both run through
     /// `vfs`, so fault injection covers the whole two-tier stack.
+    #[deprecated(note = "use `build(FactoryOptions::new().tiered(cfg).vfs(vfs))`")]
     pub fn factory_tiered_with_vfs(
         &self,
         cfg: flowkv::tier::TierConfig,
         vfs: Arc<dyn Vfs>,
     ) -> Arc<dyn StateBackendFactory> {
-        Arc::new(
-            flowkv::tier::TieredFactory::new(self.factory_with_vfs(Arc::clone(&vfs)), cfg)
-                .with_vfs(vfs),
-        )
+        self.build(FactoryOptions::new().tiered(cfg).vfs(vfs))
     }
 
     /// Scaled-down variants for tests: small buffers everywhere.
@@ -111,7 +173,7 @@ mod tests {
     fn every_choice_builds_a_working_backend() {
         let dir = ScratchDir::new("backends").unwrap();
         for choice in BackendChoice::all_small_for_tests() {
-            let factory = choice.factory();
+            let factory = choice.build(FactoryOptions::new());
             let ctx = OperatorContext {
                 operator: format!("op-{}", choice.name()),
                 partition: 0,

@@ -479,7 +479,7 @@ mod tests {
         let cluster = run_cluster(
             &job,
             input.clone().into_iter(),
-            BackendChoice::all_small_for_tests()[1].factory(),
+            BackendChoice::all_small_for_tests()[1].build(FactoryOptions::new()),
             &opts,
         )
         .unwrap();
@@ -490,7 +490,7 @@ mod tests {
         let plain = crate::executor::run_job(
             &job,
             input.into_iter(),
-            BackendChoice::all_small_for_tests()[1].factory(),
+            BackendChoice::all_small_for_tests()[1].build(FactoryOptions::new()),
             &plain_opts,
         )
         .unwrap();
@@ -513,7 +513,7 @@ mod tests {
                 let result = run_cluster(
                     &job,
                     input.clone().into_iter(),
-                    BackendChoice::all_small_for_tests()[1].factory(),
+                    BackendChoice::all_small_for_tests()[1].build(FactoryOptions::new()),
                     &opts,
                 )
                 .unwrap_or_else(|e| panic!("{} N={n}: {e}", job.name));
@@ -538,7 +538,7 @@ mod tests {
             let flat = run_cluster(
                 &job,
                 input.clone().into_iter(),
-                BackendChoice::all_small_for_tests()[1].factory(),
+                BackendChoice::all_small_for_tests()[1].build(FactoryOptions::new()),
                 &opts,
             )
             .unwrap();
@@ -552,7 +552,7 @@ mod tests {
             let rescaled = run_cluster(
                 &job,
                 input.into_iter(),
-                BackendChoice::all_small_for_tests()[1].factory(),
+                BackendChoice::all_small_for_tests()[1].build(FactoryOptions::new()),
                 &ropts,
             )
             .unwrap_or_else(|e| panic!("{} rescale: {e}", job.name));
@@ -587,7 +587,7 @@ mod tests {
         let err = run_cluster(
             &job,
             tuples(10, 2).into_iter(),
-            BackendChoice::all_small_for_tests()[1].factory(),
+            BackendChoice::all_small_for_tests()[1].build(FactoryOptions::new()),
             &opts,
         )
         .unwrap_err();

@@ -1720,6 +1720,14 @@ fn run_worker(
         .registry
         .as_ref()
         .map(|_| StateKey::new(paths.job_name.clone(), stage.name(), worker));
+    // Advisory per-entry TTL published with every snapshot, derived
+    // from the stage's window semantics (the serving layer surfaces it
+    // on v2 state listings).
+    let publish_ttl = match &stage {
+        Stage::Window(spec) => spec.semantics().window.retention_hint_ms(),
+        Stage::IntervalJoin(spec) => spec.semantics().window.retention_hint_ms(),
+        Stage::Stateless { .. } => None,
+    };
 
     // Publishes an immutable snapshot of this worker's state. The worker
     // is the sole writer of its store, so the snapshot is built between
@@ -1739,6 +1747,7 @@ fn run_worker(
             *epoch += 1;
             view.epoch = *epoch;
             view.watermark = watermark;
+            view.ttl_ms = publish_ttl;
             registry.publish(key.clone(), view);
         }
         Ok(())
@@ -2119,7 +2128,7 @@ mod tests {
                 let result = run_job(
                     &count_job(parallelism),
                     tuples(5000, 10).into_iter(),
-                    choice.factory(),
+                    choice.build(FactoryOptions::new()),
                     &opts,
                 )
                 .unwrap_or_else(|e| panic!("{} p{parallelism}: {e}", choice.name()));
@@ -2162,7 +2171,7 @@ mod tests {
         let result = run_job(
             &job,
             tuples(1000, 4).into_iter(),
-            BackendChoice::all_small_for_tests()[1].factory(),
+            BackendChoice::all_small_for_tests()[1].build(FactoryOptions::new()),
             &opts,
         )
         .unwrap();
@@ -2205,7 +2214,7 @@ mod tests {
         let result = run_job(
             &job,
             input.into_iter(),
-            BackendChoice::all_small_for_tests()[1].factory(),
+            BackendChoice::all_small_for_tests()[1].build(FactoryOptions::new()),
             &opts,
         )
         .unwrap();
@@ -2232,7 +2241,7 @@ mod tests {
             let result = run_job(
                 &count_job(2),
                 tuples(5000, 10).into_iter(),
-                BackendChoice::all_small_for_tests()[1].factory(),
+                BackendChoice::all_small_for_tests()[1].build(FactoryOptions::new()),
                 &opts,
             )
             .unwrap();
@@ -2274,7 +2283,7 @@ mod tests {
         let err = run_job(
             &job,
             tuples(10_000, 100).into_iter(),
-            choice.factory(),
+            choice.build(FactoryOptions::new()),
             &RunOptions::new(dir.path()),
         )
         .unwrap_err();
@@ -2294,7 +2303,7 @@ mod tests {
         let err = run_job(
             &job,
             tuples(10_000, 10).into_iter(),
-            BackendChoice::all_small_for_tests()[1].factory(),
+            BackendChoice::all_small_for_tests()[1].build(FactoryOptions::new()),
             &opts,
         )
         .unwrap_err();
@@ -2331,7 +2340,7 @@ mod tests {
             let result = run_job(
                 &job,
                 tuples(5_000, 10).into_iter(),
-                BackendChoice::all_small_for_tests()[1].factory(),
+                BackendChoice::all_small_for_tests()[1].build(FactoryOptions::new()),
                 &opts,
             )
             .unwrap_or_else(|e| panic!("batch_size {batch_size}: {e}"));
@@ -2368,7 +2377,7 @@ mod tests {
         let result = run_job(
             &job,
             tuples(2_000, 5).into_iter(),
-            BackendChoice::all_small_for_tests()[1].factory(),
+            BackendChoice::all_small_for_tests()[1].build(FactoryOptions::new()),
             &opts,
         )
         .unwrap();

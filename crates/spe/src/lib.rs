@@ -36,7 +36,7 @@ pub mod source;
 pub mod supervisor;
 pub mod window;
 
-pub use backends::BackendChoice;
+pub use backends::{BackendChoice, FactoryOptions};
 pub use cluster::{run_cluster, ClusterResult};
 pub use executor::{
     run_job, run_job_items, JobError, JobResult, RunOptions, RunOptionsBuilder, SourceItem,

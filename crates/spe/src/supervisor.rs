@@ -283,7 +283,7 @@ mod tests {
         let sup = run_supervised(
             &count_job(),
             &log,
-            BackendChoice::all_small_for_tests()[1].factory(),
+            BackendChoice::all_small_for_tests()[1].build(FactoryOptions::new()),
             &opts,
         )
         .unwrap();
@@ -307,7 +307,7 @@ mod tests {
         let reference = crate::executor::run_job(
             &count_job(),
             LogSource::open(&log).unwrap(),
-            BackendChoice::all_small_for_tests()[1].factory(),
+            BackendChoice::all_small_for_tests()[1].build(FactoryOptions::new()),
             &ref_opts,
         )
         .unwrap();
@@ -323,7 +323,8 @@ mod tests {
         run_supervised(
             &count_job(),
             &log,
-            BackendChoice::all_small_for_tests()[1].factory_with_vfs(counter.clone()),
+            BackendChoice::all_small_for_tests()[1]
+                .build(FactoryOptions::new().vfs(counter.clone())),
             &counted_opts,
         )
         .unwrap();
@@ -345,7 +346,8 @@ mod tests {
         let sup = run_supervised(
             &count_job(),
             &log,
-            BackendChoice::all_small_for_tests()[1].factory_with_vfs(faulty.clone()),
+            BackendChoice::all_small_for_tests()[1]
+                .build(FactoryOptions::new().vfs(faulty.clone())),
             &opts,
         )
         .unwrap();
@@ -387,7 +389,7 @@ mod tests {
         let err = run_supervised(
             &count_job(),
             &log,
-            BackendChoice::all_small_for_tests()[1].factory_with_vfs(faulty),
+            BackendChoice::all_small_for_tests()[1].build(FactoryOptions::new().vfs(faulty)),
             &opts,
         )
         .unwrap_err();

@@ -9,7 +9,7 @@ use flowkv_common::types::Tuple;
 use flowkv_spe::functions::{decode_u64, CountAggregate, FnProcess};
 use flowkv_spe::job::{AggregateSpec, JobBuilder};
 use flowkv_spe::window::WindowAssigner;
-use flowkv_spe::{run_job, BackendChoice, RunOptions};
+use flowkv_spe::{run_job, BackendChoice, FactoryOptions, RunOptions};
 
 fn flowkv() -> BackendChoice {
     BackendChoice::all_small_for_tests().remove(1)
@@ -33,7 +33,7 @@ fn empty_source_completes_with_no_output() {
     let result = run_job(
         &job,
         std::iter::empty(),
-        flowkv().factory(),
+        flowkv().build(FactoryOptions::new()),
         &RunOptions::new(dir.path()),
     )
     .unwrap();
@@ -57,7 +57,7 @@ fn single_tuple_stream() {
     let result = run_job(
         &job,
         std::iter::once(tuple("k", 1, 42)),
-        flowkv().factory(),
+        flowkv().build(FactoryOptions::new()),
         &opts,
     )
     .unwrap();
@@ -85,7 +85,13 @@ fn stateless_only_pipeline_passes_everything() {
         .collect();
     let mut opts = RunOptions::new(dir.path());
     opts.collect_outputs = true;
-    let result = run_job(&job, input.into_iter(), flowkv().factory(), &opts).unwrap();
+    let result = run_job(
+        &job,
+        input.into_iter(),
+        flowkv().build(FactoryOptions::new()),
+        &opts,
+    )
+    .unwrap();
     // 100 inputs doubled, half have even values.
     assert_eq!(result.output_count, 100);
 }
@@ -112,7 +118,13 @@ fn deep_pipeline_propagates_watermarks() {
     let mut opts = RunOptions::new(dir.path());
     opts.collect_outputs = true;
     opts.watermark_interval = 50;
-    let result = run_job(&job, input.into_iter(), flowkv().factory(), &opts).unwrap();
+    let result = run_job(
+        &job,
+        input.into_iter(),
+        flowkv().build(FactoryOptions::new()),
+        &opts,
+    )
+    .unwrap();
     // 10 windows × 5 keys.
     assert_eq!(result.output_count, 50);
     let total: u64 = result.outputs.iter().map(|t| decode_u64(&t.value)).sum();
@@ -144,7 +156,13 @@ fn tiny_channels_still_complete() {
     opts.collect_outputs = true;
     opts.channel_capacity = 1;
     opts.watermark_interval = 10;
-    let result = run_job(&job, input.into_iter(), flowkv().factory(), &opts).unwrap();
+    let result = run_job(
+        &job,
+        input.into_iter(),
+        flowkv().build(FactoryOptions::new()),
+        &opts,
+    )
+    .unwrap();
     let total: u64 = result.outputs.iter().map(|t| decode_u64(&t.value)).sum();
     assert_eq!(total, 2_000);
 }
@@ -165,7 +183,13 @@ fn identical_timestamps_all_land_in_one_window() {
     let input: Vec<Tuple> = (0..200).map(|_| tuple("k", 1, 50)).collect();
     let mut opts = RunOptions::new(dir.path());
     opts.collect_outputs = true;
-    let result = run_job(&job, input.into_iter(), flowkv().factory(), &opts).unwrap();
+    let result = run_job(
+        &job,
+        input.into_iter(),
+        flowkv().build(FactoryOptions::new()),
+        &opts,
+    )
+    .unwrap();
     assert_eq!(result.output_count, 1);
     assert_eq!(decode_u64(&result.outputs[0].value), 200);
 }
@@ -184,7 +208,13 @@ fn negative_timestamps_are_legal_event_time() {
     let input: Vec<Tuple> = (-300..-100).map(|i| tuple("k", 1, i)).collect();
     let mut opts = RunOptions::new(dir.path());
     opts.collect_outputs = true;
-    let result = run_job(&job, input.into_iter(), flowkv().factory(), &opts).unwrap();
+    let result = run_job(
+        &job,
+        input.into_iter(),
+        flowkv().build(FactoryOptions::new()),
+        &opts,
+    )
+    .unwrap();
     // Windows [-300,-200) and [-200,-100).
     assert_eq!(result.output_count, 2);
     let total: u64 = result.outputs.iter().map(|t| decode_u64(&t.value)).sum();

@@ -13,7 +13,7 @@
 use flowkv_bench::flowkv_cfg;
 use flowkv_common::scratch::ScratchDir;
 use flowkv_nexmark::{EventGenerator, GeneratorConfig, QueryId, QueryParams};
-use flowkv_spe::{run_job, BackendChoice, RunOptions};
+use flowkv_spe::{run_job, BackendChoice, FactoryOptions, RunOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gen_cfg = GeneratorConfig {
@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let result = run_job(
             &query.build(params),
             EventGenerator::new(gen_cfg.clone()).tuples(),
-            BackendChoice::FlowKv(flowkv_cfg()).factory(),
+            BackendChoice::FlowKv(flowkv_cfg()).build(FactoryOptions::new()),
             &opts,
         )?;
         println!(

@@ -14,7 +14,7 @@ use flowkv::FlowKvConfig;
 use flowkv_common::scratch::ScratchDir;
 use flowkv_common::types::Tuple;
 use flowkv_spe::join::{tag_left, tag_right};
-use flowkv_spe::{run_job, BackendChoice, JobBuilder, RunOptions};
+use flowkv_spe::{run_job, BackendChoice, FactoryOptions, JobBuilder, RunOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -79,7 +79,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = run_job(
         &job,
         input.into_iter(),
-        BackendChoice::FlowKv(FlowKvConfig::default().with_write_buffer_bytes(256 << 10)).factory(),
+        BackendChoice::FlowKv(FlowKvConfig::default().with_write_buffer_bytes(256 << 10))
+            .build(FactoryOptions::new()),
         &opts,
     )?;
 

@@ -17,7 +17,7 @@ use flowkv_common::types::Tuple;
 use flowkv_spe::functions::MedianProcess;
 use flowkv_spe::job::{AggregateSpec, JobBuilder};
 use flowkv_spe::window::WindowAssigner;
-use flowkv_spe::{run_job, BackendChoice, RunOptions};
+use flowkv_spe::{run_job, BackendChoice, FactoryOptions, RunOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -75,7 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = run_job(
         &job,
         input.into_iter(),
-        BackendChoice::FlowKv(config).factory(),
+        BackendChoice::FlowKv(config).build(FactoryOptions::new()),
         &opts,
     )?;
 

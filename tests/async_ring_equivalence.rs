@@ -15,7 +15,7 @@ use flowkv_common::scratch::ScratchDir;
 use flowkv_common::vfs::{FaultPlan, FaultVfs, StdVfs};
 use flowkv_nexmark::{EventGenerator, QueryId, QueryParams};
 use flowkv_spe::source::{LogSource, TupleLog};
-use flowkv_spe::{run_job, run_supervised, BackendChoice, RunOptions};
+use flowkv_spe::{run_job, run_supervised, BackendChoice, FactoryOptions, RunOptions};
 
 const NUM_EVENTS: u64 = 5_000;
 const DEFAULT_SEED: u64 = 0xA5F0;
@@ -46,7 +46,7 @@ fn reorder_row(query: QueryId) {
         let reference = run_job(
             &job,
             LogSource::open(&log).unwrap(),
-            backend.factory(),
+            backend.build(FactoryOptions::new()),
             &ref_opts,
         )
         .unwrap_or_else(|e| {
@@ -76,7 +76,7 @@ fn reorder_row(query: QueryId) {
             let ring_run = run_job(
                 &job,
                 LogSource::open(&log).unwrap(),
-                backend.factory(),
+                backend.build(FactoryOptions::new()),
                 &opts,
             )
             .unwrap_or_else(|e| {
@@ -113,7 +113,7 @@ fn crash_cell(query: QueryId, backend: &BackendChoice, seed: u64) {
     let reference = run_job(
         &job,
         LogSource::open(&log).unwrap(),
-        backend.factory(),
+        backend.build(FactoryOptions::new()),
         &ref_opts,
     )
     .unwrap();
@@ -131,7 +131,7 @@ fn crash_cell(query: QueryId, backend: &BackendChoice, seed: u64) {
     run_job(
         &job,
         LogSource::open(&log).unwrap(),
-        backend.factory_with_vfs(counter.clone()),
+        backend.build(FactoryOptions::new().vfs(counter.clone())),
         &counted_opts,
     )
     .unwrap();
@@ -150,14 +150,19 @@ fn crash_cell(query: QueryId, backend: &BackendChoice, seed: u64) {
         .io_threads(IO_THREADS)
         .io_shuffle_seed(combo_seed)
         .build();
-    let sup = run_supervised(&job, &log, backend.factory_with_vfs(faulty.clone()), &opts)
-        .unwrap_or_else(|e| {
-            panic!(
-                "{} on {}: supervised ring run failed (seed {seed}): {e}",
-                query.name(),
-                backend.name()
-            )
-        });
+    let sup = run_supervised(
+        &job,
+        &log,
+        backend.build(FactoryOptions::new().vfs(faulty.clone())),
+        &opts,
+    )
+    .unwrap_or_else(|e| {
+        panic!(
+            "{} on {}: supervised ring run failed (seed {seed}): {e}",
+            query.name(),
+            backend.name()
+        )
+    });
 
     let fired = faulty.fired();
     assert_eq!(

@@ -12,7 +12,7 @@ use common::{nexmark_generator, sorted_owned as sorted, SortedOutputs};
 use flowkv::FlowKvConfig;
 use flowkv_common::scratch::ScratchDir;
 use flowkv_nexmark::{QueryId, QueryParams};
-use flowkv_spe::{run_job, BackendChoice, RunOptions};
+use flowkv_spe::{run_job, BackendChoice, FactoryOptions, RunOptions};
 
 /// Runs `query` on FlowKV with the given exchange batch size, optionally
 /// with a checkpoint barrier after 12 000 source tuples (late enough
@@ -49,7 +49,7 @@ fn run_batched(
     let result = run_job(
         &job,
         nexmark_generator(20_000, 11).tuples(),
-        backend.factory(),
+        backend.build(FactoryOptions::new()),
         &opts,
     )
     .unwrap_or_else(|e| panic!("{} batch={batch_size}: {e}", query.name()));

@@ -23,7 +23,7 @@ use flowkv_common::telemetry::{SampleValue, Telemetry};
 use flowkv_common::vfs::{FaultPlan, FaultVfs, StdVfs};
 use flowkv_nexmark::{QueryId, QueryParams};
 use flowkv_spe::source::{LogSource, TupleLog};
-use flowkv_spe::{run_job, run_supervised, BackendChoice, RunOptions};
+use flowkv_spe::{run_job, run_supervised, BackendChoice, FactoryOptions, RunOptions};
 
 const NUM_EVENTS: u64 = 8_000;
 const DEFAULT_SEED: u64 = 0xF10C;
@@ -63,7 +63,7 @@ fn crash_matrix_cell(
     let reference = run_job(
         &job,
         LogSource::open(&log).unwrap(),
-        backend.factory(),
+        backend.build(FactoryOptions::new()),
         &ref_opts,
     )
     .unwrap_or_else(|e| {
@@ -88,9 +88,13 @@ fn crash_matrix_cell(
         .checkpoint(NUM_EVENTS / 2, dir.path().join("count-ckpt"))
         .build();
     let counted_factory = if tiered {
-        backend.factory_tiered_with_vfs(tier_cfg.clone(), counter.clone())
+        backend.build(
+            FactoryOptions::new()
+                .tiered(tier_cfg.clone())
+                .vfs(counter.clone()),
+        )
     } else {
-        backend.factory_with_vfs(counter.clone())
+        backend.build(FactoryOptions::new().vfs(counter.clone()))
     };
     run_job(
         &job,
@@ -129,9 +133,9 @@ fn crash_matrix_cell(
         .telemetry(Arc::clone(&telemetry))
         .build();
     let faulty_factory = if tiered {
-        backend.factory_tiered_with_vfs(tier_cfg, faulty.clone())
+        backend.build(FactoryOptions::new().tiered(tier_cfg).vfs(faulty.clone()))
     } else {
-        backend.factory_with_vfs(faulty.clone())
+        backend.build(FactoryOptions::new().vfs(faulty.clone()))
     };
     let sup = run_supervised(&job, &log, faulty_factory, &opts).unwrap_or_else(|e| {
         panic!(

@@ -16,7 +16,7 @@ use flowkv_common::types::{Tuple, WindowId};
 use flowkv_spe::functions::{decode_u64, FnProcess};
 use flowkv_spe::job::{AggregateSpec, Job, JobBuilder};
 use flowkv_spe::window::WindowAssigner;
-use flowkv_spe::{run_job, BackendChoice, RunOptions};
+use flowkv_spe::{run_job, BackendChoice, FactoryOptions, RunOptions};
 
 const OFFSET: i64 = 37;
 const SIZE: i64 = 500;
@@ -60,7 +60,13 @@ fn run(backend: BackendChoice) -> Vec<(Vec<u8>, Vec<u8>, i64)> {
     let mut opts = RunOptions::new(dir.path());
     opts.collect_outputs = true;
     opts.watermark_interval = 100;
-    let result = run_job(&job(), input().into_iter(), backend.factory(), &opts).unwrap();
+    let result = run_job(
+        &job(),
+        input().into_iter(),
+        backend.build(FactoryOptions::new()),
+        &opts,
+    )
+    .unwrap();
     let mut out: Vec<(Vec<u8>, Vec<u8>, i64)> = result
         .outputs
         .into_iter()
@@ -109,7 +115,7 @@ fn user_ett_predictor_enables_prefetching() {
     let no_hint = run_job(
         &job(),
         input().into_iter(),
-        BackendChoice::FlowKv(cfg.clone()).factory(),
+        BackendChoice::FlowKv(cfg.clone()).build(FactoryOptions::new()),
         &opts,
     )
     .unwrap();
@@ -127,7 +133,7 @@ fn user_ett_predictor_enables_prefetching() {
     let hinted = run_job(
         &job(),
         input().into_iter(),
-        BackendChoice::FlowKv(cfg).factory(),
+        BackendChoice::FlowKv(cfg).build(FactoryOptions::new()),
         &opts,
     )
     .unwrap();

@@ -11,7 +11,7 @@
 use flowkv_common::scratch::ScratchDir;
 use flowkv_common::types::Tuple;
 use flowkv_nexmark::{EventGenerator, GeneratorConfig, QueryId, QueryParams};
-use flowkv_spe::{run_job, BackendChoice, RunOptions};
+use flowkv_spe::{run_job, BackendChoice, FactoryOptions, RunOptions};
 
 fn sorted(mut v: Vec<Tuple>) -> Vec<(Vec<u8>, Vec<u8>, i64)> {
     let mut out: Vec<(Vec<u8>, Vec<u8>, i64)> =
@@ -47,8 +47,13 @@ fn checkpoint_resume_roundtrip(query: QueryId, backend: &BackendChoice) {
     opts.watermark_interval = 100;
     opts.checkpoint_after_tuples = Some(checkpoint_at);
     opts.checkpoint_dir = Some(ckpt.path().to_path_buf());
-    let full = run_job(&job, source(events), backend.factory(), &opts)
-        .unwrap_or_else(|e| panic!("{} on {}: {e}", query.name(), backend.name()));
+    let full = run_job(
+        &job,
+        source(events),
+        backend.build(FactoryOptions::new()),
+        &opts,
+    )
+    .unwrap_or_else(|e| panic!("{} on {}: {e}", query.name(), backend.name()));
     assert!(full.checkpoint_taken, "barrier never completed at the sink");
 
     // Expected post-checkpoint outputs: full minus pre (as multisets).
@@ -68,7 +73,7 @@ fn checkpoint_resume_roundtrip(query: QueryId, backend: &BackendChoice) {
     let resumed = run_job(
         &job,
         source(events).skip(checkpoint_at as usize),
-        backend.factory(),
+        backend.build(FactoryOptions::new()),
         &opts,
     )
     .unwrap_or_else(|e| panic!("resume {} on {}: {e}", query.name(), backend.name()));
@@ -163,7 +168,13 @@ fn interval_join_resumes_exactly() {
     opts.watermark_interval = 100;
     opts.checkpoint_after_tuples = Some(2_000);
     opts.checkpoint_dir = Some(ckpt.path().to_path_buf());
-    let full = run_job(&job, tuples.clone().into_iter(), backend.factory(), &opts).unwrap();
+    let full = run_job(
+        &job,
+        tuples.clone().into_iter(),
+        backend.build(FactoryOptions::new()),
+        &opts,
+    )
+    .unwrap();
     assert!(full.checkpoint_taken);
 
     let mut expected = sorted(full.outputs.clone());
@@ -179,7 +190,7 @@ fn interval_join_resumes_exactly() {
     let resumed = run_job(
         &job,
         tuples.into_iter().skip(2_000),
-        backend.factory(),
+        backend.build(FactoryOptions::new()),
         &opts,
     )
     .unwrap();
@@ -213,7 +224,7 @@ fn resume_replays_from_a_durable_log_source() {
     let full = run_job(
         &job,
         LogSource::open(&log_path).unwrap(),
-        backend.factory(),
+        backend.build(FactoryOptions::new()),
         &opts,
     )
     .unwrap();
@@ -233,7 +244,7 @@ fn resume_replays_from_a_durable_log_source() {
     let resumed = run_job(
         &job,
         LogSource::open_at(&log_path, checkpoint_at).unwrap(),
-        backend.factory(),
+        backend.build(FactoryOptions::new()),
         &opts,
     )
     .unwrap();

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use flowkv_common::scratch::ScratchDir;
 use flowkv_common::types::Tuple;
 use flowkv_spe::join::{tag_left, tag_right};
-use flowkv_spe::{run_job, BackendChoice, JobBuilder, RunOptions};
+use flowkv_spe::{run_job, BackendChoice, FactoryOptions, JobBuilder, RunOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -79,7 +79,13 @@ fn run_join(backend: &BackendChoice, tuples: Vec<Tuple>) -> Vec<Vec<u8>> {
     let mut opts = RunOptions::new(dir.path());
     opts.collect_outputs = true;
     opts.watermark_interval = 50;
-    let result = run_job(&job, tuples.into_iter(), backend.factory(), &opts).unwrap();
+    let result = run_job(
+        &job,
+        tuples.into_iter(),
+        backend.build(FactoryOptions::new()),
+        &opts,
+    )
+    .unwrap();
     let mut out: Vec<Vec<u8>> = result.outputs.into_iter().map(|t| t.value).collect();
     out.sort();
     out
@@ -123,6 +129,12 @@ fn interval_join_state_is_purged_by_watermarks() {
         },
         other => other,
     };
-    let result = run_job(&job, tuples.into_iter(), backend.factory(), &opts).unwrap();
+    let result = run_job(
+        &job,
+        tuples.into_iter(),
+        backend.build(FactoryOptions::new()),
+        &opts,
+    )
+    .unwrap();
     assert_eq!(result.input_count, 20_000);
 }

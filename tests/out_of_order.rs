@@ -10,7 +10,7 @@
 use flowkv_common::scratch::ScratchDir;
 use flowkv_common::types::Tuple;
 use flowkv_nexmark::{EventGenerator, GeneratorConfig, QueryId, QueryParams};
-use flowkv_spe::{run_job, BackendChoice, RunOptions};
+use flowkv_spe::{run_job, BackendChoice, FactoryOptions, RunOptions};
 
 fn gen_cfg(out_of_order_ms: i64) -> GeneratorConfig {
     GeneratorConfig {
@@ -36,7 +36,7 @@ fn run(query: QueryId, backend: &BackendChoice, ooo_ms: i64, slack: i64) -> (Sor
     let result = run_job(
         &query.build(params),
         EventGenerator::new(gen_cfg(ooo_ms)).tuples(),
-        backend.factory(),
+        backend.build(FactoryOptions::new()),
         &opts,
     )
     .unwrap_or_else(|e| panic!("{} on {}: {e}", query.name(), backend.name()));
@@ -103,7 +103,7 @@ fn late_tuples_reach_the_side_output() {
     let result = run_job(
         &QueryId::Q11.build(params),
         EventGenerator::new(gen_cfg(50)).tuples(),
-        backend.factory(),
+        backend.build(FactoryOptions::new()),
         &opts,
     )
     .unwrap();

@@ -6,7 +6,7 @@
 use flowkv_common::scratch::ScratchDir;
 use flowkv_common::types::Tuple;
 use flowkv_nexmark::{EventGenerator, GeneratorConfig, QueryId, QueryParams};
-use flowkv_spe::{run_job, BackendChoice, RunOptions};
+use flowkv_spe::{run_job, BackendChoice, FactoryOptions, RunOptions};
 
 /// Runs `query` on `backend` over a small deterministic stream and
 /// returns its outputs as sorted `(key, value, ts)` triples.
@@ -28,7 +28,7 @@ fn run_query(query: QueryId, backend: &BackendChoice) -> Vec<(Vec<u8>, Vec<u8>, 
     let result = run_job(
         &job,
         EventGenerator::new(cfg).tuples(),
-        backend.factory(),
+        backend.build(FactoryOptions::new()),
         &opts,
     )
     .unwrap_or_else(|e| panic!("{} on {}: {e}", query.name(), backend.name()));

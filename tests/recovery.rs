@@ -10,7 +10,7 @@
 use flowkv_common::backend::{AggregateKind, OperatorContext, OperatorSemantics, WindowKind};
 use flowkv_common::scratch::ScratchDir;
 use flowkv_common::types::WindowId;
-use flowkv_spe::BackendChoice;
+use flowkv_spe::{BackendChoice, FactoryOptions};
 
 fn ctx(dir: &ScratchDir, semantics: OperatorSemantics, name: &str) -> OperatorContext {
     OperatorContext {
@@ -35,7 +35,7 @@ fn append_recovery(choice: &BackendChoice) {
     let semantics =
         OperatorSemantics::new(AggregateKind::FullList, WindowKind::Session { gap: 1_000 });
     let mut store = choice
-        .factory()
+        .build(FactoryOptions::new())
         .create(&ctx(&dir, semantics, "append-op"))
         .unwrap();
 
@@ -88,7 +88,7 @@ fn rmw_recovery(choice: &BackendChoice) {
     let semantics =
         OperatorSemantics::new(AggregateKind::Incremental, WindowKind::Fixed { size: 100 });
     let mut store = choice
-        .factory()
+        .build(FactoryOptions::new())
         .create(&ctx(&dir, semantics, "rmw-op"))
         .unwrap();
 
@@ -149,7 +149,7 @@ fn restore_into_fresh_store() {
         let semantics =
             OperatorSemantics::new(AggregateKind::FullList, WindowKind::Session { gap: 100 });
         let mut a = choice
-            .factory()
+            .build(FactoryOptions::new())
             .create(&ctx(&dir_a, semantics, "op"))
             .unwrap();
         for i in 0..50u64 {
@@ -160,7 +160,7 @@ fn restore_into_fresh_store() {
         a.close().unwrap();
 
         let mut b = choice
-            .factory()
+            .build(FactoryOptions::new())
             .create(&ctx(&dir_b, semantics, "op"))
             .unwrap();
         b.restore(ckpt.path()).unwrap();

@@ -21,7 +21,7 @@ use flowkv_common::backend::{
 };
 use flowkv_common::scratch::ScratchDir;
 use flowkv_common::types::WindowId;
-use flowkv_spe::BackendChoice;
+use flowkv_spe::{BackendChoice, FactoryOptions};
 use proptest::prelude::*;
 
 const WINDOW_SIZE: i64 = 100;
@@ -76,9 +76,9 @@ fn make_store(
     let factory = if tiered {
         // Forced demotion: every row the test writes seals into a cold
         // block before extraction touches it.
-        choice.factory_tiered(flowkv::tier::TierConfig::new(0))
+        choice.build(FactoryOptions::new().tiered(flowkv::tier::TierConfig::new(0)))
     } else {
-        choice.factory()
+        choice.build(FactoryOptions::new())
     };
     factory.create(&ctx).unwrap()
 }

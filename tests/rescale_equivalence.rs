@@ -16,7 +16,7 @@ use common::{fault_seed, nexmark_generator, sorted_triples};
 use flowkv_common::scratch::ScratchDir;
 use flowkv_common::vfs::{FaultPlan, FaultVfs, StdVfs};
 use flowkv_nexmark::{EventGenerator, QueryId, QueryParams};
-use flowkv_spe::{run_cluster, run_job, BackendChoice, RunOptions};
+use flowkv_spe::{run_cluster, run_job, BackendChoice, FactoryOptions, RunOptions};
 
 const NUM_EVENTS: u64 = 8_000;
 const DEFAULT_SEED: u64 = 0xF10C;
@@ -35,8 +35,13 @@ fn rescale_cell(query: QueryId, backend: &BackendChoice) {
         .collect_outputs(true)
         .watermark_interval(WM_INTERVAL)
         .build();
-    let reference = run_job(&job, generator().tuples(), backend.factory(), &ref_opts)
-        .unwrap_or_else(|e| panic!("{} on {}: reference: {e}", query.name(), backend.name()));
+    let reference = run_job(
+        &job,
+        generator().tuples(),
+        backend.build(FactoryOptions::new()),
+        &ref_opts,
+    )
+    .unwrap_or_else(|e| panic!("{} on {}: reference: {e}", query.name(), backend.name()));
     let want = sorted_triples(&reference.outputs);
     assert!(
         !want.is_empty(),
@@ -51,8 +56,13 @@ fn rescale_cell(query: QueryId, backend: &BackendChoice) {
             .watermark_interval(WM_INTERVAL)
             .workers(n)
             .build();
-        let result = run_cluster(&job, generator().tuples(), backend.factory(), &opts)
-            .unwrap_or_else(|e| panic!("{} on {} N={n}: {e}", query.name(), backend.name()));
+        let result = run_cluster(
+            &job,
+            generator().tuples(),
+            backend.build(FactoryOptions::new()),
+            &opts,
+        )
+        .unwrap_or_else(|e| panic!("{} on {} N={n}: {e}", query.name(), backend.name()));
         assert_eq!(
             sorted_triples(&result.outputs),
             want,
@@ -69,8 +79,13 @@ fn rescale_cell(query: QueryId, backend: &BackendChoice) {
         .rescale_to(4)
         .checkpoint(NUM_EVENTS / 2, dir.path().join("rescale-ckpt"))
         .build();
-    let rescaled = run_cluster(&job, generator().tuples(), backend.factory(), &ropts)
-        .unwrap_or_else(|e| panic!("{} on {} rescale: {e}", query.name(), backend.name()));
+    let rescaled = run_cluster(
+        &job,
+        generator().tuples(),
+        backend.build(FactoryOptions::new()),
+        &ropts,
+    )
+    .unwrap_or_else(|e| panic!("{} on {} rescale: {e}", query.name(), backend.name()));
     assert_eq!(rescaled.workers, 4);
     let pause = rescaled
         .rescale_pause
@@ -127,7 +142,7 @@ fn sharded_crash_recovers_with_identical_output() {
     let clean = run_cluster(
         &job,
         generator().tuples(),
-        backend.factory(),
+        backend.build(FactoryOptions::new()),
         &opts("clean"),
     )
     .expect("clean sharded run");
@@ -137,7 +152,7 @@ fn sharded_crash_recovers_with_identical_output() {
     run_cluster(
         &job,
         generator().tuples(),
-        backend.factory_with_vfs(counter.clone()),
+        backend.build(FactoryOptions::new().vfs(counter.clone())),
         &opts("count"),
     )
     .expect("counting run");
@@ -152,7 +167,7 @@ fn sharded_crash_recovers_with_identical_output() {
     let recovered = run_cluster(
         &job,
         generator().tuples(),
-        backend.factory_with_vfs(faulty.clone()),
+        backend.build(FactoryOptions::new().vfs(faulty.clone())),
         &copts,
     )
     .unwrap_or_else(|e| panic!("sharded run did not recover (seed {seed}): {e}"));

@@ -14,7 +14,7 @@ use flowkv_common::backend::{
 };
 use flowkv_common::scratch::ScratchDir;
 use flowkv_common::types::WindowId;
-use flowkv_spe::BackendChoice;
+use flowkv_spe::{BackendChoice, FactoryOptions};
 use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
@@ -82,7 +82,7 @@ fn make_store(choice: &BackendChoice, semantics: OperatorSemantics) -> Box<dyn S
         telemetry: None,
         io: None,
     };
-    choice.factory().create(&ctx).unwrap()
+    choice.build(FactoryOptions::new()).create(&ctx).unwrap()
 }
 
 fn check_append_model(choice: &BackendChoice, ops: &[AppendOp]) -> Result<(), TestCaseError> {

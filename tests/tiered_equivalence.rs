@@ -27,7 +27,7 @@ use flowkv_common::telemetry::{SampleValue, Telemetry};
 use flowkv_common::vfs::{FaultPlan, FaultVfs, StdVfs};
 use flowkv_nexmark::{QueryId, QueryParams};
 use flowkv_spe::source::{LogSource, TupleLog};
-use flowkv_spe::{run_job, run_supervised, BackendChoice, RunOptions};
+use flowkv_spe::{run_job, run_supervised, BackendChoice, FactoryOptions, RunOptions};
 
 const NUM_EVENTS: u64 = 5_000;
 const DEFAULT_SEED: u64 = 0x71E2;
@@ -74,7 +74,7 @@ fn tiered_run(
     let result = run_job(
         &job,
         LogSource::open(log).unwrap(),
-        backend.factory(),
+        backend.build(FactoryOptions::new()),
         &opts,
     )
     .unwrap_or_else(|e| {
@@ -109,7 +109,7 @@ fn differential_cell(query: QueryId, backend: &BackendChoice) {
     let reference = run_job(
         &job,
         LogSource::open(&log).unwrap(),
-        backend.factory(),
+        backend.build(FactoryOptions::new()),
         &ref_opts,
     )
     .unwrap_or_else(|e| {
@@ -197,7 +197,7 @@ fn tiered_crash_cell(query: QueryId, backend: &BackendChoice, seed: u64) {
     let reference = run_job(
         &job,
         LogSource::open(&log).unwrap(),
-        backend.factory(),
+        backend.build(FactoryOptions::new()),
         &ref_opts,
     )
     .unwrap_or_else(|e| {
@@ -218,7 +218,11 @@ fn tiered_crash_cell(query: QueryId, backend: &BackendChoice, seed: u64) {
     run_job(
         &job,
         LogSource::open(&log).unwrap(),
-        backend.factory_tiered_with_vfs(tier_cfg.clone(), counter.clone()),
+        backend.build(
+            FactoryOptions::new()
+                .tiered(tier_cfg.clone())
+                .vfs(counter.clone()),
+        ),
         &counted_opts,
     )
     .unwrap_or_else(|e| {
@@ -249,7 +253,7 @@ fn tiered_crash_cell(query: QueryId, backend: &BackendChoice, seed: u64) {
     let sup = run_supervised(
         &job,
         &log,
-        backend.factory_tiered_with_vfs(tier_cfg, faulty.clone()),
+        backend.build(FactoryOptions::new().tiered(tier_cfg).vfs(faulty.clone())),
         &opts,
     )
     .unwrap_or_else(|e| {

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use flowkv_common::scratch::ScratchDir;
 use flowkv_common::trace::{self, SpanPhase, Tracer};
 use flowkv_nexmark::{EventGenerator, GeneratorConfig, QueryId, QueryParams};
-use flowkv_spe::{run_cluster, run_job, BackendChoice, RunOptions};
+use flowkv_spe::{run_cluster, run_job, BackendChoice, FactoryOptions, RunOptions};
 use proptest::prelude::*;
 
 const NUM_EVENTS: u64 = 8_000;
@@ -41,8 +41,13 @@ fn q7_cluster_trace_exports_one_pid_per_worker() {
         .workers(2)
         .trace_out(&path)
         .build();
-    let result =
-        run_cluster(&job, generator().tuples(), backend.factory(), &opts).expect("q7 sharded run");
+    let result = run_cluster(
+        &job,
+        generator().tuples(),
+        backend.build(FactoryOptions::new()),
+        &opts,
+    )
+    .expect("q7 sharded run");
     assert!(!result.outputs.is_empty(), "q7 produced no output");
 
     let text = std::fs::read_to_string(&path).expect("trace file written");
@@ -123,7 +128,13 @@ fn q11_attribution_reconciles_with_latency_summary() {
         .trace(Arc::clone(&tracer))
         .trace_sample(1)
         .build();
-    let result = run_job(&job, generator().tuples(), backend.factory(), &opts).expect("q11 run");
+    let result = run_job(
+        &job,
+        generator().tuples(),
+        backend.build(FactoryOptions::new()),
+        &opts,
+    )
+    .expect("q11 run");
     assert!(result.latency.count > 0, "no latency samples");
 
     let events = trace::flatten(&tracer.drain());
